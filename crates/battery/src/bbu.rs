@@ -1,0 +1,333 @@
+//! The four-state battery backup unit machine of Fig 8(a).
+
+use serde::{Deserialize, Serialize};
+
+use recharge_units::{Amperes, Dod, Seconds, Soc, Watts};
+
+use crate::charger::{ChargePolicy, Charger};
+use crate::pack::{BbuPack, ChargePhase};
+use crate::params::BbuParams;
+
+/// The observable state of a BBU (Fig 8a).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum BbuState {
+    /// Battery full and idle; the rack has its redundancy available.
+    #[default]
+    FullyCharged,
+    /// Input power present, battery recharging.
+    Charging,
+    /// Input power absent, battery carrying the IT load.
+    Discharging,
+    /// Battery empty while input power is still absent (the rack is dark).
+    FullyDischarged,
+}
+
+impl core::fmt::Display for BbuState {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let name = match self {
+            BbuState::FullyCharged => "fully charged",
+            BbuState::Charging => "charging",
+            BbuState::Discharging => "discharging",
+            BbuState::FullyDischarged => "fully discharged",
+        };
+        f.write_str(name)
+    }
+}
+
+/// What one simulation step of a [`Bbu`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BbuStepReport {
+    /// State after the step.
+    pub state: BbuState,
+    /// Power delivered to the IT load from the battery (discharging only).
+    pub discharge_power: Watts,
+    /// Wall power drawn to recharge the battery (charging only).
+    pub recharge_wall_power: Watts,
+    /// Charging current that flowed (charging only).
+    pub charge_current: Amperes,
+}
+
+impl BbuStepReport {
+    fn idle(state: BbuState) -> Self {
+        BbuStepReport {
+            state,
+            discharge_power: Watts::ZERO,
+            recharge_wall_power: Watts::ZERO,
+            charge_current: Amperes::ZERO,
+        }
+    }
+}
+
+/// One battery backup unit: an electrical pack plus its charger, advanced
+/// through the state machine of Fig 8(a) by input-power events and time steps.
+///
+/// # Examples
+///
+/// ```
+/// use recharge_battery::{Bbu, BbuParams, BbuState, ChargePolicy};
+/// use recharge_units::{Seconds, Watts};
+///
+/// let mut bbu = Bbu::new(BbuParams::default(), ChargePolicy::Variable);
+/// assert_eq!(bbu.state(), BbuState::FullyCharged);
+///
+/// // A 45-second open transition at 1.6 kW of IT-load share.
+/// bbu.input_power_lost();
+/// bbu.step(Watts::new(1_600.0), Seconds::new(45.0));
+/// assert_eq!(bbu.state(), BbuState::Discharging);
+///
+/// bbu.input_power_restored();
+/// let report = bbu.step(Watts::new(1_600.0), Seconds::new(1.0));
+/// assert_eq!(report.state, BbuState::Charging);
+/// assert!(report.recharge_wall_power > Watts::ZERO);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Bbu {
+    pack: BbuPack,
+    charger: Charger,
+    state: BbuState,
+    /// DOD measured when the most recent charge sequence began; this is what
+    /// the variable charger (and the controller's SLA calculation) key off.
+    event_dod: Dod,
+}
+
+impl Bbu {
+    /// Creates a fully charged BBU with the given charger policy.
+    #[must_use]
+    pub fn new(params: BbuParams, policy: ChargePolicy) -> Self {
+        Bbu {
+            pack: BbuPack::new(params),
+            charger: Charger::new(policy),
+            state: BbuState::FullyCharged,
+            event_dod: Dod::ZERO,
+        }
+    }
+
+    /// Current state in the Fig 8(a) machine.
+    #[must_use]
+    pub fn state(&self) -> BbuState {
+        self.state
+    }
+
+    /// Current state of charge of the pack.
+    #[must_use]
+    pub fn soc(&self) -> Soc {
+        self.pack.soc()
+    }
+
+    /// Current depth of discharge of the pack.
+    #[must_use]
+    pub fn dod(&self) -> Dod {
+        self.pack.dod()
+    }
+
+    /// DOD measured when the most recent charge sequence began.
+    #[must_use]
+    pub fn event_dod(&self) -> Dod {
+        self.event_dod
+    }
+
+    /// Immutable access to the charger.
+    #[must_use]
+    pub fn charger(&self) -> &Charger {
+        &self.charger
+    }
+
+    /// Mutable access to the charger (override control).
+    #[must_use]
+    pub fn charger_mut(&mut self) -> &mut Charger {
+        &mut self.charger
+    }
+
+    /// Immutable access to the electrical pack.
+    #[must_use]
+    pub fn pack(&self) -> &BbuPack {
+        &self.pack
+    }
+
+    /// Signals loss of rack input power: the BBU starts carrying the load.
+    ///
+    /// A no-op if the BBU is already discharging or empty.
+    pub fn input_power_lost(&mut self) {
+        match self.state {
+            BbuState::FullyCharged | BbuState::Charging => self.state = BbuState::Discharging,
+            BbuState::Discharging | BbuState::FullyDischarged => {}
+        }
+    }
+
+    /// Signals restoration of rack input power: the BBU begins (or resumes)
+    /// charging, with the automatic setpoint recomputed from the measured DOD.
+    ///
+    /// A no-op if the BBU was neither discharging nor empty.
+    pub fn input_power_restored(&mut self) {
+        match self.state {
+            BbuState::Discharging | BbuState::FullyDischarged => {
+                self.event_dod = self.pack.dod();
+                self.charger.begin_charge(self.event_dod);
+                if self.pack.is_fully_charged() {
+                    // Possible only for a zero-length or zero-load event.
+                    self.state = BbuState::FullyCharged;
+                } else {
+                    self.state = BbuState::Charging;
+                }
+            }
+            BbuState::FullyCharged | BbuState::Charging => {}
+        }
+    }
+
+    /// Advances the BBU by `dt`.
+    ///
+    /// `load_share` is this BBU's share of the rack IT load and is only
+    /// consumed while discharging.
+    pub fn step(&mut self, load_share: Watts, dt: Seconds) -> BbuStepReport {
+        match self.state {
+            BbuState::FullyCharged => BbuStepReport::idle(BbuState::FullyCharged),
+            BbuState::FullyDischarged => BbuStepReport::idle(BbuState::FullyDischarged),
+            BbuState::Discharging => {
+                let step = self.pack.discharge_step(load_share, dt);
+                if step.depleted {
+                    self.state = BbuState::FullyDischarged;
+                }
+                BbuStepReport {
+                    state: self.state,
+                    discharge_power: step.delivered_power,
+                    recharge_wall_power: Watts::ZERO,
+                    charge_current: Amperes::ZERO,
+                }
+            }
+            BbuState::Charging => {
+                let step = self.pack.charge_step(self.charger.setpoint(), dt);
+                if step.phase == ChargePhase::Complete {
+                    self.state = BbuState::FullyCharged;
+                }
+                BbuStepReport {
+                    state: self.state,
+                    discharge_power: Watts::ZERO,
+                    recharge_wall_power: step.wall_power,
+                    charge_current: step.current,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bbu() -> Bbu {
+        Bbu::new(BbuParams::default(), ChargePolicy::Variable)
+    }
+
+    #[test]
+    fn starts_fully_charged() {
+        let b = bbu();
+        assert_eq!(b.state(), BbuState::FullyCharged);
+        assert_eq!(b.soc(), Soc::FULL);
+    }
+
+    #[test]
+    fn open_transition_cycle_visits_all_expected_states() {
+        let mut b = bbu();
+        b.input_power_lost();
+        assert_eq!(b.state(), BbuState::Discharging);
+
+        let report = b.step(Watts::new(2_000.0), Seconds::new(45.0));
+        assert_eq!(report.discharge_power, Watts::new(2_000.0));
+        assert_eq!(b.state(), BbuState::Discharging);
+
+        b.input_power_restored();
+        assert_eq!(b.state(), BbuState::Charging);
+        // Variable charger at ~30% DOD selects 2 A.
+        assert_eq!(b.charger().setpoint(), Amperes::new(2.0));
+
+        // Charge until done.
+        let mut minutes = 0.0;
+        while b.state() == BbuState::Charging {
+            b.step(Watts::ZERO, Seconds::new(1.0));
+            minutes += 1.0 / 60.0;
+            assert!(minutes < 120.0, "charge did not complete");
+        }
+        assert_eq!(b.state(), BbuState::FullyCharged);
+    }
+
+    #[test]
+    fn sustained_outage_fully_discharges() {
+        let mut b = bbu();
+        b.input_power_lost();
+        let report = b.step(Watts::new(3_300.0), Seconds::new(120.0));
+        assert_eq!(report.state, BbuState::FullyDischarged);
+        // While dark and empty, nothing flows.
+        let idle = b.step(Watts::new(3_300.0), Seconds::new(10.0));
+        assert_eq!(idle.discharge_power, Watts::ZERO);
+
+        b.input_power_restored();
+        assert_eq!(b.state(), BbuState::Charging);
+        assert_eq!(b.event_dod(), Dod::FULL);
+        // Variable charger at 100% DOD selects 5 A.
+        assert_eq!(b.charger().setpoint(), Amperes::new(5.0));
+    }
+
+    #[test]
+    fn event_dod_is_latched_at_charge_start() {
+        let mut b = bbu();
+        b.input_power_lost();
+        b.step(Watts::new(3_300.0), Seconds::new(45.0));
+        b.input_power_restored();
+        let latched = b.event_dod();
+        assert!((latched.value() - 0.5).abs() < 1e-9);
+        // Charging reduces the instantaneous DOD but not the latched one.
+        b.step(Watts::ZERO, Seconds::new(60.0));
+        assert!(b.dod() < latched);
+        assert_eq!(b.event_dod(), latched);
+    }
+
+    #[test]
+    fn power_events_are_idempotent() {
+        let mut b = bbu();
+        b.input_power_restored(); // no-op when charged
+        assert_eq!(b.state(), BbuState::FullyCharged);
+        b.input_power_lost();
+        b.input_power_lost(); // no-op when already discharging
+        assert_eq!(b.state(), BbuState::Discharging);
+        b.step(Watts::new(2_000.0), Seconds::new(10.0));
+        b.input_power_restored();
+        b.input_power_restored();
+        assert_eq!(b.state(), BbuState::Charging);
+    }
+
+    #[test]
+    fn zero_length_event_returns_to_fully_charged() {
+        let mut b = bbu();
+        b.input_power_lost();
+        b.input_power_restored();
+        assert_eq!(b.state(), BbuState::FullyCharged);
+    }
+
+    #[test]
+    fn override_throttles_recharge_power() {
+        let mut b = bbu();
+        b.input_power_lost();
+        b.step(Watts::new(3_300.0), Seconds::new(60.0));
+        b.input_power_restored();
+
+        let unthrottled = b.step(Watts::ZERO, Seconds::new(1.0)).recharge_wall_power;
+        b.charger_mut().set_override(Amperes::MIN_CHARGE);
+        let throttled = b.step(Watts::ZERO, Seconds::new(1.0)).recharge_wall_power;
+        assert!(
+            throttled < unthrottled * 0.6,
+            "override 1 A power {throttled} should be well below automatic {unthrottled}"
+        );
+    }
+
+    #[test]
+    fn display_names_cover_all_states() {
+        for (state, name) in [
+            (BbuState::FullyCharged, "fully charged"),
+            (BbuState::Charging, "charging"),
+            (BbuState::Discharging, "discharging"),
+            (BbuState::FullyDischarged, "fully discharged"),
+        ] {
+            assert_eq!(state.to_string(), name);
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! Charging-current selection: the original charger, the variable charger
+//! (Eq. 1), and the manual override used by coordinated control.
+
+use serde::{Deserialize, Serialize};
+
+use recharge_units::{Amperes, Dod};
+
+/// How a charger picks its constant-current setpoint after a discharge event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ChargePolicy {
+    /// The original production charger: always 5 A, regardless of DOD
+    /// (§III-A). Simple, but causes the worst-case recharge power spike on
+    /// every event.
+    Original,
+    /// The new variable charger (§III-B, Eq. 1): 2 A below 50% DOD, rising
+    /// linearly to 5 A at 100% DOD, keeping the charge time within 45 min.
+    #[default]
+    Variable,
+}
+
+impl ChargePolicy {
+    /// The automatic setpoint this policy selects for a given depth of
+    /// discharge (Fig 6b).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use recharge_battery::ChargePolicy;
+    /// use recharge_units::{Amperes, Dod};
+    ///
+    /// assert_eq!(ChargePolicy::Original.automatic_current(Dod::new(0.1)), Amperes::new(5.0));
+    /// assert_eq!(ChargePolicy::Variable.automatic_current(Dod::new(0.1)), Amperes::new(2.0));
+    /// assert_eq!(ChargePolicy::Variable.automatic_current(Dod::new(0.75)), Amperes::new(3.5));
+    /// ```
+    #[must_use]
+    pub fn automatic_current(self, dod: Dod) -> Amperes {
+        match self {
+            ChargePolicy::Original => Amperes::MAX_CHARGE,
+            ChargePolicy::Variable => variable_current(dod),
+        }
+    }
+}
+
+impl core::fmt::Display for ChargePolicy {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ChargePolicy::Original => f.write_str("original 5 A charger"),
+            ChargePolicy::Variable => f.write_str("variable charger"),
+        }
+    }
+}
+
+/// Eq. 1 of the paper: the variable charger's CC setpoint as a function of
+/// depth of discharge.
+///
+/// ```text
+/// I_C = 2 + (DOD − 0.5) × 6   if DOD ≥ 50%
+/// I_C = 2                      if DOD < 50%
+/// ```
+#[must_use]
+pub fn variable_current(dod: Dod) -> Amperes {
+    if dod.is_at_least_half() {
+        Amperes::new(2.0 + (dod.value() - 0.5) * 6.0)
+    } else {
+        Amperes::new(2.0)
+    }
+}
+
+/// A BBU charger: an automatic policy plus an optional manual override.
+///
+/// The override models the hardware hook added in §III-B: a power-management
+/// system (Dynamo) may force any setpoint in the 1–5 A hardware range,
+/// displacing the automatic selection until cleared. The effective setpoint is
+/// re-evaluated whenever a discharge event completes (the DOD is then known).
+///
+/// # Examples
+///
+/// ```
+/// use recharge_battery::{ChargePolicy, Charger};
+/// use recharge_units::{Amperes, Dod};
+///
+/// let mut charger = Charger::new(ChargePolicy::Variable);
+/// charger.begin_charge(Dod::new(0.2));
+/// assert_eq!(charger.setpoint(), Amperes::new(2.0));
+///
+/// // Coordinated control throttles this rack to the 1 A hardware floor.
+/// charger.set_override(Amperes::new(1.0));
+/// assert_eq!(charger.setpoint(), Amperes::new(1.0));
+///
+/// charger.clear_override();
+/// assert_eq!(charger.setpoint(), Amperes::new(2.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Charger {
+    policy: ChargePolicy,
+    automatic: Amperes,
+    override_current: Option<Amperes>,
+    postponed: bool,
+}
+
+impl Charger {
+    /// Creates a charger with the given automatic policy and no override.
+    #[must_use]
+    pub fn new(policy: ChargePolicy) -> Self {
+        Charger {
+            policy,
+            automatic: policy.automatic_current(Dod::ZERO),
+            override_current: None,
+            postponed: false,
+        }
+    }
+
+    /// The automatic policy of this charger.
+    #[must_use]
+    pub fn policy(&self) -> ChargePolicy {
+        self.policy
+    }
+
+    /// Recomputes the automatic setpoint for a new charge sequence following a
+    /// discharge to `dod`.
+    ///
+    /// Any previous manual override is retained: in the deployed system the
+    /// controller, not the charger, decides when an override ends.
+    pub fn begin_charge(&mut self, dod: Dod) {
+        self.automatic = self.policy.automatic_current(dod);
+    }
+
+    /// Applies a manual override, clamped to the 1–5 A hardware range.
+    pub fn set_override(&mut self, current: Amperes) {
+        self.override_current = Some(current.clamp(Amperes::MIN_CHARGE, Amperes::MAX_CHARGE));
+    }
+
+    /// Removes the manual override, returning to automatic selection.
+    pub fn clear_override(&mut self) {
+        self.override_current = None;
+    }
+
+    /// The active override, if any.
+    #[must_use]
+    pub fn override_current(&self) -> Option<Amperes> {
+        self.override_current
+    }
+
+    /// Suspends or resumes charging entirely.
+    ///
+    /// Postponing is the paper's stated future-work extension (§IV-A): with
+    /// hardware that can hold charging at zero, a power-constrained
+    /// controller can defer low-priority racks completely instead of capping
+    /// servers. While postponed the effective setpoint is zero; the override
+    /// and automatic selection are retained for resumption.
+    pub fn set_postponed(&mut self, postponed: bool) {
+        self.postponed = postponed;
+    }
+
+    /// Whether charging is currently postponed.
+    #[must_use]
+    pub fn is_postponed(&self) -> bool {
+        self.postponed
+    }
+
+    /// The effective CC setpoint: zero while postponed, else the override if
+    /// set, else the automatic policy's choice for the most recent discharge.
+    #[must_use]
+    pub fn setpoint(&self) -> Amperes {
+        if self.postponed {
+            return Amperes::ZERO;
+        }
+        self.override_current.unwrap_or(self.automatic)
+    }
+}
+
+impl Default for Charger {
+    fn default() -> Self {
+        Charger::new(ChargePolicy::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq1_matches_paper() {
+        // Below 50% DOD the setpoint is pinned at 2 A.
+        assert_eq!(variable_current(Dod::ZERO), Amperes::new(2.0));
+        assert_eq!(variable_current(Dod::new(0.25)), Amperes::new(2.0));
+        assert_eq!(variable_current(Dod::new(0.4999)), Amperes::new(2.0));
+        // At and above 50% it rises linearly: 2 + (DOD − 0.5) × 6.
+        assert_eq!(variable_current(Dod::new(0.5)), Amperes::new(2.0));
+        assert!((variable_current(Dod::new(0.7)).as_amps() - 3.2).abs() < 1e-12);
+        assert!((variable_current(Dod::new(0.9)).as_amps() - 4.4).abs() < 1e-12);
+        assert_eq!(variable_current(Dod::FULL), Amperes::new(5.0));
+    }
+
+    #[test]
+    fn eq1_stays_in_hardware_range() {
+        for i in 0..=100 {
+            let dod = Dod::new(f64::from(i) / 100.0);
+            let c = variable_current(dod);
+            assert!(c >= Amperes::new(2.0) && c <= Amperes::MAX_CHARGE, "dod={dod} gave {c}");
+        }
+    }
+
+    #[test]
+    fn original_policy_is_always_max() {
+        for dod in [0.0, 0.3, 0.7, 1.0] {
+            assert_eq!(
+                ChargePolicy::Original.automatic_current(Dod::new(dod)),
+                Amperes::MAX_CHARGE
+            );
+        }
+    }
+
+    #[test]
+    fn recharge_power_reduction_reaches_60_percent() {
+        // §III-B: "the recharge power is decreased by as much as 60% (if DOD
+        // is less than 50%)" — 2 A vs 5 A is exactly a 60% current reduction.
+        let reduction = 1.0
+            - ChargePolicy::Variable.automatic_current(Dod::new(0.3)).as_amps()
+                / ChargePolicy::Original.automatic_current(Dod::new(0.3)).as_amps();
+        assert!((reduction - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn override_clamps_to_hardware_range() {
+        let mut charger = Charger::new(ChargePolicy::Variable);
+        charger.set_override(Amperes::new(0.2));
+        assert_eq!(charger.setpoint(), Amperes::MIN_CHARGE);
+        charger.set_override(Amperes::new(9.0));
+        assert_eq!(charger.setpoint(), Amperes::MAX_CHARGE);
+        assert_eq!(charger.override_current(), Some(Amperes::MAX_CHARGE));
+    }
+
+    #[test]
+    fn override_survives_new_charge_sequence() {
+        let mut charger = Charger::new(ChargePolicy::Variable);
+        charger.set_override(Amperes::new(1.0));
+        charger.begin_charge(Dod::FULL);
+        assert_eq!(charger.setpoint(), Amperes::new(1.0));
+        charger.clear_override();
+        assert_eq!(charger.setpoint(), Amperes::new(5.0));
+    }
+
+    #[test]
+    fn default_charger_is_variable() {
+        let charger = Charger::default();
+        assert_eq!(charger.policy(), ChargePolicy::Variable);
+        assert_eq!(charger.override_current(), None);
+    }
+
+    #[test]
+    fn postpone_zeroes_setpoint_and_resumes_cleanly() {
+        let mut charger = Charger::new(ChargePolicy::Variable);
+        charger.begin_charge(Dod::new(0.8));
+        let before = charger.setpoint();
+        assert!(before > Amperes::ZERO);
+
+        charger.set_postponed(true);
+        assert!(charger.is_postponed());
+        assert_eq!(charger.setpoint(), Amperes::ZERO);
+
+        // Overrides are retained behind the postpone flag.
+        charger.set_override(Amperes::new(1.5));
+        assert_eq!(charger.setpoint(), Amperes::ZERO);
+        charger.set_postponed(false);
+        assert_eq!(charger.setpoint(), Amperes::new(1.5));
+        charger.clear_override();
+        assert_eq!(charger.setpoint(), before);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ChargePolicy::Original.to_string(), "original 5 A charger");
+        assert_eq!(ChargePolicy::Variable.to_string(), "variable charger");
+    }
+}

@@ -1,0 +1,64 @@
+//! Error types of the battery crate.
+
+/// Errors produced by battery model construction and table queries.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum BatteryError {
+    /// A parameter set failed validation; the message names the violated
+    /// constraint.
+    InvalidParams(String),
+    /// A charge-time table was asked to interpolate outside its grid.
+    OutOfTableRange {
+        /// The requested depth of discharge (fraction).
+        dod: f64,
+        /// The requested charging current in amperes.
+        current: f64,
+    },
+    /// A charge simulation failed to complete within its step budget,
+    /// indicating an unphysical parameter set.
+    ChargeDidNotConverge {
+        /// The depth of discharge being simulated.
+        dod: f64,
+        /// The charging current in amperes.
+        current: f64,
+    },
+}
+
+impl core::fmt::Display for BatteryError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            BatteryError::InvalidParams(what) => write!(f, "invalid battery parameters: {what}"),
+            BatteryError::OutOfTableRange { dod, current } => write!(
+                f,
+                "charge-time lookup outside table range (DOD {dod:.3}, current {current:.2} A)"
+            ),
+            BatteryError::ChargeDidNotConverge { dod, current } => write!(
+                f,
+                "charge simulation did not converge (DOD {dod:.3}, current {current:.2} A)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BatteryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = BatteryError::InvalidParams("x must be positive".into());
+        assert!(e.to_string().starts_with("invalid battery parameters"));
+        let e = BatteryError::OutOfTableRange { dod: 0.5, current: 9.0 };
+        assert!(e.to_string().contains("9.00 A"));
+        let e = BatteryError::ChargeDidNotConverge { dod: 1.0, current: 1.0 };
+        assert!(e.to_string().contains("converge"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BatteryError>();
+    }
+}

@@ -1,0 +1,222 @@
+//! Calibrated physical parameters of one battery backup unit and its charger.
+
+use serde::{Deserialize, Serialize};
+
+use recharge_units::{Amperes, Joules, Ohms, Volts, Watts};
+
+use crate::error::BatteryError;
+
+/// Physical constants of a single BBU plus its CC-CV charger.
+///
+/// The defaults are calibrated so that the *emergent* behaviour of
+/// [`BbuPack`](crate::BbuPack) matches every quantitative anchor published in
+/// §III of the paper:
+///
+/// | Paper anchor | Source | Emergent value |
+/// |---|---|---|
+/// | Full charge at 5 A takes ≈ 36 min (CC ≈ 20 min to 52 V, then CV) | Fig 3 | ~37 min |
+/// | Initial recharge power ≈ 260 W per BBU, independent of DOD | Fig 4 | ~270 W |
+/// | Worst-case 5 A charge within 45 min | §III-B | yes |
+/// | Eq. 1 variable current always charges within 45 min | §III-B | yes |
+/// | Rack recharge ≈ 1.9 kW at 5 A, ≈ 700 W at 2 A, ≈ 350 W at 1 A | §III-A, §V-A | yes |
+/// | Charge time plateaus below ≈ 22% DOD (CV-dominated) | Fig 5 | yes |
+/// | 1 A charge time considerably higher (> 60 min at 50% DOD) | Fig 5 | yes |
+///
+/// This is a passive configuration record, so its fields are public; use
+/// [`BbuParams::validate`] after hand-editing values.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BbuParams {
+    /// Usable energy of a full BBU: the paper defines 100% DOD as powering
+    /// 3,300 W of IT load for 90 seconds (297 kJ = 82.5 Wh).
+    pub full_discharge_energy: Joules,
+    /// Open-circuit voltage at 0% state of charge.
+    pub ocv_empty: Volts,
+    /// Open-circuit voltage at 100% state of charge. Must satisfy
+    /// `(cv_voltage − ocv_full) / internal_resistance < cutoff_current` so the
+    /// CV taper crosses the cutoff current (and terminates) strictly before
+    /// 100% SoC; the pack snaps the final sliver of charge at termination.
+    pub ocv_full: Volts,
+    /// Series internal resistance of the pack.
+    pub internal_resistance: Ohms,
+    /// Terminal voltage at which the charger switches from CC to CV (52 V).
+    pub cc_to_cv_voltage: Volts,
+    /// Regulated terminal voltage during the CV phase (52.5 V).
+    pub cv_voltage: Volts,
+    /// CV-phase termination current (400 mA).
+    pub cutoff_current: Amperes,
+    /// Fraction of electrical energy at the open-circuit potential that is
+    /// actually stored by the chemistry (coulombic × energy efficiency).
+    pub charge_efficiency: f64,
+    /// Multiplier from battery-terminal power to wall (PSU input) power,
+    /// covering charger and conversion losses.
+    pub wall_loss_factor: f64,
+    /// Maximum power one BBU can deliver while discharging (3,300 W).
+    pub max_discharge_power: Watts,
+    /// Number of BBUs in one Open Rack V2 rack (2 power zones × 3).
+    pub bbus_per_rack: u8,
+}
+
+impl BbuParams {
+    /// The calibrated production parameters (see the type-level table).
+    #[must_use]
+    pub fn production() -> Self {
+        let internal_resistance = Ohms::new(0.3);
+        let cutoff_current = Amperes::new(0.4);
+        let cv_voltage = Volts::new(52.5);
+        BbuParams {
+            full_discharge_energy: Joules::new(3_300.0 * 90.0),
+            ocv_empty: Volts::new(44.0),
+            // Taper reaches the 0.4 A cutoff at V_oc = 52.38 V (≈99.6% SoC),
+            // so the natural CV current at 100% SoC (0.3 A) sits safely below
+            // it and charging terminates in finite time.
+            ocv_full: cv_voltage - cutoff_current * internal_resistance * 0.75,
+            internal_resistance,
+            cc_to_cv_voltage: Volts::new(52.0),
+            cv_voltage,
+            cutoff_current,
+            charge_efficiency: 0.77,
+            wall_loss_factor: 1.2,
+            max_discharge_power: Watts::new(3_300.0),
+            bbus_per_rack: 6,
+        }
+    }
+
+    /// Checks the internal consistency of the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BatteryError::InvalidParams`] describing the first violated
+    /// constraint: all physical quantities must be positive and finite, the
+    /// OCV window must be increasing and bracket the charger voltages
+    /// correctly, and efficiency/loss factors must be physical.
+    pub fn validate(&self) -> Result<(), BatteryError> {
+        fn check(cond: bool, what: &str) -> Result<(), BatteryError> {
+            if cond {
+                Ok(())
+            } else {
+                Err(BatteryError::InvalidParams(what.to_owned()))
+            }
+        }
+
+        check(
+            self.full_discharge_energy > Joules::ZERO && self.full_discharge_energy.is_finite(),
+            "full_discharge_energy must be positive",
+        )?;
+        check(
+            self.internal_resistance > Ohms::ZERO && self.internal_resistance.is_finite(),
+            "internal_resistance must be positive",
+        )?;
+        check(
+            self.ocv_empty > Volts::ZERO && self.ocv_full > self.ocv_empty,
+            "OCV window must be positive and increasing",
+        )?;
+        check(
+            self.cv_voltage > self.cc_to_cv_voltage,
+            "cv_voltage must exceed cc_to_cv_voltage",
+        )?;
+        check(
+            self.cc_to_cv_voltage > self.ocv_empty,
+            "cc_to_cv_voltage must exceed ocv_empty (otherwise CC never runs)",
+        )?;
+        check(
+            self.ocv_full < self.cv_voltage,
+            "ocv_full must stay below cv_voltage (otherwise CV cannot finish)",
+        )?;
+        check(
+            (self.cv_voltage - self.ocv_full) / self.internal_resistance < self.cutoff_current,
+            "CV taper must cross the cutoff current before 100% SoC (raise ocv_full)",
+        )?;
+        check(
+            self.cutoff_current > Amperes::ZERO && self.cutoff_current < Amperes::MIN_CHARGE,
+            "cutoff_current must be positive and below the 1 A minimum setpoint",
+        )?;
+        check(
+            self.charge_efficiency > 0.0 && self.charge_efficiency <= 1.0,
+            "charge_efficiency must be in (0, 1]",
+        )?;
+        check(
+            self.wall_loss_factor >= 1.0 && self.wall_loss_factor.is_finite(),
+            "wall_loss_factor must be >= 1",
+        )?;
+        check(
+            self.max_discharge_power > Watts::ZERO,
+            "max_discharge_power must be positive",
+        )?;
+        check(self.bbus_per_rack > 0, "bbus_per_rack must be positive")?;
+        Ok(())
+    }
+
+    /// Open-circuit voltage at the given state of charge (affine model).
+    #[must_use]
+    pub fn ocv(&self, soc: f64) -> Volts {
+        self.ocv_empty + (self.ocv_full - self.ocv_empty) * soc.clamp(0.0, 1.0)
+    }
+}
+
+impl Default for BbuParams {
+    fn default() -> Self {
+        BbuParams::production()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn production_params_are_valid() {
+        BbuParams::production().validate().expect("calibrated defaults must validate");
+    }
+
+    #[test]
+    fn full_discharge_energy_matches_paper_definition() {
+        let p = BbuParams::default();
+        assert_eq!(p.full_discharge_energy, Joules::new(297_000.0));
+        assert!((p.full_discharge_energy.as_watt_hours() - 82.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ocv_is_affine_and_clamped() {
+        let p = BbuParams::default();
+        assert_eq!(p.ocv(0.0), p.ocv_empty);
+        assert_eq!(p.ocv(1.0), p.ocv_full);
+        let mid = p.ocv(0.5);
+        assert!((mid.as_volts() - (p.ocv_empty.as_volts() + p.ocv_full.as_volts()) / 2.0).abs() < 1e-9);
+        assert_eq!(p.ocv(2.0), p.ocv_full);
+        assert_eq!(p.ocv(-1.0), p.ocv_empty);
+    }
+
+    #[test]
+    fn ocv_full_lets_cv_taper_terminate() {
+        // The natural CV current at 100% SoC must sit strictly below the
+        // cutoff, otherwise the taper approaches the cutoff asymptotically
+        // and charging never terminates.
+        let p = BbuParams::default();
+        let natural = (p.cv_voltage - p.ocv_full) / p.internal_resistance;
+        assert!(natural < p.cutoff_current);
+        assert!(natural > Amperes::ZERO);
+    }
+
+    #[test]
+    fn validation_rejects_broken_configs() {
+        let mut p = BbuParams::default();
+        p.charge_efficiency = 1.5;
+        assert!(matches!(p.validate(), Err(BatteryError::InvalidParams(_))));
+
+        let mut p = BbuParams::default();
+        p.ocv_full = p.ocv_empty - Volts::new(1.0);
+        assert!(p.validate().is_err());
+
+        let mut p = BbuParams::default();
+        p.wall_loss_factor = 0.5;
+        assert!(p.validate().is_err());
+
+        let mut p = BbuParams::default();
+        p.cutoff_current = Amperes::new(2.0);
+        assert!(p.validate().is_err());
+
+        let mut p = BbuParams::default();
+        p.bbus_per_rack = 0;
+        assert!(p.validate().is_err());
+    }
+}

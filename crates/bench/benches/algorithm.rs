@@ -1,0 +1,69 @@
+//! Criterion benches for the charging-assignment algorithms: how Algorithm 1
+//! and the global baseline scale with fleet size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use recharge_core::{
+    assign_global, assign_priority_aware, throttle_on_overload, RackChargeState,
+    RechargePowerModel, SlaCurrentPolicy,
+};
+use recharge_units::{Amperes, Dod, Priority, RackId, Watts};
+
+fn fleet(n: u32) -> Vec<RackChargeState> {
+    (0..n)
+        .map(|i| RackChargeState {
+            rack: RackId::new(i),
+            priority: Priority::ALL[(i % 3) as usize],
+            dod: Dod::new(0.2 + 0.6 * f64::from(i % 97) / 97.0),
+        })
+        .collect()
+}
+
+fn bench_assignment(c: &mut Criterion) {
+    let policy = SlaCurrentPolicy::production();
+    let model = RechargePowerModel::production();
+    let mut group = c.benchmark_group("assignment");
+    for n in [100u32, 1_000, 10_000] {
+        let racks = fleet(n);
+        // Roughly 80% of a mid-rate fleet demand fits: a contended budget.
+        let budget = model.rack_power(Amperes::new(2.0)) * f64::from(n) * 0.8;
+        group.bench_with_input(BenchmarkId::new("priority_aware", n), &racks, |b, racks| {
+            b.iter(|| assign_priority_aware(black_box(racks), budget, &policy, &model));
+        });
+        group.bench_with_input(BenchmarkId::new("global", n), &racks, |b, racks| {
+            b.iter(|| assign_global(black_box(racks), budget, &policy, &model));
+        });
+    }
+    group.finish();
+}
+
+fn bench_throttle(c: &mut Criterion) {
+    let policy = SlaCurrentPolicy::production();
+    let model = RechargePowerModel::production();
+    let racks = fleet(1_000);
+    let budget = model.rack_power(Amperes::new(3.0)) * 1_000.0;
+    let assignments = assign_priority_aware(&racks, budget, &policy, &model).assignments;
+    c.bench_function("throttle_on_overload/1000", |b| {
+        b.iter(|| {
+            throttle_on_overload(black_box(&assignments), Watts::from_kilowatts(150.0), &model)
+        });
+    });
+}
+
+fn bench_policy(c: &mut Criterion) {
+    let policy = SlaCurrentPolicy::production();
+    c.bench_function("sla_current_lookup_x100", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..100 {
+                let dod = Dod::new(f64::from(i) / 100.0);
+                acc += policy.sla_current(black_box(Priority::P1), dod).as_amps();
+            }
+            acc
+        });
+    });
+}
+
+criterion_group!(benches, bench_assignment, bench_throttle, bench_policy);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion benches for the battery physics: per-step cost and full-charge
+//! integration, plus charge-time table queries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use recharge_battery::{BbuPack, BbuParams, ChargePolicy, ChargeTimeTable, RackBatterySystem};
+use recharge_units::{Amperes, Dod, Seconds, Watts};
+
+fn bench_charge_step(c: &mut Criterion) {
+    c.bench_function("bbu_pack_charge_step", |b| {
+        let mut pack = BbuPack::discharged(BbuParams::production(), Dod::new(0.8));
+        b.iter(|| {
+            if pack.is_fully_charged() {
+                pack = BbuPack::discharged(BbuParams::production(), Dod::new(0.8));
+            }
+            black_box(pack.charge_step(Amperes::new(3.0), Seconds::new(1.0)))
+        });
+    });
+}
+
+fn bench_full_charge(c: &mut Criterion) {
+    c.bench_function("bbu_pack_full_charge_5a", |b| {
+        b.iter(|| {
+            let mut pack = BbuPack::discharged(BbuParams::production(), Dod::FULL);
+            pack.charge_to_full(Amperes::new(5.0), Seconds::new(1.0), 100_000)
+                .expect("charge converges")
+        });
+    });
+}
+
+fn bench_rack_step(c: &mut Criterion) {
+    c.bench_function("rack_battery_step", |b| {
+        let mut rack = RackBatterySystem::new(BbuParams::production(), ChargePolicy::Variable);
+        rack.input_power_lost();
+        rack.step(Watts::from_kilowatts(6.0), Seconds::new(90.0));
+        rack.input_power_restored();
+        b.iter(|| black_box(rack.step(Watts::from_kilowatts(6.0), Seconds::new(1.0))));
+    });
+}
+
+fn bench_table_queries(c: &mut Criterion) {
+    let table = ChargeTimeTable::production();
+    c.bench_function("charge_time_lookup", |b| {
+        b.iter(|| {
+            table
+                .charge_time(black_box(Dod::new(0.63)), black_box(Amperes::new(2.7)))
+                .expect("in range")
+        });
+    });
+    c.bench_function("required_current_inversion", |b| {
+        b.iter(|| {
+            table
+                .required_current(black_box(Dod::new(0.63)), Seconds::from_minutes(45.0))
+                .expect("in range")
+        });
+    });
+}
+
+criterion_group!(benches, bench_charge_step, bench_full_charge, bench_rack_step, bench_table_queries);
+criterion_main!(benches);

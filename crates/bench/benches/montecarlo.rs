@@ -1,0 +1,28 @@
+//! Criterion benches for the Monte-Carlo reliability engine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use recharge_reliability::{table1, AorSimulation};
+use recharge_units::Seconds;
+
+fn bench_event_sampling(c: &mut Criterion) {
+    let sim = AorSimulation::new(table1::standard_sources());
+    c.bench_function("montecarlo_100y", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(sim.run(100.0, seed))
+        });
+    });
+}
+
+fn bench_aor_query(c: &mut Criterion) {
+    let timeline = AorSimulation::new(table1::standard_sources()).run(5_000.0, 1);
+    c.bench_function("aor_query_5000y_timeline", |b| {
+        b.iter(|| black_box(timeline.aor(Seconds::from_minutes(45.0))));
+    });
+}
+
+criterion_group!(benches, bench_event_sampling, bench_aor_query);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! CLI entry point regenerating the paper's tables and figures.
+//!
+//! ```text
+//! experiments <id>...   # e.g. experiments fig13 tab3
+//! experiments all       # everything, in paper order
+//! experiments --list    # available ids
+//! ```
+//!
+//! Set `RECHARGE_FAST=1` to thin sweeps and shrink fleets for a quick pass.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: experiments <id>... | all | --list");
+        eprintln!("ids: {}", recharge_bench::all_ids().join(", "));
+        eprintln!("env: RECHARGE_FAST=1 for a reduced-scale quick pass");
+        return ExitCode::from(2);
+    }
+    if args.iter().any(|a| a == "--list") {
+        for id in recharge_bench::all_ids() {
+            println!("{id}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
+        recharge_bench::all_ids()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+
+    let mut failed = false;
+    for id in ids {
+        match recharge_bench::run(id) {
+            Some(report) => {
+                println!("{}", report.render());
+            }
+            None => {
+                eprintln!("unknown experiment id: {id}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

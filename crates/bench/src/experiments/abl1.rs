@@ -1,0 +1,62 @@
+//! Ablation 1: the per-priority current floors of the Fig 9(b) policy.
+//!
+//! The deployed policy keeps P1 racks at ≥2 A even when interpolation says
+//! 1 A would meet the 30-minute SLA (the §V-A prototype behaviour). This
+//! ablation quantifies what the floor buys: how much earlier P1 racks get
+//! their redundancy back at low DOD.
+
+use recharge_battery::{BbuPack, BbuParams, ChargeTimeTable};
+use recharge_core::{SlaCurrentPolicy, SlaTable};
+use recharge_units::{Amperes, Dod, Priority, Seconds};
+
+use crate::{ExperimentReport, Table};
+
+/// Compares the production floors (P1 ≥ 2 A) against a floor-less policy.
+#[must_use]
+pub fn run() -> ExperimentReport {
+    let with_floor = SlaCurrentPolicy::production();
+    let without_floor = SlaCurrentPolicy::new(ChargeTimeTable::production().clone(), SlaTable::table2())
+        .with_floors([Amperes::MIN_CHARGE; 3]);
+
+    let mut table = Table::new(&[
+        "DOD",
+        "P1 current (floored)",
+        "P1 current (no floor)",
+        "P1 charge time floored (min)",
+        "P1 charge time no floor (min)",
+        "redundancy regained earlier by",
+    ]);
+    for pct in [2.0, 5.0, 10.0, 20.0, 30.0] {
+        let dod = Dod::from_percent(pct);
+        let floored = with_floor.sla_current(Priority::P1, dod);
+        let free = without_floor.sla_current(Priority::P1, dod);
+        let time = |current: Amperes| {
+            let mut pack = BbuPack::discharged(BbuParams::production(), dod);
+            pack.charge_to_full(current, Seconds::new(1.0), 100_000)
+                .expect("charge converges")
+                .as_minutes()
+        };
+        let t_floored = time(floored);
+        let t_free = time(free);
+        table.row(&[
+            format!("{pct:.0}%"),
+            format!("{:.2} A", floored.as_amps()),
+            format!("{:.2} A", free.as_amps()),
+            format!("{t_floored:.1}"),
+            format!("{t_free:.1}"),
+            format!("{:.1} min", t_free - t_floored),
+        ]);
+    }
+
+    let notes = "the 2 A floor buys P1 racks their redundancy back minutes earlier at low DOD \
+                 for a modest extra power draw (≈0.37 kW per floored rack); this is why the \
+                 prototype (Fig 10) assigns 2 A to P1 even at <5% DOD where 1 A would \
+                 technically meet the 30-minute budget."
+        .to_owned();
+
+    ExperimentReport {
+        id: "abl1",
+        title: "Ablation: per-priority current floors in the SLA policy",
+        sections: vec![table.render(), notes],
+    }
+}

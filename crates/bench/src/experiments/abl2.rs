@@ -1,0 +1,124 @@
+//! Ablation 2: the *lowest-discharge-first* ordering inside a priority class.
+//!
+//! Algorithm 1 sorts same-priority racks by ascending DOD, which "maximizes
+//! the number of racks that meet the SLA" (§IV-C) because cheap upgrades are
+//! packed first. This ablation replaces that order with highest-DOD-first and
+//! with rack-id order, and counts satisfied racks across budgets.
+
+use recharge_core::{
+    assign_priority_aware, ChargeAssignment, RackChargeState, RechargePowerModel, SlaCurrentPolicy,
+};
+use recharge_units::{Amperes, Dod, Priority, RackId, Watts};
+
+use crate::{ExperimentReport, Table};
+
+/// How the within-priority order is chosen in this ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Order {
+    LowestDodFirst,
+    HighestDodFirst,
+    RackIdOrder,
+}
+
+/// Algorithm 1 with a configurable within-priority order (the production
+/// implementation in `recharge-core` is the `LowestDodFirst` case; this local
+/// variant exists only to ablate the ordering).
+fn assign_with_order(
+    racks: &[RackChargeState],
+    available: Watts,
+    policy: &SlaCurrentPolicy,
+    model: &RechargePowerModel,
+    order: Order,
+) -> Vec<ChargeAssignment> {
+    if order == Order::LowestDodFirst {
+        return assign_priority_aware(racks, available, policy, model).assignments;
+    }
+    let mut assignments: Vec<ChargeAssignment> = racks
+        .iter()
+        .map(|r| ChargeAssignment {
+            rack: r.rack,
+            priority: r.priority,
+            dod: r.dod,
+            current: Amperes::MIN_CHARGE,
+            sla_met: false,
+        })
+        .collect();
+    let mut idx: Vec<usize> = (0..racks.len()).collect();
+    idx.sort_by(|&a, &b| {
+        racks[a].priority.cmp(&racks[b].priority).then_with(|| match order {
+            Order::HighestDodFirst => racks[b].dod.value().total_cmp(&racks[a].dod.value()),
+            Order::RackIdOrder => racks[a].rack.cmp(&racks[b].rack),
+            Order::LowestDodFirst => unreachable!("handled above"),
+        })
+    });
+    let mut remaining = available - model.rack_power(Amperes::MIN_CHARGE) * racks.len() as f64;
+    for &i in &idx {
+        let sla_current = policy.sla_current(racks[i].priority, racks[i].dod);
+        let upgrade = model.rack_power(sla_current) - model.rack_power(Amperes::MIN_CHARGE);
+        if upgrade <= remaining {
+            remaining -= upgrade;
+            assignments[i].current = sla_current;
+        } else {
+            break;
+        }
+    }
+    for a in &mut assignments {
+        a.sla_met = policy.meets_sla(a.priority, a.dod, a.current);
+    }
+    assignments
+}
+
+/// Runs the ordering ablation over a 200-rack single-priority fleet with a
+/// spread of DODs (the Fig 15 all-P1 setting, where packing matters most).
+#[must_use]
+pub fn run() -> ExperimentReport {
+    let policy = SlaCurrentPolicy::production();
+    let model = RechargePowerModel::production();
+    let racks: Vec<RackChargeState> = (0..200u32)
+        .map(|i| RackChargeState {
+            rack: RackId::new(i),
+            priority: Priority::P1,
+            dod: Dod::new(0.35 + 0.4 * f64::from(i % 101) / 101.0),
+        })
+        .collect();
+
+    let mut table = Table::new(&[
+        "budget (kW)",
+        "lowest-DOD-first met",
+        "highest-DOD-first met",
+        "rack-id order met",
+    ]);
+    let mut advantage = Vec::new();
+    for budget_kw in [100.0, 150.0, 200.0, 250.0, 300.0] {
+        let budget = Watts::from_kilowatts(budget_kw);
+        let count = |order| {
+            assign_with_order(&racks, budget, &policy, &model, order)
+                .iter()
+                .filter(|a| a.sla_met)
+                .count()
+        };
+        let best = count(Order::LowestDodFirst);
+        let worst = count(Order::HighestDodFirst);
+        let neutral = count(Order::RackIdOrder);
+        advantage.push(best as f64 / worst.max(1) as f64);
+        table.row(&[
+            format!("{budget_kw:.0}"),
+            format!("{best}"),
+            format!("{worst}"),
+            format!("{neutral}"),
+        ]);
+    }
+
+    let max_adv = advantage.iter().cloned().fold(0.0f64, f64::max);
+    let notes = format!(
+        "lowest-DOD-first packs up to {max_adv:.1}× more racks into the same budget than \
+         highest-DOD-first — the mechanism behind the paper's Fig 15 all-P1 result (≈3× over \
+         the priority-oblivious baseline)."
+    );
+
+    ExperimentReport {
+        id: "abl2",
+        title: "Ablation: within-priority ordering of Algorithm 1",
+        sections: vec![table.render(), notes],
+    }
+}

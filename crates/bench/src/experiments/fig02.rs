@@ -1,0 +1,73 @@
+//! Fig 2 (Case study I): a sub-second regional utility blip makes every
+//! affected rack's batteries recharge at once — a multi-megawatt spike.
+
+use recharge_battery::ChargePolicy;
+use recharge_dynamo::Strategy;
+use recharge_sim::Scenario;
+use recharge_units::{Seconds, Watts};
+
+use crate::{fast_mode, ExperimentReport, Table};
+
+/// Runs the regional case study: the affected racks (three data centers,
+/// ≈31 MW of the region's 61.6 MW) ride a <1 s voltage sag and recharge on
+/// the original 5 A charger with no coordination.
+#[must_use]
+pub fn run() -> ExperimentReport {
+    // 31 MW of affected IT load at ≈6.33 kW per rack ⇒ ≈4,896 racks.
+    let divisor = if fast_mode() { 16 } else { 1 };
+    let affected_racks = 4_896 / divisor;
+    let scale = 4_896.0 / affected_racks as f64;
+    let counts = (affected_racks / 3, affected_racks / 3, affected_racks - 2 * (affected_racks / 3));
+
+    // Substitution: the sag was sub-second, but the observed 25-minute spike
+    // decay implies the BBU fleet recharged far more energy than a 1-second
+    // discharge (real chargers run a full top-off/absorption cycle after any
+    // event). We model the event at 25% DOD — the shallowest lab curve of
+    // Fig 4, and the smallest DOD at which the original charger's full 5 A CC
+    // engages in the calibrated equivalent-circuit battery.
+    let metrics = Scenario::paper_msb(0xF02)
+        .priority_counts(counts.0, counts.1, counts.2)
+        .power_limit(Watts::from_megawatts(100.0)) // regional: no single breaker binds
+        .strategy(Strategy::Uncoordinated)
+        .charge_policy(ChargePolicy::Original)
+        .discharge(recharge_sim::DischargeLevel::Custom(0.25))
+        .tick(Seconds::new(1.0))
+        .build()
+        .run();
+
+    let affected_load = metrics.it_load_before_ot * scale;
+    let unaffected_load = Watts::from_megawatts(61.6) - affected_load;
+    let spike = metrics.spike_magnitude() * scale;
+    let regional_before = affected_load + unaffected_load;
+    let pct = spike / regional_before * 100.0;
+
+    // Spike duration: until recharge power decays below 10% of its peak.
+    let peak_recharge = metrics.max_recharge_power;
+    let duration = metrics
+        .series
+        .iter()
+        .filter(|p| p.recharge_power > peak_recharge * 0.1)
+        .count() as f64
+        * 5.0
+        / 60.0;
+
+    let mut table = Table::new(&["quantity", "paper", "measured"]);
+    table.row(&["regional load before blip", "61.6 MW", &format!("{:.1} MW", regional_before.as_megawatts())]);
+    table.row(&["recharge power spike", "+9.3 MW", &format!("+{:.1} MW", spike.as_megawatts())]);
+    table.row(&["spike as % of load", "≈15%", &format!("≈{pct:.0}%")]);
+    table.row(&["spike duration", "≈25 min", &format!("≈{duration:.0} min")]);
+
+    let notes = format!(
+        "affected fleet: {affected_racks} simulated racks (scaled ×{scale:.0}); every BBU \
+         starts its charger at the full 5 A because the original charger ignores DOD.\n\
+         substitution: the event is modelled at 25% DOD (Fig 4's shallowest lab curve) because \
+         the equivalent-circuit battery has no absorption tail at sub-1% DOD, while the real \
+         fleet's post-sag recharge clearly did (25-minute decay). See EXPERIMENTS.md."
+    );
+
+    ExperimentReport {
+        id: "fig2",
+        title: "Case study I: regional utility blip causes a 9.3 MW recharge spike",
+        sections: vec![table.render(), notes],
+    }
+}

@@ -1,0 +1,65 @@
+//! Fig 3: charging of one BBU after a full 90-second discharge.
+
+use recharge_battery::{BbuPack, BbuParams, ChargePhase};
+use recharge_units::{Amperes, Dod, Seconds};
+
+use crate::{ExperimentReport, Table};
+
+/// Runs the Fig 3 lab experiment: a fully discharged BBU on the original 5 A
+/// charger, sampled once per minute.
+#[must_use]
+pub fn run() -> ExperimentReport {
+    let mut pack = BbuPack::discharged(BbuParams::production(), Dod::FULL);
+    let setpoint = Amperes::new(5.0);
+    let dt = Seconds::new(1.0);
+
+    let mut table = Table::new(&["minute", "phase", "current (A)", "voltage (V)", "power (W)"]);
+    let mut elapsed = Seconds::ZERO;
+    let mut cc_end: Option<f64> = None;
+    while !pack.is_fully_charged() && elapsed < Seconds::from_hours(2.0) {
+        let step = pack.charge_step(setpoint, dt);
+        if step.phase == ChargePhase::ConstantVoltage && cc_end.is_none() {
+            cc_end = Some(elapsed.as_minutes());
+        }
+        if (elapsed.as_secs() as u64) % 60 == 0 {
+            let phase = match step.phase {
+                ChargePhase::ConstantCurrent => "CC",
+                ChargePhase::ConstantVoltage => "CV",
+                ChargePhase::Complete => "done",
+            };
+            table.row(&[
+                format!("{:.0}", elapsed.as_minutes()),
+                phase.to_owned(),
+                format!("{:.2}", step.current.as_amps()),
+                format!("{:.2}", step.terminal_voltage.as_volts()),
+                format!("{:.0}", step.wall_power.as_watts()),
+            ]);
+        }
+        elapsed += dt;
+    }
+
+    let summary = format!(
+        "CC phase ends at {:.1} min (paper: ~20 min, at 52 V)\n\
+         full charge completes at {:.1} min (paper: ~36 min, current < 400 mA)",
+        cc_end.unwrap_or(f64::NAN),
+        elapsed.as_minutes(),
+    );
+
+    ExperimentReport {
+        id: "fig3",
+        title: "BBU charge sequence after a full discharge (5 A CC-CV)",
+        sections: vec![table.render(), summary],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn report_contains_both_phases() {
+        let r = super::run();
+        let text = r.render();
+        assert!(text.contains("CC"));
+        assert!(text.contains("CV"));
+        assert!(text.contains("full charge completes"));
+    }
+}

@@ -1,0 +1,57 @@
+//! Fig 5: BBU charging time versus depth of discharge for 1–5 A currents.
+
+use recharge_battery::ChargeTimeTable;
+use recharge_units::{Amperes, Dod};
+
+use crate::{ExperimentReport, Table};
+
+/// Regenerates the Fig 5 surface from the production charge-time table.
+#[must_use]
+pub fn run() -> ExperimentReport {
+    let table = ChargeTimeTable::production();
+    let currents = [1.0, 2.0, 3.0, 4.0, 5.0];
+
+    let mut out = Table::new(&["DOD", "1 A (min)", "2 A (min)", "3 A (min)", "4 A (min)", "5 A (min)"]);
+    for decile in (1..=10).rev() {
+        let dod = Dod::new(f64::from(decile) / 10.0);
+        let mut cells = vec![format!("{:.0}%", dod.as_percent())];
+        for &amps in &currents {
+            let t = table
+                .charge_time(dod, Amperes::new(amps))
+                .expect("grid covers the sampled range");
+            cells.push(format!("{:.1}", t.as_minutes()));
+        }
+        out.row(&cells);
+    }
+
+    let anchors = format!(
+        "paper anchors: T(100%, 5 A) ≈ 36 min; T(70%, 4 A) ≈ 40 min; T(<50%, 2 A) ≈ 45 min;\n\
+         1 A considerably slower; curves converge at low DOD (CV-dominated).\n\
+         measured:      T(100%, 5 A) = {:.1} min; T(70%, 4 A) = {:.1} min; T(50%, 2 A) = {:.1} min;\n\
+         T(50%, 1 A) = {:.1} min; T(10%, 2 A) = {:.1} min vs T(10%, 5 A) = {:.1} min",
+        table.charge_time(Dod::FULL, Amperes::new(5.0)).unwrap().as_minutes(),
+        table.charge_time(Dod::new(0.7), Amperes::new(4.0)).unwrap().as_minutes(),
+        table.charge_time(Dod::new(0.5), Amperes::new(2.0)).unwrap().as_minutes(),
+        table.charge_time(Dod::new(0.5), Amperes::new(1.0)).unwrap().as_minutes(),
+        table.charge_time(Dod::new(0.1), Amperes::new(2.0)).unwrap().as_minutes(),
+        table.charge_time(Dod::new(0.1), Amperes::new(5.0)).unwrap().as_minutes(),
+    );
+
+    ExperimentReport {
+        id: "fig5",
+        title: "Charging time vs depth of discharge for 1-5 A charging currents",
+        sections: vec![out.render(), anchors],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn table_has_ten_dod_rows() {
+        let r = super::run();
+        let text = r.render();
+        assert!(text.contains("100%"));
+        assert!(text.contains("10%"));
+        assert!(text.contains("paper anchors"));
+    }
+}

@@ -1,0 +1,47 @@
+//! Fig 6(b): the variable charger's CC-current selection versus DOD (Eq. 1).
+
+use recharge_battery::{ChargeTimeTable, variable_current};
+use recharge_units::Dod;
+
+use crate::{ExperimentReport, Table};
+
+/// Regenerates the Eq. 1 selection curve and verifies its 45-minute design
+/// bound against the charge-time table.
+#[must_use]
+pub fn run() -> ExperimentReport {
+    let table = ChargeTimeTable::production();
+    let mut out = Table::new(&["DOD", "I_C (A)", "resulting charge time (min)", "within 45 min"]);
+    let mut worst: f64 = 0.0;
+    for pct in (0..=100).step_by(10) {
+        let dod = Dod::from_percent(f64::from(pct));
+        let current = variable_current(dod);
+        let time = table.charge_time(dod, current).expect("in range").as_minutes();
+        worst = worst.max(time);
+        out.row(&[
+            format!("{pct}%"),
+            format!("{:.1}", current.as_amps()),
+            format!("{time:.1}"),
+            if time <= 45.0 { "yes".to_owned() } else { "NO".to_owned() },
+        ]);
+    }
+
+    let summary = format!(
+        "Eq. 1: I_C = 2 A below 50% DOD, then 2 + (DOD − 0.5) × 6 up to 5 A.\n\
+         worst-case charge time under Eq. 1: {worst:.1} min (design bound: 45 min)"
+    );
+
+    ExperimentReport {
+        id: "fig6",
+        title: "Variable charger current selection by depth of discharge (Eq. 1)",
+        sections: vec![out.render(), summary],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn bound_holds_everywhere() {
+        let text = super::run().render();
+        assert!(!text.contains("NO"), "45-minute bound violated:\n{text}");
+    }
+}

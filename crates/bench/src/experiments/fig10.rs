@@ -1,0 +1,156 @@
+//! Fig 10 (prototype): a leaf controller coordinates a 17-rack row
+//! (9 P1 + 5 P2 + 3 P3) after an open transition.
+//!
+//! Two variants are run: the paper's literal 5-second transition (<5% DOD),
+//! where the coordination *semantics* (per-priority overrides and ordering)
+//! are reproduced, and a 60-second transition (≈20% DOD) where the commanded
+//! currents also bind physically, reproducing the ≈700 W / ≈350 W per-rack
+//! plateaus the paper plots. The split exists because the equivalent-circuit
+//! battery has no absorption tail at very low DOD (see EXPERIMENTS.md).
+
+use std::collections::HashMap;
+
+use recharge_dynamo::{
+    AgentBus, Controller, ControllerConfig, InMemoryBus, SimRackAgent, Strategy,
+};
+use recharge_units::{Amperes, DeviceId, Priority, RackId, Seconds, SimTime, Watts};
+
+use crate::{ExperimentReport, Table};
+
+struct RowOutcome {
+    commanded: HashMap<RackId, Amperes>,
+    plateau: HashMap<RackId, Watts>,
+    completion: HashMap<RackId, f64>,
+    priorities: HashMap<RackId, Priority>,
+}
+
+/// Simulates the 17-rack row for one open-transition length.
+fn run_row(ot_secs: f64) -> RowOutcome {
+    let mut agents = Vec::new();
+    let mut priorities = HashMap::new();
+    let mut id = 0u32;
+    for (priority, count) in [(Priority::P1, 9), (Priority::P2, 5), (Priority::P3, 3)] {
+        for _ in 0..count {
+            let rack = RackId::new(id);
+            priorities.insert(rack, priority);
+            agents.push(
+                SimRackAgent::builder(rack, priority)
+                    .offered_load(Watts::from_kilowatts(6.0))
+                    .build(),
+            );
+            id += 1;
+        }
+    }
+    let mut bus = InMemoryBus::new(agents);
+    let mut controller = Controller::new(
+        ControllerConfig::new(DeviceId::new(0), Watts::from_kilowatts(190.0)),
+        Strategy::PriorityAware,
+    );
+
+    for a in bus.agents_mut() {
+        a.set_input_power(false);
+    }
+    for a in bus.agents_mut() {
+        a.step(Seconds::new(ot_secs));
+    }
+    controller.tick(SimTime::ZERO, &mut bus); // pre-plan while still dark
+    for a in bus.agents_mut() {
+        a.set_input_power(true);
+    }
+
+    let mut plateau = HashMap::new();
+    let mut commanded = HashMap::new();
+    let mut completion: HashMap<RackId, f64> = HashMap::new();
+    for s in 1..7_200u32 {
+        for a in bus.agents_mut() {
+            a.step(Seconds::new(1.0));
+        }
+        controller.tick(SimTime::from_secs(f64::from(s)), &mut bus);
+        if s == 10 {
+            commanded = controller.commanded_currents();
+        }
+        if s == 60 {
+            for rack in bus.racks() {
+                plateau.insert(rack, bus.read(rack).expect("agent reachable").recharge_power);
+            }
+        }
+        for rack in bus.racks() {
+            let reading = bus.read(rack).expect("agent reachable");
+            if !reading.is_charging() && !completion.contains_key(&rack) && s > 1 {
+                completion.insert(rack, f64::from(s) / 60.0);
+            }
+        }
+        if completion.len() == bus.racks().len() && s > 60 {
+            break;
+        }
+    }
+    RowOutcome { commanded, plateau, completion, priorities }
+}
+
+fn render_variant(outcome: &RowOutcome) -> String {
+    let mut table = Table::new(&[
+        "priority",
+        "racks",
+        "override current (A)",
+        "power/rack at t+1min (W)",
+        "slowest completion (min)",
+    ]);
+    for priority in Priority::ALL {
+        let racks: Vec<RackId> = outcome
+            .priorities
+            .iter()
+            .filter(|(_, &p)| p == priority)
+            .map(|(&r, _)| r)
+            .collect();
+        let mean_current: f64 = racks
+            .iter()
+            .filter_map(|r| outcome.commanded.get(r))
+            .map(|c| c.as_amps())
+            .sum::<f64>()
+            / racks.len() as f64;
+        let mean_power: f64 = racks
+            .iter()
+            .filter_map(|r| outcome.plateau.get(r))
+            .map(|w| w.as_watts())
+            .sum::<f64>()
+            / racks.len() as f64;
+        let slowest: f64 = racks
+            .iter()
+            .filter_map(|r| outcome.completion.get(r))
+            .fold(0.0f64, |a, &b| a.max(b));
+        table.row(&[
+            priority.to_string(),
+            format!("{}", racks.len()),
+            format!("{mean_current:.1}"),
+            format!("{mean_power:.0}"),
+            format!("{slowest:.0}"),
+        ]);
+    }
+    table.render()
+}
+
+/// Runs both prototype variants.
+#[must_use]
+pub fn run() -> ExperimentReport {
+    let literal = run_row(5.0);
+    let deep = run_row(60.0);
+
+    let mut sections = vec![
+        format!("paper's literal 5 s transition (<5% DOD):\n{}", render_variant(&literal)),
+        format!("60 s transition (≈20% DOD) where commanded currents bind:\n{}", render_variant(&deep)),
+    ];
+    sections.push(
+        "paper: P1 racks overridden to 2 A (≈700 W each, done ≈30 min); P2/P3 relaxed to 1 A \
+         (≈350 W each, done within the hour). Both variants reproduce the override split \
+         (P1 → 2 A, P2/P3 → 1 A) and the completion ordering; the deep variant also reproduces \
+         the per-rack power plateaus. Absolute completion times are compressed at low DOD \
+         (documented deviation, EXPERIMENTS.md)."
+            .to_owned(),
+    );
+
+    ExperimentReport {
+        id: "fig10",
+        title: "Prototype: leaf controller coordinating a 17-rack row (9 P1 + 5 P2 + 3 P3)",
+        sections,
+    }
+}

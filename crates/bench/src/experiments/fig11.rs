@@ -1,0 +1,85 @@
+//! Fig 11: fine-grained recharge power of one rack being overridden from its
+//! automatic 2 A to the 1 A SLA current by the leaf controller.
+
+use recharge_dynamo::{
+    AgentBus, Controller, ControllerConfig, InMemoryBus, SimRackAgent, Strategy,
+};
+use recharge_units::{DeviceId, Priority, RackId, Seconds, SimTime, Watts};
+
+use crate::{ExperimentReport, Table};
+
+/// Runs the single-rack override timeline at one-second resolution.
+#[must_use]
+pub fn run() -> ExperimentReport {
+    // A P2 rack at low DOD: Fig 9(b) assigns 1 A, below the variable
+    // charger's automatic 2 A — exactly the override the paper shows.
+    let rack = RackId::new(0);
+    let agent = SimRackAgent::builder(rack, Priority::P2)
+        .offered_load(Watts::from_kilowatts(6.0))
+        .build();
+    let mut bus = InMemoryBus::new(vec![agent]);
+    let mut controller = Controller::new(
+        ControllerConfig::new(DeviceId::new(0), Watts::from_kilowatts(190.0)),
+        Strategy::PriorityAware,
+    );
+
+    let mut table = Table::new(&["t (s)", "event", "BBU recharge power (W)"]);
+    let mut series: Vec<(u32, f64)> = Vec::new();
+    // The open transition starts at t=35 s, as in the paper's plot. The
+    // controller only engages once it observes the first recharge power —
+    // mirroring the production sequence where the rack starts at the variable
+    // charger's automatic 2 A before the override lands (so no pre-planning
+    // here; contrast with fig10).
+    // Production controllers poll on a multi-second cadence; model a 10 s
+    // detection latency between the first recharge power and the override.
+    let mut first_recharge_at: Option<u32> = None;
+    for s in 0..240u32 {
+        let in_ot = (35..95).contains(&s);
+        if let Some(a) = bus.agent_mut(rack) {
+            a.set_input_power(!in_ot);
+            a.step(Seconds::new(1.0));
+        }
+        let reading = bus.read(rack).expect("agent reachable");
+        if reading.recharge_power > Watts::ZERO && first_recharge_at.is_none() {
+            first_recharge_at = Some(s);
+        }
+        if first_recharge_at.is_some_and(|f| s >= f + 10) {
+            controller.tick(SimTime::from_secs(f64::from(s)), &mut bus);
+        }
+        let power = bus.read(rack).expect("agent reachable").recharge_power;
+        series.push((s, power.as_watts()));
+    }
+
+    // Annotate the interesting seconds.
+    let first_charge = series.iter().find(|(_, p)| *p > 0.0).map_or(0, |&(s, _)| s);
+    let final_power = series.last().map_or(0.0, |&(_, p)| p);
+    let settled = series
+        .iter()
+        .find(|&&(s, p)| s > first_charge && (p - final_power).abs() <= final_power * 0.05)
+        .map_or(0, |&(s, _)| s);
+    for &(s, p) in &series {
+        let event = match s {
+            35 => "open transition begins (input power lost)",
+            95 => "input power restored, automatic 2 A charging",
+            _ if s == first_charge => "first recharge power observed by controller",
+            _ if s == settled => "override to 1 A settled",
+            _ if s % 30 == 0 => "",
+            _ => continue,
+        };
+        table.row(&[format!("{s}"), event.to_owned(), format!("{p:.0}")]);
+    }
+
+    let notes = format!(
+        "paper: the controller detects the first BBU recharge power, computes the SLA current, \
+         and the power settles to the 1 A override ≈20 s after the command.\n\
+         measured: first recharge power at t={first_charge} s; settled at the ≈{final_power:.0} W \
+         (1 A) level by t={settled} s — one control interval in this simulator, versus ≈20 s of \
+         hardware settling in production."
+    );
+
+    ExperimentReport {
+        id: "fig11",
+        title: "Recharge power of one rack under a leaf-controller current override",
+        sections: vec![table.render(), notes],
+    }
+}

@@ -1,0 +1,25 @@
+//! One module per reproduced table/figure (see `DESIGN.md` §4 for the
+//! experiment index).
+
+pub mod abl1;
+pub mod abl2;
+pub mod common;
+pub mod ext1;
+pub mod ext2;
+pub mod fig02;
+pub mod fig03;
+pub mod fig04;
+pub mod fig05;
+pub mod fig06;
+pub mod fig07;
+pub mod fig09a;
+pub mod fig09b;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod tab1;
+pub mod tab2;
+pub mod tab3;

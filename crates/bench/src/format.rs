@@ -1,0 +1,118 @@
+//! Plain-text table rendering for experiment reports.
+
+/// A simple column-aligned text table.
+///
+/// # Examples
+///
+/// ```
+/// use recharge_bench::Table;
+///
+/// let mut t = Table::new(&["DOD", "1 A", "5 A"]);
+/// t.row(&["100%", "134.0", "33.5"]);
+/// let text = t.render();
+/// assert!(text.contains("DOD"));
+/// assert!(text.lines().count() >= 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new(headers: &[&str]) -> Self {
+        Table { headers: headers.iter().map(|s| (*s).to_owned()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends one row; missing cells render empty, extras are kept.
+    pub fn row<S: AsRef<str>>(&mut self, cells: &[S]) -> &mut Self {
+        self.rows.push(cells.iter().map(|s| s.as_ref().to_owned()).collect());
+        self
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns and a header rule.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let columns = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain(std::iter::once(self.headers.len()))
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; columns];
+        fn cell(row: &[String], i: usize) -> &str {
+            row.get(i).map_or("", String::as_str)
+        }
+        for (i, width) in widths.iter_mut().enumerate() {
+            *width = std::iter::once(cell(&self.headers, i).len())
+                .chain(self.rows.iter().map(|r| cell(r, i).len()))
+                .max()
+                .unwrap_or(0);
+        }
+
+        let render_row = |row: &[String]| -> String {
+            let mut line = String::new();
+            for (i, width) in widths.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:<width$}", cell(row, i), width = width));
+            }
+            line.trim_end().to_owned()
+        };
+
+        let mut out = render_row(&self.headers);
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_and_rule() {
+        let mut t = Table::new(&["a", "long-header"]);
+        t.row(&["xxxx", "1"]).row(&["y", "22"]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Columns align: "long-header" starts at the same offset everywhere.
+        let col = lines[0].find("long-header").unwrap();
+        assert_eq!(&lines[2][col..col + 1], "1");
+    }
+
+    #[test]
+    fn ragged_rows_are_tolerated() {
+        let mut t = Table::new(&["a"]);
+        t.row(&["1", "2", "3"]);
+        t.row::<&str>(&[]);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        let text = t.render();
+        assert!(text.contains('3'));
+    }
+}

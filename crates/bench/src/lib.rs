@@ -1,0 +1,131 @@
+//! Experiment harness regenerating every table and figure of the paper's
+//! evaluation, plus shared formatting utilities.
+//!
+//! Each `experiments::figN` / `experiments::tabN` module produces an
+//! [`ExperimentReport`] containing the same rows or series the paper reports,
+//! annotated with the paper's published values where they exist. The
+//! `experiments` binary dispatches on experiment id:
+//!
+//! ```text
+//! cargo run --release -p recharge-bench --bin experiments -- fig13
+//! cargo run --release -p recharge-bench --bin experiments -- all
+//! ```
+//!
+//! Absolute numbers come from the calibrated simulator, not the authors'
+//! testbed; the *shape* — who wins, by roughly what factor, where crossovers
+//! fall — is what each report is asserting. `EXPERIMENTS.md` at the workspace
+//! root records paper-versus-measured for every entry.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+mod format;
+
+pub use format::Table;
+
+/// A rendered experiment: an id, a title, and preformatted text sections.
+#[derive(Debug, Clone)]
+pub struct ExperimentReport {
+    /// Experiment id (`fig2` … `fig15`, `tab1` … `tab3`).
+    pub id: &'static str,
+    /// Human-readable title mirroring the paper's caption.
+    pub title: &'static str,
+    /// Preformatted text sections (tables, series, commentary).
+    pub sections: Vec<String>,
+}
+
+impl ExperimentReport {
+    /// Renders the report as displayable text.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("=== {} — {} ===\n", self.id, self.title));
+        for section in &self.sections {
+            out.push('\n');
+            out.push_str(section);
+            if !section.ends_with('\n') {
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+/// All experiment ids, in paper order.
+#[must_use]
+pub fn all_ids() -> Vec<&'static str> {
+    vec![
+        "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig9a", "fig9b", "fig10", "fig11",
+        "fig12", "fig13", "tab1", "tab2", "tab3", "fig14", "fig15", "ext1", "ext2", "abl1", "abl2",
+    ]
+}
+
+/// Runs one experiment by id.
+#[must_use]
+pub fn run(id: &str) -> Option<ExperimentReport> {
+    let report = match id {
+        "fig2" => experiments::fig02::run(),
+        "fig3" => experiments::fig03::run(),
+        "fig4" => experiments::fig04::run(),
+        "fig5" => experiments::fig05::run(),
+        "fig6" => experiments::fig06::run(),
+        "fig7" => experiments::fig07::run(),
+        "fig9a" => experiments::fig09a::run(),
+        "fig9b" => experiments::fig09b::run(),
+        "fig10" => experiments::fig10::run(),
+        "fig11" => experiments::fig11::run(),
+        "fig12" => experiments::fig12::run(),
+        "fig13" => experiments::fig13::run(),
+        "fig14" => experiments::fig14::run(),
+        "fig15" => experiments::fig15::run(),
+        "tab1" => experiments::tab1::run(),
+        "tab2" => experiments::tab2::run(),
+        "tab3" => experiments::tab3::run(),
+        "ext1" => experiments::ext1::run(),
+        "ext2" => experiments::ext2::run(),
+        "abl1" => experiments::abl1::run(),
+        "abl2" => experiments::abl2::run(),
+        _ => return None,
+    };
+    Some(report)
+}
+
+/// Whether fast mode is enabled (`RECHARGE_FAST=1`): sweeps are thinned and
+/// Monte-Carlo horizons shortened so the whole suite finishes quickly.
+#[must_use]
+pub fn fast_mode() -> bool {
+    std::env::var("RECHARGE_FAST").map(|v| v == "1").unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders_with_header_and_sections() {
+        let r = ExperimentReport {
+            id: "figX",
+            title: "test",
+            sections: vec!["alpha".into(), "beta\n".into()],
+        };
+        let text = r.render();
+        assert!(text.starts_with("=== figX — test ==="));
+        assert!(text.contains("alpha\n"));
+        assert!(text.contains("beta\n"));
+    }
+
+    #[test]
+    fn unknown_id_is_none() {
+        assert!(run("fig99").is_none());
+    }
+
+    #[test]
+    fn all_ids_are_unique() {
+        let ids = all_ids();
+        let mut dedup = ids.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), ids.len());
+    }
+}

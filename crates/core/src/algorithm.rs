@@ -1,0 +1,415 @@
+//! Algorithm 1: highest-priority-lowest-discharge-first battery charging,
+//! plus the reverse-order throttling pass used on overload.
+
+use serde::{Deserialize, Serialize};
+
+use recharge_units::{Amperes, Dod, Priority, RackId, Watts};
+
+use crate::policy::SlaCurrentPolicy;
+use crate::power_model::RechargePowerModel;
+
+/// A rack whose batteries need to charge: the controller's view at the start
+/// of a charging sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RackChargeState {
+    /// The rack.
+    pub rack: RackId,
+    /// Its service priority.
+    pub priority: Priority,
+    /// Depth of discharge of its batteries, estimated by the leaf controller
+    /// from the open-transition length and the rack IT load.
+    pub dod: Dod,
+}
+
+/// One rack's charging-current assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChargeAssignment {
+    /// The rack.
+    pub rack: RackId,
+    /// Its service priority (carried for reverse-order throttling).
+    pub priority: Priority,
+    /// Its battery depth of discharge at charge start.
+    pub dod: Dod,
+    /// The assigned per-BBU charging current.
+    pub current: Amperes,
+    /// Whether this assignment meets the rack's charging-time SLA.
+    pub sla_met: bool,
+}
+
+/// The result of an assignment pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AssignmentOutcome {
+    /// Per-rack assignments, in the input's rack order.
+    pub assignments: Vec<ChargeAssignment>,
+    /// Total peak recharge power the assignments will draw.
+    pub total_recharge_power: Watts,
+    /// Power budget that remained unallocated (zero when exhausted).
+    pub remaining_power: Watts,
+}
+
+impl AssignmentOutcome {
+    /// Number of racks whose SLA is met, optionally filtered by priority.
+    #[must_use]
+    pub fn sla_met_count(&self, priority: Option<Priority>) -> usize {
+        self.assignments
+            .iter()
+            .filter(|a| a.sla_met && priority.map_or(true, |p| a.priority == p))
+            .count()
+    }
+}
+
+/// **Algorithm 1** (§IV-C): assigns charging currents so that charging-time
+/// SLAs are satisfied highest-priority-first — and lowest-discharge-first
+/// within a priority, which maximizes the number of satisfied racks — without
+/// exceeding the available power.
+///
+/// Every rack is first set to the 1 A hardware minimum (charging cannot be
+/// postponed entirely with current hardware, §IV-A); the minimum draw is
+/// therefore committed up front, and the sorted pass upgrades racks to their
+/// Fig 9(b) SLA current while budget remains. The pass stops at the first
+/// rack that no longer fits, preserving strict priority order: power is never
+/// diverted around a starved high-priority rack to a cheaper low-priority one.
+///
+/// `available_power` is the breaker headroom (limit − IT load) granted to
+/// battery charging. A rack's `sla_met` flag is true when its *assigned*
+/// current meets the SLA — which includes racks left at the minimum whose
+/// SLA only needs 1 A (the Fig 14(a) observation for P3).
+///
+/// # Examples
+///
+/// ```
+/// use recharge_core::{assign_priority_aware, RackChargeState, RechargePowerModel, SlaCurrentPolicy};
+/// use recharge_units::{Dod, Priority, RackId, Watts};
+///
+/// let policy = SlaCurrentPolicy::production();
+/// let model = RechargePowerModel::production();
+/// let racks: Vec<_> = (0..4)
+///     .map(|i| RackChargeState {
+///         rack: RackId::new(i),
+///         priority: Priority::P2,
+///         dod: Dod::new(0.6),
+///     })
+///     .collect();
+/// // A tight budget: the minimum draw fits but not every SLA upgrade.
+/// let outcome = assign_priority_aware(&racks, Watts::from_kilowatts(1.65), &policy, &model);
+/// assert!(outcome.sla_met_count(None) < 4);
+/// assert!(outcome.total_recharge_power <= Watts::from_kilowatts(1.65));
+/// ```
+#[must_use]
+pub fn assign_priority_aware(
+    racks: &[RackChargeState],
+    available_power: Watts,
+    policy: &SlaCurrentPolicy,
+    model: &RechargePowerModel,
+) -> AssignmentOutcome {
+    // Step 1-4: initialize everyone at the minimum and compute SLA currents.
+    let mut assignments: Vec<ChargeAssignment> = racks
+        .iter()
+        .map(|r| ChargeAssignment {
+            rack: r.rack,
+            priority: r.priority,
+            dod: r.dod,
+            current: Amperes::MIN_CHARGE,
+            sla_met: false,
+        })
+        .collect();
+
+    // Step 5: sort by priority, then by DOD (lowest energy discharge first).
+    let mut order: Vec<usize> = (0..racks.len()).collect();
+    order.sort_by(|&a, &b| {
+        racks[a]
+            .priority
+            .cmp(&racks[b].priority)
+            .then(racks[a].dod.value().total_cmp(&racks[b].dod.value()))
+    });
+
+    // The 1 A minimum is committed regardless of budget.
+    let min_power = model.rack_power(Amperes::MIN_CHARGE) * racks.len() as f64;
+    let mut remaining = available_power - min_power;
+
+    // Steps 6-8: satisfy SLAs in order while power remains.
+    for &idx in &order {
+        let state = &racks[idx];
+        let sla_current = policy.sla_current(state.priority, state.dod);
+        let upgrade = model.rack_power(sla_current) - model.rack_power(Amperes::MIN_CHARGE);
+        if upgrade <= remaining {
+            remaining -= upgrade;
+            assignments[idx].current = sla_current;
+        } else {
+            break;
+        }
+    }
+
+    for a in &mut assignments {
+        a.sla_met = policy.meets_sla(a.priority, a.dod, a.current);
+    }
+    let total: Watts = assignments.iter().map(|a| model.rack_power(a.current)).sum();
+    AssignmentOutcome {
+        assignments,
+        total_recharge_power: total,
+        remaining_power: remaining.max(Watts::ZERO),
+    }
+}
+
+/// The result of an overload-throttling pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThrottleOutcome {
+    /// The updated assignments, in the input's rack order.
+    pub assignments: Vec<ChargeAssignment>,
+    /// Recharge power shed by the throttle pass.
+    pub power_shed: Watts,
+    /// Overload that battery throttling could not cover; the controller must
+    /// cap servers by this amount as a last resort (§IV-C).
+    pub residual_overload: Watts,
+}
+
+/// Reverse-order throttling (§IV-C): on a detected overload, set racks to the
+/// 1 A minimum in **lowest-priority-highest-discharge-first** order until the
+/// shed power covers the overload; whatever cannot be covered is returned as
+/// the server-capping requirement.
+///
+/// # Examples
+///
+/// ```
+/// use recharge_core::{assign_priority_aware, throttle_on_overload, RackChargeState,
+///     RechargePowerModel, SlaCurrentPolicy};
+/// use recharge_units::{Dod, Priority, RackId, Watts};
+///
+/// let policy = SlaCurrentPolicy::production();
+/// let model = RechargePowerModel::production();
+/// let racks = vec![
+///     RackChargeState { rack: RackId::new(0), priority: Priority::P1, dod: Dod::new(0.5) },
+///     RackChargeState { rack: RackId::new(1), priority: Priority::P3, dod: Dod::new(0.5) },
+/// ];
+/// let outcome = assign_priority_aware(&racks, Watts::from_kilowatts(5.0), &policy, &model);
+/// let throttled = throttle_on_overload(&outcome.assignments, Watts::new(400.0), &model);
+/// // The P3 rack is sacrificed first.
+/// assert_eq!(throttled.assignments[1].current, recharge_units::Amperes::MIN_CHARGE);
+/// ```
+#[must_use]
+pub fn throttle_on_overload(
+    assignments: &[ChargeAssignment],
+    overload: Watts,
+    model: &RechargePowerModel,
+) -> ThrottleOutcome {
+    let mut updated = assignments.to_vec();
+    if overload <= Watts::ZERO {
+        return ThrottleOutcome {
+            assignments: updated,
+            power_shed: Watts::ZERO,
+            residual_overload: Watts::ZERO,
+        };
+    }
+
+    // Reverse of Algorithm 1's order: lowest priority first, highest DOD
+    // first within a priority.
+    let mut order: Vec<usize> = (0..updated.len()).collect();
+    order.sort_by(|&a, &b| {
+        updated[b]
+            .priority
+            .cmp(&updated[a].priority)
+            .then(updated[b].dod.value().total_cmp(&updated[a].dod.value()))
+    });
+
+    let mut shed = Watts::ZERO;
+    for &idx in &order {
+        if shed >= overload {
+            break;
+        }
+        let a = &mut updated[idx];
+        if a.current > Amperes::MIN_CHARGE {
+            shed += model.rack_power(a.current) - model.rack_power(Amperes::MIN_CHARGE);
+            a.current = Amperes::MIN_CHARGE;
+            a.sla_met = false;
+        }
+    }
+    // Racks throttled to the minimum may still meet a lenient SLA; recompute
+    // is the policy's job — here we conservatively clear only changed racks.
+    ThrottleOutcome {
+        assignments: updated,
+        power_shed: shed,
+        residual_overload: (overload - shed).max(Watts::ZERO),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> SlaCurrentPolicy {
+        SlaCurrentPolicy::production()
+    }
+
+    fn model() -> RechargePowerModel {
+        RechargePowerModel::production()
+    }
+
+    fn rack(i: u32, priority: Priority, dod: f64) -> RackChargeState {
+        RackChargeState { rack: RackId::new(i), priority, dod: Dod::new(dod) }
+    }
+
+    #[test]
+    fn ample_power_satisfies_everyone() {
+        let racks = vec![
+            rack(0, Priority::P1, 0.3),
+            rack(1, Priority::P2, 0.5),
+            rack(2, Priority::P3, 0.6),
+        ];
+        let outcome = assign_priority_aware(&racks, Watts::from_megawatts(1.0), &policy(), &model());
+        assert_eq!(outcome.sla_met_count(None), 3);
+        for a in &outcome.assignments {
+            let want = policy().sla_current(a.priority, a.dod);
+            assert_eq!(a.current, want);
+        }
+    }
+
+    #[test]
+    fn priority_order_protects_p1_first() {
+        // Budget for the minimum draw of all four plus roughly one upgrade.
+        let m = model();
+        let racks = vec![
+            rack(0, Priority::P3, 0.6),
+            rack(1, Priority::P1, 0.6),
+            rack(2, Priority::P2, 0.6),
+            rack(3, Priority::P1, 0.7),
+        ];
+        let min = m.rack_power(Amperes::MIN_CHARGE) * 4.0;
+        let p1_need = m.rack_power(policy().sla_current(Priority::P1, Dod::new(0.6)))
+            - m.rack_power(Amperes::MIN_CHARGE);
+        let budget = min + p1_need * 1.2;
+        let outcome = assign_priority_aware(&racks, budget, &policy(), &m);
+        // The lowest-DOD P1 rack gets upgraded; P2/P3 stay at minimum.
+        assert!(outcome.assignments[1].current > Amperes::MIN_CHARGE);
+        assert_eq!(outcome.assignments[0].current, Amperes::MIN_CHARGE);
+        assert_eq!(outcome.assignments[2].current, Amperes::MIN_CHARGE);
+    }
+
+    #[test]
+    fn lowest_dod_first_within_priority() {
+        let m = model();
+        // All deep enough that every SLA current exceeds the 1 A minimum.
+        let racks = vec![
+            rack(0, Priority::P2, 0.9),
+            rack(1, Priority::P2, 0.55),
+            rack(2, Priority::P2, 0.75),
+        ];
+        let p = policy();
+        assert!(p.sla_current(Priority::P2, Dod::new(0.55)) > Amperes::MIN_CHARGE);
+        // Enough for the minimums plus exactly the cheapest upgrade.
+        let min = m.rack_power(Amperes::MIN_CHARGE) * 3.0;
+        let cheapest = m.rack_power(p.sla_current(Priority::P2, Dod::new(0.55)))
+            - m.rack_power(Amperes::MIN_CHARGE);
+        let outcome = assign_priority_aware(&racks, min + cheapest * 1.01, &p, &m);
+        assert!(outcome.assignments[1].current > Amperes::MIN_CHARGE, "lowest DOD first");
+        assert_eq!(outcome.assignments[0].current, Amperes::MIN_CHARGE);
+        assert_eq!(outcome.assignments[2].current, Amperes::MIN_CHARGE);
+    }
+
+    #[test]
+    fn assignments_never_exceed_available_power_beyond_minimum() {
+        let m = model();
+        let racks: Vec<_> = (0..50)
+            .map(|i| rack(i, Priority::ALL[(i % 3) as usize], 0.2 + 0.015 * f64::from(i)))
+            .collect();
+        let min = m.rack_power(Amperes::MIN_CHARGE) * racks.len() as f64;
+        for budget_kw in [0.0, 10.0, 20.0, 30.0, 50.0] {
+            let budget = Watts::from_kilowatts(budget_kw);
+            let outcome = assign_priority_aware(&racks, budget, &policy(), &m);
+            let cap = budget.max(min);
+            assert!(
+                outcome.total_recharge_power <= cap + Watts::new(1e-6),
+                "total {} exceeds cap {} at budget {}",
+                outcome.total_recharge_power,
+                cap,
+                budget
+            );
+        }
+    }
+
+    #[test]
+    fn currents_stay_in_hardware_range() {
+        let racks: Vec<_> = (0..30).map(|i| rack(i, Priority::P1, f64::from(i) / 30.0)).collect();
+        let outcome = assign_priority_aware(&racks, Watts::from_kilowatts(40.0), &policy(), &model());
+        for a in &outcome.assignments {
+            assert!(a.current >= Amperes::MIN_CHARGE && a.current <= Amperes::MAX_CHARGE);
+        }
+    }
+
+    #[test]
+    fn minimum_rate_racks_can_still_meet_lenient_slas() {
+        // Fig 14(a): P3 at the 1 A minimum still meets its 90-minute SLA at
+        // medium discharge even when the budget upgrades nobody.
+        let racks = vec![rack(0, Priority::P3, 0.5)];
+        let outcome = assign_priority_aware(&racks, Watts::ZERO, &policy(), &model());
+        assert_eq!(outcome.assignments[0].current, Amperes::MIN_CHARGE);
+        assert!(outcome.assignments[0].sla_met);
+    }
+
+    #[test]
+    fn empty_fleet() {
+        let outcome = assign_priority_aware(&[], Watts::from_kilowatts(1.0), &policy(), &model());
+        assert!(outcome.assignments.is_empty());
+        assert_eq!(outcome.total_recharge_power, Watts::ZERO);
+    }
+
+    #[test]
+    fn throttle_sheds_lowest_priority_highest_dod_first() {
+        let m = model();
+        let assignments = vec![
+            ChargeAssignment { rack: RackId::new(0), priority: Priority::P1, dod: Dod::new(0.5), current: Amperes::new(3.0), sla_met: true },
+            ChargeAssignment { rack: RackId::new(1), priority: Priority::P3, dod: Dod::new(0.4), current: Amperes::new(3.0), sla_met: true },
+            ChargeAssignment { rack: RackId::new(2), priority: Priority::P3, dod: Dod::new(0.8), current: Amperes::new(3.0), sla_met: true },
+        ];
+        let one_rack_shed = m.rack_power(Amperes::new(3.0)) - m.rack_power(Amperes::MIN_CHARGE);
+        let outcome = throttle_on_overload(&assignments, one_rack_shed * 0.9, &m);
+        // Only the high-DOD P3 rack needed to be throttled.
+        assert_eq!(outcome.assignments[2].current, Amperes::MIN_CHARGE);
+        assert_eq!(outcome.assignments[1].current, Amperes::new(3.0));
+        assert_eq!(outcome.assignments[0].current, Amperes::new(3.0));
+        assert_eq!(outcome.residual_overload, Watts::ZERO);
+    }
+
+    #[test]
+    fn throttle_reports_residual_for_server_capping() {
+        let m = model();
+        let assignments = vec![ChargeAssignment {
+            rack: RackId::new(0),
+            priority: Priority::P2,
+            dod: Dod::new(0.5),
+            current: Amperes::new(2.0),
+            sla_met: true,
+        }];
+        let max_shed = m.rack_power(Amperes::new(2.0)) - m.rack_power(Amperes::MIN_CHARGE);
+        let overload = max_shed + Watts::new(500.0);
+        let outcome = throttle_on_overload(&assignments, overload, &m);
+        assert_eq!(outcome.assignments[0].current, Amperes::MIN_CHARGE);
+        assert!((outcome.residual_overload.as_watts() - 500.0).abs() < 1e-6);
+        assert!((outcome.power_shed.as_watts() - max_shed.as_watts()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn throttle_is_a_no_op_without_overload() {
+        let assignments = vec![ChargeAssignment {
+            rack: RackId::new(0),
+            priority: Priority::P1,
+            dod: Dod::new(0.5),
+            current: Amperes::new(4.0),
+            sla_met: true,
+        }];
+        let outcome = throttle_on_overload(&assignments, Watts::ZERO, &model());
+        assert_eq!(outcome.assignments, assignments);
+        assert_eq!(outcome.power_shed, Watts::ZERO);
+    }
+
+    #[test]
+    fn sla_met_count_filters_by_priority() {
+        let racks = vec![
+            rack(0, Priority::P1, 0.2),
+            rack(1, Priority::P2, 0.2),
+            rack(2, Priority::P3, 0.2),
+        ];
+        let outcome = assign_priority_aware(&racks, Watts::from_megawatts(1.0), &policy(), &model());
+        assert_eq!(outcome.sla_met_count(Some(Priority::P1)), 1);
+        assert_eq!(outcome.sla_met_count(None), 3);
+    }
+}

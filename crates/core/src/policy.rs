@@ -1,0 +1,234 @@
+//! The SLA-current policy of Fig 9(b): charging current required to meet a
+//! rack's charging-time SLA given its battery depth of discharge.
+
+use serde::{Deserialize, Serialize};
+
+use recharge_battery::ChargeTimeTable;
+use recharge_units::{Amperes, Dod, Priority};
+
+use crate::sla::SlaTable;
+
+/// Computes the per-rack SLA charging current (Fig 9b).
+///
+/// The policy inverts the charge-time surface of Fig 5 ("by linearly
+/// interpolating the BBU charging time data", §IV-A): the SLA current is the
+/// smallest current that charges back within the priority's Table II budget.
+/// Two hardware-informed adjustments match the deployed behaviour:
+///
+/// * **Per-priority floors.** The §V-A prototype assigns 2 A to P1 racks and
+///   1 A to P2/P3 racks even at <5% DOD, so P1 never drops below the variable
+///   charger's 2 A automatic minimum while lower priorities may be relaxed to
+///   the 1 A hardware floor.
+/// * **Saturation.** When even 5 A cannot meet the budget (deep discharge
+///   against a 30-minute SLA), the policy saturates at 5 A — the SLA is then
+///   unattainable but the rack charges as fast as the hardware allows.
+///
+/// # Examples
+///
+/// ```
+/// use recharge_core::SlaCurrentPolicy;
+/// use recharge_units::{Amperes, Dod, Priority};
+///
+/// let policy = SlaCurrentPolicy::production();
+/// // Fig 10: at <5% DOD, P1 charges at 2 A while P2/P3 charge at 1 A.
+/// assert_eq!(policy.sla_current(Priority::P1, Dod::new(0.04)), Amperes::new(2.0));
+/// assert_eq!(policy.sla_current(Priority::P2, Dod::new(0.04)), Amperes::new(1.0));
+/// assert_eq!(policy.sla_current(Priority::P3, Dod::new(0.04)), Amperes::new(1.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlaCurrentPolicy {
+    table: ChargeTimeTable,
+    sla: SlaTable,
+    floors: [Amperes; 3],
+}
+
+impl SlaCurrentPolicy {
+    /// The deployed configuration: the production charge-time table, Table II
+    /// SLAs, and floors of 2 A (P1) / 1 A (P2, P3).
+    #[must_use]
+    pub fn production() -> Self {
+        SlaCurrentPolicy::new(ChargeTimeTable::production().clone(), SlaTable::table2())
+    }
+
+    /// Creates a policy from a charge-time table and SLA table with the
+    /// standard floors.
+    #[must_use]
+    pub fn new(table: ChargeTimeTable, sla: SlaTable) -> Self {
+        SlaCurrentPolicy {
+            table,
+            sla,
+            floors: [Amperes::new(2.0), Amperes::MIN_CHARGE, Amperes::MIN_CHARGE],
+        }
+    }
+
+    /// Overrides the per-priority minimum currents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any floor lies outside the 1–5 A hardware range.
+    #[must_use]
+    pub fn with_floors(mut self, floors: [Amperes; 3]) -> Self {
+        for f in floors {
+            assert!(
+                (Amperes::MIN_CHARGE..=Amperes::MAX_CHARGE).contains(&f),
+                "floors must lie within the 1-5 A hardware range"
+            );
+        }
+        self.floors = floors;
+        self
+    }
+
+    /// The SLA table in force.
+    #[must_use]
+    pub fn sla(&self) -> &SlaTable {
+        &self.sla
+    }
+
+    /// The charge-time table in force.
+    #[must_use]
+    pub fn charge_time_table(&self) -> &ChargeTimeTable {
+        &self.table
+    }
+
+    /// The minimum current for a priority.
+    #[must_use]
+    pub fn floor(&self, priority: Priority) -> Amperes {
+        self.floors[(priority.rank() - 1) as usize]
+    }
+
+    /// Planning safety margin: SLA currents are sized against 97% of the
+    /// budget so that model/physics mismatch and control-loop latency cannot
+    /// push a boundary rack just past its SLA.
+    pub const SLA_SAFETY_MARGIN: f64 = 0.97;
+
+    /// The Fig 9(b) SLA charging current for a rack of the given priority
+    /// whose battery discharged to `dod`, clamped to the hardware range.
+    #[must_use]
+    pub fn sla_current(&self, priority: Priority, dod: Dod) -> Amperes {
+        let budget = self.sla.charge_time_budget(priority) * Self::SLA_SAFETY_MARGIN;
+        let required = self
+            .table
+            .required_current(dod, budget)
+            .ok()
+            .flatten()
+            .unwrap_or(Amperes::MAX_CHARGE);
+        required
+            .max(self.floor(priority))
+            .clamp(Amperes::MIN_CHARGE, Amperes::MAX_CHARGE)
+    }
+
+    /// Whether a rack charging at `current` from `dod` meets its priority's
+    /// charging-time SLA.
+    #[must_use]
+    pub fn meets_sla(&self, priority: Priority, dod: Dod, current: Amperes) -> bool {
+        let budget = self.sla.charge_time_budget(priority);
+        self.table
+            .charge_time(dod, current.clamp(Amperes::MIN_CHARGE, Amperes::MAX_CHARGE))
+            .map(|t| t <= budget)
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> SlaCurrentPolicy {
+        SlaCurrentPolicy::production()
+    }
+
+    #[test]
+    fn current_rises_with_dod() {
+        let p = policy();
+        for prio in Priority::ALL {
+            let mut prev = Amperes::ZERO;
+            for i in 0..=10 {
+                let dod = Dod::new(f64::from(i) / 10.0);
+                let c = p.sla_current(prio, dod);
+                assert!(c >= prev, "{prio} current decreased at {dod}");
+                assert!((Amperes::MIN_CHARGE..=Amperes::MAX_CHARGE).contains(&c));
+                prev = c;
+            }
+        }
+    }
+
+    #[test]
+    fn stricter_sla_needs_more_current() {
+        let p = policy();
+        for i in 0..=10 {
+            let dod = Dod::new(f64::from(i) / 10.0);
+            let c1 = p.sla_current(Priority::P1, dod);
+            let c2 = p.sla_current(Priority::P2, dod);
+            let c3 = p.sla_current(Priority::P3, dod);
+            assert!(c1 >= c2, "P1 ({c1}) must not need less than P2 ({c2}) at {dod}");
+            assert!(c2 >= c3, "P2 ({c2}) must not need less than P3 ({c3}) at {dod}");
+        }
+    }
+
+    #[test]
+    fn prototype_floor_behaviour() {
+        // Fig 10: at ~5% DOD, P1 → 2 A, P2/P3 → 1 A.
+        let p = policy();
+        assert_eq!(p.sla_current(Priority::P1, Dod::new(0.05)), Amperes::new(2.0));
+        assert_eq!(p.sla_current(Priority::P2, Dod::new(0.05)), Amperes::MIN_CHARGE);
+        assert_eq!(p.sla_current(Priority::P3, Dod::new(0.05)), Amperes::MIN_CHARGE);
+    }
+
+    #[test]
+    fn p1_saturates_at_5a_for_deep_discharge() {
+        let p = policy();
+        let c = p.sla_current(Priority::P1, Dod::FULL);
+        assert_eq!(c, Amperes::MAX_CHARGE);
+        // At 100% DOD the 30-minute SLA is unattainable even at 5 A.
+        assert!(!p.meets_sla(Priority::P1, Dod::FULL, Amperes::MAX_CHARGE));
+    }
+
+    #[test]
+    fn assigned_sla_current_meets_sla_when_attainable() {
+        let p = policy();
+        for prio in Priority::ALL {
+            for i in 0..=10 {
+                let dod = Dod::new(f64::from(i) / 10.0);
+                let c = p.sla_current(prio, dod);
+                let attainable = p.meets_sla(prio, dod, Amperes::MAX_CHARGE);
+                if attainable {
+                    assert!(
+                        p.meets_sla(prio, dod, c),
+                        "{prio} at {dod}: SLA current {c} should meet the SLA"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn p3_meets_sla_at_floor_for_medium_discharge() {
+        // The Fig 14(a) observation: P3 racks charging at the 1 A minimum
+        // still meet their 90-minute SLA at medium (≈50%) discharge.
+        let p = policy();
+        assert!(p.meets_sla(Priority::P3, Dod::new(0.5), Amperes::MIN_CHARGE));
+        // But not at high (≈70%) discharge — Fig 14(c).
+        assert!(!p.meets_sla(Priority::P3, Dod::new(0.7), Amperes::MIN_CHARGE));
+    }
+
+    #[test]
+    fn custom_floors() {
+        let p = policy().with_floors([Amperes::new(3.0); 3]);
+        assert_eq!(p.sla_current(Priority::P3, Dod::new(0.01)), Amperes::new(3.0));
+        assert_eq!(p.floor(Priority::P2), Amperes::new(3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "hardware range")]
+    fn out_of_range_floor_panics() {
+        let _ = policy().with_floors([Amperes::new(0.5), Amperes::new(1.0), Amperes::new(1.0)]);
+    }
+
+    #[test]
+    fn accessors() {
+        let p = policy();
+        assert_eq!(p.sla(), &SlaTable::table2());
+        assert_eq!(p.floor(Priority::P1), Amperes::new(2.0));
+        assert!(p.charge_time_table().grid().dods.len() >= 2);
+    }
+}

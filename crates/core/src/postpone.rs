@@ -1,0 +1,170 @@
+//! Charge postponing: the paper's stated future-work extension (§IV-A).
+//!
+//! The deployed charger hardware bottoms out at 1 A, so under extreme power
+//! constraint the controller must cap servers once every rack is at the
+//! floor. With hardware that can *hold* charging at zero, the controller can
+//! instead defer whole racks — trading their redundancy (a relaxed AOR) for
+//! zero performance impact. This module plans which racks to defer.
+
+use serde::{Deserialize, Serialize};
+
+use recharge_units::{Amperes, RackId, Watts};
+
+use crate::algorithm::ChargeAssignment;
+use crate::power_model::RechargePowerModel;
+
+/// The result of a postponement pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PostponeOutcome {
+    /// Updated assignments: postponed racks carry a zero current.
+    pub assignments: Vec<ChargeAssignment>,
+    /// Racks whose charging was deferred, in deferral order.
+    pub postponed: Vec<RackId>,
+    /// Recharge power shed by the deferrals.
+    pub power_shed: Watts,
+    /// Deficit that remains even with every rack deferred (server capping is
+    /// then genuinely unavoidable).
+    pub residual_deficit: Watts,
+}
+
+/// Defers whole racks — lowest priority first, highest DOD first within a
+/// priority — until `deficit` is covered.
+///
+/// Postponing follows the same reverse order as throttling
+/// ([`throttle_on_overload`](crate::throttle_on_overload)) because it is the
+/// same trade, taken further: the deferred rack keeps *no* recharge power at
+/// all, so its SLA is forfeited for the benefit of higher-priority racks and
+/// the servers.
+///
+/// # Examples
+///
+/// ```
+/// use recharge_core::{postpone_on_deficit, ChargeAssignment, RechargePowerModel};
+/// use recharge_units::{Amperes, Dod, Priority, RackId, Watts};
+///
+/// let model = RechargePowerModel::production();
+/// let assignments = vec![ChargeAssignment {
+///     rack: RackId::new(0),
+///     priority: Priority::P3,
+///     dod: Dod::new(0.5),
+///     current: Amperes::new(1.0),
+///     sla_met: true,
+/// }];
+/// let outcome = postpone_on_deficit(&assignments, Watts::new(200.0), &model);
+/// assert_eq!(outcome.postponed, vec![RackId::new(0)]);
+/// assert_eq!(outcome.assignments[0].current, Amperes::ZERO);
+/// ```
+#[must_use]
+pub fn postpone_on_deficit(
+    assignments: &[ChargeAssignment],
+    deficit: Watts,
+    model: &RechargePowerModel,
+) -> PostponeOutcome {
+    let mut updated = assignments.to_vec();
+    if deficit <= Watts::ZERO {
+        return PostponeOutcome {
+            assignments: updated,
+            postponed: Vec::new(),
+            power_shed: Watts::ZERO,
+            residual_deficit: Watts::ZERO,
+        };
+    }
+
+    let mut order: Vec<usize> = (0..updated.len()).collect();
+    order.sort_by(|&a, &b| {
+        updated[b]
+            .priority
+            .cmp(&updated[a].priority)
+            .then(updated[b].dod.value().total_cmp(&updated[a].dod.value()))
+    });
+
+    let mut postponed = Vec::new();
+    let mut shed = Watts::ZERO;
+    for &idx in &order {
+        if shed >= deficit {
+            break;
+        }
+        let a = &mut updated[idx];
+        if a.current > Amperes::ZERO {
+            shed += model.rack_power(a.current);
+            a.current = Amperes::ZERO;
+            a.sla_met = false;
+            postponed.push(a.rack);
+        }
+    }
+
+    PostponeOutcome {
+        assignments: updated,
+        postponed,
+        power_shed: shed,
+        residual_deficit: (deficit - shed).max(Watts::ZERO),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recharge_units::{Dod, Priority};
+
+    fn assignment(i: u32, priority: Priority, dod: f64, amps: f64) -> ChargeAssignment {
+        ChargeAssignment {
+            rack: RackId::new(i),
+            priority,
+            dod: Dod::new(dod),
+            current: Amperes::new(amps),
+            sla_met: true,
+        }
+    }
+
+    #[test]
+    fn defers_lowest_priority_highest_dod_first() {
+        let model = RechargePowerModel::production();
+        let assignments = vec![
+            assignment(0, Priority::P1, 0.9, 1.0),
+            assignment(1, Priority::P3, 0.3, 1.0),
+            assignment(2, Priority::P3, 0.8, 1.0),
+        ];
+        let one_rack = model.rack_power(Amperes::new(1.0));
+        let outcome = postpone_on_deficit(&assignments, one_rack * 0.5, &model);
+        assert_eq!(outcome.postponed, vec![RackId::new(2)]);
+        assert_eq!(outcome.assignments[2].current, Amperes::ZERO);
+        assert!(!outcome.assignments[2].sla_met);
+        assert_eq!(outcome.assignments[0].current, Amperes::new(1.0));
+        assert_eq!(outcome.residual_deficit, Watts::ZERO);
+    }
+
+    #[test]
+    fn escalates_through_the_whole_fleet() {
+        let model = RechargePowerModel::production();
+        let assignments = vec![
+            assignment(0, Priority::P1, 0.5, 1.0),
+            assignment(1, Priority::P2, 0.5, 1.0),
+        ];
+        let outcome = postpone_on_deficit(&assignments, Watts::from_kilowatts(10.0), &model);
+        assert_eq!(outcome.postponed.len(), 2);
+        assert_eq!(outcome.postponed[0], RackId::new(1), "P2 before P1");
+        assert!(outcome.residual_deficit > Watts::ZERO);
+        let shed_expected = model.rack_power(Amperes::new(1.0)) * 2.0;
+        assert!((outcome.power_shed - shed_expected).abs() < Watts::new(1e-9));
+    }
+
+    #[test]
+    fn zero_deficit_is_a_no_op() {
+        let model = RechargePowerModel::production();
+        let assignments = vec![assignment(0, Priority::P3, 0.5, 2.0)];
+        let outcome = postpone_on_deficit(&assignments, Watts::ZERO, &model);
+        assert!(outcome.postponed.is_empty());
+        assert_eq!(outcome.assignments, assignments);
+    }
+
+    #[test]
+    fn already_postponed_racks_shed_nothing() {
+        let model = RechargePowerModel::production();
+        let mut zero = assignment(0, Priority::P3, 0.5, 0.0);
+        zero.current = Amperes::ZERO;
+        let outcome = postpone_on_deficit(&[zero], Watts::new(100.0), &model);
+        assert!(outcome.postponed.is_empty());
+        assert_eq!(outcome.power_shed, Watts::ZERO);
+        assert_eq!(outcome.residual_deficit, Watts::new(100.0));
+    }
+}

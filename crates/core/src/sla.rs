@@ -1,0 +1,156 @@
+//! The charging-time SLA table (Table II).
+
+use serde::{Deserialize, Serialize};
+
+use recharge_units::{Priority, Seconds};
+
+/// Per-priority battery charging-time SLAs with their reliability targets.
+///
+/// Table II of the paper:
+///
+/// | Priority | AOR | Loss of redundancy | Charging-time SLA |
+/// |---|---|---|---|
+/// | P1 (high) | 99.94% | 5.26 h/yr | 30 minutes |
+/// | P2 (normal) | 99.90% | 8.76 h/yr | 60 minutes |
+/// | P3 (low) | 99.85% | 13.14 h/yr | 90 minutes |
+///
+/// The general framework applies to any budgets (the paper notes future
+/// hardware may relax low-priority SLAs further), so the table is a value
+/// type rather than constants.
+///
+/// # Examples
+///
+/// ```
+/// use recharge_core::SlaTable;
+/// use recharge_units::{Priority, Seconds};
+///
+/// let sla = SlaTable::table2();
+/// assert_eq!(sla.charge_time_budget(Priority::P1), Seconds::from_minutes(30.0));
+/// assert!(sla.aor_target(Priority::P3) < sla.aor_target(Priority::P1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SlaTable {
+    budgets: [Seconds; 3],
+    aor_targets: [f64; 3],
+}
+
+impl SlaTable {
+    /// The published Table II.
+    #[must_use]
+    pub fn table2() -> Self {
+        SlaTable {
+            budgets: [
+                Seconds::from_minutes(30.0),
+                Seconds::from_minutes(60.0),
+                Seconds::from_minutes(90.0),
+            ],
+            aor_targets: [0.9994, 0.9990, 0.9985],
+        }
+    }
+
+    /// Creates a custom SLA table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if budgets are not positive and non-decreasing from P1 to P3,
+    /// or AOR targets are outside `(0, 1]` or increasing from P1 to P3:
+    /// lower priorities may never have stricter requirements.
+    #[must_use]
+    pub fn new(budgets: [Seconds; 3], aor_targets: [f64; 3]) -> Self {
+        assert!(budgets[0] > Seconds::ZERO, "budgets must be positive");
+        assert!(
+            budgets[0] <= budgets[1] && budgets[1] <= budgets[2],
+            "lower priority cannot have a stricter charge-time budget"
+        );
+        assert!(
+            aor_targets.iter().all(|a| (0.0..=1.0).contains(a)),
+            "AOR targets must be fractions"
+        );
+        assert!(
+            aor_targets[0] >= aor_targets[1] && aor_targets[1] >= aor_targets[2],
+            "lower priority cannot have a higher AOR target"
+        );
+        SlaTable { budgets, aor_targets }
+    }
+
+    /// The charging-time budget for a priority.
+    #[must_use]
+    pub fn charge_time_budget(&self, priority: Priority) -> Seconds {
+        self.budgets[(priority.rank() - 1) as usize]
+    }
+
+    /// The availability-of-redundancy target for a priority.
+    #[must_use]
+    pub fn aor_target(&self, priority: Priority) -> f64 {
+        self.aor_targets[(priority.rank() - 1) as usize]
+    }
+
+    /// The "loss of redundancy" column of Table II: hours per year without
+    /// battery backup implied by the AOR target.
+    #[must_use]
+    pub fn loss_of_redundancy_hours(&self, priority: Priority) -> f64 {
+        (1.0 - self.aor_target(priority)) * 8_760.0
+    }
+}
+
+impl Default for SlaTable {
+    fn default() -> Self {
+        SlaTable::table2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_values() {
+        let sla = SlaTable::table2();
+        assert_eq!(sla.charge_time_budget(Priority::P1).as_minutes(), 30.0);
+        assert_eq!(sla.charge_time_budget(Priority::P2).as_minutes(), 60.0);
+        assert_eq!(sla.charge_time_budget(Priority::P3).as_minutes(), 90.0);
+        assert_eq!(sla.aor_target(Priority::P1), 0.9994);
+        assert_eq!(sla.aor_target(Priority::P2), 0.9990);
+        assert_eq!(sla.aor_target(Priority::P3), 0.9985);
+    }
+
+    #[test]
+    fn loss_of_redundancy_matches_published_column() {
+        let sla = SlaTable::table2();
+        assert!((sla.loss_of_redundancy_hours(Priority::P1) - 5.26).abs() < 0.01);
+        assert!((sla.loss_of_redundancy_hours(Priority::P2) - 8.76).abs() < 0.01);
+        assert!((sla.loss_of_redundancy_hours(Priority::P3) - 13.14).abs() < 0.01);
+    }
+
+    #[test]
+    fn custom_table() {
+        let sla = SlaTable::new(
+            [Seconds::from_minutes(20.0), Seconds::from_minutes(40.0), Seconds::from_minutes(120.0)],
+            [0.9999, 0.999, 0.99],
+        );
+        assert_eq!(sla.charge_time_budget(Priority::P2).as_minutes(), 40.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "stricter")]
+    fn inverted_budgets_panic() {
+        let _ = SlaTable::new(
+            [Seconds::from_minutes(90.0), Seconds::from_minutes(60.0), Seconds::from_minutes(30.0)],
+            [0.9994, 0.9990, 0.9985],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "AOR")]
+    fn inverted_aor_panics() {
+        let _ = SlaTable::new(
+            [Seconds::from_minutes(30.0), Seconds::from_minutes(60.0), Seconds::from_minutes(90.0)],
+            [0.9, 0.99, 0.999],
+        );
+    }
+
+    #[test]
+    fn default_is_table2() {
+        assert_eq!(SlaTable::default(), SlaTable::table2());
+    }
+}

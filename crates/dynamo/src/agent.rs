@@ -1,0 +1,316 @@
+//! Rack agents: the per-rack request handlers running on TOR switches.
+
+use serde::{Deserialize, Serialize};
+
+use recharge_battery::{BbuParams, ChargePolicy, RackBatterySystem};
+use recharge_units::{Amperes, Priority, RackId, Seconds, Watts};
+
+use crate::messages::PowerReading;
+
+/// The agent interface controllers drive (§IV-B): pure request handling, no
+/// autonomous behaviour.
+pub trait RackAgent {
+    /// The rack this agent serves.
+    fn rack(&self) -> RackId;
+
+    /// Reads the current telemetry.
+    fn read(&self) -> PowerReading;
+
+    /// Forces the BBU charging current (clamped to the 1–5 A hardware range
+    /// by the charger).
+    fn set_charge_override(&mut self, current: Amperes);
+
+    /// Returns the BBU charger to automatic current selection.
+    fn clear_charge_override(&mut self);
+
+    /// Suspends (`true`) or resumes (`false`) battery charging entirely —
+    /// the postponing extension (§IV-A future work); requires charger
+    /// hardware that can hold at zero.
+    fn set_charge_postponed(&mut self, postponed: bool);
+
+    /// Caps the rack's server power to `limit` (Dynamo power capping).
+    fn cap_servers(&mut self, limit: Watts);
+
+    /// Removes any server power cap.
+    fn uncap_servers(&mut self);
+}
+
+/// Builder for a [`SimRackAgent`] (C-BUILDER).
+#[derive(Debug, Clone)]
+pub struct SimRackAgentBuilder {
+    rack: RackId,
+    priority: Priority,
+    params: BbuParams,
+    charge_policy: ChargePolicy,
+    offered_load: Watts,
+}
+
+impl SimRackAgentBuilder {
+    /// Sets the battery parameters (default: production).
+    #[must_use]
+    pub fn params(mut self, params: BbuParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Sets the automatic charger policy (default: the variable charger).
+    #[must_use]
+    pub fn charge_policy(mut self, policy: ChargePolicy) -> Self {
+        self.charge_policy = policy;
+        self
+    }
+
+    /// Sets the initial offered IT load (default: 6 kW).
+    #[must_use]
+    pub fn offered_load(mut self, load: Watts) -> Self {
+        self.offered_load = load;
+        self
+    }
+
+    /// Builds the agent.
+    #[must_use]
+    pub fn build(self) -> SimRackAgent {
+        SimRackAgent {
+            rack: self.rack,
+            priority: self.priority,
+            battery: RackBatterySystem::new(self.params, self.charge_policy),
+            offered_load: self.offered_load,
+            cap_limit: None,
+            input_power: true,
+            recharge_power: Watts::ZERO,
+        }
+    }
+}
+
+/// A simulated rack behind an agent: battery shelf, offered IT load, and the
+/// cap/override hooks the controller drives.
+///
+/// This is the physical substrate used by both the control-plane tests and
+/// the fleet simulator: the simulator feeds the offered load from a trace and
+/// drives input-power events from open transitions.
+///
+/// # Examples
+///
+/// ```
+/// use recharge_dynamo::{RackAgent, SimRackAgent};
+/// use recharge_units::{Priority, RackId, Seconds, Watts};
+///
+/// let mut agent = SimRackAgent::builder(RackId::new(3), Priority::P2)
+///     .offered_load(Watts::from_kilowatts(7.0))
+///     .build();
+///
+/// // A 45-second open transition.
+/// agent.set_input_power(false);
+/// agent.step(Seconds::new(45.0));
+/// agent.set_input_power(true);
+/// agent.step(Seconds::new(1.0));
+/// assert!(agent.read().is_charging());
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimRackAgent {
+    rack: RackId,
+    priority: Priority,
+    battery: RackBatterySystem,
+    offered_load: Watts,
+    cap_limit: Option<Watts>,
+    input_power: bool,
+    recharge_power: Watts,
+}
+
+impl SimRackAgent {
+    /// Starts building an agent for `rack` with the given priority.
+    #[must_use]
+    pub fn builder(rack: RackId, priority: Priority) -> SimRackAgentBuilder {
+        SimRackAgentBuilder {
+            rack,
+            priority,
+            params: BbuParams::production(),
+            charge_policy: ChargePolicy::Variable,
+            offered_load: Watts::from_kilowatts(6.0),
+        }
+    }
+
+    /// The rack's priority.
+    #[must_use]
+    pub fn priority(&self) -> Priority {
+        self.priority
+    }
+
+    /// Sets the IT load the servers want to draw (from a trace).
+    pub fn set_offered_load(&mut self, load: Watts) {
+        self.offered_load = load.max(Watts::ZERO);
+    }
+
+    /// The IT load actually drawn after capping.
+    #[must_use]
+    pub fn effective_load(&self) -> Watts {
+        match self.cap_limit {
+            Some(limit) => self.offered_load.min(limit),
+            None => self.offered_load,
+        }
+    }
+
+    /// Applies or removes rack input power (open-transition edges).
+    pub fn set_input_power(&mut self, present: bool) {
+        if present == self.input_power {
+            return;
+        }
+        self.input_power = present;
+        if present {
+            self.battery.input_power_restored();
+        } else {
+            self.battery.input_power_lost();
+        }
+    }
+
+    /// Whether rack input power is present.
+    #[must_use]
+    pub fn has_input_power(&self) -> bool {
+        self.input_power
+    }
+
+    /// The battery shelf (telemetry detail inspection).
+    #[must_use]
+    pub fn battery(&self) -> &RackBatterySystem {
+        &self.battery
+    }
+
+    /// Advances the rack by `dt`: batteries discharge while input power is
+    /// out, recharge while it is present.
+    pub fn step(&mut self, dt: Seconds) {
+        let report = self.battery.step(self.effective_load(), dt);
+        self.recharge_power = report.recharge_power;
+    }
+}
+
+impl RackAgent for SimRackAgent {
+    fn rack(&self) -> RackId {
+        self.rack
+    }
+
+    fn read(&self) -> PowerReading {
+        PowerReading {
+            rack: self.rack,
+            priority: self.priority,
+            input_power_present: self.input_power,
+            it_load: self.effective_load(),
+            recharge_power: if self.input_power { self.recharge_power } else { Watts::ZERO },
+            bbu_state: self.battery.state(),
+            event_dod: self.battery.event_dod(),
+            dod: self.battery.dod(),
+            capped_power: (self.offered_load - self.effective_load()).max(Watts::ZERO),
+        }
+    }
+
+    fn set_charge_override(&mut self, current: Amperes) {
+        self.battery.set_override(current);
+    }
+
+    fn clear_charge_override(&mut self) {
+        self.battery.clear_override();
+    }
+
+    fn set_charge_postponed(&mut self, postponed: bool) {
+        self.battery.set_postponed(postponed);
+    }
+
+    fn cap_servers(&mut self, limit: Watts) {
+        self.cap_limit = Some(limit.max(Watts::ZERO));
+    }
+
+    fn uncap_servers(&mut self) {
+        self.cap_limit = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recharge_battery::BbuState;
+
+    fn agent() -> SimRackAgent {
+        SimRackAgent::builder(RackId::new(1), Priority::P1)
+            .offered_load(Watts::from_kilowatts(6.0))
+            .build()
+    }
+
+    #[test]
+    fn reading_reflects_steady_state() {
+        let a = agent();
+        let r = a.read();
+        assert_eq!(r.rack, RackId::new(1));
+        assert_eq!(r.priority, Priority::P1);
+        assert!(r.input_power_present);
+        assert_eq!(r.it_load, Watts::from_kilowatts(6.0));
+        assert_eq!(r.recharge_power, Watts::ZERO);
+        assert_eq!(r.bbu_state, BbuState::FullyCharged);
+        assert_eq!(r.input_draw(), Watts::from_kilowatts(6.0));
+    }
+
+    #[test]
+    fn open_transition_cycle() {
+        let mut a = agent();
+        a.set_input_power(false);
+        a.step(Seconds::new(60.0));
+        let riding = a.read();
+        assert!(!riding.input_power_present);
+        assert_eq!(riding.input_draw(), Watts::ZERO);
+        assert_eq!(riding.bbu_state, BbuState::Discharging);
+
+        a.set_input_power(true);
+        a.step(Seconds::new(1.0));
+        let charging = a.read();
+        assert!(charging.is_charging());
+        assert!(charging.recharge_power > Watts::ZERO);
+        assert!(charging.event_dod.value() > 0.15);
+        assert_eq!(charging.input_draw(), charging.it_load + charging.recharge_power);
+    }
+
+    #[test]
+    fn override_and_clear() {
+        let mut a = agent();
+        a.set_input_power(false);
+        a.step(Seconds::new(60.0));
+        a.set_input_power(true);
+        a.step(Seconds::new(1.0));
+        let auto_power = a.read().recharge_power;
+
+        a.set_charge_override(Amperes::MIN_CHARGE);
+        a.step(Seconds::new(1.0));
+        let throttled = a.read().recharge_power;
+        assert!(throttled < auto_power);
+
+        a.clear_charge_override();
+        a.step(Seconds::new(1.0));
+        assert!(a.read().recharge_power > throttled);
+    }
+
+    #[test]
+    fn capping_reduces_effective_load() {
+        let mut a = agent();
+        a.cap_servers(Watts::from_kilowatts(4.0));
+        let r = a.read();
+        assert_eq!(r.it_load, Watts::from_kilowatts(4.0));
+        assert_eq!(r.capped_power, Watts::from_kilowatts(2.0));
+        a.uncap_servers();
+        assert_eq!(a.read().capped_power, Watts::ZERO);
+    }
+
+    #[test]
+    fn cap_above_offered_load_is_harmless() {
+        let mut a = agent();
+        a.cap_servers(Watts::from_kilowatts(10.0));
+        assert_eq!(a.read().it_load, Watts::from_kilowatts(6.0));
+        assert_eq!(a.read().capped_power, Watts::ZERO);
+    }
+
+    #[test]
+    fn redundant_power_edges_are_ignored() {
+        let mut a = agent();
+        a.set_input_power(true); // already on
+        assert_eq!(a.battery().state(), BbuState::FullyCharged);
+        a.set_input_power(false);
+        a.set_input_power(false);
+        assert_eq!(a.battery().state(), BbuState::Discharging);
+    }
+}

@@ -1,0 +1,818 @@
+//! The Dynamo controller protecting one circuit breaker.
+
+use std::collections::HashMap;
+
+use recharge_core::{
+    assign_global, assign_priority_aware, throttle_on_overload, ChargeAssignment,
+    RackChargeState, RechargePowerModel, SlaCurrentPolicy,
+};
+use recharge_units::{Amperes, DeviceId, Dod, Priority, RackId, SimTime, Watts};
+
+use crate::bus::AgentBus;
+use crate::capping::{plan_caps, plan_uncaps};
+use crate::messages::PowerReading;
+
+/// How the controller coordinates battery charging (§V-B2/3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Strategy {
+    /// No charging coordination: chargers act on their local (original or
+    /// variable) policy; the controller only caps servers to protect the
+    /// breaker. This models the pre-coordination deployments of Fig 13.
+    Uncoordinated,
+    /// The global baseline: every charging rack gets the same current, the
+    /// largest hardware-legal rate that fits the instantaneous available
+    /// power. Priority- and DOD-oblivious.
+    Global,
+    /// The paper's contribution: Algorithm 1 at charge start, reverse-order
+    /// battery throttling on overload, server capping only as a last resort.
+    #[default]
+    PriorityAware,
+}
+
+impl core::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let name = match self {
+            Strategy::Uncoordinated => "uncoordinated",
+            Strategy::Global => "global",
+            Strategy::PriorityAware => "priority-aware",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Configuration of a [`Controller`].
+#[derive(Debug, Clone)]
+pub struct ControllerConfig {
+    device: DeviceId,
+    limit: Watts,
+    max_cap_fraction: f64,
+    planning_margin: f64,
+    allow_postponing: bool,
+    scope: Option<Vec<RackId>>,
+    policy: SlaCurrentPolicy,
+    model: RechargePowerModel,
+}
+
+impl ControllerConfig {
+    /// Creates a configuration for the breaker at `device` with power `limit`
+    /// and production policy/model defaults.
+    #[must_use]
+    pub fn new(device: DeviceId, limit: Watts) -> Self {
+        ControllerConfig {
+            device,
+            limit,
+            max_cap_fraction: 0.4,
+            planning_margin: 0.015,
+            allow_postponing: false,
+            scope: None,
+            policy: SlaCurrentPolicy::production(),
+            model: RechargePowerModel::production(),
+        }
+    }
+
+    /// Overrides the SLA-current policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: SlaCurrentPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Overrides the recharge power model.
+    #[must_use]
+    pub fn with_model(mut self, model: RechargePowerModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Overrides the maximum fraction of a rack's load that capping may shed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is outside `[0, 1]`.
+    #[must_use]
+    pub fn with_max_cap_fraction(mut self, fraction: f64) -> Self {
+        assert!((0.0..=1.0).contains(&fraction), "cap fraction must be a fraction");
+        self.max_cap_fraction = fraction;
+        self
+    }
+
+    /// Overrides the planning guard band: charging assignments are planned
+    /// against `limit × (1 − margin)` so that trace noise after assignment
+    /// cannot push the total over the physical limit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `margin` is outside `[0, 0.5]`.
+    #[must_use]
+    pub fn with_planning_margin(mut self, margin: f64) -> Self {
+        assert!((0.0..=0.5).contains(&margin), "planning margin must be in [0, 0.5]");
+        self.planning_margin = margin;
+        self
+    }
+
+    /// Restricts the controller to a subset of the bus's racks — a leaf
+    /// controller sees only the racks under its own RPP even when the bus
+    /// spans the whole suite.
+    #[must_use]
+    pub fn with_scope(mut self, racks: Vec<RackId>) -> Self {
+        self.scope = Some(racks);
+        self
+    }
+
+    /// Enables the charge-postponing extension (§IV-A future work): under
+    /// extreme constraint the controller defers whole racks instead of
+    /// capping servers. Requires charger hardware that can hold at zero.
+    #[must_use]
+    pub fn with_postponing(mut self) -> Self {
+        self.allow_postponing = true;
+        self
+    }
+
+    /// Whether the postponing extension is enabled.
+    #[must_use]
+    pub fn postponing_enabled(&self) -> bool {
+        self.allow_postponing
+    }
+
+    /// The protected breaker's power limit.
+    #[must_use]
+    pub fn limit(&self) -> Watts {
+        self.limit
+    }
+
+    /// The limit the planner budgets against (guard band applied).
+    #[must_use]
+    pub fn planning_limit(&self) -> Watts {
+        self.limit * (1.0 - self.planning_margin)
+    }
+
+    /// The protected device.
+    #[must_use]
+    pub fn device(&self) -> DeviceId {
+        self.device
+    }
+}
+
+/// What one controller tick observed and did.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ControllerReport {
+    /// Tick instant.
+    pub now: SimTime,
+    /// Total draw at the breaker (IT + recharge of powered racks).
+    pub total_draw: Watts,
+    /// IT-load component of the draw.
+    pub it_load: Watts,
+    /// Recharge-power component of the draw.
+    pub recharge_power: Watts,
+    /// Whether the draw exceeded the limit this tick.
+    pub overloaded: bool,
+    /// Charging racks that received a (new or updated) current override.
+    pub overrides_sent: usize,
+    /// Racks throttled to the minimum by the overload response.
+    pub racks_throttled: usize,
+    /// Server power shed by caps currently in force.
+    pub capped_power: Watts,
+    /// Additional capping requested this tick (zero when batteries absorbed
+    /// the whole overload).
+    pub cap_requested: Watts,
+    /// Racks whose charging is deferred by the postponing extension.
+    pub racks_postponed: usize,
+}
+
+/// A record of one rack's in-progress charge sequence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct ActiveCharge {
+    priority: Priority,
+    dod: Dod,
+    current: Amperes,
+}
+
+/// A Dynamo controller protecting one breaker (§IV-B): monitors the racks
+/// below it, coordinates their battery charging according to its
+/// [`Strategy`], and caps servers when charging throttles cannot prevent an
+/// overload.
+///
+/// Call [`Controller::tick`] once per control interval with the agent bus;
+/// the controller is transport-agnostic and holds no references between
+/// ticks.
+pub struct Controller {
+    config: ControllerConfig,
+    strategy: Strategy,
+    active: HashMap<RackId, ActiveCharge>,
+    postponed: std::collections::HashSet<RackId>,
+}
+
+impl Controller {
+    /// Creates a controller.
+    #[must_use]
+    pub fn new(config: ControllerConfig, strategy: Strategy) -> Self {
+        Controller { config, strategy, active: HashMap::new(), postponed: Default::default() }
+    }
+
+    /// Racks whose charging is currently postponed.
+    #[must_use]
+    pub fn postponed_racks(&self) -> Vec<RackId> {
+        let mut v: Vec<RackId> = self.postponed.iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &ControllerConfig {
+        &self.config
+    }
+
+    /// The coordination strategy.
+    #[must_use]
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// Currents currently commanded for in-progress charge sequences.
+    #[must_use]
+    pub fn commanded_currents(&self) -> HashMap<RackId, Amperes> {
+        self.active.iter().map(|(&r, a)| (r, a.current)).collect()
+    }
+
+    /// Runs one control interval: read, coordinate, protect.
+    pub fn tick<B: AgentBus + ?Sized>(&mut self, now: SimTime, bus: &mut B) -> ControllerReport {
+        let scoped_racks = match &self.config.scope {
+            Some(scope) => scope.clone(),
+            None => bus.racks(),
+        };
+        let readings: Vec<PowerReading> =
+            scoped_racks.into_iter().filter_map(|r| bus.read(r)).collect();
+
+        let it_load: Watts =
+            readings.iter().filter(|r| r.input_power_present).map(|r| r.it_load).sum();
+        let recharge: Watts =
+            readings.iter().filter(|r| r.input_power_present).map(|r| r.recharge_power).sum();
+        let total = it_load + recharge;
+        let capped_now: Watts = readings.iter().map(|r| r.capped_power).sum();
+
+        // Track the charging population, plus racks still riding the open
+        // transition: the controller estimates their DOD while the power is
+        // out (§IV-B) and pre-plans their override so the charger never
+        // starts at its automatic current.
+        let charging: Vec<&PowerReading> = readings.iter().filter(|r| r.is_charging()).collect();
+        let discharging: Vec<&PowerReading> = readings
+            .iter()
+            .filter(|r| r.bbu_state == recharge_battery::BbuState::Discharging)
+            .collect();
+        let fresh: Vec<&PowerReading> = charging
+            .iter()
+            .chain(discharging.iter())
+            .copied()
+            .filter(|r| !self.active.contains_key(&r.rack))
+            .collect();
+        let finished: Vec<RackId> = self
+            .active
+            .keys()
+            .copied()
+            .filter(|r| {
+                !charging.iter().any(|c| c.rack == *r)
+                    && !discharging.iter().any(|d| d.rack == *r)
+            })
+            .collect();
+        for rack in finished {
+            self.active.remove(&rack);
+            self.postponed.remove(&rack);
+            bus.clear_charge_override(rack);
+        }
+
+        // The planning view: charging racks with their latched event DOD, and
+        // discharging racks with their live DOD estimate. Available power is
+        // planned against the fleet's full IT load — racks on battery bring
+        // their load back the moment the transition ends.
+        let planning: Vec<RackChargeState> = charging
+            .iter()
+            .map(|r| RackChargeState { rack: r.rack, priority: r.priority, dod: r.event_dod })
+            .chain(discharging.iter().map(|r| RackChargeState {
+                rack: r.rack,
+                priority: r.priority,
+                dod: r.dod,
+            }))
+            .filter(|state| !self.postponed.contains(&state.rack))
+            .collect();
+        let planning_it: Watts = readings.iter().map(|r| r.it_load).sum();
+
+        let mut overrides_sent = 0;
+        match self.strategy {
+            Strategy::Uncoordinated => {
+                // Chargers run their local policy; just remember who charges.
+                for r in &fresh {
+                    self.active.insert(
+                        r.rack,
+                        ActiveCharge { priority: r.priority, dod: r.event_dod, current: Amperes::ZERO },
+                    );
+                }
+            }
+            Strategy::Global => {
+                self.admit(&fresh);
+                self.refresh_dods(&planning);
+                // Re-derive the uniform rate from instantaneous headroom.
+                if !planning.is_empty() {
+                    let available =
+                        (self.config.planning_limit() - planning_it).max(Watts::ZERO);
+                    let outcome = assign_global(
+                        &planning,
+                        available,
+                        &self.config.policy,
+                        &self.config.model,
+                    );
+                    overrides_sent += self.apply_assignments(&outcome.assignments, bus);
+                }
+            }
+            Strategy::PriorityAware => {
+                // Algorithm 1 runs while racks are discharging (pre-planning
+                // with the live DOD estimate) and whenever new racks appear;
+                // settled assignments persist otherwise.
+                if !fresh.is_empty() || !discharging.is_empty() {
+                    self.admit(&fresh);
+                    self.refresh_dods(&planning);
+                    let available =
+                        (self.config.planning_limit() - planning_it).max(Watts::ZERO);
+                    let outcome = assign_priority_aware(
+                        &planning,
+                        available,
+                        &self.config.policy,
+                        &self.config.model,
+                    );
+                    overrides_sent += self.apply_assignments(&outcome.assignments, bus);
+                }
+            }
+        }
+
+        // Overload protection. The physical layer needs a control interval to
+        // settle after an override (Fig 11: ~20 s in production), so the
+        // response is driven by the *effective* draw: for racks with a
+        // commanded current, the smaller of the command's model power and the
+        // measurement (the min lets the CV taper release headroom); for
+        // uncommanded racks, the measurement.
+        let effective_recharge: Watts = charging
+            .iter()
+            .map(|r| match self.active.get(&r.rack).map(|a| a.current) {
+                Some(c) if c > Amperes::ZERO => {
+                    self.config.model.rack_power(c).min(r.recharge_power)
+                }
+                _ => r.recharge_power,
+            })
+            .sum();
+        let effective_total = it_load + effective_recharge;
+        let overloaded = total > self.config.limit;
+        let mut racks_throttled = 0;
+        let mut cap_requested = Watts::ZERO;
+        let mut racks_postponed_now = 0;
+        let _ = &mut racks_postponed_now;
+        if effective_total > self.config.limit {
+            let overload = effective_total - self.config.limit;
+            let residual = match self.strategy {
+                Strategy::PriorityAware => {
+                    let assignments = self.as_assignments();
+                    let outcome = throttle_on_overload(&assignments, overload, &self.config.model);
+                    racks_throttled = outcome
+                        .assignments
+                        .iter()
+                        .zip(&assignments)
+                        .filter(|(after, before)| after.current < before.current)
+                        .count();
+                    overrides_sent += self.apply_assignments(&outcome.assignments, bus);
+                    outcome.residual_overload
+                }
+                Strategy::Global => {
+                    // The per-tick recompute above already pushed the uniform
+                    // rate down to fit; what cannot fit even at 1 A remains.
+                    let min_draw = self.config.model.rack_power(Amperes::MIN_CHARGE)
+                        * charging.len() as f64;
+                    let available = (self.config.limit - it_load).max(Watts::ZERO);
+                    (min_draw - available).max(Watts::ZERO).min(overload)
+                }
+                Strategy::Uncoordinated => overload,
+            };
+            let mut residual = residual;
+            if residual > Watts::ZERO
+                && self.config.allow_postponing
+                && self.strategy == Strategy::PriorityAware
+            {
+                let assignments = self.as_assignments();
+                let outcome =
+                    recharge_core::postpone_on_deficit(&assignments, residual, &self.config.model);
+                for &rack in &outcome.postponed {
+                    bus.set_charge_postponed(rack, true);
+                    self.postponed.insert(rack);
+                    if let Some(active) = self.active.get_mut(&rack) {
+                        active.current = Amperes::ZERO;
+                    }
+                }
+                racks_postponed_now += outcome.postponed.len();
+                residual = outcome.residual_deficit;
+            }
+            if residual > Watts::ZERO {
+                let (caps, _uncovered) =
+                    plan_caps(&readings, residual, self.config.max_cap_fraction);
+                for cap in &caps {
+                    bus.cap_servers(cap.rack, cap.limit);
+                }
+                cap_requested = caps.iter().map(|c| c.shed).sum();
+            }
+        } else {
+            // Resume postponed racks whose hardware-floor draw now fits; the
+            // rack is dropped from the active set so that the next tick's
+            // Algorithm 1 pass re-plans it from scratch.
+            if !self.postponed.is_empty() {
+                let mut headroom = (self.config.planning_limit() - effective_total)
+                    .max(Watts::ZERO);
+                // Hysteresis: reserve twice the hardware-floor draw per
+                // resumed rack so a marginal headroom blip cannot start a
+                // resume → deficit → re-postpone oscillation that caps
+                // servers in the gap.
+                let reserve = self.config.model.rack_power(Amperes::MIN_CHARGE) * 2.0;
+                let mut resumable: Vec<(RackId, Priority, f64)> = self
+                    .postponed
+                    .iter()
+                    .filter_map(|&rack| {
+                        self.active.get(&rack).map(|a| (rack, a.priority, a.dod.value()))
+                    })
+                    .collect();
+                resumable.sort_by(|a, b| a.1.cmp(&b.1).then(a.2.total_cmp(&b.2)));
+                for (rack, ..) in resumable {
+                    if reserve > headroom {
+                        break;
+                    }
+                    headroom -= reserve;
+                    bus.set_charge_postponed(rack, false);
+                    self.postponed.remove(&rack);
+                    self.active.remove(&rack);
+                }
+            }
+            // Recovery: release caps that fit comfortably in the headroom.
+            let headroom = (self.config.limit - effective_total.max(total)) * 0.9;
+            for rack in plan_uncaps(&readings, headroom) {
+                bus.uncap_servers(rack);
+            }
+        }
+
+        ControllerReport {
+            now,
+            total_draw: total,
+            it_load,
+            recharge_power: recharge,
+            overloaded,
+            overrides_sent,
+            racks_throttled,
+            capped_power: capped_now,
+            cap_requested,
+            racks_postponed: self.postponed.len().max(racks_postponed_now),
+        }
+    }
+
+    /// Registers newly seen charging/discharging racks with an uncommanded
+    /// (zero) current so the first applied assignment always sends a real
+    /// override.
+    fn admit(&mut self, fresh: &[&PowerReading]) {
+        for r in fresh {
+            self.active.insert(
+                r.rack,
+                ActiveCharge { priority: r.priority, dod: r.event_dod, current: Amperes::ZERO },
+            );
+        }
+    }
+
+    /// Refreshes the DOD of tracked racks from the latest planning view (the
+    /// estimate grows while a rack is still riding the open transition).
+    fn refresh_dods(&mut self, planning: &[RackChargeState]) {
+        for state in planning {
+            if let Some(active) = self.active.get_mut(&state.rack) {
+                active.dod = state.dod;
+            }
+        }
+    }
+
+    fn as_assignments(&self) -> Vec<ChargeAssignment> {
+        let mut v: Vec<ChargeAssignment> = self
+            .active
+            .iter()
+            .map(|(&rack, a)| ChargeAssignment {
+                rack,
+                priority: a.priority,
+                dod: a.dod,
+                current: a.current,
+                sla_met: false,
+            })
+            .collect();
+        v.sort_by_key(|a| a.rack);
+        v
+    }
+
+    /// Sends overrides for assignments that differ from the commanded state;
+    /// returns how many were sent.
+    fn apply_assignments<B: AgentBus + ?Sized>(
+        &mut self,
+        assignments: &[ChargeAssignment],
+        bus: &mut B,
+    ) -> usize {
+        let mut sent = 0;
+        for a in assignments {
+            let Some(active) = self.active.get_mut(&a.rack) else { continue };
+            if (active.current - a.current).abs() > Amperes::new(0.01) {
+                active.current = a.current;
+                bus.set_charge_override(a.rack, a.current);
+                sent += 1;
+            }
+        }
+        sent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::{RackAgent, SimRackAgent};
+    use crate::bus::InMemoryBus;
+    use recharge_units::Seconds;
+
+    fn fleet(n_per_priority: usize, load_kw: f64) -> InMemoryBus<SimRackAgent> {
+        let mut agents = Vec::new();
+        let mut id = 0;
+        for priority in Priority::ALL {
+            for _ in 0..n_per_priority {
+                agents.push(
+                    SimRackAgent::builder(RackId::new(id), priority)
+                        .offered_load(Watts::from_kilowatts(load_kw))
+                        .build(),
+                );
+                id += 1;
+            }
+        }
+        InMemoryBus::new(agents)
+    }
+
+    /// Runs an open transition of `secs` over the whole bus.
+    fn open_transition(bus: &mut InMemoryBus<SimRackAgent>, secs: f64) {
+        for a in bus.agents_mut() {
+            a.set_input_power(false);
+        }
+        for a in bus.agents_mut() {
+            a.step(Seconds::new(secs));
+        }
+        for a in bus.agents_mut() {
+            a.set_input_power(true);
+        }
+        for a in bus.agents_mut() {
+            a.step(Seconds::new(1.0));
+        }
+    }
+
+    fn controller(limit_kw: f64, strategy: Strategy) -> Controller {
+        Controller::new(
+            ControllerConfig::new(DeviceId::new(0), Watts::from_kilowatts(limit_kw)),
+            strategy,
+        )
+    }
+
+    #[test]
+    fn steady_state_reports_pure_it_load() {
+        let mut bus = fleet(2, 6.0);
+        let mut c = controller(190.0, Strategy::PriorityAware);
+        let report = c.tick(SimTime::ZERO, &mut bus);
+        assert!(!report.overloaded);
+        assert_eq!(report.it_load, Watts::from_kilowatts(36.0));
+        assert_eq!(report.recharge_power, Watts::ZERO);
+        assert_eq!(report.overrides_sent, 0);
+    }
+
+    #[test]
+    fn priority_aware_assigns_on_charge_start() {
+        let mut bus = fleet(2, 6.0);
+        let mut c = controller(190.0, Strategy::PriorityAware);
+        open_transition(&mut bus, 45.0);
+        let report = c.tick(SimTime::from_secs(46.0), &mut bus);
+        assert!(report.overrides_sent > 0, "SLA overrides should be issued");
+        let currents = c.commanded_currents();
+        assert_eq!(currents.len(), 6);
+        // Ample headroom: every rack gets its Fig 9(b) SLA current; P1 racks
+        // (2 A floor) charge no slower than P3 racks.
+        let p1 = currents[&RackId::new(0)];
+        let p3 = currents[&RackId::new(4)];
+        assert!(p1 >= p3, "P1 {p1} vs P3 {p3}");
+    }
+
+    #[test]
+    fn overrides_reach_the_chargers() {
+        let mut bus = fleet(1, 6.0);
+        let mut c = controller(190.0, Strategy::PriorityAware);
+        open_transition(&mut bus, 30.0);
+        c.tick(SimTime::from_secs(31.0), &mut bus);
+        for agent in bus.agents() {
+            let expected = c.commanded_currents()[&agent.rack()];
+            assert_eq!(agent.battery().setpoint(), expected);
+        }
+    }
+
+    #[test]
+    fn load_rise_mid_charge_throttles_before_capping() {
+        // 3 racks × 6 kW = 18 kW of IT load under a 21 kW limit: the initial
+        // assignment fits comfortably. A subsequent IT-load rise overloads
+        // the breaker; batteries must be throttled, servers spared.
+        let mut bus = fleet(1, 6.0);
+        let mut c = controller(21.0, Strategy::PriorityAware);
+        open_transition(&mut bus, 60.0);
+        c.tick(SimTime::from_secs(61.0), &mut bus);
+
+        // Diurnal rise: +600 W per rack.
+        for a in bus.agents_mut() {
+            a.set_offered_load(Watts::from_kilowatts(6.6));
+        }
+        let mut saw_throttle = false;
+        let mut saw_cap = false;
+        for s in 0..120 {
+            for a in bus.agents_mut() {
+                a.step(Seconds::new(1.0));
+            }
+            let report = c.tick(SimTime::from_secs(62.0 + f64::from(s)), &mut bus);
+            saw_throttle |= report.racks_throttled > 0;
+            saw_cap |= report.cap_requested > Watts::ZERO;
+        }
+        assert!(saw_throttle, "overload should throttle charging");
+        assert!(!saw_cap, "battery throttling should cover this overload");
+    }
+
+    #[test]
+    fn extreme_limit_falls_back_to_server_capping() {
+        let mut bus = fleet(1, 6.0);
+        // Limit below IT load + minimum recharge draw: capping is inevitable.
+        let mut c = controller(18.5, Strategy::PriorityAware);
+        open_transition(&mut bus, 60.0);
+        let mut total_cap = Watts::ZERO;
+        for s in 0..120 {
+            let report = c.tick(SimTime::from_secs(61.0 + f64::from(s)), &mut bus);
+            total_cap = total_cap.max(report.capped_power + report.cap_requested);
+            for a in bus.agents_mut() {
+                a.step(Seconds::new(1.0));
+            }
+        }
+        assert!(total_cap > Watts::ZERO, "capping must engage below the floor");
+        // The P3 rack must be capped before the P1 rack.
+        let p3_cap = bus.read(RackId::new(2)).unwrap().capped_power;
+        let p1_cap = bus.read(RackId::new(0)).unwrap().capped_power;
+        assert!(p3_cap >= p1_cap, "P3 cap {p3_cap} vs P1 cap {p1_cap}");
+    }
+
+    #[test]
+    fn caps_are_released_after_recovery() {
+        let mut bus = fleet(1, 6.0);
+        let mut c = controller(18.5, Strategy::PriorityAware);
+        open_transition(&mut bus, 60.0);
+        for s in 0..4_000 {
+            c.tick(SimTime::from_secs(61.0 + f64::from(s)), &mut bus);
+            for a in bus.agents_mut() {
+                a.step(Seconds::new(1.0));
+            }
+        }
+        // Charging long done; caps should have been lifted.
+        let still_capped: Vec<_> = bus
+            .racks()
+            .into_iter()
+            .filter(|&r| bus.read(r).unwrap().capped_power > Watts::ZERO)
+            .collect();
+        assert!(still_capped.is_empty(), "caps not released: {still_capped:?}");
+    }
+
+    #[test]
+    fn global_strategy_is_uniform() {
+        let mut bus = fleet(2, 6.0);
+        let mut c = controller(40.0, Strategy::Global);
+        open_transition(&mut bus, 60.0);
+        c.tick(SimTime::from_secs(61.0), &mut bus);
+        let currents = c.commanded_currents();
+        let values: Vec<Amperes> = currents.values().copied().collect();
+        assert!(values.windows(2).all(|w| (w[0] - w[1]).abs() < Amperes::new(1e-9)));
+    }
+
+    #[test]
+    fn uncoordinated_strategy_never_overrides() {
+        let mut bus = fleet(2, 6.0);
+        let mut c = controller(25.0, Strategy::Uncoordinated);
+        open_transition(&mut bus, 60.0);
+        for s in 0..60 {
+            let report = c.tick(SimTime::from_secs(61.0 + f64::from(s)), &mut bus);
+            assert_eq!(report.overrides_sent, 0);
+            for a in bus.agents_mut() {
+                a.step(Seconds::new(1.0));
+            }
+        }
+        // Overload under the tight limit must have been met with capping.
+        let capped: Watts =
+            bus.racks().iter().map(|&r| bus.read(r).unwrap().capped_power).sum();
+        assert!(capped > Watts::ZERO);
+    }
+
+    #[test]
+    fn unreachable_agents_do_not_poison_the_tick() {
+        let mut bus = fleet(1, 6.0);
+        bus.disconnect(RackId::new(1));
+        let mut c = controller(190.0, Strategy::PriorityAware);
+        open_transition(&mut bus, 45.0);
+        let report = c.tick(SimTime::from_secs(46.0), &mut bus);
+        // Two of three racks are visible; coordination proceeds for them.
+        assert_eq!(report.it_load, Watts::from_kilowatts(12.0));
+        assert_eq!(c.commanded_currents().len(), 2);
+    }
+
+    #[test]
+    fn overrides_cleared_when_charge_completes() {
+        let mut bus = fleet(1, 6.0);
+        let mut c = controller(190.0, Strategy::PriorityAware);
+        open_transition(&mut bus, 10.0);
+        c.tick(SimTime::from_secs(11.0), &mut bus);
+        assert!(!c.commanded_currents().is_empty());
+        // Run to completion.
+        for s in 0..4_000 {
+            for a in bus.agents_mut() {
+                a.step(Seconds::new(1.0));
+            }
+            c.tick(SimTime::from_secs(12.0 + f64::from(s)), &mut bus);
+        }
+        assert!(c.commanded_currents().is_empty());
+        for a in bus.agents() {
+            assert_eq!(a.battery().bbu().charger().override_current(), None);
+        }
+    }
+
+    #[test]
+    fn postponing_replaces_server_capping_under_extreme_limits() {
+        // A limit below IT + the 1 A fleet floor: without the extension the
+        // controller must cap servers; with it, it defers P3/P2 racks.
+        let build = |postpone: bool| {
+            let config = ControllerConfig::new(DeviceId::new(0), Watts::from_kilowatts(18.5));
+            let config = if postpone { config.with_postponing() } else { config };
+            Controller::new(config, Strategy::PriorityAware)
+        };
+
+        for postpone in [false, true] {
+            let mut bus = fleet(1, 6.0);
+            let mut c = build(postpone);
+            open_transition(&mut bus, 60.0);
+            let mut total_cap = Watts::ZERO;
+            let mut saw_postponed = 0;
+            for s in 0..240 {
+                let report = c.tick(SimTime::from_secs(61.0 + f64::from(s)), &mut bus);
+                total_cap = total_cap.max(report.capped_power + report.cap_requested);
+                saw_postponed = saw_postponed.max(report.racks_postponed);
+                for a in bus.agents_mut() {
+                    a.step(Seconds::new(1.0));
+                }
+            }
+            if postpone {
+                assert_eq!(total_cap, Watts::ZERO, "postponing should spare the servers");
+                assert!(saw_postponed > 0, "some rack must have been deferred");
+                // The deferred rack is the P3 one.
+                assert!(c
+                    .postponed_racks()
+                    .iter()
+                    .all(|&r| bus.agent(r).unwrap().priority() != Priority::P1));
+            } else {
+                assert!(total_cap > Watts::ZERO, "without postponing, capping engages");
+            }
+        }
+    }
+
+    #[test]
+    fn postponed_racks_resume_when_headroom_returns() {
+        let mut bus = fleet(1, 6.0);
+        let config = ControllerConfig::new(DeviceId::new(0), Watts::from_kilowatts(18.5))
+            .with_postponing();
+        let mut c = Controller::new(config, Strategy::PriorityAware);
+        open_transition(&mut bus, 60.0);
+        for s in 0..60 {
+            c.tick(SimTime::from_secs(61.0 + f64::from(s)), &mut bus);
+            for a in bus.agents_mut() {
+                a.step(Seconds::new(1.0));
+            }
+        }
+        assert!(!c.postponed_racks().is_empty());
+
+        // The diurnal load drops: headroom returns and the deferral lifts.
+        for a in bus.agents_mut() {
+            a.set_offered_load(Watts::from_kilowatts(5.0));
+        }
+        for s in 60..2_400 {
+            c.tick(SimTime::from_secs(61.0 + f64::from(s)), &mut bus);
+            for a in bus.agents_mut() {
+                a.step(Seconds::new(1.0));
+            }
+        }
+        assert!(c.postponed_racks().is_empty(), "deferral should lift with headroom");
+        for a in bus.agents() {
+            assert!(!a.battery().is_postponed());
+        }
+    }
+
+    #[test]
+    fn strategy_display() {
+        assert_eq!(Strategy::PriorityAware.to_string(), "priority-aware");
+        assert_eq!(Strategy::Global.to_string(), "global");
+        assert_eq!(Strategy::Uncoordinated.to_string(), "uncoordinated");
+    }
+}

@@ -1,0 +1,90 @@
+//! Telemetry records exchanged between agents and controllers.
+
+use serde::{Deserialize, Serialize};
+
+use recharge_battery::BbuState;
+use recharge_units::{Dod, Priority, RackId, Watts};
+
+/// One telemetry sample from a rack agent: everything the controller needs to
+/// coordinate charging (§IV-B, "Dynamo agent" / "Dynamo controller").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerReading {
+    /// The reporting rack.
+    pub rack: RackId,
+    /// The rack's service priority (controllers "keep track of the priority
+    /// of racks under the circuit breaker").
+    pub priority: Priority,
+    /// Whether the rack currently has input power.
+    pub input_power_present: bool,
+    /// IT load the rack is drawing (after any server capping).
+    pub it_load: Watts,
+    /// Wall power currently spent recharging the rack's BBUs.
+    pub recharge_power: Watts,
+    /// State of the rack's BBUs.
+    pub bbu_state: BbuState,
+    /// Battery depth of discharge latched when the current charge sequence
+    /// began (the controller's SLA-current input).
+    pub event_dod: Dod,
+    /// Instantaneous battery depth of discharge — used by the controller to
+    /// pre-plan overrides while the rack is still riding the open transition.
+    pub dod: Dod,
+    /// Power currently shed by server capping on this rack.
+    pub capped_power: Watts,
+}
+
+impl PowerReading {
+    /// Power this rack presents to the upstream breaker: IT load plus
+    /// recharge power while input power is present, nothing while riding on
+    /// batteries.
+    #[must_use]
+    pub fn input_draw(&self) -> Watts {
+        if self.input_power_present {
+            self.it_load + self.recharge_power
+        } else {
+            Watts::ZERO
+        }
+    }
+
+    /// Whether the BBUs are in their charging state.
+    #[must_use]
+    pub fn is_charging(&self) -> bool {
+        self.bbu_state == BbuState::Charging
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reading(present: bool, it: f64, recharge: f64) -> PowerReading {
+        PowerReading {
+            rack: RackId::new(0),
+            priority: Priority::P2,
+            input_power_present: present,
+            it_load: Watts::new(it),
+            recharge_power: Watts::new(recharge),
+            bbu_state: BbuState::Charging,
+            event_dod: Dod::new(0.3),
+            dod: Dod::new(0.3),
+            capped_power: Watts::ZERO,
+        }
+    }
+
+    #[test]
+    fn input_draw_includes_recharge_when_powered() {
+        assert_eq!(reading(true, 6_000.0, 700.0).input_draw(), Watts::new(6_700.0));
+    }
+
+    #[test]
+    fn input_draw_is_zero_on_battery() {
+        assert_eq!(reading(false, 6_000.0, 0.0).input_draw(), Watts::ZERO);
+    }
+
+    #[test]
+    fn charging_flag_tracks_bbu_state() {
+        let mut r = reading(true, 1.0, 1.0);
+        assert!(r.is_charging());
+        r.bbu_state = BbuState::FullyCharged;
+        assert!(!r.is_charging());
+    }
+}

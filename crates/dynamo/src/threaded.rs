@@ -1,0 +1,370 @@
+//! A threaded agent fleet: the distributed shape of the production system.
+//!
+//! Production Dynamo is a mesh of per-rack agents polled by controllers over
+//! RPC; telemetry lands in a monitoring store the controllers read. This
+//! module gives the simulator the same shape in-process: agents live on
+//! sharded worker threads, **commands** travel over channels, and **reads**
+//! come from a shared telemetry snapshot updated after every physical step —
+//! so a controller never blocks on an agent round-trip.
+//!
+//! The [`ThreadedFleet`] implements [`AgentBus`], so the same
+//! [`Controller`](crate::Controller) drives it unchanged.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::RwLock;
+
+use recharge_units::{Amperes, RackId, Seconds, Watts};
+
+use crate::agent::{RackAgent, SimRackAgent};
+use crate::bus::AgentBus;
+use crate::messages::PowerReading;
+
+/// A command routed to the shard owning a rack.
+enum Command {
+    SetOverride(RackId, Amperes),
+    ClearOverride(RackId),
+    SetPostponed(RackId, bool),
+    Cap(RackId, Watts),
+    Uncap(RackId),
+}
+
+/// A request processed by a shard worker.
+enum Request {
+    Command(Command),
+    /// Advance every agent of the shard by `dt` with the given offered loads
+    /// and input-power state, refresh the telemetry cache, then ack.
+    Step { dt: Seconds, loads: Vec<(RackId, Watts)>, input_power: bool, done: Sender<()> },
+    Shutdown,
+}
+
+struct Shard {
+    tx: Sender<Request>,
+    join: Option<JoinHandle<Vec<SimRackAgent>>>,
+}
+
+/// A fleet of [`SimRackAgent`]s running on worker threads behind a telemetry
+/// snapshot.
+///
+/// # Examples
+///
+/// ```
+/// use recharge_dynamo::{AgentBus, SimRackAgent, ThreadedFleet};
+/// use recharge_units::{Priority, RackId, Seconds, Watts};
+///
+/// let agents = (0..8)
+///     .map(|i| SimRackAgent::builder(RackId::new(i), Priority::P2).build())
+///     .collect();
+/// let mut fleet = ThreadedFleet::spawn(agents, 4);
+/// fleet.step_all(Seconds::new(1.0), |_| Watts::from_kilowatts(6.0), true);
+/// assert!(fleet.read(RackId::new(3)).is_some());
+/// let agents = fleet.into_agents(); // clean shutdown
+/// assert_eq!(agents.len(), 8);
+/// ```
+pub struct ThreadedFleet {
+    shards: Vec<Shard>,
+    rack_to_shard: HashMap<RackId, usize>,
+    racks: Vec<RackId>,
+    cache: Arc<RwLock<HashMap<RackId, PowerReading>>>,
+}
+
+impl ThreadedFleet {
+    /// Spawns `shard_count` worker threads owning the given agents
+    /// round-robin. The telemetry cache is primed so reads work before the
+    /// first step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_count` is zero.
+    #[must_use]
+    pub fn spawn(agents: Vec<SimRackAgent>, shard_count: usize) -> Self {
+        assert!(shard_count > 0, "need at least one shard");
+        let cache: Arc<RwLock<HashMap<RackId, PowerReading>>> = Arc::new(RwLock::new(
+            agents.iter().map(|a| (a.rack(), a.read())).collect(),
+        ));
+        let racks: Vec<RackId> = agents.iter().map(RackAgent::rack).collect();
+
+        // Distribute agents round-robin across shards.
+        let mut buckets: Vec<Vec<SimRackAgent>> = (0..shard_count).map(|_| Vec::new()).collect();
+        let mut rack_to_shard = HashMap::new();
+        for (i, agent) in agents.into_iter().enumerate() {
+            let shard = i % shard_count;
+            rack_to_shard.insert(agent.rack(), shard);
+            buckets[shard].push(agent);
+        }
+
+        let shards = buckets
+            .into_iter()
+            .map(|bucket| {
+                let (tx, rx) = unbounded::<Request>();
+                let cache = Arc::clone(&cache);
+                let join = std::thread::spawn(move || shard_main(bucket, &rx, &cache));
+                Shard { tx, join: Some(join) }
+            })
+            .collect();
+
+        ThreadedFleet { shards, rack_to_shard, racks, cache }
+    }
+
+    /// Advances every agent by `dt`: offered loads come from `load_of`,
+    /// `input_power` applies fleet-wide (an MSB-level open transition).
+    /// Blocks until all shards have stepped and refreshed the cache.
+    pub fn step_all<F>(&mut self, dt: Seconds, load_of: F, input_power: bool)
+    where
+        F: Fn(RackId) -> Watts,
+    {
+        let mut per_shard: Vec<Vec<(RackId, Watts)>> =
+            (0..self.shards.len()).map(|_| Vec::new()).collect();
+        for &rack in &self.racks {
+            per_shard[self.rack_to_shard[&rack]].push((rack, load_of(rack)));
+        }
+        let (done_tx, done_rx) = unbounded::<()>();
+        let mut expected = 0;
+        for (shard, loads) in self.shards.iter().zip(per_shard) {
+            if shard
+                .tx
+                .send(Request::Step { dt, loads, input_power, done: done_tx.clone() })
+                .is_ok()
+            {
+                expected += 1;
+            }
+        }
+        drop(done_tx);
+        for _ in 0..expected {
+            let _ = done_rx.recv();
+        }
+    }
+
+    /// Stops the workers and returns the agents (for inspection).
+    #[must_use]
+    pub fn into_agents(mut self) -> Vec<SimRackAgent> {
+        self.collect_agents()
+    }
+
+    fn collect_agents(&mut self) -> Vec<SimRackAgent> {
+        let mut all = Vec::new();
+        for shard in &mut self.shards {
+            let _ = shard.tx.send(Request::Shutdown);
+            if let Some(join) = shard.join.take() {
+                if let Ok(agents) = join.join() {
+                    all.extend(agents);
+                }
+            }
+        }
+        all.sort_by_key(RackAgent::rack);
+        all
+    }
+
+    fn send(&self, rack: RackId, command: Command) {
+        if let Some(&shard) = self.rack_to_shard.get(&rack) {
+            let _ = self.shards[shard].tx.send(Request::Command(command));
+        }
+    }
+}
+
+impl Drop for ThreadedFleet {
+    fn drop(&mut self) {
+        // Join workers so no thread outlives the fleet (C-DTOR-BLOCK: prefer
+        // into_agents() for explicit teardown; this is the fallback).
+        let _ = self.collect_agents();
+    }
+}
+
+impl AgentBus for ThreadedFleet {
+    fn racks(&self) -> Vec<RackId> {
+        self.racks.clone()
+    }
+
+    fn read(&self, rack: RackId) -> Option<PowerReading> {
+        self.cache.read().get(&rack).copied()
+    }
+
+    fn set_charge_override(&mut self, rack: RackId, current: Amperes) {
+        self.send(rack, Command::SetOverride(rack, current));
+    }
+
+    fn clear_charge_override(&mut self, rack: RackId) {
+        self.send(rack, Command::ClearOverride(rack));
+    }
+
+    fn set_charge_postponed(&mut self, rack: RackId, postponed: bool) {
+        self.send(rack, Command::SetPostponed(rack, postponed));
+    }
+
+    fn cap_servers(&mut self, rack: RackId, limit: Watts) {
+        self.send(rack, Command::Cap(rack, limit));
+    }
+
+    fn uncap_servers(&mut self, rack: RackId) {
+        self.send(rack, Command::Uncap(rack));
+    }
+}
+
+/// Worker body: apply commands and step requests until shutdown.
+fn shard_main(
+    mut agents: Vec<SimRackAgent>,
+    rx: &Receiver<Request>,
+    cache: &RwLock<HashMap<RackId, PowerReading>>,
+) -> Vec<SimRackAgent> {
+    fn find(agents: &mut [SimRackAgent], rack: RackId) -> Option<&mut SimRackAgent> {
+        agents.iter_mut().find(|a| a.rack() == rack)
+    }
+    while let Ok(request) = rx.recv() {
+        match request {
+            Request::Command(command) => match command {
+                Command::SetOverride(rack, current) => {
+                    if let Some(a) = find(&mut agents, rack) {
+                        a.set_charge_override(current);
+                    }
+                }
+                Command::ClearOverride(rack) => {
+                    if let Some(a) = find(&mut agents, rack) {
+                        a.clear_charge_override();
+                    }
+                }
+                Command::SetPostponed(rack, postponed) => {
+                    if let Some(a) = find(&mut agents, rack) {
+                        a.set_charge_postponed(postponed);
+                    }
+                }
+                Command::Cap(rack, limit) => {
+                    if let Some(a) = find(&mut agents, rack) {
+                        a.cap_servers(limit);
+                    }
+                }
+                Command::Uncap(rack) => {
+                    if let Some(a) = find(&mut agents, rack) {
+                        a.uncap_servers();
+                    }
+                }
+            },
+            Request::Step { dt, loads, input_power, done } => {
+                for (rack, load) in loads {
+                    if let Some(a) = find(&mut agents, rack) {
+                        a.set_offered_load(load);
+                        a.set_input_power(input_power);
+                        a.step(dt);
+                    }
+                }
+                {
+                    let mut snapshot = cache.write();
+                    for a in &agents {
+                        snapshot.insert(a.rack(), a.read());
+                    }
+                }
+                let _ = done.send(());
+            }
+            Request::Shutdown => break,
+        }
+    }
+    agents
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::{Controller, ControllerConfig, Strategy};
+    use crate::bus::InMemoryBus;
+    use recharge_units::{DeviceId, Priority, SimTime};
+
+    fn agents(n: u32) -> Vec<SimRackAgent> {
+        (0..n)
+            .map(|i| {
+                SimRackAgent::builder(RackId::new(i), Priority::ALL[(i % 3) as usize])
+                    .offered_load(Watts::from_kilowatts(6.0))
+                    .build()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn threaded_fleet_matches_in_memory_bus() {
+        // Drive identical command/step sequences through both transports and
+        // compare every reading.
+        let mut threaded = ThreadedFleet::spawn(agents(7), 3);
+        let mut local = InMemoryBus::new(agents(7));
+
+        let sequence: Vec<(f64, bool)> =
+            vec![(30.0, true), (45.0, false), (1.0, true), (60.0, true)];
+        for (secs, power) in sequence {
+            threaded.step_all(Seconds::new(secs), |_| Watts::from_kilowatts(6.0), power);
+            for a in local.agents_mut() {
+                a.set_offered_load(Watts::from_kilowatts(6.0));
+                a.set_input_power(power);
+                a.step(Seconds::new(secs));
+            }
+        }
+        threaded.set_charge_override(RackId::new(2), Amperes::new(1.5));
+        local.set_charge_override(RackId::new(2), Amperes::new(1.5));
+        threaded.step_all(Seconds::new(10.0), |_| Watts::from_kilowatts(6.0), true);
+        for a in local.agents_mut() {
+            a.step(Seconds::new(10.0));
+        }
+
+        for i in 0..7 {
+            let rack = RackId::new(i);
+            let t = threaded.read(rack).expect("threaded reading");
+            let l = local.read(rack).expect("local reading");
+            assert_eq!(t.bbu_state, l.bbu_state, "rack {rack}");
+            assert!(
+                (t.recharge_power - l.recharge_power).abs() < Watts::new(1e-6),
+                "rack {rack}: {} vs {}",
+                t.recharge_power,
+                l.recharge_power
+            );
+            assert_eq!(t.event_dod, l.event_dod, "rack {rack}");
+        }
+        let back = threaded.into_agents();
+        assert_eq!(back.len(), 7);
+    }
+
+    #[test]
+    fn controller_runs_unchanged_over_threads() {
+        let mut fleet = ThreadedFleet::spawn(agents(6), 2);
+        let mut controller = Controller::new(
+            ControllerConfig::new(DeviceId::new(0), Watts::from_kilowatts(190.0)),
+            Strategy::PriorityAware,
+        );
+        // Open transition, then coordinate.
+        fleet.step_all(Seconds::new(60.0), |_| Watts::from_kilowatts(6.0), false);
+        fleet.step_all(Seconds::new(1.0), |_| Watts::from_kilowatts(6.0), true);
+        let report = controller.tick(SimTime::from_secs(61.0), &mut fleet);
+        assert!(report.overrides_sent > 0);
+
+        // The overrides physically landed on the worker threads.
+        fleet.step_all(Seconds::new(1.0), |_| Watts::from_kilowatts(6.0), true);
+        let commanded = controller.commanded_currents();
+        let agents = fleet.into_agents();
+        for agent in agents {
+            let want = commanded[&agent.rack()];
+            assert_eq!(agent.battery().setpoint(), want, "rack {}", agent.rack());
+        }
+    }
+
+    #[test]
+    fn reads_are_available_before_first_step() {
+        let fleet = ThreadedFleet::spawn(agents(3), 1);
+        assert_eq!(fleet.racks().len(), 3);
+        let reading = fleet.read(RackId::new(0)).expect("primed cache");
+        assert!(reading.input_power_present);
+        drop(fleet); // Drop joins cleanly.
+    }
+
+    #[test]
+    fn unknown_rack_reads_none_and_commands_are_ignored() {
+        let mut fleet = ThreadedFleet::spawn(agents(2), 2);
+        assert!(fleet.read(RackId::new(9)).is_none());
+        fleet.cap_servers(RackId::new(9), Watts::ZERO);
+        fleet.step_all(Seconds::new(1.0), |_| Watts::from_kilowatts(6.0), true);
+        assert_eq!(fleet.into_agents().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        let _ = ThreadedFleet::spawn(agents(1), 0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Property tests for the Dynamo control plane: capping plans and the
+//! controller's protection invariants.
+
+use proptest::prelude::*;
+
+use recharge_battery::BbuState;
+use recharge_dynamo::capping::{plan_caps, plan_uncaps};
+use recharge_dynamo::{
+    Controller, ControllerConfig, InMemoryBus, PowerReading, SimRackAgent,
+    Strategy as ControlStrategy,
+};
+use recharge_units::{DeviceId, Dod, Priority, RackId, Seconds, SimTime, Watts};
+
+fn arb_readings(max: usize) -> impl Strategy<Value = Vec<PowerReading>> {
+    proptest::collection::vec((0u8..3, 500.0f64..12_600.0, proptest::bool::ANY), 1..max).prop_map(
+        |specs| {
+            specs
+                .into_iter()
+                .enumerate()
+                .map(|(i, (p, load, powered))| PowerReading {
+                    rack: RackId::new(i as u32),
+                    priority: Priority::ALL[p as usize],
+                    input_power_present: powered,
+                    it_load: Watts::new(load),
+                    recharge_power: Watts::ZERO,
+                    bbu_state: BbuState::FullyCharged,
+                    event_dod: Dod::ZERO,
+                    dod: Dod::ZERO,
+                    capped_power: Watts::ZERO,
+                })
+                .collect()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn caps_never_exceed_the_fraction_and_cover_or_report(
+        readings in arb_readings(25),
+        deficit_kw in 0.0f64..80.0,
+        fraction in 0.05f64..1.0,
+    ) {
+        let deficit = Watts::from_kilowatts(deficit_kw);
+        let (caps, uncovered) = plan_caps(&readings, deficit, fraction);
+
+        let mut shed_total = Watts::ZERO;
+        for cap in &caps {
+            let reading = readings.iter().find(|r| r.rack == cap.rack).expect("cap targets a rack");
+            prop_assert!(reading.input_power_present, "capped a rack on battery");
+            prop_assert!(cap.shed <= reading.it_load * fraction + Watts::new(1e-9));
+            prop_assert!(cap.limit >= Watts::ZERO);
+            prop_assert!(
+                (cap.limit + cap.shed - reading.it_load).abs() < Watts::new(1e-6),
+                "limit + shed must equal the load"
+            );
+            shed_total += cap.shed;
+        }
+        prop_assert!(
+            (shed_total + uncovered - deficit).abs() < Watts::new(1e-6)
+                || shed_total >= deficit,
+            "shed {shed_total} + uncovered {uncovered} must account for {deficit}"
+        );
+    }
+
+    #[test]
+    fn capping_respects_priority_order(
+        readings in arb_readings(25),
+        deficit_kw in 1.0f64..40.0,
+    ) {
+        let (caps, _) = plan_caps(&readings, Watts::from_kilowatts(deficit_kw), 0.4);
+        // If any P1 rack is capped, every powered P2/P3 rack must already be
+        // capped at its maximum shed.
+        let capped_p1 = caps.iter().any(|c| {
+            readings.iter().any(|r| r.rack == c.rack && r.priority == Priority::P1)
+        });
+        if capped_p1 {
+            for reading in readings.iter().filter(|r| {
+                r.input_power_present && r.priority != Priority::P1 && r.it_load > Watts::ZERO
+            }) {
+                let cap = caps.iter().find(|c| c.rack == reading.rack);
+                prop_assert!(
+                    cap.is_some_and(|c| c.shed >= reading.it_load * 0.4 - Watts::new(1e-6)),
+                    "P1 capped while {} had slack",
+                    reading.rack
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn uncap_plan_fits_headroom(readings in arb_readings(25), headroom_kw in 0.0f64..30.0) {
+        let mut with_caps = readings;
+        for (i, r) in with_caps.iter_mut().enumerate() {
+            if i % 2 == 0 {
+                r.capped_power = r.it_load * 0.25;
+            }
+        }
+        let headroom = Watts::from_kilowatts(headroom_kw);
+        let released = plan_uncaps(&with_caps, headroom);
+        let total: Watts = released
+            .iter()
+            .map(|rack| {
+                with_caps
+                    .iter()
+                    .find(|r| r.rack == *rack)
+                    .expect("released rack exists")
+                    .capped_power
+            })
+            .sum();
+        prop_assert!(total <= headroom + Watts::new(1e-6));
+    }
+
+    #[test]
+    fn controller_total_never_exceeds_planning_limit_after_settling(
+        rack_count in 2usize..8,
+        limit_headroom_kw in 4.0f64..40.0,
+        ot_secs in 10.0f64..120.0,
+    ) {
+        // Whatever the fleet size, limit headroom, and event depth, the
+        // coordinated draw settles at or below the physical limit within a
+        // few control intervals (one settling tick is tolerated).
+        let agents: Vec<SimRackAgent> = (0..rack_count as u32)
+            .map(|i| {
+                SimRackAgent::builder(RackId::new(i), Priority::ALL[(i % 3) as usize])
+                    .offered_load(Watts::from_kilowatts(6.0))
+                    .build()
+            })
+            .collect();
+        let mut bus = InMemoryBus::new(agents);
+        let it_total = 6.0 * rack_count as f64;
+        let floor_kw = 0.375 * rack_count as f64;
+        let limit = Watts::from_kilowatts(it_total + floor_kw.max(limit_headroom_kw));
+        let mut controller = Controller::new(
+            ControllerConfig::new(DeviceId::new(0), limit),
+            ControlStrategy::PriorityAware,
+        );
+
+        for a in bus.agents_mut() {
+            a.set_input_power(false);
+        }
+        for a in bus.agents_mut() {
+            a.step(Seconds::new(ot_secs));
+        }
+        controller.tick(SimTime::ZERO, &mut bus); // pre-plan while dark
+        for a in bus.agents_mut() {
+            a.set_input_power(true);
+        }
+
+        let mut worst_after_settle = Watts::ZERO;
+        for s in 0..600u32 {
+            for a in bus.agents_mut() {
+                a.step(Seconds::new(1.0));
+            }
+            let report = controller.tick(SimTime::from_secs(f64::from(s + 1)), &mut bus);
+            if s > 2 {
+                worst_after_settle = worst_after_settle.max(report.total_draw);
+            }
+        }
+        prop_assert!(
+            worst_after_settle <= limit + Watts::new(1.0),
+            "settled draw {worst_after_settle} exceeded limit {limit}"
+        );
+    }
+}

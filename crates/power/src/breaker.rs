@@ -1,0 +1,237 @@
+//! Circuit breakers with a sustained-overload trip model.
+
+use serde::{Deserialize, Serialize};
+
+use recharge_units::{Seconds, SimTime, Watts};
+
+/// The trip characteristic of a breaker: how much sustained overdraw, for how
+/// long, opens the breaker.
+///
+/// §I of the paper quotes the motivating example: *"a 30% power overdraw at a
+/// circuit breaker for more than 30 seconds could trip it."*
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TripCurve {
+    /// Multiple of the limit at which the trip timer starts (1.3 = 30% over).
+    pub trip_factor: f64,
+    /// How long the overdraw must be sustained before the breaker opens.
+    pub sustain: Seconds,
+}
+
+impl TripCurve {
+    /// The paper's example characteristic: 30% overdraw for 30 seconds.
+    #[must_use]
+    pub fn standard() -> Self {
+        TripCurve { trip_factor: 1.3, sustain: Seconds::new(30.0) }
+    }
+}
+
+impl Default for TripCurve {
+    fn default() -> Self {
+        TripCurve::standard()
+    }
+}
+
+/// Outcome of one breaker observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BreakerStatus {
+    /// Power draw within the limit.
+    Nominal,
+    /// Power draw above the limit but below (or not yet sustained at) the
+    /// trip threshold — the regime Dynamo must react in.
+    Overloaded,
+    /// The breaker has opened; everything downstream is dark.
+    Tripped,
+}
+
+/// A circuit breaker: a power limit plus a sustained-overload trip integrator.
+///
+/// The breaker is fed periodic power observations via [`Breaker::observe`];
+/// once draw at or above `limit × trip_factor` has been sustained for the trip
+/// curve's duration, the breaker latches [`BreakerStatus::Tripped`] until
+/// [`Breaker::reset`] (a manual re-close after an outage).
+///
+/// # Examples
+///
+/// ```
+/// use recharge_power::{Breaker, BreakerStatus};
+/// use recharge_units::{SimTime, Seconds, Watts};
+///
+/// let mut breaker = Breaker::new(Watts::from_megawatts(2.5));
+/// let t0 = SimTime::ZERO;
+/// assert_eq!(breaker.observe(Watts::from_megawatts(2.4), t0), BreakerStatus::Nominal);
+/// assert_eq!(breaker.observe(Watts::from_megawatts(2.6), t0), BreakerStatus::Overloaded);
+///
+/// // 30% over for more than 30 seconds → trip.
+/// breaker.observe(Watts::from_megawatts(3.3), t0);
+/// let later = t0 + Seconds::new(31.0);
+/// assert_eq!(breaker.observe(Watts::from_megawatts(3.3), later), BreakerStatus::Tripped);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Breaker {
+    limit: Watts,
+    curve: TripCurve,
+    over_trip_since: Option<SimTime>,
+    tripped: bool,
+}
+
+impl Breaker {
+    /// Creates a breaker with the given limit and the standard trip curve.
+    #[must_use]
+    pub fn new(limit: Watts) -> Self {
+        Breaker::with_curve(limit, TripCurve::standard())
+    }
+
+    /// Creates a breaker with a custom trip curve.
+    #[must_use]
+    pub fn with_curve(limit: Watts, curve: TripCurve) -> Self {
+        Breaker { limit, curve, over_trip_since: None, tripped: false }
+    }
+
+    /// The breaker's power limit.
+    #[must_use]
+    pub fn limit(&self) -> Watts {
+        self.limit
+    }
+
+    /// The trip characteristic.
+    #[must_use]
+    pub fn trip_curve(&self) -> TripCurve {
+        self.curve
+    }
+
+    /// Whether the breaker has tripped.
+    #[must_use]
+    pub fn is_tripped(&self) -> bool {
+        self.tripped
+    }
+
+    /// Headroom left under the limit at the given draw (zero when overloaded).
+    #[must_use]
+    pub fn available_power(&self, draw: Watts) -> Watts {
+        (self.limit - draw).max(Watts::ZERO)
+    }
+
+    /// Feeds one power observation at `now`, returning the resulting status.
+    ///
+    /// Observations must be fed in non-decreasing time order; the integrator
+    /// measures how long draw has stayed at or above the trip threshold.
+    pub fn observe(&mut self, draw: Watts, now: SimTime) -> BreakerStatus {
+        if self.tripped {
+            return BreakerStatus::Tripped;
+        }
+        let trip_threshold = self.limit * self.curve.trip_factor;
+        if draw >= trip_threshold {
+            let since = *self.over_trip_since.get_or_insert(now);
+            if now.since(since) >= self.curve.sustain {
+                self.tripped = true;
+                return BreakerStatus::Tripped;
+            }
+            BreakerStatus::Overloaded
+        } else {
+            self.over_trip_since = None;
+            if draw > self.limit {
+                BreakerStatus::Overloaded
+            } else {
+                BreakerStatus::Nominal
+            }
+        }
+    }
+
+    /// Re-closes a tripped breaker and clears the trip integrator.
+    pub fn reset(&mut self) {
+        self.tripped = false;
+        self.over_trip_since = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker() -> Breaker {
+        Breaker::new(Watts::from_kilowatts(100.0))
+    }
+
+    #[test]
+    fn nominal_below_limit() {
+        let mut b = breaker();
+        assert_eq!(b.observe(Watts::from_kilowatts(99.0), SimTime::ZERO), BreakerStatus::Nominal);
+        assert_eq!(b.observe(Watts::from_kilowatts(100.0), SimTime::ZERO), BreakerStatus::Nominal);
+        assert!(!b.is_tripped());
+    }
+
+    #[test]
+    fn overload_without_trip_threshold_never_trips() {
+        let mut b = breaker();
+        for s in 0..1_000 {
+            let status =
+                b.observe(Watts::from_kilowatts(120.0), SimTime::from_secs(f64::from(s)));
+            assert_eq!(status, BreakerStatus::Overloaded);
+        }
+        assert!(!b.is_tripped());
+    }
+
+    #[test]
+    fn sustained_trip_threshold_trips_after_30s() {
+        let mut b = breaker();
+        assert_eq!(
+            b.observe(Watts::from_kilowatts(130.0), SimTime::ZERO),
+            BreakerStatus::Overloaded
+        );
+        assert_eq!(
+            b.observe(Watts::from_kilowatts(130.0), SimTime::from_secs(29.0)),
+            BreakerStatus::Overloaded
+        );
+        assert_eq!(
+            b.observe(Watts::from_kilowatts(130.0), SimTime::from_secs(30.0)),
+            BreakerStatus::Tripped
+        );
+        assert!(b.is_tripped());
+        // Latched: stays tripped even at zero draw.
+        assert_eq!(b.observe(Watts::ZERO, SimTime::from_secs(31.0)), BreakerStatus::Tripped);
+    }
+
+    #[test]
+    fn dip_below_threshold_resets_integrator() {
+        let mut b = breaker();
+        b.observe(Watts::from_kilowatts(135.0), SimTime::ZERO);
+        b.observe(Watts::from_kilowatts(120.0), SimTime::from_secs(20.0)); // dip
+        b.observe(Watts::from_kilowatts(135.0), SimTime::from_secs(25.0));
+        // 25 s + 29 s later: only 29 s of continuous overdraw — no trip.
+        assert_eq!(
+            b.observe(Watts::from_kilowatts(135.0), SimTime::from_secs(54.0)),
+            BreakerStatus::Overloaded
+        );
+        assert_eq!(
+            b.observe(Watts::from_kilowatts(135.0), SimTime::from_secs(55.0)),
+            BreakerStatus::Tripped
+        );
+    }
+
+    #[test]
+    fn reset_restores_service() {
+        let mut b = breaker();
+        b.observe(Watts::from_kilowatts(200.0), SimTime::ZERO);
+        b.observe(Watts::from_kilowatts(200.0), SimTime::from_secs(60.0));
+        assert!(b.is_tripped());
+        b.reset();
+        assert!(!b.is_tripped());
+        assert_eq!(b.observe(Watts::from_kilowatts(50.0), SimTime::from_secs(61.0)), BreakerStatus::Nominal);
+    }
+
+    #[test]
+    fn available_power_saturates_at_zero() {
+        let b = breaker();
+        assert_eq!(b.available_power(Watts::from_kilowatts(40.0)), Watts::from_kilowatts(60.0));
+        assert_eq!(b.available_power(Watts::from_kilowatts(140.0)), Watts::ZERO);
+    }
+
+    #[test]
+    fn custom_trip_curve() {
+        let curve = TripCurve { trip_factor: 1.1, sustain: Seconds::new(5.0) };
+        let mut b = Breaker::with_curve(Watts::new(100.0), curve);
+        b.observe(Watts::new(111.0), SimTime::ZERO);
+        assert_eq!(b.observe(Watts::new(111.0), SimTime::from_secs(5.0)), BreakerStatus::Tripped);
+        assert_eq!(b.trip_curve(), curve);
+    }
+}

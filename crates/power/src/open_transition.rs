@@ -1,0 +1,129 @@
+//! Open transitions: brief de-energizations of a subtree (§II-C).
+
+use serde::{Deserialize, Serialize};
+
+use recharge_units::{DeviceId, Seconds, SimTime};
+
+/// A brief power unavailability for the subtree under one device, caused by a
+/// source transfer (maintenance switch-over, utility blip, generator start).
+///
+/// Open transitions generally last under a minute (the paper models them as
+/// exponentially distributed with a 45-second mean); the racks below ride
+/// through on battery and begin recharging the moment the transition ends.
+///
+/// # Examples
+///
+/// ```
+/// use recharge_power::OpenTransition;
+/// use recharge_units::{DeviceId, Seconds, SimTime};
+///
+/// let ot = OpenTransition::new(DeviceId::new(0), SimTime::from_secs(100.0), Seconds::new(45.0));
+/// assert!(!ot.is_active(SimTime::from_secs(99.0)));
+/// assert!(ot.is_active(SimTime::from_secs(100.0)));
+/// assert!(ot.is_active(SimTime::from_secs(144.9)));
+/// assert!(!ot.is_active(SimTime::from_secs(145.0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OpenTransition {
+    device: DeviceId,
+    start: SimTime,
+    duration: Seconds,
+}
+
+impl OpenTransition {
+    /// Creates an open transition at `device` starting at `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration` is negative.
+    #[must_use]
+    pub fn new(device: DeviceId, start: SimTime, duration: Seconds) -> Self {
+        assert!(duration >= Seconds::ZERO, "open transition duration must be non-negative");
+        OpenTransition { device, start, duration }
+    }
+
+    /// The device whose subtree loses input power.
+    #[must_use]
+    pub fn device(&self) -> DeviceId {
+        self.device
+    }
+
+    /// When the input power drops.
+    #[must_use]
+    pub fn start(&self) -> SimTime {
+        self.start
+    }
+
+    /// When the input power returns.
+    #[must_use]
+    pub fn end(&self) -> SimTime {
+        self.start + self.duration
+    }
+
+    /// How long the power is out.
+    #[must_use]
+    pub fn duration(&self) -> Seconds {
+        self.duration
+    }
+
+    /// Whether power is out at instant `now` (half-open interval
+    /// `[start, end)`).
+    #[must_use]
+    pub fn is_active(&self, now: SimTime) -> bool {
+        now >= self.start && now < self.end()
+    }
+
+    /// Whether the transition has completed by `now`.
+    #[must_use]
+    pub fn is_finished(&self, now: SimTime) -> bool {
+        now >= self.end()
+    }
+}
+
+impl core::fmt::Display for OpenTransition {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "open transition at {} from {} for {}",
+            self.device, self.start, self.duration
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_semantics() {
+        let ot = OpenTransition::new(DeviceId::new(3), SimTime::from_secs(10.0), Seconds::new(5.0));
+        assert_eq!(ot.device(), DeviceId::new(3));
+        assert_eq!(ot.start(), SimTime::from_secs(10.0));
+        assert_eq!(ot.end(), SimTime::from_secs(15.0));
+        assert_eq!(ot.duration(), Seconds::new(5.0));
+        assert!(!ot.is_active(SimTime::from_secs(9.9)));
+        assert!(ot.is_active(SimTime::from_secs(10.0)));
+        assert!(!ot.is_active(SimTime::from_secs(15.0)));
+        assert!(ot.is_finished(SimTime::from_secs(15.0)));
+        assert!(!ot.is_finished(SimTime::from_secs(14.9)));
+    }
+
+    #[test]
+    fn zero_length_transition_is_never_active() {
+        let ot = OpenTransition::new(DeviceId::new(0), SimTime::ZERO, Seconds::ZERO);
+        assert!(!ot.is_active(SimTime::ZERO));
+        assert!(ot.is_finished(SimTime::ZERO));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_duration_panics() {
+        let _ = OpenTransition::new(DeviceId::new(0), SimTime::ZERO, Seconds::new(-1.0));
+    }
+
+    #[test]
+    fn display_mentions_device() {
+        let ot = OpenTransition::new(DeviceId::new(2), SimTime::ZERO, Seconds::new(45.0));
+        assert!(ot.to_string().contains("dev-2"));
+    }
+}

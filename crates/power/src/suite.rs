@@ -1,0 +1,289 @@
+//! Suite-scale topology with N+1 reserve devices and the maintenance
+//! switch-overs that make open transitions "the norm rather than an
+//! exception" (§II-C).
+//!
+//! A 7.5 MW suite is fed by several MSBs plus a reserve MSB (MSB-R); each MSB
+//! feeds SBs backed by a reserve SB (SB-R). Maintaining a primary device
+//! means transferring its subtree to the reserve and back — each transfer is
+//! a brief open transition for every rack below.
+
+use serde::{Deserialize, Serialize};
+
+use recharge_units::{DeviceId, RackId, Seconds, SimTime};
+
+use crate::device::DeviceKind;
+use crate::open_transition::OpenTransition;
+use crate::topology::{Topology, TopologyBuilder};
+
+/// A built suite: several MSBs of racks plus the reserve devices.
+#[derive(Debug, Clone)]
+pub struct SuitePlan {
+    /// The device tree (roots: the MSBs and the reserve MSB).
+    pub topology: Topology,
+    /// Primary MSBs, each carrying IT load.
+    pub msbs: Vec<DeviceId>,
+    /// The reserve MSB (no load of its own).
+    pub msb_reserve: DeviceId,
+    /// Primary SBs per MSB, in MSB order.
+    pub sbs: Vec<Vec<DeviceId>>,
+    /// The reserve SB (shared, fed from the reserve MSB).
+    pub sb_reserve: DeviceId,
+    /// All rack ids, dense from zero.
+    pub racks: Vec<RackId>,
+}
+
+impl SuitePlan {
+    /// Racks that lose input power while `device` transfers to reserve.
+    #[must_use]
+    pub fn racks_affected_by(&self, device: DeviceId) -> Vec<RackId> {
+        self.topology.racks_under(device)
+    }
+}
+
+/// Builds a 7.5 MW-class suite: `msb_count` primary MSBs (2.5 MW each, four
+/// SBs, rows of 14) each carrying `racks_per_msb` racks, plus N+1 reserve
+/// MSB/SB devices.
+///
+/// # Panics
+///
+/// Panics if `msb_count` or `racks_per_msb` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use recharge_power::suite;
+///
+/// let plan = suite::build(3, 100);
+/// assert_eq!(plan.msbs.len(), 3);
+/// assert_eq!(plan.racks.len(), 300);
+/// // The reserve MSB carries no racks until a transfer.
+/// assert!(plan.racks_affected_by(plan.msb_reserve).is_empty());
+/// ```
+#[must_use]
+pub fn build(msb_count: usize, racks_per_msb: usize) -> SuitePlan {
+    assert!(msb_count > 0, "msb_count must be positive");
+    assert!(racks_per_msb > 0, "racks_per_msb must be positive");
+
+    let mut builder = TopologyBuilder::new();
+    let mut msbs = Vec::with_capacity(msb_count);
+    let mut sbs = Vec::with_capacity(msb_count);
+    let mut racks = Vec::new();
+    let mut next_rack = 0u32;
+
+    for _ in 0..msb_count {
+        let msb = builder.root(DeviceKind::Msb, DeviceKind::Msb.nominal_limit());
+        msbs.push(msb);
+        let mut msb_sbs = Vec::with_capacity(4);
+        for _ in 0..4 {
+            let sb = builder
+                .child(msb, DeviceKind::Sb, DeviceKind::Sb.nominal_limit())
+                .expect("msb exists");
+            msb_sbs.push(sb);
+        }
+        let rpp_count = racks_per_msb.div_ceil(14);
+        let mut placed = 0;
+        for i in 0..rpp_count {
+            let rpp = builder
+                .child(msb_sbs[i % 4], DeviceKind::Rpp, DeviceKind::Rpp.nominal_limit())
+                .expect("sb exists");
+            for _ in 0..14 {
+                if placed == racks_per_msb {
+                    break;
+                }
+                let rack = RackId::new(next_rack);
+                next_rack += 1;
+                builder.attach_rack(rpp, rack).expect("fresh rack");
+                racks.push(rack);
+                placed += 1;
+            }
+        }
+        sbs.push(msb_sbs);
+    }
+
+    // N+1 reserves: a reserve MSB feeding a reserve SB, idle until a transfer.
+    let msb_reserve = builder.root(DeviceKind::Msb, DeviceKind::Msb.nominal_limit());
+    let sb_reserve = builder
+        .child(msb_reserve, DeviceKind::Sb, DeviceKind::Sb.nominal_limit())
+        .expect("reserve msb exists");
+
+    SuitePlan {
+        topology: builder.build().expect("non-empty"),
+        msbs,
+        msb_reserve,
+        sbs,
+        sb_reserve,
+        racks,
+    }
+}
+
+/// A planned maintenance of one primary device (§II-C): the subtree transfers
+/// to the reserve at the start (one open transition) and back at the end
+/// (a second open transition).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MaintenanceEvent {
+    device: DeviceId,
+    start: SimTime,
+    duration: Seconds,
+    transition: Seconds,
+}
+
+impl MaintenanceEvent {
+    /// Schedules maintenance of `device` starting at `start` for `duration`,
+    /// with each source transfer taking `transition`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration` or `transition` is negative, or the transitions
+    /// would overlap (`duration < transition`).
+    #[must_use]
+    pub fn new(device: DeviceId, start: SimTime, duration: Seconds, transition: Seconds) -> Self {
+        assert!(transition >= Seconds::ZERO, "transition must be non-negative");
+        assert!(duration >= transition, "maintenance shorter than its own transition");
+        MaintenanceEvent { device, start, duration, transition }
+    }
+
+    /// The device under maintenance.
+    #[must_use]
+    pub fn device(&self) -> DeviceId {
+        self.device
+    }
+
+    /// When the maintenance window ends (back on primary power).
+    #[must_use]
+    pub fn end(&self) -> SimTime {
+        self.start + self.duration + self.transition
+    }
+
+    /// The two open transitions this maintenance causes: the transfer to
+    /// reserve at the start, and the transfer back at the end.
+    #[must_use]
+    pub fn open_transitions(&self) -> [OpenTransition; 2] {
+        [
+            OpenTransition::new(self.device, self.start, self.transition),
+            OpenTransition::new(self.device, self.start + self.duration, self.transition),
+        ]
+    }
+
+    /// Whether racks under the device are dark at `now` (inside either
+    /// transition).
+    #[must_use]
+    pub fn is_dark(&self, now: SimTime) -> bool {
+        self.open_transitions().iter().any(|ot| ot.is_active(now))
+    }
+
+    /// Whether the subtree is running on the reserve source at `now`.
+    #[must_use]
+    pub fn on_reserve(&self, now: SimTime) -> bool {
+        let [to_reserve, back] = self.open_transitions();
+        now >= to_reserve.end() && now < back.start()
+    }
+}
+
+/// Expands a year's preventive-maintenance calendar for a suite: one
+/// maintenance per primary MSB and SB, evenly spaced, with 45-second
+/// transfers — the §II-C cadence where "an MSB level open transition takes
+/// place almost every workday" at site scale.
+#[must_use]
+pub fn annual_maintenance_calendar(plan: &SuitePlan, mttr_hours: f64) -> Vec<MaintenanceEvent> {
+    let mut devices: Vec<DeviceId> = plan.msbs.clone();
+    for msb_sbs in &plan.sbs {
+        devices.extend_from_slice(msb_sbs);
+    }
+    let year = Seconds::from_years(1.0);
+    let spacing = year / devices.len() as f64;
+    devices
+        .iter()
+        .enumerate()
+        .map(|(i, &device)| {
+            MaintenanceEvent::new(
+                device,
+                SimTime::ZERO + spacing * i as f64,
+                Seconds::from_hours(mttr_hours),
+                Seconds::new(45.0),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_structure() {
+        let plan = build(3, 100);
+        assert_eq!(plan.msbs.len(), 3);
+        assert_eq!(plan.racks.len(), 300);
+        assert_eq!(plan.sbs.iter().map(Vec::len).sum::<usize>(), 12);
+        for &msb in &plan.msbs {
+            assert_eq!(plan.racks_affected_by(msb).len(), 100);
+        }
+        // Reserves are idle.
+        assert!(plan.racks_affected_by(plan.msb_reserve).is_empty());
+        assert_eq!(
+            plan.topology.device(plan.sb_reserve).unwrap().parent(),
+            Some(plan.msb_reserve)
+        );
+    }
+
+    #[test]
+    fn suite_capacity_is_physical() {
+        // 3 × 2.5 MW = 7.5 MW of critical power per suite (§II-A).
+        let plan = build(3, 100);
+        let total: f64 = plan
+            .msbs
+            .iter()
+            .map(|&m| plan.topology.device(m).unwrap().limit().unwrap().as_megawatts())
+            .sum();
+        assert_eq!(total, 7.5);
+    }
+
+    #[test]
+    fn maintenance_produces_two_transitions() {
+        let plan = build(1, 28);
+        let event = MaintenanceEvent::new(
+            plan.msbs[0],
+            SimTime::from_secs(1_000.0),
+            Seconds::from_hours(8.0),
+            Seconds::new(45.0),
+        );
+        let [out, back] = event.open_transitions();
+        assert_eq!(out.start(), SimTime::from_secs(1_000.0));
+        assert_eq!(out.duration(), Seconds::new(45.0));
+        assert_eq!(back.start(), SimTime::from_secs(1_000.0 + 8.0 * 3_600.0));
+
+        // Dark exactly inside the transfers; on reserve between them.
+        assert!(event.is_dark(SimTime::from_secs(1_020.0)));
+        assert!(!event.is_dark(SimTime::from_secs(2_000.0)));
+        assert!(event.on_reserve(SimTime::from_secs(2_000.0)));
+        assert!(!event.on_reserve(SimTime::from_secs(999.0)));
+        assert_eq!(event.end(), back.end());
+
+        // The affected racks are exactly the MSB's subtree.
+        assert_eq!(plan.racks_affected_by(event.device()).len(), 28);
+    }
+
+    #[test]
+    fn calendar_covers_every_primary_device() {
+        let plan = build(2, 56);
+        let calendar = annual_maintenance_calendar(&plan, 10.0);
+        assert_eq!(calendar.len(), 2 + 8); // MSBs + SBs
+        // Events are spread over the year and ordered.
+        for pair in calendar.windows(2) {
+            assert!(pair[1].open_transitions()[0].start() > pair[0].open_transitions()[0].start());
+        }
+        let last = calendar.last().unwrap();
+        assert!(last.end().as_secs() < Seconds::from_years(1.0).as_secs() * 1.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter than its own transition")]
+    fn degenerate_maintenance_panics() {
+        let _ = MaintenanceEvent::new(
+            DeviceId::new(0),
+            SimTime::ZERO,
+            Seconds::new(10.0),
+            Seconds::new(45.0),
+        );
+    }
+}

@@ -1,0 +1,91 @@
+//! Property tests for the power-hierarchy tree and breaker model.
+
+use proptest::prelude::*;
+
+use recharge_power::{facebook, Breaker, BreakerStatus, TripCurve};
+use recharge_units::{RackId, Seconds, SimTime, Watts};
+
+proptest! {
+    #[test]
+    fn aggregation_conserves_power(
+        rack_count in 1usize..200,
+        row_size in 1usize..20,
+        unit_power in 1.0f64..20_000.0,
+    ) {
+        let plan = facebook::single_msb_with_row_size(rack_count, row_size);
+        let totals = plan.topology.aggregate(|_| Watts::new(unit_power));
+        // The MSB sees exactly the sum of all racks.
+        let msb_total = totals[plan.msb.index() as usize];
+        prop_assert!(
+            (msb_total.as_watts() - unit_power * rack_count as f64).abs() < 1e-6
+        );
+        // SB totals sum to the MSB total.
+        let sb_sum: f64 =
+            plan.sbs.iter().map(|sb| totals[sb.index() as usize].as_watts()).sum();
+        prop_assert!((sb_sum - msb_total.as_watts()).abs() < 1e-6);
+        // RPP totals also sum to the MSB total.
+        let rpp_sum: f64 =
+            plan.rpps.iter().map(|rpp| totals[rpp.index() as usize].as_watts()).sum();
+        prop_assert!((rpp_sum - msb_total.as_watts()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn racks_under_partitions_by_sb(rack_count in 1usize..150, row_size in 1usize..15) {
+        let plan = facebook::single_msb_with_row_size(rack_count, row_size);
+        let mut from_sbs: Vec<RackId> = plan
+            .sbs
+            .iter()
+            .flat_map(|&sb| plan.topology.racks_under(sb))
+            .collect();
+        from_sbs.sort();
+        let mut all = plan.topology.racks_under(plan.msb);
+        all.sort();
+        prop_assert_eq!(from_sbs, all);
+        prop_assert_eq!(plan.racks.len(), rack_count);
+    }
+
+    #[test]
+    fn ancestors_always_end_at_the_msb(rack_count in 1usize..100) {
+        let plan = facebook::single_msb(rack_count);
+        for &rpp in &plan.rpps {
+            let chain = plan.topology.ancestors(rpp);
+            prop_assert_eq!(*chain.last().unwrap(), plan.msb);
+            prop_assert_eq!(chain.len(), 3); // RPP → SB → MSB
+        }
+    }
+
+    #[test]
+    fn breaker_never_trips_below_threshold(
+        limit in 1_000.0f64..1e6,
+        factor in 1.05f64..2.0,
+        steps in 1usize..200,
+    ) {
+        let curve = TripCurve { trip_factor: factor, sustain: Seconds::new(30.0) };
+        let mut breaker = Breaker::with_curve(Watts::new(limit), curve);
+        // Draw just below the trip threshold forever: never trips.
+        let draw = Watts::new(limit * factor * 0.999);
+        for s in 0..steps {
+            let status = breaker.observe(draw, SimTime::from_secs(s as f64));
+            prop_assert_ne!(status, BreakerStatus::Tripped);
+        }
+    }
+
+    #[test]
+    fn breaker_trips_exactly_after_sustain(
+        limit in 1_000.0f64..1e6,
+        sustain in 1.0f64..120.0,
+    ) {
+        let curve = TripCurve { trip_factor: 1.3, sustain: Seconds::new(sustain) };
+        let mut breaker = Breaker::with_curve(Watts::new(limit), curve);
+        let draw = Watts::new(limit * 1.5);
+        prop_assert_ne!(breaker.observe(draw, SimTime::ZERO), BreakerStatus::Tripped);
+        prop_assert_ne!(
+            breaker.observe(draw, SimTime::from_secs(sustain * 0.99)),
+            BreakerStatus::Tripped
+        );
+        prop_assert_eq!(
+            breaker.observe(draw, SimTime::from_secs(sustain)),
+            BreakerStatus::Tripped
+        );
+    }
+}

@@ -1,0 +1,187 @@
+//! The published component failure and repair data (Table I) and how each
+//! failure type interrupts rack input power.
+
+use serde::{Deserialize, Serialize};
+
+/// A component in the critical power path to a rack (Fig 8b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Component {
+    /// The utility feed.
+    Utility,
+    /// Substation / medium-voltage switch gear.
+    SubMsg,
+    /// Main switch board.
+    Msb,
+    /// Switch board.
+    Sb,
+    /// Reactor power panel.
+    Rpp,
+}
+
+impl core::fmt::Display for Component {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let name = match self {
+            Component::Utility => "utility",
+            Component::SubMsg => "sub/MSG",
+            Component::Msb => "MSB",
+            Component::Sb => "SB",
+            Component::Rpp => "RPP",
+        };
+        f.write_str(name)
+    }
+}
+
+/// The four ways rack input power fails (§IV-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FailureType {
+    /// Utility power failure: an open transition to the generator and a
+    /// second one back once the utility returns.
+    UtilityFailure,
+    /// Corrective maintenance: open transitions to and from the reserve
+    /// device around the repair.
+    CorrectiveMaintenance,
+    /// Annual preventive maintenance: same two open transitions, but on a
+    /// yearly (normally distributed) schedule.
+    AnnualMaintenance,
+    /// A real power outage: the rack is dark until the repair completes.
+    PowerOutage,
+}
+
+impl FailureType {
+    /// Whether this failure type keeps rack input power out for the whole
+    /// repair (a power outage) rather than only during two brief open
+    /// transitions at its boundaries.
+    #[must_use]
+    pub fn is_outage(self) -> bool {
+        matches!(self, FailureType::PowerOutage)
+    }
+
+    /// Whether inter-event times follow the annual (normal) schedule instead
+    /// of the exponential MTBF clock.
+    #[must_use]
+    pub fn is_annual(self) -> bool {
+        matches!(self, FailureType::AnnualMaintenance)
+    }
+}
+
+impl core::fmt::Display for FailureType {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let name = match self {
+            FailureType::UtilityFailure => "utility failure",
+            FailureType::CorrectiveMaintenance => "corrective maintenance",
+            FailureType::AnnualMaintenance => "annual maintenance",
+            FailureType::PowerOutage => "power outage",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One row of Table I: a component × failure-type renewal process.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FailureSource {
+    /// The failing component.
+    pub component: Component,
+    /// How it fails.
+    pub failure_type: FailureType,
+    /// Mean time between failures, in hours.
+    pub mtbf_hours: f64,
+    /// Mean time to repair, in hours.
+    pub mttr_hours: f64,
+}
+
+impl FailureSource {
+    /// Expected events per year implied by the MTBF.
+    #[must_use]
+    pub fn events_per_year(&self) -> f64 {
+        8_760.0 / self.mtbf_hours
+    }
+}
+
+/// Mean open-transition duration (§IV-A): 45 seconds, exponentially
+/// distributed.
+pub const MEAN_OPEN_TRANSITION_SECS: f64 = 45.0;
+
+/// Standard deviation of the annual-maintenance schedule: 41 days (from the
+/// paper's maintenance dataset), around a one-year mean.
+pub const ANNUAL_MAINTENANCE_STD_DAYS: f64 = 41.0;
+
+/// The eleven rows of Table I.
+#[must_use]
+pub fn standard_sources() -> Vec<FailureSource> {
+    use Component::*;
+    use FailureType::*;
+    vec![
+        FailureSource { component: Utility, failure_type: UtilityFailure, mtbf_hours: 6.39e3, mttr_hours: 0.6 },
+        FailureSource { component: SubMsg, failure_type: CorrectiveMaintenance, mtbf_hours: 5.87e4, mttr_hours: 8.0 },
+        FailureSource { component: Msb, failure_type: CorrectiveMaintenance, mtbf_hours: 4.12e4, mttr_hours: 20.2 },
+        FailureSource { component: Sb, failure_type: CorrectiveMaintenance, mtbf_hours: 1.51e5, mttr_hours: 8.7 },
+        FailureSource { component: Rpp, failure_type: CorrectiveMaintenance, mtbf_hours: 6.31e5, mttr_hours: 5.5 },
+        FailureSource { component: Msb, failure_type: AnnualMaintenance, mtbf_hours: 8.76e3, mttr_hours: 12.8 },
+        FailureSource { component: Sb, failure_type: AnnualMaintenance, mtbf_hours: 8.76e3, mttr_hours: 7.4 },
+        FailureSource { component: Rpp, failure_type: AnnualMaintenance, mtbf_hours: 8.76e3, mttr_hours: 9.9 },
+        FailureSource { component: Msb, failure_type: PowerOutage, mtbf_hours: 2.93e5, mttr_hours: 6.4 },
+        FailureSource { component: Sb, failure_type: PowerOutage, mtbf_hours: 5.20e5, mttr_hours: 4.6 },
+        FailureSource { component: Rpp, failure_type: PowerOutage, mtbf_hours: 6.25e6, mttr_hours: 10.9 },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_eleven_rows() {
+        assert_eq!(standard_sources().len(), 11);
+    }
+
+    #[test]
+    fn annual_maintenance_is_yearly() {
+        for src in standard_sources().iter().filter(|s| s.failure_type.is_annual()) {
+            assert_eq!(src.mtbf_hours, 8_760.0);
+            assert!((src.events_per_year() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn utility_failure_rate_matches_ieee_row() {
+        let utility = standard_sources()
+            .into_iter()
+            .find(|s| s.component == Component::Utility)
+            .unwrap();
+        assert_eq!(utility.failure_type, FailureType::UtilityFailure);
+        // ≈1.37 failures per year.
+        assert!((utility.events_per_year() - 1.371).abs() < 0.01);
+        assert_eq!(utility.mttr_hours, 0.6);
+    }
+
+    #[test]
+    fn outage_classification() {
+        assert!(FailureType::PowerOutage.is_outage());
+        assert!(!FailureType::UtilityFailure.is_outage());
+        assert!(!FailureType::AnnualMaintenance.is_outage());
+        assert!(!FailureType::CorrectiveMaintenance.is_outage());
+    }
+
+    #[test]
+    fn outages_are_much_rarer_than_open_transitions() {
+        let sources = standard_sources();
+        let outage_rate: f64 = sources
+            .iter()
+            .filter(|s| s.failure_type.is_outage())
+            .map(FailureSource::events_per_year)
+            .sum();
+        let ot_rate: f64 = sources
+            .iter()
+            .filter(|s| !s.failure_type.is_outage())
+            .map(FailureSource::events_per_year)
+            .sum();
+        assert!(outage_rate < 0.1, "outage rate {outage_rate}/yr");
+        assert!(ot_rate > 4.0, "open-transition event rate {ot_rate}/yr");
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Component::SubMsg.to_string(), "sub/MSG");
+        assert_eq!(FailureType::PowerOutage.to_string(), "power outage");
+    }
+}

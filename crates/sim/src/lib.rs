@@ -1,0 +1,36 @@
+//! Fixed-step fleet simulator: the §V-B evaluation harness.
+//!
+//! A [`Scenario`] describes one experiment — fleet composition, trace seed,
+//! breaker limit, coordination strategy, charger policy, and the open
+//! transition to inject. [`FleetSimulation::run`] replays it tick by tick:
+//! trace → agents → controller → breaker, recording the power series, server
+//! capping, breaker status, and per-rack charging-time SLA outcomes that the
+//! paper's figures and tables report.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use recharge_dynamo::Strategy;
+//! use recharge_sim::{DischargeLevel, Scenario};
+//! use recharge_units::Watts;
+//!
+//! // Fig 13(b): low discharge under a 2.3 MW limit, priority-aware.
+//! let metrics = Scenario::paper_msb(42)
+//!     .power_limit(Watts::from_megawatts(2.3))
+//!     .discharge(DischargeLevel::Low)
+//!     .strategy(Strategy::PriorityAware)
+//!     .build()
+//!     .run();
+//! assert_eq!(metrics.max_capped_power, Watts::ZERO);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod metrics;
+mod scenario;
+mod simulation;
+
+pub use metrics::{PrioritySlaSummary, RackSlaOutcome, RunMetrics, SeriesPoint};
+pub use scenario::{DischargeLevel, Scenario};
+pub use simulation::FleetSimulation;

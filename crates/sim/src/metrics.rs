@@ -1,0 +1,207 @@
+//! What a simulation run records and reports.
+
+use serde::{Deserialize, Serialize};
+
+use recharge_units::{Dod, Priority, RackId, Seconds, SimTime, Watts};
+
+/// One sampled point of the run's aggregate power series (the raw material of
+/// Figs 2, 7, 10, 12, 13).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SeriesPoint {
+    /// Sample instant.
+    pub at: SimTime,
+    /// IT load drawn from the breaker.
+    pub it_load: Watts,
+    /// Battery recharge power drawn from the breaker.
+    pub recharge_power: Watts,
+    /// Server power currently shed by capping.
+    pub capped_power: Watts,
+}
+
+impl SeriesPoint {
+    /// Total draw at the breaker.
+    #[must_use]
+    pub fn total(&self) -> Watts {
+        self.it_load + self.recharge_power
+    }
+}
+
+/// The charging-time outcome of one rack for one open transition.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RackSlaOutcome {
+    /// The rack.
+    pub rack: RackId,
+    /// Its priority.
+    pub priority: Priority,
+    /// Battery DOD when charging began.
+    pub event_dod: Dod,
+    /// Time from charge start to fully charged; `None` if the run's horizon
+    /// expired first.
+    pub charge_duration: Option<Seconds>,
+    /// Whether the charging-time SLA for this priority was met.
+    pub sla_met: bool,
+}
+
+/// Per-priority SLA attainment (the Fig 14/15 y-axis).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PrioritySlaSummary {
+    /// Racks of this priority that charged within their SLA.
+    pub met: usize,
+    /// Racks of this priority observed charging.
+    pub total: usize,
+}
+
+impl PrioritySlaSummary {
+    /// Fraction of racks meeting the SLA (1.0 for an empty class).
+    #[must_use]
+    pub fn fraction(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.met as f64 / self.total as f64
+        }
+    }
+}
+
+/// Everything one simulation run measured.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Aggregate power series, sampled every few seconds.
+    pub series: Vec<SeriesPoint>,
+    /// The breaker's power limit during the run.
+    pub power_limit: Watts,
+    /// Maximum total draw observed.
+    pub max_total_draw: Watts,
+    /// Maximum battery recharge power observed.
+    pub max_recharge_power: Watts,
+    /// Maximum server power shed by capping at any instant (Table III).
+    pub max_capped_power: Watts,
+    /// IT load just before the open transition.
+    pub it_load_before_ot: Watts,
+    /// Whether the breaker tripped (only possible with no mitigation).
+    pub breaker_tripped: bool,
+    /// Per-rack charging outcomes.
+    pub rack_outcomes: Vec<RackSlaOutcome>,
+    /// When the open transition started.
+    pub ot_start: SimTime,
+    /// How long the open transition lasted.
+    pub ot_duration: Seconds,
+}
+
+impl RunMetrics {
+    /// Per-priority SLA attainment summary.
+    #[must_use]
+    pub fn sla_summary(&self, priority: Priority) -> PrioritySlaSummary {
+        let mut summary = PrioritySlaSummary::default();
+        for outcome in self.rack_outcomes.iter().filter(|o| o.priority == priority) {
+            summary.total += 1;
+            if outcome.sla_met {
+                summary.met += 1;
+            }
+        }
+        summary
+    }
+
+    /// Total racks meeting their SLA across all priorities.
+    #[must_use]
+    pub fn total_sla_met(&self) -> usize {
+        self.rack_outcomes.iter().filter(|o| o.sla_met).count()
+    }
+
+    /// The recharge-power spike: maximum total draw minus the pre-transition
+    /// IT load (what Figs 2 and 7 report).
+    #[must_use]
+    pub fn spike_magnitude(&self) -> Watts {
+        (self.max_total_draw - self.it_load_before_ot).max(Watts::ZERO)
+    }
+
+    /// Maximum capping as a fraction of the pre-transition IT load (the
+    /// percentage column of Table III).
+    #[must_use]
+    pub fn max_capped_fraction(&self) -> f64 {
+        if self.it_load_before_ot <= Watts::ZERO {
+            0.0
+        } else {
+            self.max_capped_power / self.it_load_before_ot
+        }
+    }
+
+    /// Average depth of discharge across racks that charged.
+    #[must_use]
+    pub fn mean_event_dod(&self) -> Dod {
+        if self.rack_outcomes.is_empty() {
+            return Dod::ZERO;
+        }
+        let sum: f64 = self.rack_outcomes.iter().map(|o| o.event_dod.value()).sum();
+        Dod::new(sum / self.rack_outcomes.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(priority: Priority, met: bool) -> RackSlaOutcome {
+        RackSlaOutcome {
+            rack: RackId::new(0),
+            priority,
+            event_dod: Dod::new(0.5),
+            charge_duration: Some(Seconds::from_minutes(40.0)),
+            sla_met: met,
+        }
+    }
+
+    fn metrics(outcomes: Vec<RackSlaOutcome>) -> RunMetrics {
+        RunMetrics {
+            series: Vec::new(),
+            power_limit: Watts::from_megawatts(2.5),
+            max_total_draw: Watts::from_megawatts(2.4),
+            max_recharge_power: Watts::from_kilowatts(200.0),
+            max_capped_power: Watts::from_kilowatts(50.0),
+            it_load_before_ot: Watts::from_megawatts(2.0),
+            breaker_tripped: false,
+            rack_outcomes: outcomes,
+            ot_start: SimTime::ZERO,
+            ot_duration: Seconds::new(141.0),
+        }
+    }
+
+    #[test]
+    fn sla_summary_counts_by_priority() {
+        let m = metrics(vec![
+            outcome(Priority::P1, true),
+            outcome(Priority::P1, false),
+            outcome(Priority::P2, true),
+        ]);
+        let p1 = m.sla_summary(Priority::P1);
+        assert_eq!((p1.met, p1.total), (1, 2));
+        assert_eq!(p1.fraction(), 0.5);
+        assert_eq!(m.sla_summary(Priority::P3).fraction(), 1.0);
+        assert_eq!(m.total_sla_met(), 2);
+    }
+
+    #[test]
+    fn spike_and_capping_derivations() {
+        let m = metrics(vec![]);
+        assert_eq!(m.spike_magnitude(), Watts::from_kilowatts(400.0));
+        assert!((m.max_capped_fraction() - 0.025).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_event_dod() {
+        let m = metrics(vec![outcome(Priority::P1, true), outcome(Priority::P2, true)]);
+        assert!((m.mean_event_dod().value() - 0.5).abs() < 1e-12);
+        assert_eq!(metrics(vec![]).mean_event_dod(), Dod::ZERO);
+    }
+
+    #[test]
+    fn series_point_total() {
+        let p = SeriesPoint {
+            at: SimTime::ZERO,
+            it_load: Watts::new(10.0),
+            recharge_power: Watts::new(5.0),
+            capped_power: Watts::ZERO,
+        };
+        assert_eq!(p.total(), Watts::new(15.0));
+    }
+}

@@ -1,0 +1,262 @@
+//! Scenario description: everything one simulated experiment needs.
+
+use serde::{Deserialize, Serialize};
+
+use recharge_battery::ChargePolicy;
+use recharge_dynamo::Strategy;
+use recharge_trace::{DiurnalModel, SyntheticFleet, SyntheticFleetBuilder};
+use recharge_units::{Seconds, Watts};
+
+use crate::simulation::FleetSimulation;
+
+/// The three battery-discharge levels of §V-B1, defined by the average BBU
+/// depth of discharge the open transition should produce.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DischargeLevel {
+    /// ≈30% average DOD.
+    Low,
+    /// ≈50% average DOD.
+    Medium,
+    /// ≈70% average DOD.
+    High,
+    /// A custom average DOD fraction.
+    Custom(f64),
+}
+
+impl DischargeLevel {
+    /// The average depth of discharge this level targets.
+    #[must_use]
+    pub fn target_dod(self) -> f64 {
+        match self {
+            DischargeLevel::Low => 0.30,
+            DischargeLevel::Medium => 0.50,
+            DischargeLevel::High => 0.70,
+            DischargeLevel::Custom(f) => f.clamp(0.0, 1.0),
+        }
+    }
+}
+
+/// One experiment configuration (builder-style, consumed by
+/// [`Scenario::build`]).
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    pub(crate) seed: u64,
+    pub(crate) priority_counts: (usize, usize, usize),
+    pub(crate) mean_rack_power: Watts,
+    pub(crate) power_limit: Watts,
+    pub(crate) strategy: Strategy,
+    pub(crate) charge_policy: ChargePolicy,
+    pub(crate) discharge: DischargeLevel,
+    pub(crate) explicit_ot_duration: Option<Seconds>,
+    pub(crate) tick: Seconds,
+    pub(crate) warmup: Seconds,
+    pub(crate) max_horizon: Seconds,
+    pub(crate) allow_postponing: bool,
+}
+
+impl Scenario {
+    /// The §V-B evaluation scenario: the paper's 316-rack MSB (89 P1 /
+    /// 142 P2 / 85 P3) at its 2.5 MW limit, priority-aware coordination,
+    /// medium discharge, with the open transition at the first diurnal peak.
+    #[must_use]
+    pub fn paper_msb(seed: u64) -> Self {
+        Scenario {
+            seed,
+            priority_counts: (89, 142, 85),
+            mean_rack_power: Watts::from_kilowatts(6.33),
+            power_limit: Watts::from_megawatts(2.5),
+            strategy: Strategy::PriorityAware,
+            charge_policy: ChargePolicy::Variable,
+            discharge: DischargeLevel::Medium,
+            explicit_ot_duration: None,
+            tick: Seconds::new(1.0),
+            warmup: Seconds::new(60.0),
+            max_horizon: Seconds::from_hours(3.0),
+            allow_postponing: false,
+        }
+    }
+
+    /// A small prototype-row scenario (Figs 7, 10, 11): `p1`/`p2`/`p3` racks
+    /// under a 190 kW RPP.
+    #[must_use]
+    pub fn row(p1: usize, p2: usize, p3: usize, seed: u64) -> Self {
+        let mut s = Scenario::paper_msb(seed);
+        s.priority_counts = (p1, p2, p3);
+        s.mean_rack_power = Watts::from_kilowatts(6.0);
+        s.power_limit = Watts::from_kilowatts(190.0);
+        s
+    }
+
+    /// Sets the fleet priority mix.
+    #[must_use]
+    pub fn priority_counts(mut self, p1: usize, p2: usize, p3: usize) -> Self {
+        self.priority_counts = (p1, p2, p3);
+        self
+    }
+
+    /// Sets the mean per-rack IT load.
+    #[must_use]
+    pub fn mean_rack_power(mut self, mean: Watts) -> Self {
+        self.mean_rack_power = mean;
+        self
+    }
+
+    /// Sets the protected breaker's power limit.
+    #[must_use]
+    pub fn power_limit(mut self, limit: Watts) -> Self {
+        self.power_limit = limit;
+        self
+    }
+
+    /// Sets the coordination strategy.
+    #[must_use]
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Sets the rack-local charger policy (meaningful mainly for
+    /// [`Strategy::Uncoordinated`] runs comparing original vs variable).
+    #[must_use]
+    pub fn charge_policy(mut self, policy: ChargePolicy) -> Self {
+        self.charge_policy = policy;
+        self
+    }
+
+    /// Sets the battery-discharge level of the injected open transition.
+    #[must_use]
+    pub fn discharge(mut self, level: DischargeLevel) -> Self {
+        self.discharge = level;
+        self
+    }
+
+    /// Forces an explicit open-transition duration instead of deriving it
+    /// from the discharge level.
+    #[must_use]
+    pub fn open_transition_duration(mut self, duration: Seconds) -> Self {
+        self.explicit_ot_duration = Some(duration);
+        self
+    }
+
+    /// Enables the charge-postponing controller extension (§IV-A future
+    /// work): under extreme power constraint, defer low-priority racks
+    /// entirely instead of capping servers.
+    #[must_use]
+    pub fn allow_postponing(mut self) -> Self {
+        self.allow_postponing = true;
+        self
+    }
+
+    /// Sets the simulation tick (default 1 s).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tick` is not positive.
+    #[must_use]
+    pub fn tick(mut self, tick: Seconds) -> Self {
+        assert!(tick > Seconds::ZERO, "tick must be positive");
+        self.tick = tick;
+        self
+    }
+
+    /// Sets the post-charge horizon cap (default 3 h past the transition).
+    #[must_use]
+    pub fn max_horizon(mut self, horizon: Seconds) -> Self {
+        self.max_horizon = horizon;
+        self
+    }
+
+    /// The configured breaker power limit.
+    #[must_use]
+    pub fn limit(&self) -> Watts {
+        self.power_limit
+    }
+
+    /// The configured coordination strategy.
+    #[must_use]
+    pub fn configured_strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// The configured (P1, P2, P3) rack counts.
+    #[must_use]
+    pub fn counts(&self) -> (usize, usize, usize) {
+        self.priority_counts
+    }
+
+    /// Builds the runnable simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fleet is empty.
+    #[must_use]
+    pub fn build(self) -> FleetSimulation {
+        let fleet: SyntheticFleet = SyntheticFleetBuilder::new(self.seed)
+            .priority_counts(self.priority_counts.0, self.priority_counts.1, self.priority_counts.2)
+            .mean_rack_power(self.mean_rack_power)
+            .diurnal(DiurnalModel::standard())
+            .build();
+        FleetSimulation::new(self, fleet)
+    }
+
+    /// The open-transition duration that produces the target average DOD at
+    /// the given mean rack load: each of the six BBUs carries one sixth of
+    /// the rack, and 100% DOD is 297 kJ per BBU.
+    #[must_use]
+    pub(crate) fn ot_duration_for(&self, mean_rack_load: Watts) -> Seconds {
+        if let Some(explicit) = self.explicit_ot_duration {
+            return explicit;
+        }
+        let params = recharge_battery::BbuParams::production();
+        let per_bbu = mean_rack_load / f64::from(params.bbus_per_rack);
+        let energy = params.full_discharge_energy * self.discharge.target_dod();
+        energy / per_bbu
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discharge_levels() {
+        assert_eq!(DischargeLevel::Low.target_dod(), 0.30);
+        assert_eq!(DischargeLevel::Medium.target_dod(), 0.50);
+        assert_eq!(DischargeLevel::High.target_dod(), 0.70);
+        assert_eq!(DischargeLevel::Custom(0.42).target_dod(), 0.42);
+        assert_eq!(DischargeLevel::Custom(7.0).target_dod(), 1.0);
+    }
+
+    #[test]
+    fn ot_duration_matches_hand_calculation() {
+        let s = Scenario::paper_msb(0).discharge(DischargeLevel::Medium);
+        // 6.33 kW rack → 1.055 kW per BBU; 50% × 297 kJ = 148.5 kJ → ≈141 s.
+        let d = s.ot_duration_for(Watts::from_kilowatts(6.33));
+        assert!((140.0..142.0).contains(&d.as_secs()), "{d}");
+    }
+
+    #[test]
+    fn explicit_ot_duration_wins() {
+        let s = Scenario::paper_msb(0).open_transition_duration(Seconds::new(5.0));
+        assert_eq!(s.ot_duration_for(Watts::from_kilowatts(6.0)), Seconds::new(5.0));
+    }
+
+    #[test]
+    fn builder_chains() {
+        let s = Scenario::row(9, 5, 3, 1)
+            .power_limit(Watts::from_kilowatts(100.0))
+            .strategy(Strategy::Global)
+            .discharge(DischargeLevel::High)
+            .tick(Seconds::new(3.0));
+        assert_eq!(s.priority_counts, (9, 5, 3));
+        assert_eq!(s.power_limit, Watts::from_kilowatts(100.0));
+        assert_eq!(s.strategy, Strategy::Global);
+        assert_eq!(s.tick, Seconds::new(3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "tick must be positive")]
+    fn zero_tick_panics() {
+        let _ = Scenario::paper_msb(0).tick(Seconds::ZERO);
+    }
+}

@@ -1,0 +1,362 @@
+//! The tick loop: trace → agents → controller → breaker → metrics.
+
+use std::collections::HashMap;
+
+use recharge_core::SlaTable;
+use recharge_dynamo::{Controller, ControllerConfig, InMemoryBus, RackAgent, SimRackAgent};
+use recharge_power::{Breaker, BreakerStatus};
+use recharge_trace::{RackPowerTrace, SyntheticFleet};
+use recharge_units::{DeviceId, Priority, RackId, Seconds, SimTime, Watts};
+
+use crate::metrics::{RackSlaOutcome, RunMetrics, SeriesPoint};
+use crate::scenario::Scenario;
+
+/// A runnable fleet simulation built from a [`Scenario`].
+///
+/// The open transition is injected at the first diurnal peak of the trace
+/// (§V-B: "we simulate open transitions at the first peak in the trace as
+/// this is when the available power for battery recharging is most
+/// constrained"), and the run continues until every battery is fully charged
+/// or the horizon expires.
+pub struct FleetSimulation {
+    scenario: Scenario,
+    fleet: SyntheticFleet,
+    mitigated: bool,
+}
+
+struct ChargeTrack {
+    started: SimTime,
+    priority: Priority,
+    dod: recharge_units::Dod,
+}
+
+impl FleetSimulation {
+    pub(crate) fn new(scenario: Scenario, fleet: SyntheticFleet) -> Self {
+        FleetSimulation { scenario, fleet, mitigated: true }
+    }
+
+    /// Disables the Dynamo controller entirely — no coordination, no capping.
+    /// Used to demonstrate what the recharge spike does to an unprotected
+    /// breaker (it trips).
+    #[must_use]
+    pub fn without_mitigation(mut self) -> Self {
+        self.mitigated = false;
+        self
+    }
+
+    /// The scenario this simulation will run.
+    #[must_use]
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// Runs the simulation to completion and reports its metrics.
+    #[must_use]
+    pub fn run(self) -> RunMetrics {
+        let sla = SlaTable::table2();
+        let tick = self.scenario.tick;
+
+        // Place the open transition at the first diurnal peak.
+        let ot_start = self.fleet.diurnal().first_peak_after(SimTime::ZERO);
+        let rack_count = self.fleet.fleet().len();
+        let mean_rack_load = self.fleet.aggregate_power(ot_start) / rack_count as f64;
+        let ot_duration = self.scenario.ot_duration_for(mean_rack_load);
+        let ot_end = ot_start + ot_duration;
+
+        // Build the agents.
+        let agents: Vec<SimRackAgent> = self
+            .fleet
+            .fleet()
+            .iter()
+            .map(|entry| {
+                SimRackAgent::builder(entry.rack, entry.priority)
+                    .charge_policy(self.scenario.charge_policy)
+                    .offered_load(self.fleet.rack_power(entry.rack, SimTime::ZERO))
+                    .build()
+            })
+            .collect();
+        let mut bus = InMemoryBus::new(agents);
+        let mut config = ControllerConfig::new(DeviceId::new(0), self.scenario.power_limit);
+        if self.scenario.allow_postponing {
+            config = config.with_postponing();
+        }
+        let mut controller = Controller::new(config, self.scenario.strategy);
+        let mut breaker = Breaker::new(self.scenario.power_limit);
+
+        let mut t = ot_start - self.scenario.warmup;
+        let hard_end = ot_end + self.scenario.max_horizon;
+        let sample_every = Seconds::new(5.0);
+        let mut next_sample = t;
+
+        let mut series = Vec::new();
+        let mut max_total = Watts::ZERO;
+        let mut max_recharge = Watts::ZERO;
+        let mut max_capped = Watts::ZERO;
+        let mut it_before_ot = Watts::ZERO;
+        let mut tripped = false;
+        let mut tracks: HashMap<RackId, ChargeTrack> = HashMap::new();
+        let mut outcomes: Vec<RackSlaOutcome> = Vec::new();
+
+        loop {
+            let in_ot = t >= ot_start && t < ot_end;
+
+            // Drive the physical layer.
+            let entries: Vec<(RackId, Watts)> = self
+                .fleet
+                .fleet()
+                .iter()
+                .map(|e| (e.rack, self.fleet.rack_power(e.rack, t)))
+                .collect();
+            for (rack, offered) in entries {
+                if let Some(agent) = bus.agent_mut(rack) {
+                    agent.set_offered_load(offered);
+                    agent.set_input_power(!in_ot);
+                    agent.step(tick);
+                }
+            }
+
+            // Control plane (or raw aggregation when unmitigated).
+            let (it_load, recharge, capped) = if self.mitigated {
+                let report = controller.tick(t, &mut bus);
+                (report.it_load, report.recharge_power, report.capped_power)
+            } else {
+                let mut it = Watts::ZERO;
+                let mut re = Watts::ZERO;
+                for agent in bus.agents() {
+                    let reading = agent.read();
+                    if reading.input_power_present {
+                        it += reading.it_load;
+                        re += reading.recharge_power;
+                    }
+                }
+                (it, re, Watts::ZERO)
+            };
+            let total = it_load + recharge;
+
+            if breaker.observe(total, t) == BreakerStatus::Tripped {
+                tripped = true;
+            }
+
+            // Bookkeeping.
+            if t < ot_start {
+                it_before_ot = total;
+            }
+            max_total = max_total.max(total);
+            max_recharge = max_recharge.max(recharge);
+            max_capped = max_capped.max(capped);
+            if t >= next_sample {
+                series.push(SeriesPoint { at: t, it_load, recharge_power: recharge, capped_power: capped });
+                next_sample = t + sample_every;
+            }
+
+            // Track charge starts and completions.
+            let mut all_settled = true;
+            for agent in bus.agents() {
+                let battery = agent.battery();
+                match battery.state() {
+                    recharge_battery::BbuState::Charging => {
+                        all_settled = false;
+                        tracks.entry(agent.rack()).or_insert(ChargeTrack {
+                            started: t,
+                            priority: agent.priority(),
+                            dod: battery.event_dod(),
+                        });
+                    }
+                    recharge_battery::BbuState::FullyCharged => {
+                        if let Some(track) = tracks.remove(&agent.rack()) {
+                            let duration = t - track.started;
+                            outcomes.push(RackSlaOutcome {
+                                rack: agent.rack(),
+                                priority: track.priority,
+                                event_dod: track.dod,
+                                charge_duration: Some(duration),
+                                sla_met: duration <= sla.charge_time_budget(track.priority),
+                            });
+                        }
+                    }
+                    _ => all_settled = false,
+                }
+            }
+
+            t += tick;
+            if tripped || (t >= ot_end + Seconds::new(60.0) && all_settled) || t >= hard_end {
+                break;
+            }
+        }
+
+        // Racks that never completed within the horizon miss their SLA.
+        for (rack, track) in tracks {
+            outcomes.push(RackSlaOutcome {
+                rack,
+                priority: track.priority,
+                event_dod: track.dod,
+                charge_duration: None,
+                sla_met: false,
+            });
+        }
+        outcomes.sort_by_key(|o| o.rack);
+
+        RunMetrics {
+            series,
+            power_limit: self.scenario.power_limit,
+            max_total_draw: max_total,
+            max_recharge_power: max_recharge,
+            max_capped_power: max_capped,
+            it_load_before_ot: it_before_ot,
+            breaker_tripped: tripped,
+            rack_outcomes: outcomes,
+            ot_start,
+            ot_duration,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::DischargeLevel;
+    use recharge_battery::ChargePolicy;
+    use recharge_dynamo::Strategy;
+
+    /// A small fleet keeps the (debug-build) tests quick.
+    fn small(strategy: Strategy, limit_kw: f64) -> Scenario {
+        Scenario::row(3, 2, 2, 7)
+            .power_limit(Watts::from_kilowatts(limit_kw))
+            .strategy(strategy)
+            .discharge(DischargeLevel::Low)
+            .tick(Seconds::new(1.0))
+            .max_horizon(Seconds::from_hours(2.5))
+    }
+
+    #[test]
+    fn ample_power_run_charges_everyone_within_sla() {
+        let metrics = small(Strategy::PriorityAware, 190.0).build().run();
+        assert!(!metrics.breaker_tripped);
+        assert_eq!(metrics.max_capped_power, Watts::ZERO);
+        assert_eq!(metrics.rack_outcomes.len(), 7);
+        assert_eq!(metrics.total_sla_met(), 7, "outcomes: {:?}", metrics.rack_outcomes);
+        // DOD landed near the low-discharge target.
+        assert!((metrics.mean_event_dod().value() - 0.30).abs() < 0.06);
+    }
+
+    #[test]
+    fn spike_is_visible_in_series() {
+        let metrics = small(Strategy::Uncoordinated, 190.0)
+            .charge_policy(ChargePolicy::Original)
+            .build()
+            .run();
+        assert!(metrics.max_recharge_power > Watts::ZERO);
+        // Original charger: 7 racks × ≈1.9 kW ≈ 13 kW spike.
+        assert!(
+            (10.0..16.0).contains(&metrics.spike_magnitude().as_kilowatts()),
+            "spike {}",
+            metrics.spike_magnitude()
+        );
+        // The series actually contains the spike.
+        let peak_point = metrics
+            .series
+            .iter()
+            .map(|p| p.recharge_power.as_kilowatts())
+            .fold(0.0, f64::max);
+        assert!(peak_point > 10.0);
+    }
+
+    #[test]
+    fn variable_charger_reduces_spike_versus_original() {
+        let original = small(Strategy::Uncoordinated, 190.0)
+            .charge_policy(ChargePolicy::Original)
+            .build()
+            .run();
+        let variable = small(Strategy::Uncoordinated, 190.0)
+            .charge_policy(ChargePolicy::Variable)
+            .build()
+            .run();
+        let ratio = original.spike_magnitude() / variable.spike_magnitude();
+        // §III-B: ~60% reduction at low discharge (<50% DOD) ⇒ ratio ≈ 2.5.
+        assert!((1.8..3.2).contains(&ratio), "spike ratio {ratio:.2}");
+    }
+
+    #[test]
+    fn tight_limit_forces_capping_for_original_but_not_priority_aware() {
+        // Limit barely above the IT load: the original charger must overflow
+        // it, priority-aware coordination must not.
+        let probe = small(Strategy::PriorityAware, 190.0).build().run();
+        let it_peak = probe.it_load_before_ot;
+        // Headroom above the 1 A minimum fleet draw (7 × ≈0.37 kW) but far
+        // below the original charger's ≈13 kW spike.
+        let limit_kw = it_peak.as_kilowatts() + 3.6;
+
+        let original = small(Strategy::Uncoordinated, limit_kw)
+            .charge_policy(ChargePolicy::Original)
+            .build()
+            .run();
+        assert!(original.max_capped_power > Watts::ZERO, "original must cap");
+
+        let aware = small(Strategy::PriorityAware, limit_kw).build().run();
+        assert_eq!(
+            aware.max_capped_power,
+            Watts::ZERO,
+            "priority-aware must avoid capping (max draw {} vs limit {})",
+            aware.max_total_draw,
+            aware.power_limit
+        );
+        assert!(!aware.breaker_tripped);
+    }
+
+    #[test]
+    fn unmitigated_overload_trips_the_breaker() {
+        // No Dynamo at all and a limit low enough that the recharge spike
+        // exceeds 130% of it for 30 s.
+        let probe = small(Strategy::PriorityAware, 190.0).build().run();
+        let limit_kw = probe.it_load_before_ot.as_kilowatts() * 0.85;
+        let metrics = small(Strategy::Uncoordinated, limit_kw)
+            .charge_policy(ChargePolicy::Original)
+            .build()
+            .without_mitigation()
+            .run();
+        assert!(metrics.breaker_tripped, "max draw {}", metrics.max_total_draw);
+    }
+
+    #[test]
+    fn priority_aware_beats_global_under_pressure() {
+        // Medium discharge with tight headroom: the priority-aware algorithm
+        // must satisfy at least as many P1 racks as the global baseline.
+        let probe = small(Strategy::PriorityAware, 190.0)
+            .discharge(DischargeLevel::Medium)
+            .build()
+            .run();
+        let limit_kw = probe.it_load_before_ot.as_kilowatts() + 4.0;
+
+        let aware = small(Strategy::PriorityAware, limit_kw)
+            .discharge(DischargeLevel::Medium)
+            .build()
+            .run();
+        let global = small(Strategy::Global, limit_kw)
+            .discharge(DischargeLevel::Medium)
+            .build()
+            .run();
+        let aware_p1 = aware.sla_summary(Priority::P1);
+        let global_p1 = global.sla_summary(Priority::P1);
+        assert!(
+            aware_p1.met >= global_p1.met,
+            "P1 met: aware {} vs global {}",
+            aware_p1.met,
+            global_p1.met
+        );
+        assert!(aware_p1.met > 0, "aware should protect at least one P1 rack");
+    }
+
+    #[test]
+    fn ot_duration_hits_target_dod() {
+        for (level, target) in
+            [(DischargeLevel::Low, 0.30), (DischargeLevel::Medium, 0.50), (DischargeLevel::High, 0.70)]
+        {
+            let metrics = small(Strategy::PriorityAware, 190.0).discharge(level).build().run();
+            let mean = metrics.mean_event_dod().value();
+            assert!(
+                (mean - target).abs() < 0.07,
+                "{level:?}: mean DOD {mean:.3} vs target {target}"
+            );
+        }
+    }
+}

@@ -1,0 +1,327 @@
+//! Recorded (materialized) traces with CSV persistence.
+//!
+//! The CSV layout is wide: one row per sample tick, one column per rack,
+//! with a two-line header carrying rack ids and priorities. This is the
+//! interchange format for captured windows of production-like data.
+
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, Write};
+
+use recharge_units::{Priority, RackId, Seconds, SimTime, Watts};
+
+use crate::model::{FleetEntry, RackPowerTrace};
+
+/// Errors from CSV trace round-trips.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CsvTraceError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural or numeric problem in the CSV body; the message names the
+    /// offending line.
+    Malformed(String),
+}
+
+impl core::fmt::Display for CsvTraceError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CsvTraceError::Io(e) => write!(f, "trace i/o failed: {e}"),
+            CsvTraceError::Malformed(what) => write!(f, "malformed trace csv: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvTraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CsvTraceError::Io(e) => Some(e),
+            CsvTraceError::Malformed(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CsvTraceError {
+    fn from(e: std::io::Error) -> Self {
+        CsvTraceError::Io(e)
+    }
+}
+
+/// A materialized trace: fixed-step samples for a fixed fleet.
+///
+/// # Examples
+///
+/// ```
+/// use recharge_trace::{RackPowerTrace, RecordedTrace, SyntheticFleet};
+/// use recharge_units::{Seconds, SimTime};
+///
+/// // Capture 30 s of a synthetic fleet and round-trip it through CSV.
+/// let fleet = SyntheticFleet::row(2, 1, 1, 3);
+/// let recorded = RecordedTrace::capture(&fleet, SimTime::ZERO, Seconds::new(30.0), Seconds::new(3.0));
+/// let mut csv = Vec::new();
+/// recorded.write_csv(&mut csv)?;
+/// let back = RecordedTrace::read_csv(&csv[..])?;
+/// assert_eq!(back.fleet().len(), 4);
+/// # Ok::<(), recharge_trace::CsvTraceError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecordedTrace {
+    fleet: Vec<FleetEntry>,
+    start: SimTime,
+    step: Seconds,
+    /// `rows[tick][rack_index]`.
+    rows: Vec<Vec<Watts>>,
+}
+
+impl RecordedTrace {
+    /// Captures a window of another trace at a fixed step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is not positive or `length` is negative.
+    #[must_use]
+    pub fn capture<T: RackPowerTrace + ?Sized>(
+        source: &T,
+        start: SimTime,
+        length: Seconds,
+        step: Seconds,
+    ) -> Self {
+        assert!(step > Seconds::ZERO, "step must be positive");
+        assert!(length >= Seconds::ZERO, "length must be non-negative");
+        let fleet = source.fleet().to_vec();
+        let ticks = (length / step).floor() as usize;
+        let mut rows = Vec::with_capacity(ticks);
+        for tick in 0..ticks {
+            let at = start + step * tick as f64;
+            rows.push(fleet.iter().map(|e| source.rack_power(e.rack, at)).collect());
+        }
+        RecordedTrace { fleet, start, step, rows }
+    }
+
+    /// The capture start instant.
+    #[must_use]
+    pub fn start(&self) -> SimTime {
+        self.start
+    }
+
+    /// The sample step.
+    #[must_use]
+    pub fn step(&self) -> Seconds {
+        self.step
+    }
+
+    /// Number of sample ticks.
+    #[must_use]
+    pub fn tick_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Serializes to CSV. A `&mut` writer may be passed (C-RW-VALUE).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_csv<W: Write>(&self, mut w: W) -> Result<(), CsvTraceError> {
+        write!(w, "# start_s={} step_s={} racks=", self.start.as_secs(), self.step.as_secs())?;
+        let ids: Vec<String> = self.fleet.iter().map(|e| e.rack.index().to_string()).collect();
+        writeln!(w, "{}", ids.join(";"))?;
+        let prios: Vec<String> = self.fleet.iter().map(|e| e.priority.to_string()).collect();
+        writeln!(w, "# priorities={}", prios.join(";"))?;
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(|p| format!("{:.3}", p.as_watts())).collect();
+            writeln!(w, "{}", cells.join(","))?;
+        }
+        Ok(())
+    }
+
+    /// Deserializes from CSV produced by [`RecordedTrace::write_csv`]. A
+    /// `&mut` reader may be passed (C-RW-VALUE).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CsvTraceError::Malformed`] on structural problems and
+    /// [`CsvTraceError::Io`] on read failures.
+    pub fn read_csv<R: BufRead>(r: R) -> Result<Self, CsvTraceError> {
+        let mut lines = r.lines();
+        let header = lines
+            .next()
+            .ok_or_else(|| CsvTraceError::Malformed("missing header".into()))??;
+        let (start, step, ids) = Self::parse_header(&header)?;
+        let prio_line = lines
+            .next()
+            .ok_or_else(|| CsvTraceError::Malformed("missing priorities line".into()))??;
+        let priorities = Self::parse_priorities(&prio_line, ids.len())?;
+
+        let fleet: Vec<FleetEntry> = ids
+            .into_iter()
+            .zip(priorities)
+            .map(|(id, priority)| FleetEntry { rack: RackId::new(id), priority })
+            .collect();
+
+        let mut rows = Vec::new();
+        for (lineno, line) in lines.enumerate() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let row: Result<Vec<Watts>, _> = line
+                .split(',')
+                .map(|cell| {
+                    cell.trim()
+                        .parse::<f64>()
+                        .map(Watts::new)
+                        .map_err(|_| CsvTraceError::Malformed(format!("bad number on data line {lineno}")))
+                })
+                .collect();
+            let row = row?;
+            if row.len() != fleet.len() {
+                return Err(CsvTraceError::Malformed(format!(
+                    "data line {lineno} has {} cells, expected {}",
+                    row.len(),
+                    fleet.len()
+                )));
+            }
+            rows.push(row);
+        }
+        Ok(RecordedTrace { fleet, start, step, rows })
+    }
+
+    fn parse_header(header: &str) -> Result<(SimTime, Seconds, Vec<u32>), CsvTraceError> {
+        let malformed = |what: &str| CsvTraceError::Malformed(what.to_owned());
+        let rest = header.strip_prefix("# ").ok_or_else(|| malformed("header must start with '# '"))?;
+        let mut start = None;
+        let mut step = None;
+        let mut ids = None;
+        for field in rest.split_whitespace() {
+            if let Some(v) = field.strip_prefix("start_s=") {
+                start = v.parse::<f64>().ok().map(SimTime::from_secs);
+            } else if let Some(v) = field.strip_prefix("step_s=") {
+                step = v.parse::<f64>().ok().map(Seconds::new);
+            } else if let Some(v) = field.strip_prefix("racks=") {
+                let parsed: Result<Vec<u32>, _> = v.split(';').map(str::parse::<u32>).collect();
+                ids = parsed.ok();
+            }
+        }
+        match (start, step, ids) {
+            (Some(s), Some(st), Some(i)) if st > Seconds::ZERO && !i.is_empty() => Ok((s, st, i)),
+            _ => Err(malformed("header missing start_s/step_s/racks fields")),
+        }
+    }
+
+    fn parse_priorities(line: &str, expected: usize) -> Result<Vec<Priority>, CsvTraceError> {
+        let rest = line
+            .strip_prefix("# priorities=")
+            .ok_or_else(|| CsvTraceError::Malformed("second line must carry priorities".into()))?;
+        let parsed: Result<Vec<Priority>, _> = rest.split(';').map(Priority::parse).collect();
+        let prios =
+            parsed.map_err(|_| CsvTraceError::Malformed("unparseable priority".into()))?;
+        if prios.len() != expected {
+            return Err(CsvTraceError::Malformed(format!(
+                "{} priorities for {} racks",
+                prios.len(),
+                expected
+            )));
+        }
+        Ok(prios)
+    }
+}
+
+impl RackPowerTrace for RecordedTrace {
+    fn fleet(&self) -> &[FleetEntry] {
+        &self.fleet
+    }
+
+    /// Piecewise-constant playback: each tick's sample holds until the next.
+    /// Queries before the window use the first tick; after it, the last.
+    fn rack_power(&self, rack: RackId, at: SimTime) -> Watts {
+        let Some(col) = self.fleet.iter().position(|e| e.rack == rack) else {
+            return Watts::ZERO;
+        };
+        if self.rows.is_empty() {
+            return Watts::ZERO;
+        }
+        let tick = ((at - self.start) / self.step).floor();
+        let idx = if tick < 0.0 {
+            0
+        } else {
+            (tick as usize).min(self.rows.len() - 1)
+        };
+        self.rows[idx][col]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::SyntheticFleet;
+
+    fn recorded() -> RecordedTrace {
+        let fleet = SyntheticFleet::row(2, 1, 1, 5);
+        RecordedTrace::capture(&fleet, SimTime::from_secs(9.0), Seconds::new(30.0), Seconds::new(3.0))
+    }
+
+    #[test]
+    fn capture_shape() {
+        let r = recorded();
+        assert_eq!(r.tick_count(), 10);
+        assert_eq!(r.fleet().len(), 4);
+        assert_eq!(r.step(), Seconds::new(3.0));
+        assert_eq!(r.start(), SimTime::from_secs(9.0));
+    }
+
+    #[test]
+    fn csv_round_trip_preserves_everything() {
+        let r = recorded();
+        let mut buf = Vec::new();
+        r.write_csv(&mut buf).unwrap();
+        let back = RecordedTrace::read_csv(&buf[..]).unwrap();
+        assert_eq!(back.fleet(), r.fleet());
+        assert_eq!(back.tick_count(), r.tick_count());
+        let at = SimTime::from_secs(15.0);
+        for e in r.fleet() {
+            let orig = r.rack_power(e.rack, at).as_watts();
+            let rt = back.rack_power(e.rack, at).as_watts();
+            assert!((orig - rt).abs() < 0.01, "{orig} vs {rt}");
+        }
+    }
+
+    #[test]
+    fn playback_is_piecewise_constant_and_clamped() {
+        let r = recorded();
+        let rack = r.fleet()[0].rack;
+        let within = r.rack_power(rack, SimTime::from_secs(10.0));
+        let same_tick = r.rack_power(rack, SimTime::from_secs(11.9));
+        assert_eq!(within, same_tick);
+        // Before the window clamps to the first sample; after, to the last.
+        assert_eq!(r.rack_power(rack, SimTime::ZERO), r.rack_power(rack, SimTime::from_secs(9.0)));
+        assert_eq!(
+            r.rack_power(rack, SimTime::from_secs(10_000.0)),
+            r.rack_power(rack, SimTime::from_secs(9.0 + 27.0))
+        );
+    }
+
+    #[test]
+    fn unknown_rack_is_zero() {
+        let r = recorded();
+        assert_eq!(r.rack_power(RackId::new(77), SimTime::from_secs(12.0)), Watts::ZERO);
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected() {
+        assert!(RecordedTrace::read_csv(&b"garbage"[..]).is_err());
+        assert!(RecordedTrace::read_csv(&b"# start_s=0 step_s=3 racks=0;1\n# priorities=P1\n"[..])
+            .is_err());
+        let bad_cells = b"# start_s=0 step_s=3 racks=0;1\n# priorities=P1;P2\n1.0\n";
+        assert!(matches!(
+            RecordedTrace::read_csv(&bad_cells[..]),
+            Err(CsvTraceError::Malformed(_))
+        ));
+        let bad_number = b"# start_s=0 step_s=3 racks=0\n# priorities=P1\nxyz\n";
+        assert!(RecordedTrace::read_csv(&bad_number[..]).is_err());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = CsvTraceError::Malformed("x".into());
+        assert!(e.to_string().contains("malformed"));
+    }
+}

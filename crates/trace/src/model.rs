@@ -1,0 +1,133 @@
+//! Trace abstractions: the fleet membership and the trace trait.
+
+use serde::{Deserialize, Serialize};
+
+use recharge_units::{Priority, RackId, SimTime, Watts};
+
+/// One rack in a traced fleet: its identity and service priority.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FleetEntry {
+    /// The rack.
+    pub rack: RackId,
+    /// Priority of the services on the rack.
+    pub priority: Priority,
+}
+
+/// A source of per-rack IT-load power over simulated time.
+///
+/// Implementations must be deterministic: the same `(rack, at)` query always
+/// returns the same power, so simulations are reproducible and traces need no
+/// materialization.
+pub trait RackPowerTrace {
+    /// The racks covered by this trace, in id order.
+    fn fleet(&self) -> &[FleetEntry];
+
+    /// IT load of `rack` at instant `at`.
+    ///
+    /// Racks outside [`RackPowerTrace::fleet`] draw zero.
+    fn rack_power(&self, rack: RackId, at: SimTime) -> Watts;
+
+    /// Total IT load of the fleet at instant `at`.
+    fn aggregate_power(&self, at: SimTime) -> Watts {
+        self.fleet().iter().map(|e| self.rack_power(e.rack, at)).sum()
+    }
+
+    /// Number of racks with the given priority.
+    fn count_priority(&self, priority: Priority) -> usize {
+        self.fleet().iter().filter(|e| e.priority == priority).count()
+    }
+}
+
+/// The diurnal-plus-weekly shape shared by data-center load curves (§II-B:
+/// "server power varies with its utilization which generally exhibit diurnal
+/// and weekly cycles").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiurnalModel {
+    /// Fractional amplitude of the 24-hour cycle (0.05 = ±5%).
+    pub daily_amplitude: f64,
+    /// Fractional amplitude of the 7-day cycle.
+    pub weekly_amplitude: f64,
+    /// Hour of day (0–24) at which the daily cycle peaks.
+    pub peak_hour: f64,
+}
+
+impl DiurnalModel {
+    /// The calibration used for Fig 12: ±5% daily swing peaking at 18:00 with
+    /// a gentle ±1% weekly modulation, which yields a 1.9–2.1 MW envelope for
+    /// a 316-rack / ≈2 MW fleet.
+    #[must_use]
+    pub fn standard() -> Self {
+        DiurnalModel { daily_amplitude: 0.05, weekly_amplitude: 0.01, peak_hour: 18.0 }
+    }
+
+    /// Multiplicative load factor at instant `at` (mean 1.0 over a week).
+    #[must_use]
+    pub fn factor(&self, at: SimTime) -> f64 {
+        let hours = at.as_secs() / 3_600.0;
+        let daily = (core::f64::consts::TAU * (hours - self.peak_hour) / 24.0).cos();
+        let weekly = (core::f64::consts::TAU * hours / (24.0 * 7.0)).sin();
+        1.0 + self.daily_amplitude * daily + self.weekly_amplitude * weekly
+    }
+
+    /// The instant of the first daily peak at or after `from`.
+    #[must_use]
+    pub fn first_peak_after(&self, from: SimTime) -> SimTime {
+        let hours = from.as_secs() / 3_600.0;
+        let day_start = (hours / 24.0).floor() * 24.0;
+        let mut peak = day_start + self.peak_hour;
+        if peak < hours {
+            peak += 24.0;
+        }
+        SimTime::from_secs(peak * 3_600.0)
+    }
+}
+
+impl Default for DiurnalModel {
+    fn default() -> Self {
+        DiurnalModel::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recharge_units::Seconds;
+
+    #[test]
+    fn factor_peaks_at_peak_hour() {
+        let m = DiurnalModel::standard();
+        let peak = m.factor(SimTime::from_secs(18.0 * 3_600.0));
+        let trough = m.factor(SimTime::from_secs(6.0 * 3_600.0));
+        assert!(peak > trough);
+        assert!((peak - 1.05).abs() < 0.02);
+        assert!((trough - 0.95).abs() < 0.02);
+    }
+
+    #[test]
+    fn factor_mean_is_about_one() {
+        let m = DiurnalModel::standard();
+        let n = 7 * 24;
+        let mean: f64 = (0..n)
+            .map(|h| m.factor(SimTime::from_secs(f64::from(h) * 3_600.0)))
+            .sum::<f64>()
+            / f64::from(n);
+        assert!((mean - 1.0).abs() < 0.01, "mean factor {mean}");
+    }
+
+    #[test]
+    fn first_peak_after_is_the_next_peak() {
+        let m = DiurnalModel::standard();
+        let peak = m.first_peak_after(SimTime::ZERO);
+        assert_eq!(peak.as_secs(), 18.0 * 3_600.0);
+        // From just past the first peak, the next one is a day later.
+        let peak2 = m.first_peak_after(peak + Seconds::new(1.0));
+        assert_eq!(peak2.as_secs(), (24.0 + 18.0) * 3_600.0);
+    }
+
+    #[test]
+    fn fleet_entry_round_trip() {
+        let e = FleetEntry { rack: RackId::new(3), priority: Priority::P1 };
+        assert_eq!(e.rack.index(), 3);
+        assert_eq!(e.priority, Priority::P1);
+    }
+}

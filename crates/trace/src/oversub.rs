@@ -1,0 +1,192 @@
+//! Power-oversubscription analytics (§II-B).
+//!
+//! A 2.5 MW MSB "should" carry ⌊2.5 MW / 12.6 kW⌋ = 198 nameplate racks, yet
+//! the paper's MSB carries 316 — because statistical multiplexing keeps the
+//! realized aggregate far below the sum of nameplates. These helpers quantify
+//! that: realized peaks, headroom percentiles, and the safe oversubscription
+//! ratio at a target exceedance probability.
+
+use recharge_units::{Seconds, SimTime, Watts};
+
+use crate::model::RackPowerTrace;
+use crate::stats::sample_aggregate;
+
+/// Summary of a fleet's oversubscription against a breaker limit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OversubscriptionReport {
+    /// Racks in the fleet.
+    pub rack_count: usize,
+    /// Racks the limit would allow at nameplate power.
+    pub nameplate_capacity: usize,
+    /// Deployed racks ÷ nameplate capacity (the paper reports 1.47 average,
+    /// up to 1.70).
+    pub ratio: f64,
+    /// Highest observed aggregate power.
+    pub peak: Watts,
+    /// Peak as a fraction of the limit.
+    pub peak_utilization: f64,
+    /// Fraction of samples that exceeded the limit.
+    pub exceedance: f64,
+}
+
+/// Analyzes a trace window against a breaker limit with the given nameplate
+/// rack rating.
+///
+/// # Panics
+///
+/// Panics if `step` is not positive, the window is empty, or `nameplate` is
+/// not positive.
+///
+/// # Examples
+///
+/// ```
+/// use recharge_trace::{analyze_oversubscription, SyntheticFleet};
+/// use recharge_units::{Seconds, SimTime, Watts};
+///
+/// let fleet = SyntheticFleet::paper_msb(1);
+/// let report = analyze_oversubscription(
+///     &fleet,
+///     Watts::from_megawatts(2.5),
+///     Watts::from_kilowatts(12.6),
+///     SimTime::ZERO,
+///     SimTime::from_secs(86_400.0),
+///     Seconds::from_minutes(10.0),
+/// );
+/// // 316 deployed racks vs 198 nameplate slots ≈ 1.6× oversubscribed,
+/// // yet the realized peak stays under the limit.
+/// assert!(report.ratio > 1.4);
+/// assert_eq!(report.exceedance, 0.0);
+/// ```
+#[must_use]
+pub fn analyze_oversubscription<T: RackPowerTrace + ?Sized>(
+    trace: &T,
+    limit: Watts,
+    nameplate: Watts,
+    start: SimTime,
+    end: SimTime,
+    step: Seconds,
+) -> OversubscriptionReport {
+    assert!(nameplate > Watts::ZERO, "nameplate rating must be positive");
+    let samples = sample_aggregate(trace, start, end, step);
+    assert!(!samples.is_empty(), "window must contain at least one sample");
+
+    let peak = samples
+        .iter()
+        .map(|p| p.power)
+        .fold(Watts::ZERO, Watts::max);
+    let over = samples.iter().filter(|p| p.power > limit).count();
+    let nameplate_capacity = (limit / nameplate).floor() as usize;
+
+    OversubscriptionReport {
+        rack_count: trace.fleet().len(),
+        nameplate_capacity,
+        ratio: trace.fleet().len() as f64 / nameplate_capacity.max(1) as f64,
+        peak,
+        peak_utilization: peak / limit,
+        exceedance: over as f64 / samples.len() as f64,
+    }
+}
+
+/// The largest fleet (multiple of `fleet_unit` racks) whose aggregate stays
+/// within `limit` for the whole window, found by scaling the given trace —
+/// the planning question §II-B's oversubscription answers.
+///
+/// Returns the rack count and the implied oversubscription ratio.
+///
+/// # Panics
+///
+/// Panics if the window is empty or `nameplate` is not positive.
+#[must_use]
+pub fn max_safe_racks<T: RackPowerTrace + ?Sized>(
+    trace: &T,
+    limit: Watts,
+    nameplate: Watts,
+    start: SimTime,
+    end: SimTime,
+    step: Seconds,
+) -> (usize, f64) {
+    assert!(nameplate > Watts::ZERO, "nameplate rating must be positive");
+    let samples = sample_aggregate(trace, start, end, step);
+    assert!(!samples.is_empty(), "window must contain at least one sample");
+    let peak = samples
+        .iter()
+        .map(|p| p.power)
+        .fold(Watts::ZERO, Watts::max);
+    let current = trace.fleet().len();
+    // The fleet scales linearly: peak-per-rack × n ≤ limit.
+    let per_rack_peak = peak / current as f64;
+    let safe = (limit / per_rack_peak).floor() as usize;
+    let nameplate_capacity = ((limit / nameplate).floor() as usize).max(1);
+    (safe, safe as f64 / nameplate_capacity as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::SyntheticFleet;
+
+    fn week() -> (SimTime, SimTime, Seconds) {
+        (SimTime::ZERO, SimTime::from_secs(7.0 * 86_400.0), Seconds::from_minutes(30.0))
+    }
+
+    #[test]
+    fn paper_msb_is_oversubscribed_but_safe() {
+        let fleet = SyntheticFleet::paper_msb(3);
+        let (start, end, step) = week();
+        let report = analyze_oversubscription(
+            &fleet,
+            Watts::from_megawatts(2.5),
+            Watts::from_kilowatts(12.6),
+            start,
+            end,
+            step,
+        );
+        assert_eq!(report.rack_count, 316);
+        assert_eq!(report.nameplate_capacity, 198);
+        assert!((report.ratio - 1.596).abs() < 0.01, "ratio {}", report.ratio);
+        // §II-B band: 47% average, up to 70%.
+        assert!((1.4..1.75).contains(&report.ratio));
+        assert_eq!(report.exceedance, 0.0);
+        assert!(report.peak_utilization < 0.9);
+    }
+
+    #[test]
+    fn max_safe_racks_exceeds_deployment() {
+        let fleet = SyntheticFleet::paper_msb(3);
+        let (start, end, step) = week();
+        let (safe, ratio) = max_safe_racks(
+            &fleet,
+            Watts::from_megawatts(2.5),
+            Watts::from_kilowatts(12.6),
+            start,
+            end,
+            step,
+        );
+        assert!(safe > 316, "could deploy more: {safe}");
+        assert!(ratio > 1.5);
+    }
+
+    #[test]
+    fn tight_limit_reports_exceedance() {
+        let fleet = SyntheticFleet::paper_msb(3);
+        let (start, end, step) = week();
+        let report = analyze_oversubscription(
+            &fleet,
+            Watts::from_megawatts(2.0),
+            Watts::from_kilowatts(12.6),
+            start,
+            end,
+            step,
+        );
+        assert!(report.exceedance > 0.0);
+        assert!(report.peak_utilization > 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nameplate")]
+    fn zero_nameplate_panics() {
+        let fleet = SyntheticFleet::row(1, 0, 0, 0);
+        let (start, end, step) = week();
+        let _ = analyze_oversubscription(&fleet, Watts::new(1.0), Watts::ZERO, start, end, step);
+    }
+}

@@ -1,0 +1,109 @@
+//! Aggregate-series sampling and peak finding over traces.
+
+use serde::{Deserialize, Serialize};
+
+use recharge_units::{Seconds, SimTime, Watts};
+
+use crate::model::RackPowerTrace;
+
+/// One sampled point of an aggregate power series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TracePoint {
+    /// Sample instant.
+    pub at: SimTime,
+    /// Aggregate fleet power at that instant.
+    pub power: Watts,
+}
+
+/// Samples the aggregate power of `trace` over `[start, end)` every `step`.
+///
+/// # Panics
+///
+/// Panics if `step` is not positive or `end < start`.
+pub fn sample_aggregate<T: RackPowerTrace + ?Sized>(
+    trace: &T,
+    start: SimTime,
+    end: SimTime,
+    step: Seconds,
+) -> Vec<TracePoint> {
+    assert!(step > Seconds::ZERO, "step must be positive");
+    assert!(end >= start, "end must not precede start");
+    let mut points = Vec::new();
+    let mut at = start;
+    while at < end {
+        points.push(TracePoint { at, power: trace.aggregate_power(at) });
+        at += step;
+    }
+    points
+}
+
+/// The instant of maximum aggregate power over `[start, end)` sampled every
+/// `step` — used to place open transitions "at the first peak in the trace"
+/// (§V-B), when available power is most constrained.
+///
+/// Returns `None` for an empty window.
+///
+/// # Panics
+///
+/// Panics if `step` is not positive.
+pub fn find_peak<T: RackPowerTrace + ?Sized>(
+    trace: &T,
+    start: SimTime,
+    end: SimTime,
+    step: Seconds,
+) -> Option<TracePoint> {
+    sample_aggregate(trace, start, end, step)
+        .into_iter()
+        .max_by(|a, b| a.power.as_watts().total_cmp(&b.power.as_watts()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::SyntheticFleet;
+
+    #[test]
+    fn sampling_produces_expected_count() {
+        let fleet = SyntheticFleet::row(1, 1, 1, 0);
+        let points = sample_aggregate(
+            &fleet,
+            SimTime::ZERO,
+            SimTime::from_secs(30.0),
+            Seconds::new(3.0),
+        );
+        assert_eq!(points.len(), 10);
+        assert_eq!(points[0].at, SimTime::ZERO);
+        assert!(points.iter().all(|p| p.power > Watts::ZERO));
+    }
+
+    #[test]
+    fn peak_lands_near_the_diurnal_peak_hour() {
+        let fleet = SyntheticFleet::paper_msb(9);
+        let peak = find_peak(
+            &fleet,
+            SimTime::ZERO,
+            SimTime::from_secs(24.0 * 3_600.0),
+            Seconds::from_minutes(10.0),
+        )
+        .unwrap();
+        let peak_hour = peak.at.as_secs() / 3_600.0;
+        assert!(
+            (15.0..21.0).contains(&peak_hour),
+            "peak at hour {peak_hour:.1}, expected ≈18"
+        );
+        assert!(peak.power.as_megawatts() > 2.0);
+    }
+
+    #[test]
+    fn empty_window_has_no_peak() {
+        let fleet = SyntheticFleet::row(1, 0, 0, 0);
+        assert!(find_peak(&fleet, SimTime::ZERO, SimTime::ZERO, Seconds::new(1.0)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "step must be positive")]
+    fn zero_step_panics() {
+        let fleet = SyntheticFleet::row(1, 0, 0, 0);
+        let _ = sample_aggregate(&fleet, SimTime::ZERO, SimTime::from_secs(1.0), Seconds::ZERO);
+    }
+}

@@ -1,0 +1,165 @@
+//! Identifiers for racks, BBUs, and power-hierarchy devices.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a server rack within a simulated fleet.
+///
+/// # Examples
+///
+/// ```
+/// use recharge_units::RackId;
+///
+/// let id = RackId::new(7);
+/// assert_eq!(id.index(), 7);
+/// assert_eq!(format!("{id}"), "rack-7");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct RackId(u32);
+
+impl RackId {
+    /// Creates a rack identifier from a dense index.
+    #[must_use]
+    pub const fn new(index: u32) -> Self {
+        RackId(index)
+    }
+
+    /// The dense index backing this identifier.
+    #[must_use]
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl core::fmt::Display for RackId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "rack-{}", self.0)
+    }
+}
+
+impl From<u32> for RackId {
+    fn from(index: u32) -> Self {
+        RackId(index)
+    }
+}
+
+/// Identifier of a battery backup unit: a rack plus a slot index.
+///
+/// Open Rack V2 racks carry six BBUs (two power zones × three units).
+///
+/// # Examples
+///
+/// ```
+/// use recharge_units::{BbuId, RackId};
+///
+/// let id = BbuId::new(RackId::new(3), 5);
+/// assert_eq!(format!("{id}"), "rack-3/bbu-5");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct BbuId {
+    rack: RackId,
+    slot: u8,
+}
+
+impl BbuId {
+    /// Creates a BBU identifier for the given rack and slot.
+    #[must_use]
+    pub const fn new(rack: RackId, slot: u8) -> Self {
+        BbuId { rack, slot }
+    }
+
+    /// The rack hosting this BBU.
+    #[must_use]
+    pub const fn rack(self) -> RackId {
+        self.rack
+    }
+
+    /// The slot index within the rack (0-based).
+    #[must_use]
+    pub const fn slot(self) -> u8 {
+        self.slot
+    }
+}
+
+impl core::fmt::Display for BbuId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}/bbu-{}", self.rack, self.slot)
+    }
+}
+
+/// Identifier of a device (breaker, board, panel…) in the power hierarchy tree.
+///
+/// `DeviceId`s are dense indices handed out by the topology arena in
+/// `recharge-power`; they are only meaningful relative to the topology that
+/// created them.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct DeviceId(u32);
+
+impl DeviceId {
+    /// Creates a device identifier from a dense arena index.
+    #[must_use]
+    pub const fn new(index: u32) -> Self {
+        DeviceId(index)
+    }
+
+    /// The dense arena index backing this identifier.
+    #[must_use]
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl core::fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "dev-{}", self.0)
+    }
+}
+
+impl From<u32> for DeviceId {
+    fn from(index: u32) -> Self {
+        DeviceId(index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rack_id_round_trip() {
+        let id = RackId::from(42u32);
+        assert_eq!(id.index(), 42);
+        assert_eq!(format!("{id}"), "rack-42");
+    }
+
+    #[test]
+    fn bbu_id_components() {
+        let id = BbuId::new(RackId::new(1), 2);
+        assert_eq!(id.rack(), RackId::new(1));
+        assert_eq!(id.slot(), 2);
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(RackId::new(1));
+        set.insert(RackId::new(1));
+        assert_eq!(set.len(), 1);
+        assert!(RackId::new(1) < RackId::new(2));
+        assert!(BbuId::new(RackId::new(1), 0) < BbuId::new(RackId::new(1), 1));
+        assert!(DeviceId::new(3) < DeviceId::new(4));
+    }
+
+    #[test]
+    fn device_display() {
+        assert_eq!(format!("{}", DeviceId::new(9)), "dev-9");
+    }
+}

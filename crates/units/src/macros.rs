@@ -1,0 +1,133 @@
+//! Internal helper macro implementing the shared arithmetic surface of scalar
+//! `f64` newtypes (addition and subtraction with itself, scaling by `f64`, and
+//! ratio against itself).
+
+/// Implements the common scalar-quantity trait surface for an `f64` newtype.
+///
+/// Generated impls: `Add`, `Sub`, `AddAssign`, `SubAssign`, `Neg`,
+/// `Mul<f64>`, `f64 * T`, `Div<f64>`, `Div<T> -> f64`, `Sum`, and `Display`
+/// with the given unit suffix.
+macro_rules! scalar_newtype {
+    ($ty:ident, $unit:literal) => {
+        impl core::ops::Add for $ty {
+            type Output = $ty;
+            fn add(self, rhs: $ty) -> $ty {
+                $ty(self.0 + rhs.0)
+            }
+        }
+
+        impl core::ops::Sub for $ty {
+            type Output = $ty;
+            fn sub(self, rhs: $ty) -> $ty {
+                $ty(self.0 - rhs.0)
+            }
+        }
+
+        impl core::ops::AddAssign for $ty {
+            fn add_assign(&mut self, rhs: $ty) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl core::ops::SubAssign for $ty {
+            fn sub_assign(&mut self, rhs: $ty) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl core::ops::Neg for $ty {
+            type Output = $ty;
+            fn neg(self) -> $ty {
+                $ty(-self.0)
+            }
+        }
+
+        impl core::ops::Mul<f64> for $ty {
+            type Output = $ty;
+            fn mul(self, rhs: f64) -> $ty {
+                $ty(self.0 * rhs)
+            }
+        }
+
+        impl core::ops::Mul<$ty> for f64 {
+            type Output = $ty;
+            fn mul(self, rhs: $ty) -> $ty {
+                $ty(self * rhs.0)
+            }
+        }
+
+        impl core::ops::Div<f64> for $ty {
+            type Output = $ty;
+            fn div(self, rhs: f64) -> $ty {
+                $ty(self.0 / rhs)
+            }
+        }
+
+        impl core::ops::Div<$ty> for $ty {
+            type Output = f64;
+            fn div(self, rhs: $ty) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl core::iter::Sum for $ty {
+            fn sum<I: Iterator<Item = $ty>>(iter: I) -> $ty {
+                iter.fold($ty(0.0), |acc, x| acc + x)
+            }
+        }
+
+        impl<'a> core::iter::Sum<&'a $ty> for $ty {
+            fn sum<I: Iterator<Item = &'a $ty>>(iter: I) -> $ty {
+                iter.fold($ty(0.0), |acc, x| acc + *x)
+            }
+        }
+
+        impl core::fmt::Display for $ty {
+            fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                write!(f, "{:.3} {}", self.0, $unit)
+            }
+        }
+
+        impl $ty {
+            /// The zero quantity.
+            pub const ZERO: $ty = $ty(0.0);
+
+            /// Returns the larger of `self` and `other`.
+            #[must_use]
+            pub fn max(self, other: $ty) -> $ty {
+                $ty(self.0.max(other.0))
+            }
+
+            /// Returns the smaller of `self` and `other`.
+            #[must_use]
+            pub fn min(self, other: $ty) -> $ty {
+                $ty(self.0.min(other.0))
+            }
+
+            /// Clamps `self` into `[lo, hi]`.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `lo > hi`.
+            #[must_use]
+            pub fn clamp(self, lo: $ty, hi: $ty) -> $ty {
+                assert!(lo.0 <= hi.0, "clamp bounds inverted");
+                $ty(self.0.clamp(lo.0, hi.0))
+            }
+
+            /// Absolute value of the quantity.
+            #[must_use]
+            pub fn abs(self) -> $ty {
+                $ty(self.0.abs())
+            }
+
+            /// Whether the underlying value is finite (neither NaN nor infinite).
+            #[must_use]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+    };
+}
+
+pub(crate) use scalar_newtype;

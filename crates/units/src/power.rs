@@ -1,0 +1,154 @@
+//! Electrical power quantities.
+
+use serde::{Deserialize, Serialize};
+
+use crate::energy::Joules;
+use crate::macros::scalar_newtype;
+use crate::time::Seconds;
+
+/// Electrical power in watts.
+///
+/// `Watts` is the workhorse quantity of the workspace: rack IT load, battery
+/// recharge power, breaker limits, and capping amounts are all expressed in it.
+/// Kilowatt and megawatt constructors/accessors are provided because the paper
+/// quotes rack-level numbers in kW and breaker-level numbers in MW.
+///
+/// # Examples
+///
+/// ```
+/// use recharge_units::Watts;
+///
+/// let rack_limit = Watts::from_kilowatts(12.6);
+/// let msb_limit = Watts::from_megawatts(2.5);
+/// assert!((msb_limit / rack_limit - 198.4126984126984).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Watts(pub(crate) f64);
+
+scalar_newtype!(Watts, "W");
+
+impl Watts {
+    /// Creates a power value from watts.
+    #[must_use]
+    pub const fn new(watts: f64) -> Self {
+        Watts(watts)
+    }
+
+    /// Creates a power value from kilowatts.
+    #[must_use]
+    pub fn from_kilowatts(kw: f64) -> Self {
+        Watts(kw * 1e3)
+    }
+
+    /// Creates a power value from megawatts.
+    #[must_use]
+    pub fn from_megawatts(mw: f64) -> Self {
+        Watts(mw * 1e6)
+    }
+
+    /// The value in watts.
+    #[must_use]
+    pub const fn as_watts(self) -> f64 {
+        self.0
+    }
+
+    /// The value in kilowatts.
+    #[must_use]
+    pub fn as_kilowatts(self) -> f64 {
+        self.0 / 1e3
+    }
+
+    /// The value in megawatts.
+    #[must_use]
+    pub fn as_megawatts(self) -> f64 {
+        self.0 / 1e6
+    }
+}
+
+impl core::ops::Mul<Seconds> for Watts {
+    type Output = Joules;
+
+    /// Power sustained for a duration yields energy.
+    fn mul(self, rhs: Seconds) -> Joules {
+        Joules::new(self.0 * rhs.as_secs())
+    }
+}
+
+impl core::ops::Mul<Watts> for Seconds {
+    type Output = Joules;
+
+    fn mul(self, rhs: Watts) -> Joules {
+        rhs * self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_round_trip() {
+        assert_eq!(Watts::from_kilowatts(12.6).as_watts(), 12_600.0);
+        assert_eq!(Watts::from_megawatts(2.5).as_kilowatts(), 2_500.0);
+        assert_eq!(Watts::new(190_000.0).as_megawatts(), 0.19);
+    }
+
+    #[test]
+    fn arithmetic_behaves_like_f64() {
+        let a = Watts::new(100.0);
+        let b = Watts::new(40.0);
+        assert_eq!(a + b, Watts::new(140.0));
+        assert_eq!(a - b, Watts::new(60.0));
+        assert_eq!(a * 2.0, Watts::new(200.0));
+        assert_eq!(2.0 * a, Watts::new(200.0));
+        assert_eq!(a / 4.0, Watts::new(25.0));
+        assert_eq!(a / b, 2.5);
+        assert_eq!(-a, Watts::new(-100.0));
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut p = Watts::new(1.0);
+        p += Watts::new(2.0);
+        p -= Watts::new(0.5);
+        assert_eq!(p, Watts::new(2.5));
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let racks = [Watts::new(1.0), Watts::new(2.0), Watts::new(3.0)];
+        let total: Watts = racks.iter().sum();
+        assert_eq!(total, Watts::new(6.0));
+        let total_owned: Watts = racks.into_iter().sum();
+        assert_eq!(total_owned, Watts::new(6.0));
+    }
+
+    #[test]
+    fn power_times_time_is_energy() {
+        let e = Watts::new(260.0) * Seconds::from_minutes(20.0);
+        assert_eq!(e, Joules::new(260.0 * 1200.0));
+        let e2 = Seconds::from_minutes(20.0) * Watts::new(260.0);
+        assert_eq!(e, e2);
+    }
+
+    #[test]
+    fn min_max_clamp() {
+        let a = Watts::new(5.0);
+        let b = Watts::new(9.0);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(Watts::new(11.0).clamp(a, b), b);
+        assert_eq!(Watts::new(-1.0).clamp(a, b), a);
+    }
+
+    #[test]
+    fn display_includes_unit() {
+        assert_eq!(format!("{}", Watts::new(1.5)), "1.500 W");
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert!(!format!("{:?}", Watts::ZERO).is_empty());
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests for the arithmetic laws of the unit newtypes.
+
+use proptest::prelude::*;
+use recharge_units::{Amperes, Dod, Joules, Ohms, Seconds, SimTime, Soc, Volts, Watts};
+
+fn finite() -> impl Strategy<Value = f64> {
+    -1e9..1e9f64
+}
+
+fn positive() -> impl Strategy<Value = f64> {
+    1e-6..1e9f64
+}
+
+proptest! {
+    #[test]
+    fn watts_addition_commutes(a in finite(), b in finite()) {
+        prop_assert_eq!(Watts::new(a) + Watts::new(b), Watts::new(b) + Watts::new(a));
+    }
+
+    #[test]
+    fn watts_sub_is_add_of_negation(a in finite(), b in finite()) {
+        let lhs = Watts::new(a) - Watts::new(b);
+        let rhs = Watts::new(a) + (-Watts::new(b));
+        prop_assert!((lhs - rhs).abs() <= Watts::new(1e-9));
+    }
+
+    #[test]
+    fn kilowatt_round_trip(kw in finite()) {
+        let w = Watts::from_kilowatts(kw);
+        prop_assert!((w.as_kilowatts() - kw).abs() <= kw.abs() * 1e-12 + 1e-12);
+    }
+
+    #[test]
+    fn power_time_energy_consistency(p in positive(), t in positive()) {
+        let e = Watts::new(p) * Seconds::new(t);
+        let back = e / Seconds::new(t);
+        prop_assert!((back.as_watts() - p).abs() <= p * 1e-9);
+        let t_back = e / Watts::new(p);
+        prop_assert!((t_back.as_secs() - t).abs() <= t * 1e-9);
+    }
+
+    #[test]
+    fn ohms_law_round_trip(v in positive(), r in positive()) {
+        let i = Volts::new(v) / Ohms::new(r);
+        let v_back = i * Ohms::new(r);
+        prop_assert!((v_back.as_volts() - v).abs() <= v * 1e-9);
+    }
+
+    #[test]
+    fn electrical_power_consistency(v in positive(), i in positive()) {
+        let p = Volts::new(v) * Amperes::new(i);
+        prop_assert!((p.as_watts() - v * i).abs() <= (v * i).abs() * 1e-12);
+        let i_back = p / Volts::new(v);
+        prop_assert!((i_back.as_amps() - i).abs() <= i * 1e-9);
+    }
+
+    #[test]
+    fn soc_dod_complement_round_trip(x in 0.0..=1.0f64) {
+        let soc = Soc::new(x);
+        let back = soc.to_dod().to_soc();
+        prop_assert!((back.value() - x).abs() <= 1e-12);
+    }
+
+    #[test]
+    fn dod_is_clamped(x in finite()) {
+        let d = Dod::new(x);
+        prop_assert!((0.0..=1.0).contains(&d.value()));
+    }
+
+    #[test]
+    fn simtime_elapsed_consistency(start in finite(), dt in 0.0..1e9f64) {
+        let t0 = SimTime::from_secs(start);
+        let t1 = t0 + Seconds::new(dt);
+        prop_assert!(((t1 - t0).as_secs() - dt).abs() <= dt.abs() * 1e-12 + 1e-6);
+        prop_assert!(t1.since(t0).as_secs() >= 0.0);
+    }
+
+    #[test]
+    fn clamp_stays_in_bounds(x in finite(), lo in -100.0..0.0f64, hi in 0.0..100.0f64) {
+        let c = Watts::new(x).clamp(Watts::new(lo), Watts::new(hi));
+        prop_assert!(c >= Watts::new(lo) && c <= Watts::new(hi));
+    }
+
+    #[test]
+    fn joules_sum_matches_fold(values in proptest::collection::vec(-1e6..1e6f64, 0..20)) {
+        let sum: Joules = values.iter().map(|&v| Joules::new(v)).sum();
+        let fold = values.iter().fold(0.0, |a, b| a + b);
+        prop_assert!((sum.as_joules() - fold).abs() <= 1e-6);
+    }
+}

@@ -1,0 +1,40 @@
+//! Capacity sweep: how far can the MSB limit shrink before charging-time
+//! SLAs start failing, under priority-aware versus global coordination?
+//! (The Fig 14 question, as a what-if tool.)
+//!
+//! ```text
+//! cargo run --release --example capacity_sweep [medium|high]
+//! ```
+
+use recharge::dynamo::Strategy;
+use recharge::prelude::*;
+use recharge::sim::{DischargeLevel, Scenario};
+
+fn main() {
+    let discharge = match std::env::args().nth(1).as_deref() {
+        Some("high") => DischargeLevel::High,
+        _ => DischargeLevel::Medium,
+    };
+
+    println!("limit (MW) | priority-aware P1/P2/P3 met | global P1/P2/P3 met");
+    for step in 0..=8 {
+        let limit_mw = 2.6 - 0.05 * f64::from(step);
+        let mut cells = Vec::new();
+        for strategy in [Strategy::PriorityAware, Strategy::Global] {
+            let metrics = Scenario::paper_msb(99)
+                .power_limit(Watts::from_megawatts(limit_mw))
+                .strategy(strategy)
+                .discharge(discharge)
+                .build()
+                .run();
+            cells.push(format!(
+                "{:>3}/{:>3}/{:>3}",
+                metrics.sla_summary(Priority::P1).met,
+                metrics.sla_summary(Priority::P2).met,
+                metrics.sla_summary(Priority::P3).met,
+            ));
+        }
+        println!("   {limit_mw:.2}    |        {}          |      {}", cells[0], cells[1]);
+    }
+    println!("\n(89 P1 / 142 P2 / 85 P3 racks; open transition at the diurnal peak)");
+}

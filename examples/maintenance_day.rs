@@ -1,0 +1,44 @@
+//! Maintenance day: an MSB-level open transition on the paper's 316-rack
+//! evaluation fleet, comparing the three charger deployments (§V-B, Fig 13).
+//!
+//! ```text
+//! cargo run --release --example maintenance_day
+//! ```
+
+use recharge::battery::ChargePolicy;
+use recharge::dynamo::Strategy;
+use recharge::prelude::*;
+use recharge::sim::{DischargeLevel, Scenario};
+
+fn main() {
+    let limit = Watts::from_megawatts(2.3); // a constrained maintenance window
+
+    for (name, strategy, policy) in [
+        ("original 5 A charger ", Strategy::Uncoordinated, ChargePolicy::Original),
+        ("variable charger     ", Strategy::Uncoordinated, ChargePolicy::Variable),
+        ("priority-aware       ", Strategy::PriorityAware, ChargePolicy::Variable),
+    ] {
+        let metrics = Scenario::paper_msb(7)
+            .power_limit(limit)
+            .strategy(strategy)
+            .charge_policy(policy)
+            .discharge(DischargeLevel::Medium)
+            .build()
+            .run();
+
+        println!(
+            "{name}  peak draw {:>6.3} MW (limit {:.1})  spike {:>4.0} kW  max capping {:>5.1} kW  \
+             SLA met {:>3}/{}",
+            metrics.max_total_draw.as_megawatts(),
+            limit.as_megawatts(),
+            metrics.spike_magnitude().as_kilowatts(),
+            metrics.max_capped_power.as_kilowatts(),
+            metrics.total_sla_met(),
+            metrics.rack_outcomes.len(),
+        );
+        for priority in [Priority::P1, Priority::P2, Priority::P3] {
+            let summary = metrics.sla_summary(priority);
+            println!("    {priority}: {}/{} racks met their charging-time SLA", summary.met, summary.total);
+        }
+    }
+}

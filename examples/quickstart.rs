@@ -1,0 +1,56 @@
+//! Quickstart: one rack rides an open transition and charges back under the
+//! variable charger, then under a coordinated 1 A override.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use recharge::battery::{BbuParams, ChargePolicy, RackBatterySystem};
+use recharge::prelude::*;
+
+fn main() {
+    // An Open Rack V2 battery shelf: six BBUs, variable (Eq. 1) charger.
+    let mut rack = RackBatterySystem::new(BbuParams::production(), ChargePolicy::Variable);
+    println!("rack battery shelf: {} BBUs, fully charged = {}", rack.bbu_count(), rack.is_redundant());
+
+    // A 60-second open transition while the rack draws 6.3 kW.
+    let it_load = Watts::from_kilowatts(6.3);
+    rack.input_power_lost();
+    rack.step(it_load, Seconds::new(60.0));
+    rack.input_power_restored();
+    println!(
+        "after a 60 s open transition: DOD = {:.1}%, automatic setpoint = {}",
+        rack.event_dod().as_percent(),
+        rack.setpoint()
+    );
+
+    // Charge back, logging every five minutes.
+    let mut elapsed = Seconds::ZERO;
+    while !rack.is_redundant() {
+        let report = rack.step(it_load, Seconds::new(1.0));
+        if (elapsed.as_secs() as u64) % 300 == 0 {
+            println!(
+                "t+{:>4.1} min  recharge power {:>7.1} W  SoC {:>5.1}%",
+                elapsed.as_minutes(),
+                report.recharge_power.as_watts(),
+                rack.soc().value() * 100.0
+            );
+        }
+        elapsed += Seconds::new(1.0);
+    }
+    println!("fully charged after {:.1} min at the automatic setpoint", elapsed.as_minutes());
+
+    // The same event, but a Dynamo controller overrides the charger to the
+    // 1 A hardware floor (what coordination does to a low-priority rack).
+    let mut throttled = RackBatterySystem::new(BbuParams::production(), ChargePolicy::Variable);
+    throttled.input_power_lost();
+    throttled.step(it_load, Seconds::new(60.0));
+    throttled.input_power_restored();
+    throttled.set_override(Amperes::MIN_CHARGE);
+    let mut elapsed = Seconds::ZERO;
+    while !throttled.is_redundant() {
+        throttled.step(it_load, Seconds::new(1.0));
+        elapsed += Seconds::new(1.0);
+    }
+    println!("throttled to 1 A, the same charge takes {:.1} min", elapsed.as_minutes());
+}

@@ -1,0 +1,47 @@
+//! Reliability planning: derive charging-time SLAs from availability-of-
+//! redundancy targets, as §IV-A / Table II do.
+//!
+//! ```text
+//! cargo run --release --example reliability_planning
+//! ```
+
+use recharge::prelude::*;
+use recharge::reliability::{table1, AorSimulation};
+use recharge::core::SlaTable;
+
+fn main() {
+    // Sample 20,000 years of rack-input-power failures from Table I.
+    let sim = AorSimulation::new(table1::standard_sources());
+    let timeline = sim.run(20_000.0, 42);
+    println!(
+        "{:.1} power-loss episodes per rack-year; {:.1} h of raw input-power loss per year",
+        timeline.episodes_per_year(),
+        timeline.total_loss_secs() / timeline.horizon_secs() * 8_760.0,
+    );
+
+    // Fig 9(a): AOR falls linearly with battery charging time.
+    println!("\ncharging time → availability of redundancy:");
+    for minutes in [0.0, 15.0, 30.0, 45.0, 60.0, 75.0, 90.0] {
+        let aor = timeline.aor(Seconds::from_minutes(minutes));
+        println!(
+            "  {minutes:>4.0} min → AOR {:.4}%  ({:.2} h/yr without redundancy)",
+            aor * 100.0,
+            (1.0 - aor) * 8_760.0
+        );
+    }
+
+    // Table II: check the published SLA ↔ AOR correspondence.
+    let sla = SlaTable::table2();
+    println!("\nTable II cross-check:");
+    for priority in [Priority::P1, Priority::P2, Priority::P3] {
+        let budget = sla.charge_time_budget(priority);
+        let achieved = timeline.aor(budget);
+        println!(
+            "  {priority}: target {:.2}% at {:>2.0} min SLA → simulated {:.4}%  ({})",
+            sla.aor_target(priority) * 100.0,
+            budget.as_minutes(),
+            achieved * 100.0,
+            if achieved >= sla.aor_target(priority) - 2e-4 { "OK" } else { "MISS" },
+        );
+    }
+}

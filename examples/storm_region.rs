@@ -1,0 +1,47 @@
+//! Storm over a region: replay case study I (Fig 2) — a utility blip makes
+//! three data centers' batteries recharge simultaneously — then show what the
+//! variable charger and coordination would have done to the same event.
+//!
+//! ```text
+//! cargo run --release --example storm_region
+//! ```
+
+use recharge::battery::ChargePolicy;
+use recharge::dynamo::Strategy;
+use recharge::prelude::*;
+use recharge::sim::{DischargeLevel, Scenario};
+
+fn main() {
+    // A scaled stand-in for the affected fleet (≈31 MW of IT load): 1,224
+    // racks at 1/4 scale, results multiplied back up.
+    let racks = 1_224;
+    let scale = 4_896.0 / f64::from(racks);
+    let per = (racks / 3) as usize;
+
+    for (name, strategy, policy) in [
+        ("original charger (as in 2019)", Strategy::Uncoordinated, ChargePolicy::Original),
+        ("variable charger             ", Strategy::Uncoordinated, ChargePolicy::Variable),
+        ("coordinated priority-aware   ", Strategy::PriorityAware, ChargePolicy::Variable),
+    ] {
+        let metrics = Scenario::paper_msb(2)
+            .priority_counts(per, per, racks as usize - 2 * per)
+            .power_limit(Watts::from_megawatts(100.0)) // regional: observe, don't clip
+            .strategy(strategy)
+            .charge_policy(policy)
+            .discharge(DischargeLevel::Custom(0.25))
+            .build()
+            .run();
+
+        let affected = metrics.it_load_before_ot * scale;
+        let spike = metrics.spike_magnitude() * scale;
+        println!(
+            "{name}  affected load {:>5.1} MW  recharge spike +{:>4.2} MW ({:>4.1}% of the region's 61.6 MW)",
+            affected.as_megawatts(),
+            spike.as_megawatts(),
+            spike.as_watts() / 61.6e6 * 100.0,
+        );
+    }
+
+    println!("\npaper: the 2019 event spiked +9.3 MW (≈15%) and Dynamo had to cap servers;");
+    println!("the variable charger cuts that by ≈60%, and coordination shapes it to fit any budget.");
+}

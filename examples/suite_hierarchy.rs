@@ -1,0 +1,71 @@
+//! Suite-scale hierarchy: leaf controllers per RPP and upper monitors per
+//! SB/MSB, driving a threaded agent fleet — the deployed two-level shape of
+//! §IV-C, with a constraint injected at SB level where only an upper monitor
+//! can see it.
+//!
+//! ```text
+//! cargo run --release --example suite_hierarchy
+//! ```
+
+use recharge::dynamo::{AgentBus, HierarchicalControl, SimRackAgent, Strategy, ThreadedFleet};
+use recharge::power::facebook;
+use recharge::prelude::*;
+
+fn main() {
+    // A small MSB: 56 racks in rows of 4 across four SBs.
+    let plan = facebook::single_msb_with_row_size(56, 4);
+    let agents: Vec<SimRackAgent> = plan
+        .racks
+        .iter()
+        .map(|&rack| {
+            SimRackAgent::builder(rack, Priority::ALL[(rack.index() % 3) as usize])
+                .offered_load(Watts::from_kilowatts(6.2))
+                .build()
+        })
+        .collect();
+
+    // Agents live on four worker threads behind a telemetry snapshot.
+    let mut fleet = ThreadedFleet::spawn(agents, 4);
+    let mut control = HierarchicalControl::from_topology(&plan.topology, Strategy::PriorityAware);
+    println!(
+        "control tree: {} leaf controllers (RPPs), {} upper monitors (SBs + MSB)",
+        control.leaf_count(),
+        control.upper_count()
+    );
+
+    // A 90-second open transition over the whole MSB.
+    fleet.step_all(Seconds::new(90.0), |_| Watts::from_kilowatts(6.2), false);
+    fleet.step_all(Seconds::new(1.0), |_| Watts::from_kilowatts(6.2), true);
+
+    let mut total_capped = Watts::ZERO;
+    for s in 0..3_600u32 {
+        total_capped += control.tick(SimTime::from_secs(f64::from(s)), &mut fleet);
+        fleet.step_all(Seconds::new(1.0), |_| Watts::from_kilowatts(6.2), true);
+        if s % 600 == 0 {
+            let recharge: Watts = fleet
+                .racks()
+                .iter()
+                .filter_map(|&r| fleet.read(r))
+                .map(|reading| reading.recharge_power)
+                .sum();
+            println!("t+{:>2} min  fleet recharge power {:>7.1} kW", s / 60, recharge.as_kilowatts());
+        }
+        let all_done = fleet
+            .racks()
+            .iter()
+            .filter_map(|&r| fleet.read(r))
+            .all(|reading| !reading.is_charging());
+        if all_done && s > 10 {
+            println!("all batteries recharged after {:.0} min", f64::from(s) / 60.0);
+            // One more interval so the controllers observe the completions
+            // and clear their overrides.
+            control.tick(SimTime::from_secs(f64::from(s) + 1.0), &mut fleet);
+            break;
+        }
+    }
+    println!("server power capped along the way: {:.1} kW", total_capped.as_kilowatts());
+
+    let commanded = control.commanded_currents();
+    println!("racks still under coordination at exit: {}", commanded.len());
+    let _agents = fleet.into_agents(); // clean worker shutdown
+}

@@ -1,0 +1,169 @@
+//! Failure-injection tests: what happens when the mitigation layers are
+//! absent, degraded, or stressed by compound events.
+
+use recharge::battery::{BbuState, ChargePolicy};
+use recharge::dynamo::{
+    AgentBus, Controller, ControllerConfig, InMemoryBus, RackAgent, SimRackAgent, Strategy,
+};
+use recharge::prelude::*;
+use recharge::sim::{DischargeLevel, Scenario};
+
+fn small_bus(n: usize) -> InMemoryBus<SimRackAgent> {
+    let agents = (0..n as u32)
+        .map(|i| {
+            SimRackAgent::builder(RackId::new(i), Priority::ALL[(i % 3) as usize])
+                .offered_load(Watts::from_kilowatts(6.0))
+                .build()
+        })
+        .collect();
+    InMemoryBus::new(agents)
+}
+
+fn open_transition(bus: &mut InMemoryBus<SimRackAgent>, secs: f64) {
+    for a in bus.agents_mut() {
+        a.set_input_power(false);
+    }
+    for a in bus.agents_mut() {
+        a.step(Seconds::new(secs));
+    }
+    for a in bus.agents_mut() {
+        a.set_input_power(true);
+    }
+}
+
+#[test]
+fn unmitigated_recharge_spike_trips_the_breaker() {
+    // No Dynamo at all: the original charger's spike exceeds 130% of a tight
+    // limit for more than 30 s and the breaker opens — the §I failure mode.
+    let probe = Scenario::row(2, 2, 2, 3).build().run();
+    let tight = probe.it_load_before_ot.as_kilowatts() * 0.85;
+    let metrics = Scenario::row(2, 2, 2, 3)
+        .power_limit(Watts::from_kilowatts(tight))
+        .charge_policy(ChargePolicy::Original)
+        .strategy(Strategy::Uncoordinated)
+        .discharge(DischargeLevel::Medium)
+        .build()
+        .without_mitigation()
+        .run();
+    assert!(metrics.breaker_tripped, "max draw was {}", metrics.max_total_draw);
+}
+
+#[test]
+fn mitigated_run_never_trips_even_when_capping() {
+    let probe = Scenario::row(2, 2, 2, 3).build().run();
+    let tight = probe.it_load_before_ot.as_kilowatts() * 0.9;
+    let metrics = Scenario::row(2, 2, 2, 3)
+        .power_limit(Watts::from_kilowatts(tight))
+        .charge_policy(ChargePolicy::Original)
+        .strategy(Strategy::Uncoordinated)
+        .discharge(DischargeLevel::Medium)
+        .build()
+        .run();
+    assert!(!metrics.breaker_tripped);
+    assert!(metrics.max_capped_power > Watts::ZERO, "Dynamo should have capped");
+}
+
+#[test]
+fn controller_survives_unreachable_agents() {
+    let mut bus = small_bus(6);
+    bus.disconnect(RackId::new(2));
+    bus.disconnect(RackId::new(5));
+    let mut controller = Controller::new(
+        ControllerConfig::new(DeviceId::new(0), Watts::from_kilowatts(190.0)),
+        Strategy::PriorityAware,
+    );
+    open_transition(&mut bus, 60.0);
+    for s in 0..1_800 {
+        for a in bus.agents_mut() {
+            a.step(Seconds::new(1.0));
+        }
+        controller.tick(SimTime::from_secs(f64::from(s)), &mut bus);
+    }
+    // Reachable racks were coordinated and finish; unreachable ones still
+    // charge on their local automatic policy.
+    for a in bus.agents() {
+        assert!(
+            matches!(a.battery().state(), BbuState::FullyCharged | BbuState::Charging),
+            "rack {} in state {:?}",
+            a.rack(),
+            a.battery().state()
+        );
+    }
+}
+
+#[test]
+fn second_transition_mid_charge_restarts_coordination() {
+    let mut bus = small_bus(4);
+    let mut controller = Controller::new(
+        ControllerConfig::new(DeviceId::new(0), Watts::from_kilowatts(190.0)),
+        Strategy::PriorityAware,
+    );
+    open_transition(&mut bus, 45.0);
+    for s in 0..120 {
+        for a in bus.agents_mut() {
+            a.step(Seconds::new(1.0));
+        }
+        controller.tick(SimTime::from_secs(f64::from(s)), &mut bus);
+    }
+    let dod_after_first: Vec<f64> =
+        bus.agents().map(|a| a.battery().event_dod().value()).collect();
+
+    // A second, deeper transition before charging completes.
+    open_transition(&mut bus, 90.0);
+    for s in 120..240 {
+        for a in bus.agents_mut() {
+            a.step(Seconds::new(1.0));
+        }
+        controller.tick(SimTime::from_secs(f64::from(s)), &mut bus);
+    }
+    for (agent, before) in bus.agents().zip(dod_after_first) {
+        assert!(
+            agent.battery().event_dod().value() > before,
+            "second event must re-latch a deeper DOD"
+        );
+        assert_eq!(agent.battery().state(), BbuState::Charging);
+    }
+    // The controller issued fresh overrides for the new, deeper event.
+    assert_eq!(controller.commanded_currents().len(), 4);
+}
+
+#[test]
+fn override_during_cv_phase_is_safe() {
+    // Throttling a rack that has already tapered into CV must not disturb
+    // termination.
+    let mut agent = SimRackAgent::builder(RackId::new(0), Priority::P3)
+        .offered_load(Watts::from_kilowatts(6.0))
+        .build();
+    agent.set_input_power(false);
+    agent.step(Seconds::new(30.0));
+    agent.set_input_power(true);
+    // Charge until the wall power confirms the CV taper has begun.
+    let mut guard = 0;
+    loop {
+        agent.step(Seconds::new(1.0));
+        let reading = agent.read();
+        if !reading.is_charging() || reading.recharge_power < Watts::new(500.0) {
+            break;
+        }
+        guard += 1;
+        assert!(guard < 7_200, "never reached CV");
+    }
+    agent.set_charge_override(Amperes::MIN_CHARGE);
+    let mut remaining = 0;
+    while agent.read().is_charging() {
+        agent.step(Seconds::new(1.0));
+        remaining += 1;
+        assert!(remaining < 7_200, "charge did not terminate after CV override");
+    }
+    assert_eq!(agent.battery().state(), BbuState::FullyCharged);
+}
+
+#[test]
+fn cap_then_uncap_round_trip_preserves_offered_load() {
+    let mut bus = small_bus(3);
+    bus.cap_servers(RackId::new(0), Watts::from_kilowatts(3.0));
+    assert_eq!(bus.read(RackId::new(0)).unwrap().it_load, Watts::from_kilowatts(3.0));
+    bus.uncap_servers(RackId::new(0));
+    assert_eq!(bus.read(RackId::new(0)).unwrap().it_load, Watts::from_kilowatts(6.0));
+    assert_eq!(bus.read(RackId::new(0)).unwrap().capped_power, Watts::ZERO);
+}

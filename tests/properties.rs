@@ -1,0 +1,157 @@
+//! Cross-crate property tests: algorithmic invariants checked against the
+//! physical battery model.
+
+use proptest::prelude::*;
+
+use recharge::battery::{BbuPack, BbuParams, ChargeTimeTable};
+use recharge::core::{
+    assign_global, assign_priority_aware, throttle_on_overload, RackChargeState,
+    RechargePowerModel, SlaCurrentPolicy,
+};
+use recharge::prelude::*;
+
+fn arb_racks(max: usize) -> impl Strategy<Value = Vec<RackChargeState>> {
+    proptest::collection::vec((0u8..3, 0.0f64..=1.0), 1..max).prop_map(|specs| {
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (p, dod))| RackChargeState {
+                rack: RackId::new(i as u32),
+                priority: Priority::ALL[p as usize],
+                dod: Dod::new(dod),
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn algorithm1_respects_budget_and_hardware_range(
+        racks in arb_racks(40),
+        budget_kw in 0.0f64..60.0,
+    ) {
+        let policy = SlaCurrentPolicy::production();
+        let model = RechargePowerModel::production();
+        let budget = Watts::from_kilowatts(budget_kw);
+        let outcome = assign_priority_aware(&racks, budget, &policy, &model);
+
+        let floor = model.rack_power(Amperes::MIN_CHARGE) * racks.len() as f64;
+        prop_assert!(outcome.total_recharge_power <= budget.max(floor) + Watts::new(1e-6));
+        for a in &outcome.assignments {
+            prop_assert!(a.current >= Amperes::MIN_CHARGE && a.current <= Amperes::MAX_CHARGE);
+        }
+    }
+
+    #[test]
+    fn algorithm1_dominates_global_for_p1(
+        racks in arb_racks(30),
+        budget_kw in 0.0f64..40.0,
+    ) {
+        // Algorithm 1 protects P1 at least as well as the global baseline, up
+        // to one boundary rack: the SLA policy plans with a 3% safety margin,
+        // so a uniform rate can occasionally satisfy a rack with slightly
+        // less power than Algorithm 1 would assign it.
+        let policy = SlaCurrentPolicy::production();
+        let model = RechargePowerModel::production();
+        let budget = Watts::from_kilowatts(budget_kw);
+        let aware = assign_priority_aware(&racks, budget, &policy, &model);
+        let global = assign_global(&racks, budget, &policy, &model);
+        prop_assert!(
+            aware.sla_met_count(Some(Priority::P1)) + 1
+                >= global.sla_met_count(Some(Priority::P1)),
+            "P1: aware {} < global {} beyond the margin slack",
+            aware.sla_met_count(Some(Priority::P1)),
+            global.sla_met_count(Some(Priority::P1))
+        );
+    }
+
+    #[test]
+    fn throttle_covers_overload_or_reports_residual(
+        racks in arb_racks(30),
+        overload_kw in 0.0f64..30.0,
+    ) {
+        let policy = SlaCurrentPolicy::production();
+        let model = RechargePowerModel::production();
+        let assignments =
+            assign_priority_aware(&racks, Watts::from_kilowatts(100.0), &policy, &model)
+                .assignments;
+        let overload = Watts::from_kilowatts(overload_kw);
+        let outcome = throttle_on_overload(&assignments, overload, &model);
+        prop_assert!(
+            (outcome.power_shed + outcome.residual_overload - overload).abs()
+                <= Watts::new(1e-6)
+                || outcome.power_shed >= overload
+        );
+        // Throttling never raises a current.
+        for (after, before) in outcome.assignments.iter().zip(&assignments) {
+            prop_assert!(after.current <= before.current);
+        }
+    }
+
+    #[test]
+    fn sla_current_assignment_is_physically_sufficient(
+        dod in 0.05f64..=1.0,
+        priority_idx in 0u8..3,
+    ) {
+        // The current the policy assigns must actually charge the physical
+        // pack within the SLA whenever the SLA is attainable at 5 A.
+        let policy = SlaCurrentPolicy::production();
+        let priority = Priority::ALL[priority_idx as usize];
+        let dod = Dod::new(dod);
+        let current = policy.sla_current(priority, dod);
+        let attainable = policy.meets_sla(priority, dod, Amperes::MAX_CHARGE);
+        prop_assume!(attainable);
+
+        let mut pack = BbuPack::discharged(BbuParams::production(), dod);
+        let time = pack
+            .charge_to_full(current, Seconds::new(1.0), 100_000)
+            .expect("charge converges");
+        let budget = policy.sla().charge_time_budget(priority);
+        prop_assert!(
+            time <= budget + Seconds::new(60.0),
+            "{priority} at {dod}: {:.1} min > {:.1} min budget at {current}",
+            time.as_minutes(),
+            budget.as_minutes()
+        );
+    }
+
+    #[test]
+    fn charge_time_table_brackets_physical_charge(dod in 0.1f64..=1.0, amps in 1.0f64..=5.0) {
+        let table = ChargeTimeTable::production();
+        let predicted = table
+            .charge_time(Dod::new(dod), Amperes::new(amps))
+            .expect("in range");
+        let mut pack = BbuPack::discharged(BbuParams::production(), Dod::new(dod));
+        let actual = pack
+            .charge_to_full(Amperes::new(amps), Seconds::new(1.0), 200_000)
+            .expect("charge converges");
+        let err = (predicted.as_minutes() - actual.as_minutes()).abs();
+        prop_assert!(
+            err <= actual.as_minutes() * 0.05 + 1.0,
+            "table {:.1} min vs physics {:.1} min",
+            predicted.as_minutes(),
+            actual.as_minutes()
+        );
+    }
+
+    #[test]
+    fn battery_energy_is_conserved(dod in 0.05f64..=1.0, amps in 1.0f64..=5.0) {
+        let params = BbuParams::production();
+        let mut pack = BbuPack::discharged(params, Dod::new(dod));
+        let mut wall = Joules::ZERO;
+        let dt = Seconds::new(1.0);
+        let mut guard = 0;
+        while !pack.is_fully_charged() {
+            let step = pack.charge_step(Amperes::new(amps), dt);
+            wall += step.wall_power * dt;
+            guard += 1;
+            prop_assert!(guard < 200_000, "charge did not converge");
+        }
+        let stored = params.full_discharge_energy * dod;
+        // Wall energy exceeds the stored energy (losses), but not absurdly.
+        prop_assert!(wall >= stored, "wall {wall} < stored {stored}");
+        prop_assert!(wall <= stored * 2.5, "wall {wall} implausibly above stored {stored}");
+    }
+}
