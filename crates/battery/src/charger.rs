@@ -197,7 +197,10 @@ mod tests {
         for i in 0..=100 {
             let dod = Dod::new(f64::from(i) / 100.0);
             let c = variable_current(dod);
-            assert!(c >= Amperes::new(2.0) && c <= Amperes::MAX_CHARGE, "dod={dod} gave {c}");
+            assert!(
+                c >= Amperes::new(2.0) && c <= Amperes::MAX_CHARGE,
+                "dod={dod} gave {c}"
+            );
         }
     }
 
@@ -216,8 +219,12 @@ mod tests {
         // §III-B: "the recharge power is decreased by as much as 60% (if DOD
         // is less than 50%)" — 2 A vs 5 A is exactly a 60% current reduction.
         let reduction = 1.0
-            - ChargePolicy::Variable.automatic_current(Dod::new(0.3)).as_amps()
-                / ChargePolicy::Original.automatic_current(Dod::new(0.3)).as_amps();
+            - ChargePolicy::Variable
+                .automatic_current(Dod::new(0.3))
+                .as_amps()
+                / ChargePolicy::Original
+                    .automatic_current(Dod::new(0.3))
+                    .as_amps();
         assert!((reduction - 0.6).abs() < 1e-12);
     }
 

@@ -50,9 +50,15 @@ mod tests {
     fn display_messages_are_lowercase_and_informative() {
         let e = BatteryError::InvalidParams("x must be positive".into());
         assert!(e.to_string().starts_with("invalid battery parameters"));
-        let e = BatteryError::OutOfTableRange { dod: 0.5, current: 9.0 };
+        let e = BatteryError::OutOfTableRange {
+            dod: 0.5,
+            current: 9.0,
+        };
         assert!(e.to_string().contains("9.00 A"));
-        let e = BatteryError::ChargeDidNotConverge { dod: 1.0, current: 1.0 };
+        let e = BatteryError::ChargeDidNotConverge {
+            dod: 1.0,
+            current: 1.0,
+        };
         assert!(e.to_string().contains("converge"));
     }
 

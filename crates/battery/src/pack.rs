@@ -77,7 +77,11 @@ impl BbuPack {
     /// Creates a fully charged pack.
     #[must_use]
     pub fn new(params: BbuParams) -> Self {
-        BbuPack { params, soc: 1.0, charge_terminated: true }
+        BbuPack {
+            params,
+            soc: 1.0,
+            charge_terminated: true,
+        }
     }
 
     /// Creates a pack pre-discharged to the given depth of discharge.
@@ -137,8 +141,7 @@ impl BbuPack {
     /// charge, before clamping to the commanded setpoint.
     #[must_use]
     pub fn natural_cv_current(&self) -> Amperes {
-        ((self.params.cv_voltage - self.open_circuit_voltage())
-            / self.params.internal_resistance)
+        ((self.params.cv_voltage - self.open_circuit_voltage()) / self.params.internal_resistance)
             .max(Amperes::ZERO)
     }
 
@@ -189,7 +192,11 @@ impl BbuPack {
                     stored_energy: Joules::ZERO,
                 };
             }
-            (ChargePhase::ConstantVoltage, current, self.params.cv_voltage)
+            (
+                ChargePhase::ConstantVoltage,
+                current,
+                self.params.cv_voltage,
+            )
         };
 
         // Energy stored by the chemistry accrues at the open-circuit potential
@@ -198,7 +205,13 @@ impl BbuPack {
         self.soc = (self.soc + stored / self.params.full_discharge_energy).min(1.0);
 
         let wall_power = terminal * current * self.params.wall_loss_factor;
-        ChargeStep { phase, current, terminal_voltage: terminal, wall_power, stored_energy: stored }
+        ChargeStep {
+            phase,
+            current,
+            terminal_voltage: terminal,
+            wall_power,
+            stored_energy: stored,
+        }
     }
 
     /// Draws `requested` power from the pack for `dt`.
@@ -208,21 +221,30 @@ impl BbuPack {
     /// pack empties mid-step the delivered power is the average over `dt`.
     pub fn discharge_step(&mut self, requested: Watts, dt: Seconds) -> DischargeStep {
         if requested <= Watts::ZERO || dt <= Seconds::ZERO || self.is_depleted() {
-            return DischargeStep { delivered_power: Watts::ZERO, depleted: self.is_depleted() };
+            return DischargeStep {
+                delivered_power: Watts::ZERO,
+                depleted: self.is_depleted(),
+            };
         }
         self.charge_terminated = false;
 
         let power = requested.min(self.params.max_discharge_power);
         let wanted = power * dt;
         let available = self.remaining_energy();
-        let (delivered_energy, depleted) =
-            if wanted >= available { (available, true) } else { (wanted, false) };
+        let (delivered_energy, depleted) = if wanted >= available {
+            (available, true)
+        } else {
+            (wanted, false)
+        };
 
         self.soc = (self.soc - delivered_energy / self.params.full_discharge_energy).max(0.0);
         if depleted {
             self.soc = 0.0;
         }
-        DischargeStep { delivered_power: delivered_energy / dt, depleted }
+        DischargeStep {
+            delivered_power: delivered_energy / dt,
+            depleted,
+        }
     }
 
     /// Charges to completion at a fixed setpoint, returning the total time.
@@ -335,7 +357,9 @@ mod tests {
     #[test]
     fn full_charge_at_5a_takes_about_36_minutes() {
         let mut pack = pack_at(1.0);
-        let t = pack.charge_to_full(Amperes::new(5.0), Seconds::new(1.0), 100_000).unwrap();
+        let t = pack
+            .charge_to_full(Amperes::new(5.0), Seconds::new(1.0), 100_000)
+            .unwrap();
         assert!(
             (30.0..45.0).contains(&t.as_minutes()),
             "full 5 A charge took {:.1} min, expected ≈36 min",
@@ -375,7 +399,10 @@ mod tests {
             - powers.iter().cloned().fold(f64::MAX, f64::min);
         // The affine OCV makes the initial terminal voltage climb slightly
         // with SoC, so "independent" means within ≈15% here.
-        assert!(spread < 60.0, "initial power spread {spread} W too large: {powers:?}");
+        assert!(
+            spread < 60.0,
+            "initial power spread {spread} W too large: {powers:?}"
+        );
     }
 
     #[test]
@@ -404,7 +431,9 @@ mod tests {
         let mut pack = BbuPack::new(BbuParams::default());
         pack.discharge_step(Watts::new(3_300.0), Seconds::new(1.0));
         assert!(!pack.is_fully_charged());
-        let t = pack.charge_to_full(Amperes::new(2.0), Seconds::new(1.0), 100_000).unwrap();
+        let t = pack
+            .charge_to_full(Amperes::new(2.0), Seconds::new(1.0), 100_000)
+            .unwrap();
         assert!(t > Seconds::ZERO);
     }
 
@@ -419,7 +448,10 @@ mod tests {
             wall += step.wall_power * dt;
             stored += step.stored_energy;
         }
-        assert!(wall > stored, "wall energy must exceed stored energy (losses)");
+        assert!(
+            wall > stored,
+            "wall energy must exceed stored energy (losses)"
+        );
         assert!(
             (stored.as_joules() - 297_000.0).abs() / 297_000.0 < 0.02,
             "stored {stored} should match capacity"
@@ -430,14 +462,20 @@ mod tests {
     fn lower_current_charges_slower() {
         let mut fast = pack_at(0.6);
         let mut slow = pack_at(0.6);
-        let t_fast = fast.charge_to_full(Amperes::new(5.0), Seconds::new(1.0), 200_000).unwrap();
-        let t_slow = slow.charge_to_full(Amperes::new(1.0), Seconds::new(1.0), 200_000).unwrap();
+        let t_fast = fast
+            .charge_to_full(Amperes::new(5.0), Seconds::new(1.0), 200_000)
+            .unwrap();
+        let t_slow = slow
+            .charge_to_full(Amperes::new(1.0), Seconds::new(1.0), 200_000)
+            .unwrap();
         assert!(t_slow > t_fast);
     }
 
     #[test]
     fn charge_to_full_gives_none_when_budget_too_small() {
         let mut pack = pack_at(1.0);
-        assert!(pack.charge_to_full(Amperes::new(1.0), Seconds::new(1.0), 10).is_none());
+        assert!(pack
+            .charge_to_full(Amperes::new(1.0), Seconds::new(1.0), 10)
+            .is_none());
     }
 }

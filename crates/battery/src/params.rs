@@ -165,7 +165,9 @@ mod tests {
 
     #[test]
     fn production_params_are_valid() {
-        BbuParams::production().validate().expect("calibrated defaults must validate");
+        BbuParams::production()
+            .validate()
+            .expect("calibrated defaults must validate");
     }
 
     #[test]
@@ -181,7 +183,9 @@ mod tests {
         assert_eq!(p.ocv(0.0), p.ocv_empty);
         assert_eq!(p.ocv(1.0), p.ocv_full);
         let mid = p.ocv(0.5);
-        assert!((mid.as_volts() - (p.ocv_empty.as_volts() + p.ocv_full.as_volts()) / 2.0).abs() < 1e-9);
+        assert!(
+            (mid.as_volts() - (p.ocv_empty.as_volts() + p.ocv_full.as_volts()) / 2.0).abs() < 1e-9
+        );
         assert_eq!(p.ocv(2.0), p.ocv_full);
         assert_eq!(p.ocv(-1.0), p.ocv_empty);
     }
@@ -199,24 +203,32 @@ mod tests {
 
     #[test]
     fn validation_rejects_broken_configs() {
-        let mut p = BbuParams::default();
-        p.charge_efficiency = 1.5;
+        let p = BbuParams {
+            charge_efficiency: 1.5,
+            ..BbuParams::default()
+        };
         assert!(matches!(p.validate(), Err(BatteryError::InvalidParams(_))));
 
         let mut p = BbuParams::default();
         p.ocv_full = p.ocv_empty - Volts::new(1.0);
         assert!(p.validate().is_err());
 
-        let mut p = BbuParams::default();
-        p.wall_loss_factor = 0.5;
+        let p = BbuParams {
+            wall_loss_factor: 0.5,
+            ..BbuParams::default()
+        };
         assert!(p.validate().is_err());
 
-        let mut p = BbuParams::default();
-        p.cutoff_current = Amperes::new(2.0);
+        let p = BbuParams {
+            cutoff_current: Amperes::new(2.0),
+            ..BbuParams::default()
+        };
         assert!(p.validate().is_err());
 
-        let mut p = BbuParams::default();
-        p.bbus_per_rack = 0;
+        let p = BbuParams {
+            bbus_per_rack: 0,
+            ..BbuParams::default()
+        };
         assert!(p.validate().is_err());
     }
 }

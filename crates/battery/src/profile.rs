@@ -68,10 +68,14 @@ impl EmpiricalProfile {
         params.validate()?;
         let trace = simulate_rack_recharge(params, dod, current)?;
 
-        let cc_samples: Vec<&ProfileSample> =
-            trace.iter().filter(|s| s.phase == ChargePhase::ConstantCurrent).collect();
-        let cv_samples: Vec<&ProfileSample> =
-            trace.iter().filter(|s| s.phase == ChargePhase::ConstantVoltage).collect();
+        let cc_samples: Vec<&ProfileSample> = trace
+            .iter()
+            .filter(|s| s.phase == ChargePhase::ConstantCurrent)
+            .collect();
+        let cv_samples: Vec<&ProfileSample> = trace
+            .iter()
+            .filter(|s| s.phase == ChargePhase::ConstantVoltage)
+            .collect();
 
         let cc_duration = Seconds::new(cc_samples.len() as f64);
         let cc_power = if cc_samples.is_empty() {
@@ -132,7 +136,9 @@ impl EmpiricalProfile {
     #[must_use]
     pub fn total_energy(&self) -> recharge_units::Joules {
         let cc = self.cc_power * self.cc_duration;
-        let tail_minutes = (self.total_duration - self.cc_duration).as_minutes().max(0.0);
+        let tail_minutes = (self.total_duration - self.cc_duration)
+            .as_minutes()
+            .max(0.0);
         let cv = if self.cv_decay_per_minute > 1e-12 {
             self.cv_initial
                 * Seconds::from_minutes(
@@ -166,7 +172,10 @@ fn simulate_rack_recharge(
     if energy > recharge_units::Joules::ZERO {
         // Discharge the representative BBU at its max rate for the right time.
         let secs = energy / params.max_discharge_power;
-        rack.step(params.max_discharge_power * f64::from(params.bbus_per_rack), secs);
+        rack.step(
+            params.max_discharge_power * f64::from(params.bbus_per_rack),
+            secs,
+        );
     }
     rack.input_power_restored();
     rack.set_override(current);
@@ -195,7 +204,11 @@ fn simulate_rack_recharge(
             ChargePhase::ConstantVoltage
         };
         if report.recharge_power > Watts::ZERO {
-            samples.push(ProfileSample { at: elapsed, phase, power: report.recharge_power });
+            samples.push(ProfileSample {
+                at: elapsed,
+                phase,
+                power: report.recharge_power,
+            });
         }
         elapsed += dt;
     }
@@ -239,8 +252,8 @@ mod tests {
 
     #[test]
     fn power_peaks_early_and_ends_at_zero() {
-        let p = EmpiricalProfile::fit(&BbuParams::default(), Dod::new(0.8), Amperes::new(4.0))
-            .unwrap();
+        let p =
+            EmpiricalProfile::fit(&BbuParams::default(), Dod::new(0.8), Amperes::new(4.0)).unwrap();
         // The closed form may step up slightly at the CC→CV hand-off (the CV
         // regulation voltage exceeds the CC→CV threshold), but the profile
         // peak stays within 25% of the CC plateau and the tail decays.
@@ -250,9 +263,16 @@ mod tests {
             peak = peak.max(p.power_at(t).as_watts());
             t += Seconds::new(10.0);
         }
-        assert!(peak <= p.cc_power.as_watts() * 1.25, "peak {peak} vs CC {}", p.cc_power);
+        assert!(
+            peak <= p.cc_power.as_watts() * 1.25,
+            "peak {peak} vs CC {}",
+            p.cc_power
+        );
         let near_end = p.power_at(p.total_duration - Seconds::new(30.0));
-        assert!(near_end < p.cc_power * 0.7, "tail {near_end} should have decayed");
+        assert!(
+            near_end < p.cc_power * 0.7,
+            "tail {near_end} should have decayed"
+        );
         assert_eq!(p.power_at(p.total_duration), Watts::ZERO);
         assert_eq!(p.power_at(Seconds::new(-1.0)), Watts::ZERO);
     }
@@ -263,12 +283,14 @@ mod tests {
         let p = EmpiricalProfile::fit(&params, Dod::FULL, Amperes::new(5.0)).unwrap();
         // Physics wall energy: 6 BBUs × capacity / efficiency × loss factor,
         // roughly — the closed form should land within 30%.
-        let physical = params.full_discharge_energy.as_joules()
-            * f64::from(params.bbus_per_rack)
+        let physical = params.full_discharge_energy.as_joules() * f64::from(params.bbus_per_rack)
             / params.charge_efficiency
             * params.wall_loss_factor;
         let ratio = p.total_energy().as_joules() / physical;
-        assert!((0.7..1.3).contains(&ratio), "closed-form/physics energy ratio {ratio:.2}");
+        assert!(
+            (0.7..1.3).contains(&ratio),
+            "closed-form/physics energy ratio {ratio:.2}"
+        );
     }
 
     #[test]

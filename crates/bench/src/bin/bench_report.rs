@@ -1,0 +1,177 @@
+//! Fast-path benchmark reporter: times each serial/fast-path pair, verifies
+//! the fast path is result-equivalent, and emits one `BENCH_<name>.json` per
+//! pair into the current directory.
+//!
+//! ```text
+//! bench_report [out_dir]
+//! ```
+//!
+//! Speedups are only meaningful relative to the recorded `cores` value: on a
+//! single-core host the parallel paths measure their coordination overhead,
+//! while the equivalence flags hold on any core count.
+
+use std::fmt::Write as _;
+use std::path::Path;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use recharge_core::SlaCurrentPolicy;
+use recharge_dynamo::Strategy;
+use recharge_reliability::{table1, AorSimulation, PhysicalAorSimulation};
+use recharge_sim::{DischargeLevel, Scenario};
+use recharge_units::{Amperes, Dod, Priority, Seconds, Watts};
+
+struct Pair {
+    name: &'static str,
+    serial_secs: f64,
+    fast_secs: f64,
+    identical: bool,
+}
+
+impl Pair {
+    fn emit(&self, out_dir: &Path, cores: usize) -> std::io::Result<()> {
+        let mut json = String::new();
+        let _ = writeln!(json, "{{");
+        let _ = writeln!(json, "  \"benchmark\": \"{}\",", self.name);
+        let _ = writeln!(json, "  \"serial_secs\": {:.6},", self.serial_secs);
+        let _ = writeln!(json, "  \"fast_secs\": {:.6},", self.fast_secs);
+        let _ = writeln!(
+            json,
+            "  \"speedup\": {:.3},",
+            self.serial_secs / self.fast_secs.max(1e-12)
+        );
+        let _ = writeln!(json, "  \"identical\": {},", self.identical);
+        let _ = writeln!(json, "  \"cores\": {cores}");
+        let _ = writeln!(json, "}}");
+        let path = out_dir.join(format!("BENCH_{}.json", self.name));
+        std::fs::write(&path, json)?;
+        println!(
+            "{}: serial {:.3}s, fast {:.3}s, speedup {:.2}x, identical: {}",
+            self.name,
+            self.serial_secs,
+            self.fast_secs,
+            self.serial_secs / self.fast_secs.max(1e-12),
+            self.identical
+        );
+        Ok(())
+    }
+}
+
+fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let value = f();
+    (value, start.elapsed().as_secs_f64())
+}
+
+fn parallel_montecarlo(cores: usize) -> Pair {
+    let sim = AorSimulation::new(table1::standard_sources());
+    let (years, trials, seed) = (2_000.0, 16, 17);
+    let (serial, serial_secs) = time(|| sim.run_trials(years, trials, seed));
+    let (parallel, fast_secs) = time(|| sim.run_trials_parallel(years, trials, seed, cores));
+    Pair {
+        name: "parallel_montecarlo",
+        serial_secs,
+        fast_secs,
+        identical: serial == parallel,
+    }
+}
+
+fn parallel_physical_aor(cores: usize) -> Pair {
+    let sim = PhysicalAorSimulation::new(
+        AorSimulation::new(table1::standard_sources()),
+        Watts::from_kilowatts(6.3),
+    );
+    let table = recharge_battery::ChargeTimeTable::production();
+    let policy = SlaCurrentPolicy::production();
+    let rule = |dod: Dod| policy.sla_current(Priority::P2, dod);
+    let (years, trials, seed) = (1_000.0, 12, 5);
+    let (serial, serial_secs) = time(|| sim.run_trials_with(years, trials, seed, table, rule));
+    let (parallel, fast_secs) =
+        time(|| sim.run_trials_parallel_with(years, trials, seed, cores, table, rule));
+    Pair {
+        name: "parallel_physical_aor",
+        serial_secs,
+        fast_secs,
+        identical: serial == parallel,
+    }
+}
+
+fn memoized_policy() -> Pair {
+    let policy = SlaCurrentPolicy::production();
+    let queries: Vec<(Priority, Dod)> = (0..300_000)
+        .map(|i| (Priority::ALL[i % 3], Dod::new((i % 997) as f64 / 997.0)))
+        .collect();
+    let (exact, serial_secs) = time(|| {
+        queries
+            .iter()
+            .map(|&(p, d)| policy.sla_current_exact(p, d).as_amps())
+            .sum::<f64>()
+    });
+    let (memo, fast_secs) = time(|| {
+        queries
+            .iter()
+            .map(|&(p, d)| policy.sla_current(p, d).as_amps())
+            .sum::<f64>()
+    });
+    // The memo rounds DOD up to the next of 1024 bins, so aggregate currents
+    // sit within a per-query bin-step of the exact sum (0.02 A is generous).
+    let identical = (exact - memo).abs() / queries.len() as f64 <= 0.02
+        && queries.iter().all(|&(p, d)| {
+            policy.sla_current(p, d) >= policy.sla_current_exact(p, d)
+                && policy.sla_current(p, d) >= Amperes::MIN_CHARGE
+        });
+    Pair {
+        name: "memoized_policy",
+        serial_secs,
+        fast_secs,
+        identical,
+    }
+}
+
+fn sharded_sim(cores: usize) -> Pair {
+    let base = Scenario::row(3, 2, 2, 7)
+        .power_limit(Watts::from_kilowatts(190.0))
+        .strategy(Strategy::PriorityAware)
+        .discharge(DischargeLevel::Low)
+        .tick(Seconds::new(1.0))
+        .max_horizon(Seconds::from_hours(2.5));
+    let (serial, serial_secs) = time(|| base.clone().build().run());
+    let (sharded, fast_secs) = time(|| base.clone().shards(cores).build().run());
+    Pair {
+        name: "sharded_sim",
+        serial_secs,
+        fast_secs,
+        identical: serial == sharded,
+    }
+}
+
+fn main() -> ExitCode {
+    let out = std::env::args().nth(1).unwrap_or_else(|| ".".to_owned());
+    let out_dir = Path::new(&out).to_path_buf();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "bench_report: {cores} core(s), writing to {}",
+        out_dir.display()
+    );
+
+    let pairs = [
+        parallel_montecarlo(cores),
+        parallel_physical_aor(cores),
+        memoized_policy(),
+        sharded_sim(cores),
+    ];
+    let mut ok = true;
+    for pair in &pairs {
+        if let Err(e) = pair.emit(&out_dir, cores) {
+            eprintln!("failed to write BENCH_{}.json: {e}", pair.name);
+            ok = false;
+        }
+        ok &= pair.identical;
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("fast-path mismatch or write failure — see output above");
+        ExitCode::from(1)
+    }
+}

@@ -15,8 +15,9 @@ use crate::{ExperimentReport, Table};
 #[must_use]
 pub fn run() -> ExperimentReport {
     let with_floor = SlaCurrentPolicy::production();
-    let without_floor = SlaCurrentPolicy::new(ChargeTimeTable::production().clone(), SlaTable::table2())
-        .with_floors([Amperes::MIN_CHARGE; 3]);
+    let without_floor =
+        SlaCurrentPolicy::new(ChargeTimeTable::production().clone(), SlaTable::table2())
+            .with_floors([Amperes::MIN_CHARGE; 3]);
 
     let mut table = Table::new(&[
         "DOD",

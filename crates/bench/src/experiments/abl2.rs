@@ -17,7 +17,7 @@ use crate::{ExperimentReport, Table};
 enum Order {
     LowestDodFirst,
     HighestDodFirst,
-    RackIdOrder,
+    ByRackId,
 }
 
 /// Algorithm 1 with a configurable within-priority order (the production
@@ -45,11 +45,14 @@ fn assign_with_order(
         .collect();
     let mut idx: Vec<usize> = (0..racks.len()).collect();
     idx.sort_by(|&a, &b| {
-        racks[a].priority.cmp(&racks[b].priority).then_with(|| match order {
-            Order::HighestDodFirst => racks[b].dod.value().total_cmp(&racks[a].dod.value()),
-            Order::RackIdOrder => racks[a].rack.cmp(&racks[b].rack),
-            Order::LowestDodFirst => unreachable!("handled above"),
-        })
+        racks[a]
+            .priority
+            .cmp(&racks[b].priority)
+            .then_with(|| match order {
+                Order::HighestDodFirst => racks[b].dod.value().total_cmp(&racks[a].dod.value()),
+                Order::ByRackId => racks[a].rack.cmp(&racks[b].rack),
+                Order::LowestDodFirst => unreachable!("handled above"),
+            })
     });
     let mut remaining = available - model.rack_power(Amperes::MIN_CHARGE) * racks.len() as f64;
     for &i in &idx {
@@ -99,7 +102,7 @@ pub fn run() -> ExperimentReport {
         };
         let best = count(Order::LowestDodFirst);
         let worst = count(Order::HighestDodFirst);
-        let neutral = count(Order::RackIdOrder);
+        let neutral = count(Order::ByRackId);
         advantage.push(best as f64 / worst.max(1) as f64);
         table.row(&[
             format!("{budget_kw:.0}"),

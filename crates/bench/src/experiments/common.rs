@@ -20,8 +20,11 @@ pub enum Deployment {
 
 impl Deployment {
     /// All deployments in the paper's comparison order.
-    pub const ALL: [Deployment; 3] =
-        [Deployment::OriginalCharger, Deployment::VariableCharger, Deployment::PriorityAware];
+    pub const ALL: [Deployment; 3] = [
+        Deployment::OriginalCharger,
+        Deployment::VariableCharger,
+        Deployment::PriorityAware,
+    ];
 
     /// Short label used in report tables.
     #[must_use]
@@ -95,9 +98,18 @@ mod tests {
 
     #[test]
     fn deployment_mapping() {
-        assert_eq!(Deployment::OriginalCharger.charge_policy(), ChargePolicy::Original);
-        assert_eq!(Deployment::PriorityAware.strategy(), Strategy::PriorityAware);
-        assert_eq!(Deployment::VariableCharger.strategy(), Strategy::Uncoordinated);
+        assert_eq!(
+            Deployment::OriginalCharger.charge_policy(),
+            ChargePolicy::Original
+        );
+        assert_eq!(
+            Deployment::PriorityAware.strategy(),
+            Strategy::PriorityAware
+        );
+        assert_eq!(
+            Deployment::VariableCharger.strategy(),
+            Strategy::Uncoordinated
+        );
         assert_eq!(Deployment::OriginalCharger.label(), "original charger");
     }
 

@@ -18,8 +18,11 @@ use crate::{fast_mode, ExperimentReport, Table};
 #[must_use]
 pub fn run() -> ExperimentReport {
     let counts = paper_counts();
-    let limits: Vec<f64> =
-        if fast_mode() { vec![2.2, 2.1] } else { vec![2.25, 2.2, 2.15, 2.1, 2.05] };
+    let limits: Vec<f64> = if fast_mode() {
+        vec![2.2, 2.1]
+    } else {
+        vec![2.25, 2.2, 2.15, 2.1, 2.05]
+    };
 
     let mut table = Table::new(&[
         "limit (MW)",

@@ -14,6 +14,13 @@ use recharge_units::{Amperes, Priority, Watts};
 
 use crate::{fast_mode, ExperimentReport, Table};
 
+/// A labelled charging rule: (name, annotation, DOD → current).
+type LabelledRule<'a> = (
+    String,
+    String,
+    Box<dyn FnMut(recharge_units::Dod) -> Amperes + 'a>,
+);
+
 /// Runs the physical-AOR comparison across charging rules.
 #[must_use]
 pub fn run() -> ExperimentReport {
@@ -32,13 +39,17 @@ pub fn run() -> ExperimentReport {
         "mean charge time (min)",
         "target",
     ]);
-    let mut rows: Vec<(String, String, Box<dyn FnMut(recharge_units::Dod) -> Amperes + '_>)> = vec![
+    let mut rows: Vec<LabelledRule<'_>> = vec![
         (
             "original 5 A charger".into(),
             "(fastest possible)".into(),
             Box::new(|dod| ChargePolicy::Original.automatic_current(dod)),
         ),
-        ("variable charger (Eq. 1)".into(), "≤45 min bound".into(), Box::new(variable_current)),
+        (
+            "variable charger (Eq. 1)".into(),
+            "≤45 min bound".into(),
+            Box::new(variable_current),
+        ),
     ];
     for priority in Priority::ALL {
         let policy = &policy;

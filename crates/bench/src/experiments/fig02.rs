@@ -17,7 +17,11 @@ pub fn run() -> ExperimentReport {
     let divisor = if fast_mode() { 16 } else { 1 };
     let affected_racks = 4_896 / divisor;
     let scale = 4_896.0 / affected_racks as f64;
-    let counts = (affected_racks / 3, affected_racks / 3, affected_racks - 2 * (affected_racks / 3));
+    let counts = (
+        affected_racks / 3,
+        affected_racks / 3,
+        affected_racks - 2 * (affected_racks / 3),
+    );
 
     // Substitution: the sag was sub-second, but the observed 25-minute spike
     // decay implies the BBU fleet recharged far more energy than a 1-second
@@ -52,8 +56,16 @@ pub fn run() -> ExperimentReport {
         / 60.0;
 
     let mut table = Table::new(&["quantity", "paper", "measured"]);
-    table.row(&["regional load before blip", "61.6 MW", &format!("{:.1} MW", regional_before.as_megawatts())]);
-    table.row(&["recharge power spike", "+9.3 MW", &format!("+{:.1} MW", spike.as_megawatts())]);
+    table.row(&[
+        "regional load before blip",
+        "61.6 MW",
+        &format!("{:.1} MW", regional_before.as_megawatts()),
+    ]);
+    table.row(&[
+        "recharge power spike",
+        "+9.3 MW",
+        &format!("+{:.1} MW", spike.as_megawatts()),
+    ]);
     table.row(&["spike as % of load", "≈15%", &format!("≈{pct:.0}%")]);
     table.row(&["spike duration", "≈25 min", &format!("≈{duration:.0} min")]);
 

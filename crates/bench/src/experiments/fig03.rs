@@ -21,7 +21,7 @@ pub fn run() -> ExperimentReport {
         if step.phase == ChargePhase::ConstantVoltage && cc_end.is_none() {
             cc_end = Some(elapsed.as_minutes());
         }
-        if (elapsed.as_secs() as u64) % 60 == 0 {
+        if (elapsed.as_secs() as u64).is_multiple_of(60) {
             let phase = match step.phase {
                 ChargePhase::ConstantCurrent => "CC",
                 ChargePhase::ConstantVoltage => "CV",

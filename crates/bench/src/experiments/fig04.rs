@@ -26,7 +26,7 @@ pub fn run() -> ExperimentReport {
             if initial.is_none() && step.wall_power > Watts::ZERO {
                 initial = Some(step.wall_power.as_watts());
             }
-            if (elapsed.as_secs() as u64) % 300 == 0 {
+            if (elapsed.as_secs() as u64).is_multiple_of(300) {
                 series.push(step.wall_power.as_watts());
             }
             elapsed += dt;
@@ -36,12 +36,22 @@ pub fn run() -> ExperimentReport {
         totals.push(elapsed.as_minutes());
     }
 
-    let mut table = Table::new(&["t (min)", "25% DOD (W)", "50% DOD (W)", "75% DOD (W)", "100% DOD (W)"]);
+    let mut table = Table::new(&[
+        "t (min)",
+        "25% DOD (W)",
+        "50% DOD (W)",
+        "75% DOD (W)",
+        "100% DOD (W)",
+    ]);
     let longest = profiles.iter().map(Vec::len).max().unwrap_or(0);
     for i in 0..longest {
         let mut cells = vec![format!("{}", i * 5)];
         for profile in &profiles {
-            cells.push(profile.get(i).map_or_else(|| "-".to_owned(), |p| format!("{p:.0}")));
+            cells.push(
+                profile
+                    .get(i)
+                    .map_or_else(|| "-".to_owned(), |p| format!("{p:.0}")),
+            );
         }
         table.row(&cells);
     }

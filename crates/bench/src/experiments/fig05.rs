@@ -11,7 +11,14 @@ pub fn run() -> ExperimentReport {
     let table = ChargeTimeTable::production();
     let currents = [1.0, 2.0, 3.0, 4.0, 5.0];
 
-    let mut out = Table::new(&["DOD", "1 A (min)", "2 A (min)", "3 A (min)", "4 A (min)", "5 A (min)"]);
+    let mut out = Table::new(&[
+        "DOD",
+        "1 A (min)",
+        "2 A (min)",
+        "3 A (min)",
+        "4 A (min)",
+        "5 A (min)",
+    ]);
     for decile in (1..=10).rev() {
         let dod = Dod::new(f64::from(decile) / 10.0);
         let mut cells = vec![format!("{:.0}%", dod.as_percent())];

@@ -1,6 +1,6 @@
 //! Fig 6(b): the variable charger's CC-current selection versus DOD (Eq. 1).
 
-use recharge_battery::{ChargeTimeTable, variable_current};
+use recharge_battery::{variable_current, ChargeTimeTable};
 use recharge_units::Dod;
 
 use crate::{ExperimentReport, Table};
@@ -10,18 +10,30 @@ use crate::{ExperimentReport, Table};
 #[must_use]
 pub fn run() -> ExperimentReport {
     let table = ChargeTimeTable::production();
-    let mut out = Table::new(&["DOD", "I_C (A)", "resulting charge time (min)", "within 45 min"]);
+    let mut out = Table::new(&[
+        "DOD",
+        "I_C (A)",
+        "resulting charge time (min)",
+        "within 45 min",
+    ]);
     let mut worst: f64 = 0.0;
     for pct in (0..=100).step_by(10) {
         let dod = Dod::from_percent(f64::from(pct));
         let current = variable_current(dod);
-        let time = table.charge_time(dod, current).expect("in range").as_minutes();
+        let time = table
+            .charge_time(dod, current)
+            .expect("in range")
+            .as_minutes();
         worst = worst.max(time);
         out.row(&[
             format!("{pct}%"),
             format!("{:.1}", current.as_amps()),
             format!("{time:.1}"),
-            if time <= 45.0 { "yes".to_owned() } else { "NO".to_owned() },
+            if time <= 45.0 {
+                "yes".to_owned()
+            } else {
+                "NO".to_owned()
+            },
         ]);
     }
 

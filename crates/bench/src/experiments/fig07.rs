@@ -24,7 +24,12 @@ pub fn run() -> ExperimentReport {
     let variable = row_run(ChargePolicy::Variable);
     let original = row_run(ChargePolicy::Original);
 
-    let mut table = Table::new(&["quantity", "paper", "variable (measured)", "original (measured)"]);
+    let mut table = Table::new(&[
+        "quantity",
+        "paper",
+        "variable (measured)",
+        "original (measured)",
+    ]);
     table.row(&[
         "mean depth of discharge",
         "≈20% (all <50%)",
@@ -38,7 +43,12 @@ pub fn run() -> ExperimentReport {
         &format!("{:.1} kW", original.spike_magnitude().as_kilowatts()),
     ]);
     let reduction = 1.0 - variable.spike_magnitude() / original.spike_magnitude();
-    table.row(&["spike reduction", "≈60%", &format!("{:.0}%", reduction * 100.0), "-"]);
+    table.row(&[
+        "spike reduction",
+        "≈60%",
+        &format!("{:.0}%", reduction * 100.0),
+        "-",
+    ]);
 
     let charge_minutes = variable
         .rack_outcomes

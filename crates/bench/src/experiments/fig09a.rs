@@ -11,10 +11,16 @@ use crate::{fast_mode, ExperimentReport, Table};
 pub fn run() -> ExperimentReport {
     let horizon_years = if fast_mode() { 1_000.0 } else { 100_000.0 };
     let sim = AorSimulation::new(table1::standard_sources());
-    let times: Vec<Seconds> = (0..=9).map(|i| Seconds::from_minutes(f64::from(i) * 10.0)).collect();
+    let times: Vec<Seconds> = (0..=9)
+        .map(|i| Seconds::from_minutes(f64::from(i) * 10.0))
+        .collect();
     let curve = sim.aor_curve(horizon_years, 0xA09A, &times);
 
-    let mut out = Table::new(&["charging time (min)", "AOR (%)", "loss of redundancy (h/yr)"]);
+    let mut out = Table::new(&[
+        "charging time (min)",
+        "AOR (%)",
+        "loss of redundancy (h/yr)",
+    ]);
     for &(t, aor) in &curve.points {
         out.row(&[
             format!("{:.0}", t.as_minutes()),

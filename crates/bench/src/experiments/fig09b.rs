@@ -9,12 +9,20 @@ use crate::{ExperimentReport, Table};
 #[must_use]
 pub fn run() -> ExperimentReport {
     let policy = SlaCurrentPolicy::production();
-    let mut out = Table::new(&["DOD", "P1 / 30 min (A)", "P2 / 60 min (A)", "P3 / 90 min (A)"]);
+    let mut out = Table::new(&[
+        "DOD",
+        "P1 / 30 min (A)",
+        "P2 / 60 min (A)",
+        "P3 / 90 min (A)",
+    ]);
     for pct in (0..=100).step_by(10) {
         let dod = Dod::from_percent(f64::from(pct));
         let mut cells = vec![format!("{pct}%")];
         for priority in Priority::ALL {
-            cells.push(format!("{:.2}", policy.sla_current(priority, dod).as_amps()));
+            cells.push(format!(
+                "{:.2}",
+                policy.sla_current(priority, dod).as_amps()
+            ));
         }
         out.row(&cells);
     }

@@ -71,7 +71,10 @@ fn run_row(ot_secs: f64) -> RowOutcome {
         }
         if s == 60 {
             for rack in bus.racks() {
-                plateau.insert(rack, bus.read(rack).expect("agent reachable").recharge_power);
+                plateau.insert(
+                    rack,
+                    bus.read(rack).expect("agent reachable").recharge_power,
+                );
             }
         }
         for rack in bus.racks() {
@@ -84,7 +87,12 @@ fn run_row(ot_secs: f64) -> RowOutcome {
             break;
         }
     }
-    RowOutcome { commanded, plateau, completion, priorities }
+    RowOutcome {
+        commanded,
+        plateau,
+        completion,
+        priorities,
+    }
 }
 
 fn render_variant(outcome: &RowOutcome) -> String {
@@ -136,8 +144,14 @@ pub fn run() -> ExperimentReport {
     let deep = run_row(60.0);
 
     let mut sections = vec![
-        format!("paper's literal 5 s transition (<5% DOD):\n{}", render_variant(&literal)),
-        format!("60 s transition (≈20% DOD) where commanded currents bind:\n{}", render_variant(&deep)),
+        format!(
+            "paper's literal 5 s transition (<5% DOD):\n{}",
+            render_variant(&literal)
+        ),
+        format!(
+            "60 s transition (≈20% DOD) where commanded currents bind:\n{}",
+            render_variant(&deep)
+        ),
     ];
     sections.push(
         "paper: P1 racks overridden to 2 A (≈700 W each, done ≈30 min); P2/P3 relaxed to 1 A \

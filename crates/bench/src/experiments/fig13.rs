@@ -45,9 +45,16 @@ pub fn results() -> Vec<CaseResult> {
     let mut out = Vec::new();
     for (case, limit_mw, discharge) in cases() {
         for deployment in Deployment::ALL {
-            let metrics =
-                msb_scenario(counts, limit_mw, discharge, deployment, None, 0xF13).build().run();
-            out.push(CaseResult { case, limit_mw, discharge, deployment, metrics });
+            let metrics = msb_scenario(counts, limit_mw, discharge, deployment, None, 0xF13)
+                .build()
+                .run();
+            out.push(CaseResult {
+                case,
+                limit_mw,
+                discharge,
+                deployment,
+                metrics,
+            });
         }
     }
     out
@@ -83,8 +90,12 @@ pub fn render(results: &[CaseResult]) -> ExperimentReport {
             format!("{:.3}", r.metrics.it_load_before_ot.as_megawatts() * scale),
             format!("{:.3}", r.metrics.max_total_draw.as_megawatts() * scale),
             format!("{:.0}", r.metrics.max_recharge_power.as_kilowatts() * scale),
-            if r.metrics.max_total_draw > r.metrics.power_limit { "YES" } else { "no" }
-                .to_owned(),
+            if r.metrics.max_total_draw > r.metrics.power_limit {
+                "YES"
+            } else {
+                "no"
+            }
+            .to_owned(),
             format!("{:.0}", r.metrics.max_capped_power.as_kilowatts() * scale),
         ]);
     }

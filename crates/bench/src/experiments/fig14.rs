@@ -77,7 +77,10 @@ pub(crate) fn render_sweep(
 pub fn run() -> ExperimentReport {
     let counts = paper_counts();
     let mut sections = Vec::new();
-    for (dl, name) in [(DischargeLevel::Medium, "medium"), (DischargeLevel::High, "high")] {
+    for (dl, name) in [
+        (DischargeLevel::Medium, "medium"),
+        (DischargeLevel::High, "high"),
+    ] {
         let aware = sweep(counts, Strategy::PriorityAware, dl, 0xF14);
         let global = sweep(counts, Strategy::Global, dl, 0xF14);
         sections.push(render_sweep(

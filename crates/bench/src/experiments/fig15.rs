@@ -19,10 +19,14 @@ pub fn run() -> ExperimentReport {
 
     let mut sections = Vec::new();
     let mut averages = Vec::new();
-    for (counts, name) in [(even, "evenly distributed (thirds)"), (all_p1, "all racks P1")] {
-        for (strategy, label) in
-            [(Strategy::PriorityAware, "priority-aware"), (Strategy::Global, "global")]
-        {
+    for (counts, name) in [
+        (even, "evenly distributed (thirds)"),
+        (all_p1, "all racks P1"),
+    ] {
+        for (strategy, label) in [
+            (Strategy::PriorityAware, "priority-aware"),
+            (Strategy::Global, "global"),
+        ] {
             let rows = sweep(counts, strategy, DischargeLevel::Medium, 0xF15);
             let avg_total: f64 = rows.iter().map(|r| (r.1 + r.2 + r.3) as f64).sum::<f64>()
                 / rows.len().max(1) as f64;
@@ -39,10 +43,19 @@ pub fn run() -> ExperimentReport {
         .iter()
         .find(|(n, l, _)| *n == "all racks P1" && *l == "global")
         .map_or(0.0, |&(_, _, a)| a);
-    let ratio = if all_p1_global > 0.0 { all_p1_aware / all_p1_global } else { f64::INFINITY };
+    let ratio = if all_p1_global > 0.0 {
+        all_p1_aware / all_p1_global
+    } else {
+        f64::INFINITY
+    };
     // The paper's 3× claim lives in the constrained region where the global
     // uniform rate falls below the P1 requirement: compare there directly.
-    let aware_rows = sweep(all_p1, Strategy::PriorityAware, DischargeLevel::Medium, 0xF15);
+    let aware_rows = sweep(
+        all_p1,
+        Strategy::PriorityAware,
+        DischargeLevel::Medium,
+        0xF15,
+    );
     let global_rows = sweep(all_p1, Strategy::Global, DischargeLevel::Medium, 0xF15);
     let constrained: Vec<String> = aware_rows
         .iter()

@@ -8,7 +8,13 @@ use crate::{ExperimentReport, Table};
 /// Prints Table I exactly as published.
 #[must_use]
 pub fn run() -> ExperimentReport {
-    let mut out = Table::new(&["failure type", "component", "MTBF (hours)", "MTTR (hours)", "events/yr"]);
+    let mut out = Table::new(&[
+        "failure type",
+        "component",
+        "MTBF (hours)",
+        "MTTR (hours)",
+        "events/yr",
+    ]);
     for src in table1::standard_sources() {
         out.row(&[
             src.failure_type.to_string(),
@@ -36,7 +42,7 @@ mod tests {
     #[test]
     fn eleven_rows_present() {
         let text = super::run().render();
-        assert_eq!(text.matches("maintenance").count() >= 6, true);
+        assert!(text.matches("maintenance").count() >= 6);
         assert!(text.contains("6.39e3") || text.contains("6.39E3") || text.contains("6.39"));
     }
 }

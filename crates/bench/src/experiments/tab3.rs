@@ -10,8 +10,12 @@ use crate::{ExperimentReport, Table};
 pub fn run() -> ExperimentReport {
     let results = fig13::results();
 
-    let mut table =
-        Table::new(&["case", "original charger", "variable charger", "priority-aware"]);
+    let mut table = Table::new(&[
+        "case",
+        "original charger",
+        "variable charger",
+        "priority-aware",
+    ]);
     for (case, ..) in fig13::cases() {
         let mut cells = vec![case.to_owned()];
         for deployment in Deployment::ALL {

@@ -23,12 +23,16 @@ impl Table {
     /// Creates a table with the given column headers.
     #[must_use]
     pub fn new(headers: &[&str]) -> Self {
-        Table { headers: headers.iter().map(|s| (*s).to_owned()).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends one row; missing cells render empty, extras are kept.
     pub fn row<S: AsRef<str>>(&mut self, cells: &[S]) -> &mut Self {
-        self.rows.push(cells.iter().map(|s| s.as_ref().to_owned()).collect());
+        self.rows
+            .push(cells.iter().map(|s| s.as_ref().to_owned()).collect());
         self
     }
 
@@ -78,7 +82,9 @@ impl Table {
 
         let mut out = render_row(&self.headers);
         out.push('\n');
-        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+        out.push_str(
+            &"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&render_row(row));

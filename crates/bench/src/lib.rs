@@ -95,7 +95,9 @@ pub fn run(id: &str) -> Option<ExperimentReport> {
 /// Monte-Carlo horizons shortened so the whole suite finishes quickly.
 #[must_use]
 pub fn fast_mode() -> bool {
-    std::env::var("RECHARGE_FAST").map(|v| v == "1").unwrap_or(false)
+    std::env::var("RECHARGE_FAST")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 #[cfg(test)]

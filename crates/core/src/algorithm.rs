@@ -53,7 +53,7 @@ impl AssignmentOutcome {
     pub fn sla_met_count(&self, priority: Option<Priority>) -> usize {
         self.assignments
             .iter()
-            .filter(|a| a.sla_met && priority.map_or(true, |p| a.priority == p))
+            .filter(|a| a.sla_met && priority.is_none_or(|p| a.priority == p))
             .count()
     }
 }
@@ -123,9 +123,12 @@ pub fn assign_priority_aware(
             .then(racks[a].dod.value().total_cmp(&racks[b].dod.value()))
     });
 
-    // The 1 A minimum is committed regardless of budget.
+    // The 1 A minimum is committed regardless of budget. When the committed
+    // floor already exceeds the headroom (a heavily oversubscribed tick) the
+    // deficit is not an upgrade budget: clamp at zero so no rack can be
+    // upgraded against a negative remainder.
     let min_power = model.rack_power(Amperes::MIN_CHARGE) * racks.len() as f64;
-    let mut remaining = available_power - min_power;
+    let mut remaining = (available_power - min_power).max(Watts::ZERO);
 
     // Steps 6-8: satisfy SLAs in order while power remains.
     for &idx in &order {
@@ -143,7 +146,10 @@ pub fn assign_priority_aware(
     for a in &mut assignments {
         a.sla_met = policy.meets_sla(a.priority, a.dod, a.current);
     }
-    let total: Watts = assignments.iter().map(|a| model.rack_power(a.current)).sum();
+    let total: Watts = assignments
+        .iter()
+        .map(|a| model.rack_power(a.current))
+        .sum();
     AssignmentOutcome {
         assignments,
         total_recharge_power: total,
@@ -168,6 +174,11 @@ pub struct ThrottleOutcome {
 /// shed power covers the overload; whatever cannot be covered is returned as
 /// the server-capping requirement.
 ///
+/// A throttled rack's `sla_met` flag is recomputed against `policy` rather
+/// than unconditionally cleared: a P3 rack at medium discharge still meets
+/// its 90-minute SLA at the 1 A minimum (the Fig 14(a) observation), and
+/// reporting it as violated would overstate the overload's SLA damage.
+///
 /// # Examples
 ///
 /// ```
@@ -182,14 +193,17 @@ pub struct ThrottleOutcome {
 ///     RackChargeState { rack: RackId::new(1), priority: Priority::P3, dod: Dod::new(0.5) },
 /// ];
 /// let outcome = assign_priority_aware(&racks, Watts::from_kilowatts(5.0), &policy, &model);
-/// let throttled = throttle_on_overload(&outcome.assignments, Watts::new(400.0), &model);
-/// // The P3 rack is sacrificed first.
+/// let throttled = throttle_on_overload(&outcome.assignments, Watts::new(400.0), &policy, &model);
+/// // The P3 rack is sacrificed first...
 /// assert_eq!(throttled.assignments[1].current, recharge_units::Amperes::MIN_CHARGE);
+/// // ...but at 50% DOD the 1 A minimum still meets the 90-minute P3 SLA.
+/// assert!(throttled.assignments[1].sla_met);
 /// ```
 #[must_use]
 pub fn throttle_on_overload(
     assignments: &[ChargeAssignment],
     overload: Watts,
+    policy: &SlaCurrentPolicy,
     model: &RechargePowerModel,
 ) -> ThrottleOutcome {
     let mut updated = assignments.to_vec();
@@ -220,11 +234,9 @@ pub fn throttle_on_overload(
         if a.current > Amperes::MIN_CHARGE {
             shed += model.rack_power(a.current) - model.rack_power(Amperes::MIN_CHARGE);
             a.current = Amperes::MIN_CHARGE;
-            a.sla_met = false;
+            a.sla_met = policy.meets_sla(a.priority, a.dod, a.current);
         }
     }
-    // Racks throttled to the minimum may still meet a lenient SLA; recompute
-    // is the policy's job — here we conservatively clear only changed racks.
     ThrottleOutcome {
         assignments: updated,
         power_shed: shed,
@@ -245,7 +257,11 @@ mod tests {
     }
 
     fn rack(i: u32, priority: Priority, dod: f64) -> RackChargeState {
-        RackChargeState { rack: RackId::new(i), priority, dod: Dod::new(dod) }
+        RackChargeState {
+            rack: RackId::new(i),
+            priority,
+            dod: Dod::new(dod),
+        }
     }
 
     #[test]
@@ -255,7 +271,8 @@ mod tests {
             rack(1, Priority::P2, 0.5),
             rack(2, Priority::P3, 0.6),
         ];
-        let outcome = assign_priority_aware(&racks, Watts::from_megawatts(1.0), &policy(), &model());
+        let outcome =
+            assign_priority_aware(&racks, Watts::from_megawatts(1.0), &policy(), &model());
         assert_eq!(outcome.sla_met_count(None), 3);
         for a in &outcome.assignments {
             let want = policy().sla_current(a.priority, a.dod);
@@ -300,7 +317,10 @@ mod tests {
         let cheapest = m.rack_power(p.sla_current(Priority::P2, Dod::new(0.55)))
             - m.rack_power(Amperes::MIN_CHARGE);
         let outcome = assign_priority_aware(&racks, min + cheapest * 1.01, &p, &m);
-        assert!(outcome.assignments[1].current > Amperes::MIN_CHARGE, "lowest DOD first");
+        assert!(
+            outcome.assignments[1].current > Amperes::MIN_CHARGE,
+            "lowest DOD first"
+        );
         assert_eq!(outcome.assignments[0].current, Amperes::MIN_CHARGE);
         assert_eq!(outcome.assignments[2].current, Amperes::MIN_CHARGE);
     }
@@ -309,7 +329,13 @@ mod tests {
     fn assignments_never_exceed_available_power_beyond_minimum() {
         let m = model();
         let racks: Vec<_> = (0..50)
-            .map(|i| rack(i, Priority::ALL[(i % 3) as usize], 0.2 + 0.015 * f64::from(i)))
+            .map(|i| {
+                rack(
+                    i,
+                    Priority::ALL[(i % 3) as usize],
+                    0.2 + 0.015 * f64::from(i),
+                )
+            })
             .collect();
         let min = m.rack_power(Amperes::MIN_CHARGE) * racks.len() as f64;
         for budget_kw in [0.0, 10.0, 20.0, 30.0, 50.0] {
@@ -328,8 +354,11 @@ mod tests {
 
     #[test]
     fn currents_stay_in_hardware_range() {
-        let racks: Vec<_> = (0..30).map(|i| rack(i, Priority::P1, f64::from(i) / 30.0)).collect();
-        let outcome = assign_priority_aware(&racks, Watts::from_kilowatts(40.0), &policy(), &model());
+        let racks: Vec<_> = (0..30)
+            .map(|i| rack(i, Priority::P1, f64::from(i) / 30.0))
+            .collect();
+        let outcome =
+            assign_priority_aware(&racks, Watts::from_kilowatts(40.0), &policy(), &model());
         for a in &outcome.assignments {
             assert!(a.current >= Amperes::MIN_CHARGE && a.current <= Amperes::MAX_CHARGE);
         }
@@ -356,17 +385,37 @@ mod tests {
     fn throttle_sheds_lowest_priority_highest_dod_first() {
         let m = model();
         let assignments = vec![
-            ChargeAssignment { rack: RackId::new(0), priority: Priority::P1, dod: Dod::new(0.5), current: Amperes::new(3.0), sla_met: true },
-            ChargeAssignment { rack: RackId::new(1), priority: Priority::P3, dod: Dod::new(0.4), current: Amperes::new(3.0), sla_met: true },
-            ChargeAssignment { rack: RackId::new(2), priority: Priority::P3, dod: Dod::new(0.8), current: Amperes::new(3.0), sla_met: true },
+            ChargeAssignment {
+                rack: RackId::new(0),
+                priority: Priority::P1,
+                dod: Dod::new(0.5),
+                current: Amperes::new(3.0),
+                sla_met: true,
+            },
+            ChargeAssignment {
+                rack: RackId::new(1),
+                priority: Priority::P3,
+                dod: Dod::new(0.4),
+                current: Amperes::new(3.0),
+                sla_met: true,
+            },
+            ChargeAssignment {
+                rack: RackId::new(2),
+                priority: Priority::P3,
+                dod: Dod::new(0.8),
+                current: Amperes::new(3.0),
+                sla_met: true,
+            },
         ];
         let one_rack_shed = m.rack_power(Amperes::new(3.0)) - m.rack_power(Amperes::MIN_CHARGE);
-        let outcome = throttle_on_overload(&assignments, one_rack_shed * 0.9, &m);
+        let outcome = throttle_on_overload(&assignments, one_rack_shed * 0.9, &policy(), &m);
         // Only the high-DOD P3 rack needed to be throttled.
         assert_eq!(outcome.assignments[2].current, Amperes::MIN_CHARGE);
         assert_eq!(outcome.assignments[1].current, Amperes::new(3.0));
         assert_eq!(outcome.assignments[0].current, Amperes::new(3.0));
         assert_eq!(outcome.residual_overload, Watts::ZERO);
+        // At 80% DOD the 1 A minimum misses the 90-minute P3 SLA (Fig 14(c)).
+        assert!(!outcome.assignments[2].sla_met);
     }
 
     #[test]
@@ -381,7 +430,7 @@ mod tests {
         }];
         let max_shed = m.rack_power(Amperes::new(2.0)) - m.rack_power(Amperes::MIN_CHARGE);
         let overload = max_shed + Watts::new(500.0);
-        let outcome = throttle_on_overload(&assignments, overload, &m);
+        let outcome = throttle_on_overload(&assignments, overload, &policy(), &m);
         assert_eq!(outcome.assignments[0].current, Amperes::MIN_CHARGE);
         assert!((outcome.residual_overload.as_watts() - 500.0).abs() < 1e-6);
         assert!((outcome.power_shed.as_watts() - max_shed.as_watts()).abs() < 1e-6);
@@ -396,9 +445,83 @@ mod tests {
             current: Amperes::new(4.0),
             sla_met: true,
         }];
-        let outcome = throttle_on_overload(&assignments, Watts::ZERO, &model());
+        let outcome = throttle_on_overload(&assignments, Watts::ZERO, &policy(), &model());
         assert_eq!(outcome.assignments, assignments);
         assert_eq!(outcome.power_shed, Watts::ZERO);
+    }
+
+    #[test]
+    fn sub_floor_budget_commits_minimum_and_upgrades_nobody() {
+        // The committed 1 A fleet floor can exceed the headroom on a heavily
+        // oversubscribed tick. The deficit must not become an upgrade budget:
+        // every rack stays at the minimum and the reported remainder is zero.
+        let m = model();
+        let racks: Vec<_> = (0..20).map(|i| rack(i, Priority::P1, 0.6)).collect();
+        let min = m.rack_power(Amperes::MIN_CHARGE) * racks.len() as f64;
+        let budget = min * 0.5;
+        let outcome = assign_priority_aware(&racks, budget, &policy(), &m);
+        for a in &outcome.assignments {
+            assert_eq!(
+                a.current,
+                Amperes::MIN_CHARGE,
+                "rack {} upgraded on deficit",
+                a.rack
+            );
+        }
+        assert!((outcome.total_recharge_power.as_watts() - min.as_watts()).abs() < 1e-6);
+        assert_eq!(outcome.remaining_power, Watts::ZERO);
+    }
+
+    #[test]
+    fn throttled_rack_keeps_lenient_sla() {
+        // Fig 14(a): a P3 rack at medium discharge throttled to 1 A still
+        // meets its 90-minute SLA; `sla_met` must be recomputed, not cleared.
+        let m = model();
+        let assignments = vec![ChargeAssignment {
+            rack: RackId::new(0),
+            priority: Priority::P3,
+            dod: Dod::new(0.5),
+            current: Amperes::new(3.0),
+            sla_met: true,
+        }];
+        let outcome =
+            throttle_on_overload(&assignments, Watts::from_kilowatts(10.0), &policy(), &m);
+        assert_eq!(outcome.assignments[0].current, Amperes::MIN_CHARGE);
+        assert!(outcome.assignments[0].sla_met);
+    }
+
+    #[test]
+    fn throttle_is_idempotent_on_residual() {
+        // Re-throttling against the uncovered residual sheds nothing more:
+        // every rack is already at the 1 A floor.
+        let m = model();
+        let p = policy();
+        let assignments = vec![
+            ChargeAssignment {
+                rack: RackId::new(0),
+                priority: Priority::P1,
+                dod: Dod::new(0.5),
+                current: Amperes::new(4.0),
+                sla_met: true,
+            },
+            ChargeAssignment {
+                rack: RackId::new(1),
+                priority: Priority::P3,
+                dod: Dod::new(0.7),
+                current: Amperes::new(2.0),
+                sla_met: true,
+            },
+        ];
+        let overload = Watts::from_kilowatts(50.0);
+        let once = throttle_on_overload(&assignments, overload, &p, &m);
+        assert!(
+            once.residual_overload > Watts::ZERO,
+            "overload should exhaust the fleet"
+        );
+        let again = throttle_on_overload(&once.assignments, once.residual_overload, &p, &m);
+        assert_eq!(again.assignments, once.assignments);
+        assert_eq!(again.power_shed, Watts::ZERO);
+        assert_eq!(again.residual_overload, once.residual_overload);
     }
 
     #[test]
@@ -408,7 +531,8 @@ mod tests {
             rack(1, Priority::P2, 0.2),
             rack(2, Priority::P3, 0.2),
         ];
-        let outcome = assign_priority_aware(&racks, Watts::from_megawatts(1.0), &policy(), &model());
+        let outcome =
+            assign_priority_aware(&racks, Watts::from_megawatts(1.0), &policy(), &model());
         assert_eq!(outcome.sla_met_count(Some(Priority::P1)), 1);
         assert_eq!(outcome.sla_met_count(None), 3);
     }

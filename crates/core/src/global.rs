@@ -57,7 +57,10 @@ pub fn assign_global(
         })
         .collect();
 
-    let total: Watts = assignments.iter().map(|a| model.rack_power(a.current)).sum();
+    let total: Watts = assignments
+        .iter()
+        .map(|a| model.rack_power(a.current))
+        .sum();
     AssignmentOutcome {
         assignments,
         total_recharge_power: total,
@@ -88,7 +91,10 @@ mod tests {
         let budget = Watts::from_kilowatts(9.0);
         let outcome = assign_global(&racks, budget, &policy, &model);
         let currents: Vec<_> = outcome.assignments.iter().map(|a| a.current).collect();
-        assert!(currents.windows(2).all(|w| w[0] == w[1]), "currents must be uniform");
+        assert!(
+            currents.windows(2).all(|w| w[0] == w[1]),
+            "currents must be uniform"
+        );
         assert!(currents[0] > Amperes::MIN_CHARGE && currents[0] < Amperes::MAX_CHARGE);
         assert!(outcome.total_recharge_power <= budget);
     }
@@ -101,7 +107,10 @@ mod tests {
             &SlaCurrentPolicy::production(),
             &RechargePowerModel::production(),
         );
-        assert!(outcome.assignments.iter().all(|a| a.current == Amperes::MAX_CHARGE));
+        assert!(outcome
+            .assignments
+            .iter()
+            .all(|a| a.current == Amperes::MAX_CHARGE));
     }
 
     #[test]
@@ -112,7 +121,10 @@ mod tests {
             &SlaCurrentPolicy::production(),
             &RechargePowerModel::production(),
         );
-        assert!(outcome.assignments.iter().all(|a| a.current == Amperes::MIN_CHARGE));
+        assert!(outcome
+            .assignments
+            .iter()
+            .all(|a| a.current == Amperes::MIN_CHARGE));
     }
 
     #[test]
@@ -128,8 +140,15 @@ mod tests {
         let budget = model.rack_power(p3_need + Amperes::new(0.3)) * racks.len() as f64;
         let outcome = assign_global(&racks, budget, &policy, &model);
         let met = |p| outcome.sla_met_count(Some(p));
-        assert_eq!(met(Priority::P1), 0, "P1 should be starved by the uniform rate");
-        assert!(met(Priority::P3) > 0, "P3 should be satisfied by the uniform rate");
+        assert_eq!(
+            met(Priority::P1),
+            0,
+            "P1 should be starved by the uniform rate"
+        );
+        assert!(
+            met(Priority::P3) > 0,
+            "P3 should be satisfied by the uniform rate"
+        );
     }
 
     #[test]

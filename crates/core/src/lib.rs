@@ -52,7 +52,7 @@ pub use algorithm::{
     RackChargeState, ThrottleOutcome,
 };
 pub use global::assign_global;
-pub use policy::SlaCurrentPolicy;
+pub use policy::{SlaCurrentPolicy, SLA_MEMO_DOD_BINS};
 pub use postpone::{postpone_on_deficit, PostponeOutcome};
 pub use power_model::RechargePowerModel;
 pub use sla::SlaTable;

@@ -36,7 +36,9 @@ impl RechargePowerModel {
         let per_amp = params.cc_to_cv_voltage.as_volts()
             * params.wall_loss_factor
             * f64::from(params.bbus_per_rack);
-        RechargePowerModel { watts_per_amp: Watts::new(per_amp) }
+        RechargePowerModel {
+            watts_per_amp: Watts::new(per_amp),
+        }
     }
 
     /// The model for the calibrated production battery (≈374 W per ampere).

@@ -70,7 +70,10 @@ impl SlaTable {
             aor_targets[0] >= aor_targets[1] && aor_targets[1] >= aor_targets[2],
             "lower priority cannot have a higher AOR target"
         );
-        SlaTable { budgets, aor_targets }
+        SlaTable {
+            budgets,
+            aor_targets,
+        }
     }
 
     /// The charging-time budget for a priority.
@@ -125,7 +128,11 @@ mod tests {
     #[test]
     fn custom_table() {
         let sla = SlaTable::new(
-            [Seconds::from_minutes(20.0), Seconds::from_minutes(40.0), Seconds::from_minutes(120.0)],
+            [
+                Seconds::from_minutes(20.0),
+                Seconds::from_minutes(40.0),
+                Seconds::from_minutes(120.0),
+            ],
             [0.9999, 0.999, 0.99],
         );
         assert_eq!(sla.charge_time_budget(Priority::P2).as_minutes(), 40.0);
@@ -135,7 +142,11 @@ mod tests {
     #[should_panic(expected = "stricter")]
     fn inverted_budgets_panic() {
         let _ = SlaTable::new(
-            [Seconds::from_minutes(90.0), Seconds::from_minutes(60.0), Seconds::from_minutes(30.0)],
+            [
+                Seconds::from_minutes(90.0),
+                Seconds::from_minutes(60.0),
+                Seconds::from_minutes(30.0),
+            ],
             [0.9994, 0.9990, 0.9985],
         );
     }
@@ -144,7 +155,11 @@ mod tests {
     #[should_panic(expected = "AOR")]
     fn inverted_aor_panics() {
         let _ = SlaTable::new(
-            [Seconds::from_minutes(30.0), Seconds::from_minutes(60.0), Seconds::from_minutes(90.0)],
+            [
+                Seconds::from_minutes(30.0),
+                Seconds::from_minutes(60.0),
+                Seconds::from_minutes(90.0),
+            ],
             [0.9, 0.99, 0.999],
         );
     }

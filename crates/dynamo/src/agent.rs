@@ -194,7 +194,11 @@ impl RackAgent for SimRackAgent {
             priority: self.priority,
             input_power_present: self.input_power,
             it_load: self.effective_load(),
-            recharge_power: if self.input_power { self.recharge_power } else { Watts::ZERO },
+            recharge_power: if self.input_power {
+                self.recharge_power
+            } else {
+                Watts::ZERO
+            },
             bbu_state: self.battery.state(),
             event_dod: self.battery.event_dod(),
             dod: self.battery.dod(),
@@ -263,7 +267,10 @@ mod tests {
         assert!(charging.is_charging());
         assert!(charging.recharge_power > Watts::ZERO);
         assert!(charging.event_dod.value() > 0.15);
-        assert_eq!(charging.input_draw(), charging.it_load + charging.recharge_power);
+        assert_eq!(
+            charging.input_draw(),
+            charging.it_load + charging.recharge_power
+        );
     }
 
     #[test]

@@ -45,7 +45,10 @@ impl<A: RackAgent> InMemoryBus<A> {
     /// Creates a bus over the given agents.
     #[must_use]
     pub fn new(agents: Vec<A>) -> Self {
-        InMemoryBus { agents, unreachable: Vec::new() }
+        InMemoryBus {
+            agents,
+            unreachable: Vec::new(),
+        }
     }
 
     /// Marks a rack's agent as unreachable (reads return `None`); used for
@@ -160,7 +163,10 @@ mod tests {
         assert!(b.read(RackId::new(0)).is_some());
         assert!(b.read(RackId::new(9)).is_none());
         b.cap_servers(RackId::new(1), Watts::from_kilowatts(1.0));
-        assert_eq!(b.read(RackId::new(1)).unwrap().it_load, Watts::from_kilowatts(1.0));
+        assert_eq!(
+            b.read(RackId::new(1)).unwrap().it_load,
+            Watts::from_kilowatts(1.0)
+        );
         assert_eq!(b.read(RackId::new(0)).unwrap().capped_power, Watts::ZERO);
         b.uncap_servers(RackId::new(1));
         assert_eq!(b.read(RackId::new(1)).unwrap().capped_power, Watts::ZERO);

@@ -53,13 +53,15 @@ pub fn plan_caps(
     deficit: Watts,
     max_cap_fraction: f64,
 ) -> (Vec<CapDecision>, Watts) {
-    assert!((0.0..=1.0).contains(&max_cap_fraction), "cap fraction must be a fraction");
+    assert!(
+        (0.0..=1.0).contains(&max_cap_fraction),
+        "cap fraction must be a fraction"
+    );
     if deficit <= Watts::ZERO {
         return (Vec::new(), Watts::ZERO);
     }
 
-    let mut order: Vec<&PowerReading> =
-        readings.iter().filter(|r| r.input_power_present).collect();
+    let mut order: Vec<&PowerReading> = readings.iter().filter(|r| r.input_power_present).collect();
     // Lowest priority first (P3 before P1), then biggest load first.
     order.sort_by(|a, b| {
         b.priority
@@ -97,12 +99,16 @@ pub fn plan_uncaps(readings: &[PowerReading], headroom: Watts) -> Vec<RackId> {
     if headroom <= Watts::ZERO {
         return Vec::new();
     }
-    let mut capped: Vec<&PowerReading> =
-        readings.iter().filter(|r| r.capped_power > Watts::ZERO).collect();
+    let mut capped: Vec<&PowerReading> = readings
+        .iter()
+        .filter(|r| r.capped_power > Watts::ZERO)
+        .collect();
     capped.sort_by(|a, b| {
-        a.priority
-            .cmp(&b.priority)
-            .then(a.capped_power.as_watts().total_cmp(&b.capped_power.as_watts()))
+        a.priority.cmp(&b.priority).then(
+            a.capped_power
+                .as_watts()
+                .total_cmp(&b.capped_power.as_watts()),
+        )
     });
 
     let mut released = Vec::new();

@@ -3,8 +3,8 @@
 use std::collections::HashMap;
 
 use recharge_core::{
-    assign_global, assign_priority_aware, throttle_on_overload, ChargeAssignment,
-    RackChargeState, RechargePowerModel, SlaCurrentPolicy,
+    assign_global, assign_priority_aware, throttle_on_overload, ChargeAssignment, RackChargeState,
+    RechargePowerModel, SlaCurrentPolicy,
 };
 use recharge_units::{Amperes, DeviceId, Dod, Priority, RackId, SimTime, Watts};
 
@@ -91,7 +91,10 @@ impl ControllerConfig {
     /// Panics if `fraction` is outside `[0, 1]`.
     #[must_use]
     pub fn with_max_cap_fraction(mut self, fraction: f64) -> Self {
-        assert!((0.0..=1.0).contains(&fraction), "cap fraction must be a fraction");
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "cap fraction must be a fraction"
+        );
         self.max_cap_fraction = fraction;
         self
     }
@@ -105,7 +108,10 @@ impl ControllerConfig {
     /// Panics if `margin` is outside `[0, 0.5]`.
     #[must_use]
     pub fn with_planning_margin(mut self, margin: f64) -> Self {
-        assert!((0.0..=0.5).contains(&margin), "planning margin must be in [0, 0.5]");
+        assert!(
+            (0.0..=0.5).contains(&margin),
+            "planning margin must be in [0, 0.5]"
+        );
         self.planning_margin = margin;
         self
     }
@@ -206,7 +212,12 @@ impl Controller {
     /// Creates a controller.
     #[must_use]
     pub fn new(config: ControllerConfig, strategy: Strategy) -> Self {
-        Controller { config, strategy, active: HashMap::new(), postponed: Default::default() }
+        Controller {
+            config,
+            strategy,
+            active: HashMap::new(),
+            postponed: Default::default(),
+        }
     }
 
     /// Racks whose charging is currently postponed.
@@ -241,13 +252,21 @@ impl Controller {
             Some(scope) => scope.clone(),
             None => bus.racks(),
         };
-        let readings: Vec<PowerReading> =
-            scoped_racks.into_iter().filter_map(|r| bus.read(r)).collect();
+        let readings: Vec<PowerReading> = scoped_racks
+            .into_iter()
+            .filter_map(|r| bus.read(r))
+            .collect();
 
-        let it_load: Watts =
-            readings.iter().filter(|r| r.input_power_present).map(|r| r.it_load).sum();
-        let recharge: Watts =
-            readings.iter().filter(|r| r.input_power_present).map(|r| r.recharge_power).sum();
+        let it_load: Watts = readings
+            .iter()
+            .filter(|r| r.input_power_present)
+            .map(|r| r.it_load)
+            .sum();
+        let recharge: Watts = readings
+            .iter()
+            .filter(|r| r.input_power_present)
+            .map(|r| r.recharge_power)
+            .sum();
         let total = it_load + recharge;
         let capped_now: Watts = readings.iter().map(|r| r.capped_power).sum();
 
@@ -271,8 +290,7 @@ impl Controller {
             .keys()
             .copied()
             .filter(|r| {
-                !charging.iter().any(|c| c.rack == *r)
-                    && !discharging.iter().any(|d| d.rack == *r)
+                !charging.iter().any(|c| c.rack == *r) && !discharging.iter().any(|d| d.rack == *r)
             })
             .collect();
         for rack in finished {
@@ -287,7 +305,11 @@ impl Controller {
         // their load back the moment the transition ends.
         let planning: Vec<RackChargeState> = charging
             .iter()
-            .map(|r| RackChargeState { rack: r.rack, priority: r.priority, dod: r.event_dod })
+            .map(|r| RackChargeState {
+                rack: r.rack,
+                priority: r.priority,
+                dod: r.event_dod,
+            })
             .chain(discharging.iter().map(|r| RackChargeState {
                 rack: r.rack,
                 priority: r.priority,
@@ -304,7 +326,11 @@ impl Controller {
                 for r in &fresh {
                     self.active.insert(
                         r.rack,
-                        ActiveCharge { priority: r.priority, dod: r.event_dod, current: Amperes::ZERO },
+                        ActiveCharge {
+                            priority: r.priority,
+                            dod: r.event_dod,
+                            current: Amperes::ZERO,
+                        },
                     );
                 }
             }
@@ -313,8 +339,7 @@ impl Controller {
                 self.refresh_dods(&planning);
                 // Re-derive the uniform rate from instantaneous headroom.
                 if !planning.is_empty() {
-                    let available =
-                        (self.config.planning_limit() - planning_it).max(Watts::ZERO);
+                    let available = (self.config.planning_limit() - planning_it).max(Watts::ZERO);
                     let outcome = assign_global(
                         &planning,
                         available,
@@ -331,8 +356,7 @@ impl Controller {
                 if !fresh.is_empty() || !discharging.is_empty() {
                     self.admit(&fresh);
                     self.refresh_dods(&planning);
-                    let available =
-                        (self.config.planning_limit() - planning_it).max(Watts::ZERO);
+                    let available = (self.config.planning_limit() - planning_it).max(Watts::ZERO);
                     let outcome = assign_priority_aware(
                         &planning,
                         available,
@@ -370,7 +394,12 @@ impl Controller {
             let residual = match self.strategy {
                 Strategy::PriorityAware => {
                     let assignments = self.as_assignments();
-                    let outcome = throttle_on_overload(&assignments, overload, &self.config.model);
+                    let outcome = throttle_on_overload(
+                        &assignments,
+                        overload,
+                        &self.config.policy,
+                        &self.config.model,
+                    );
                     racks_throttled = outcome
                         .assignments
                         .iter()
@@ -383,8 +412,8 @@ impl Controller {
                 Strategy::Global => {
                     // The per-tick recompute above already pushed the uniform
                     // rate down to fit; what cannot fit even at 1 A remains.
-                    let min_draw = self.config.model.rack_power(Amperes::MIN_CHARGE)
-                        * charging.len() as f64;
+                    let min_draw =
+                        self.config.model.rack_power(Amperes::MIN_CHARGE) * charging.len() as f64;
                     let available = (self.config.limit - it_load).max(Watts::ZERO);
                     (min_draw - available).max(Watts::ZERO).min(overload)
                 }
@@ -421,8 +450,8 @@ impl Controller {
             // rack is dropped from the active set so that the next tick's
             // Algorithm 1 pass re-plans it from scratch.
             if !self.postponed.is_empty() {
-                let mut headroom = (self.config.planning_limit() - effective_total)
-                    .max(Watts::ZERO);
+                let mut headroom =
+                    (self.config.planning_limit() - effective_total).max(Watts::ZERO);
                 // Hysteresis: reserve twice the hardware-floor draw per
                 // resumed rack so a marginal headroom blip cannot start a
                 // resume → deficit → re-postpone oscillation that caps
@@ -432,7 +461,9 @@ impl Controller {
                     .postponed
                     .iter()
                     .filter_map(|&rack| {
-                        self.active.get(&rack).map(|a| (rack, a.priority, a.dod.value()))
+                        self.active
+                            .get(&rack)
+                            .map(|a| (rack, a.priority, a.dod.value()))
                     })
                     .collect();
                 resumable.sort_by(|a, b| a.1.cmp(&b.1).then(a.2.total_cmp(&b.2)));
@@ -474,7 +505,11 @@ impl Controller {
         for r in fresh {
             self.active.insert(
                 r.rack,
-                ActiveCharge { priority: r.priority, dod: r.event_dod, current: Amperes::ZERO },
+                ActiveCharge {
+                    priority: r.priority,
+                    dod: r.event_dod,
+                    current: Amperes::ZERO,
+                },
             );
         }
     }
@@ -514,7 +549,9 @@ impl Controller {
     ) -> usize {
         let mut sent = 0;
         for a in assignments {
-            let Some(active) = self.active.get_mut(&a.rack) else { continue };
+            let Some(active) = self.active.get_mut(&a.rack) else {
+                continue;
+            };
             if (active.current - a.current).abs() > Amperes::new(0.01) {
                 active.current = a.current;
                 bus.set_charge_override(a.rack, a.current);
@@ -652,7 +689,10 @@ mod tests {
                 a.step(Seconds::new(1.0));
             }
         }
-        assert!(total_cap > Watts::ZERO, "capping must engage below the floor");
+        assert!(
+            total_cap > Watts::ZERO,
+            "capping must engage below the floor"
+        );
         // The P3 rack must be capped before the P1 rack.
         let p3_cap = bus.read(RackId::new(2)).unwrap().capped_power;
         let p1_cap = bus.read(RackId::new(0)).unwrap().capped_power;
@@ -676,7 +716,10 @@ mod tests {
             .into_iter()
             .filter(|&r| bus.read(r).unwrap().capped_power > Watts::ZERO)
             .collect();
-        assert!(still_capped.is_empty(), "caps not released: {still_capped:?}");
+        assert!(
+            still_capped.is_empty(),
+            "caps not released: {still_capped:?}"
+        );
     }
 
     #[test]
@@ -687,7 +730,9 @@ mod tests {
         c.tick(SimTime::from_secs(61.0), &mut bus);
         let currents = c.commanded_currents();
         let values: Vec<Amperes> = currents.values().copied().collect();
-        assert!(values.windows(2).all(|w| (w[0] - w[1]).abs() < Amperes::new(1e-9)));
+        assert!(values
+            .windows(2)
+            .all(|w| (w[0] - w[1]).abs() < Amperes::new(1e-9)));
     }
 
     #[test]
@@ -703,8 +748,11 @@ mod tests {
             }
         }
         // Overload under the tight limit must have been met with capping.
-        let capped: Watts =
-            bus.racks().iter().map(|&r| bus.read(r).unwrap().capped_power).sum();
+        let capped: Watts = bus
+            .racks()
+            .iter()
+            .map(|&r| bus.read(r).unwrap().capped_power)
+            .sum();
         assert!(capped > Watts::ZERO);
     }
 
@@ -746,7 +794,11 @@ mod tests {
         // controller must cap servers; with it, it defers P3/P2 racks.
         let build = |postpone: bool| {
             let config = ControllerConfig::new(DeviceId::new(0), Watts::from_kilowatts(18.5));
-            let config = if postpone { config.with_postponing() } else { config };
+            let config = if postpone {
+                config.with_postponing()
+            } else {
+                config
+            };
             Controller::new(config, Strategy::PriorityAware)
         };
 
@@ -765,7 +817,11 @@ mod tests {
                 }
             }
             if postpone {
-                assert_eq!(total_cap, Watts::ZERO, "postponing should spare the servers");
+                assert_eq!(
+                    total_cap,
+                    Watts::ZERO,
+                    "postponing should spare the servers"
+                );
                 assert!(saw_postponed > 0, "some rack must have been deferred");
                 // The deferred rack is the P3 one.
                 assert!(c
@@ -773,7 +829,10 @@ mod tests {
                     .iter()
                     .all(|&r| bus.agent(r).unwrap().priority() != Priority::P1));
             } else {
-                assert!(total_cap > Watts::ZERO, "without postponing, capping engages");
+                assert!(
+                    total_cap > Watts::ZERO,
+                    "without postponing, capping engages"
+                );
             }
         }
     }
@@ -781,8 +840,8 @@ mod tests {
     #[test]
     fn postponed_racks_resume_when_headroom_returns() {
         let mut bus = fleet(1, 6.0);
-        let config = ControllerConfig::new(DeviceId::new(0), Watts::from_kilowatts(18.5))
-            .with_postponing();
+        let config =
+            ControllerConfig::new(DeviceId::new(0), Watts::from_kilowatts(18.5)).with_postponing();
         let mut c = Controller::new(config, Strategy::PriorityAware);
         open_transition(&mut bus, 60.0);
         for s in 0..60 {
@@ -803,7 +862,10 @@ mod tests {
                 a.step(Seconds::new(1.0));
             }
         }
-        assert!(c.postponed_racks().is_empty(), "deferral should lift with headroom");
+        assert!(
+            c.postponed_racks().is_empty(),
+            "deferral should lift with headroom"
+        );
         for a in bus.agents() {
             assert!(!a.battery().is_postponed());
         }

@@ -38,7 +38,13 @@ impl UpperMonitor {
     /// Creates a monitor for `device` with power `limit` over `racks`.
     #[must_use]
     pub fn new(device: DeviceId, limit: Watts, racks: Vec<RackId>) -> Self {
-        UpperMonitor { device, limit, racks, forced_minimum: HashSet::new(), max_cap_fraction: 0.4 }
+        UpperMonitor {
+            device,
+            limit,
+            racks,
+            forced_minimum: HashSet::new(),
+            max_cap_fraction: 0.4,
+        }
     }
 
     /// The protected device.
@@ -56,8 +62,7 @@ impl UpperMonitor {
     /// One monitoring interval: returns the server power it had to cap (zero
     /// when battery throttling sufficed).
     pub fn tick<B: AgentBus + ?Sized>(&mut self, bus: &mut B) -> Watts {
-        let readings: Vec<PowerReading> =
-            self.racks.iter().filter_map(|&r| bus.read(r)).collect();
+        let readings: Vec<PowerReading> = self.racks.iter().filter_map(|&r| bus.read(r)).collect();
         let draw: Watts = readings.iter().map(PowerReading::input_draw).sum();
         if draw <= self.limit {
             // Forget finished charge sequences so the next event starts clean.
@@ -125,7 +130,9 @@ impl HierarchicalControl {
         let mut leaves = Vec::new();
         let mut uppers = Vec::new();
         for device in topology.devices() {
-            let Some(limit) = device.limit() else { continue };
+            let Some(limit) = device.limit() else {
+                continue;
+            };
             match device.kind() {
                 DeviceKind::Rpp => {
                     let config = ControllerConfig::new(device.id(), limit)
@@ -198,8 +205,11 @@ mod tests {
     use recharge_units::{Priority, Seconds};
 
     /// A small MSB: 4 RPPs × 4 racks.
-    fn build() -> (HierarchicalControl, InMemoryBus<SimRackAgent>, recharge_power::facebook::MsbPlan)
-    {
+    fn build() -> (
+        HierarchicalControl,
+        InMemoryBus<SimRackAgent>,
+        recharge_power::facebook::MsbPlan,
+    ) {
         let plan = facebook::single_msb_with_row_size(16, 4);
         let agents: Vec<SimRackAgent> = plan
             .racks
@@ -288,7 +298,10 @@ mod tests {
             .iter()
             .map(|&r| bus.read(r).expect("reachable").input_draw())
             .sum();
-        assert!(draw <= it + Watts::new(500.0) + Watts::new(1.0), "draw {draw}");
+        assert!(
+            draw <= it + Watts::new(500.0) + Watts::new(1.0),
+            "draw {draw}"
+        );
     }
 
     #[test]
@@ -310,7 +323,12 @@ mod tests {
             }
         }
         for upper in control.uppers() {
-            assert_eq!(upper.forced_count(), 0, "monitor {} still holds racks", upper.device());
+            assert_eq!(
+                upper.forced_count(),
+                0,
+                "monitor {} still holds racks",
+                upper.device()
+            );
         }
     }
 }

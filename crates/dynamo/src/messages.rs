@@ -72,7 +72,10 @@ mod tests {
 
     #[test]
     fn input_draw_includes_recharge_when_powered() {
-        assert_eq!(reading(true, 6_000.0, 700.0).input_draw(), Watts::new(6_700.0));
+        assert_eq!(
+            reading(true, 6_000.0, 700.0).input_draw(),
+            Watts::new(6_700.0)
+        );
     }
 
     #[test]

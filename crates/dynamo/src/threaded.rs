@@ -37,7 +37,12 @@ enum Request {
     Command(Command),
     /// Advance every agent of the shard by `dt` with the given offered loads
     /// and input-power state, refresh the telemetry cache, then ack.
-    Step { dt: Seconds, loads: Vec<(RackId, Watts)>, input_power: bool, done: Sender<()> },
+    Step {
+        dt: Seconds,
+        loads: Vec<(RackId, Watts)>,
+        input_power: bool,
+        done: Sender<()>,
+    },
     Shutdown,
 }
 
@@ -102,11 +107,19 @@ impl ThreadedFleet {
                 let (tx, rx) = unbounded::<Request>();
                 let cache = Arc::clone(&cache);
                 let join = std::thread::spawn(move || shard_main(bucket, &rx, &cache));
-                Shard { tx, join: Some(join) }
+                Shard {
+                    tx,
+                    join: Some(join),
+                }
             })
             .collect();
 
-        ThreadedFleet { shards, rack_to_shard, racks, cache }
+        ThreadedFleet {
+            shards,
+            rack_to_shard,
+            racks,
+            cache,
+        }
     }
 
     /// Advances every agent by `dt`: offered loads come from `load_of`,
@@ -126,7 +139,12 @@ impl ThreadedFleet {
         for (shard, loads) in self.shards.iter().zip(per_shard) {
             if shard
                 .tx
-                .send(Request::Step { dt, loads, input_power, done: done_tx.clone() })
+                .send(Request::Step {
+                    dt,
+                    loads,
+                    input_power,
+                    done: done_tx.clone(),
+                })
                 .is_ok()
             {
                 expected += 1;
@@ -241,7 +259,12 @@ fn shard_main(
                     }
                 }
             },
-            Request::Step { dt, loads, input_power, done } => {
+            Request::Step {
+                dt,
+                loads,
+                input_power,
+                done,
+            } => {
                 for (rack, load) in loads {
                     if let Some(a) = find(&mut agents, rack) {
                         a.set_offered_load(load);
@@ -266,8 +289,8 @@ fn shard_main(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::controller::{Controller, ControllerConfig, Strategy};
     use crate::bus::InMemoryBus;
+    use crate::controller::{Controller, ControllerConfig, Strategy};
     use recharge_units::{DeviceId, Priority, SimTime};
 
     fn agents(n: u32) -> Vec<SimRackAgent> {

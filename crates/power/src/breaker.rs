@@ -21,7 +21,10 @@ impl TripCurve {
     /// The paper's example characteristic: 30% overdraw for 30 seconds.
     #[must_use]
     pub fn standard() -> Self {
-        TripCurve { trip_factor: 1.3, sustain: Seconds::new(30.0) }
+        TripCurve {
+            trip_factor: 1.3,
+            sustain: Seconds::new(30.0),
+        }
     }
 }
 
@@ -84,7 +87,12 @@ impl Breaker {
     /// Creates a breaker with a custom trip curve.
     #[must_use]
     pub fn with_curve(limit: Watts, curve: TripCurve) -> Self {
-        Breaker { limit, curve, over_trip_since: None, tripped: false }
+        Breaker {
+            limit,
+            curve,
+            over_trip_since: None,
+            tripped: false,
+        }
     }
 
     /// The breaker's power limit.
@@ -155,8 +163,14 @@ mod tests {
     #[test]
     fn nominal_below_limit() {
         let mut b = breaker();
-        assert_eq!(b.observe(Watts::from_kilowatts(99.0), SimTime::ZERO), BreakerStatus::Nominal);
-        assert_eq!(b.observe(Watts::from_kilowatts(100.0), SimTime::ZERO), BreakerStatus::Nominal);
+        assert_eq!(
+            b.observe(Watts::from_kilowatts(99.0), SimTime::ZERO),
+            BreakerStatus::Nominal
+        );
+        assert_eq!(
+            b.observe(Watts::from_kilowatts(100.0), SimTime::ZERO),
+            BreakerStatus::Nominal
+        );
         assert!(!b.is_tripped());
     }
 
@@ -164,8 +178,10 @@ mod tests {
     fn overload_without_trip_threshold_never_trips() {
         let mut b = breaker();
         for s in 0..1_000 {
-            let status =
-                b.observe(Watts::from_kilowatts(120.0), SimTime::from_secs(f64::from(s)));
+            let status = b.observe(
+                Watts::from_kilowatts(120.0),
+                SimTime::from_secs(f64::from(s)),
+            );
             assert_eq!(status, BreakerStatus::Overloaded);
         }
         assert!(!b.is_tripped());
@@ -188,7 +204,10 @@ mod tests {
         );
         assert!(b.is_tripped());
         // Latched: stays tripped even at zero draw.
-        assert_eq!(b.observe(Watts::ZERO, SimTime::from_secs(31.0)), BreakerStatus::Tripped);
+        assert_eq!(
+            b.observe(Watts::ZERO, SimTime::from_secs(31.0)),
+            BreakerStatus::Tripped
+        );
     }
 
     #[test]
@@ -216,22 +235,34 @@ mod tests {
         assert!(b.is_tripped());
         b.reset();
         assert!(!b.is_tripped());
-        assert_eq!(b.observe(Watts::from_kilowatts(50.0), SimTime::from_secs(61.0)), BreakerStatus::Nominal);
+        assert_eq!(
+            b.observe(Watts::from_kilowatts(50.0), SimTime::from_secs(61.0)),
+            BreakerStatus::Nominal
+        );
     }
 
     #[test]
     fn available_power_saturates_at_zero() {
         let b = breaker();
-        assert_eq!(b.available_power(Watts::from_kilowatts(40.0)), Watts::from_kilowatts(60.0));
+        assert_eq!(
+            b.available_power(Watts::from_kilowatts(40.0)),
+            Watts::from_kilowatts(60.0)
+        );
         assert_eq!(b.available_power(Watts::from_kilowatts(140.0)), Watts::ZERO);
     }
 
     #[test]
     fn custom_trip_curve() {
-        let curve = TripCurve { trip_factor: 1.1, sustain: Seconds::new(5.0) };
+        let curve = TripCurve {
+            trip_factor: 1.1,
+            sustain: Seconds::new(5.0),
+        };
         let mut b = Breaker::with_curve(Watts::new(100.0), curve);
         b.observe(Watts::new(111.0), SimTime::ZERO);
-        assert_eq!(b.observe(Watts::new(111.0), SimTime::from_secs(5.0)), BreakerStatus::Tripped);
+        assert_eq!(
+            b.observe(Watts::new(111.0), SimTime::from_secs(5.0)),
+            BreakerStatus::Tripped
+        );
         assert_eq!(b.trip_curve(), curve);
     }
 }

@@ -116,9 +116,18 @@ mod tests {
 
     #[test]
     fn nominal_limits_match_ocp_ratings() {
-        assert_eq!(DeviceKind::Msb.nominal_limit(), Some(Watts::from_megawatts(2.5)));
-        assert_eq!(DeviceKind::Sb.nominal_limit(), Some(Watts::from_megawatts(1.25)));
-        assert_eq!(DeviceKind::Rpp.nominal_limit(), Some(Watts::from_kilowatts(190.0)));
+        assert_eq!(
+            DeviceKind::Msb.nominal_limit(),
+            Some(Watts::from_megawatts(2.5))
+        );
+        assert_eq!(
+            DeviceKind::Sb.nominal_limit(),
+            Some(Watts::from_megawatts(1.25))
+        );
+        assert_eq!(
+            DeviceKind::Rpp.nominal_limit(),
+            Some(Watts::from_kilowatts(190.0))
+        );
         assert_eq!(DeviceKind::Substation.nominal_limit(), None);
         assert_eq!(DeviceKind::Msg.nominal_limit(), None);
     }

@@ -87,13 +87,21 @@ pub fn single_msb_with_row_size(rack_count: usize, racks_per_rpp: usize) -> MsbP
             }
             let rack = RackId::new(next_rack);
             next_rack += 1;
-            builder.attach_rack(rpp, rack).expect("rpp exists, rack fresh");
+            builder
+                .attach_rack(rpp, rack)
+                .expect("rpp exists, rack fresh");
             racks.push(rack);
         }
     }
 
     let topology = builder.build().expect("non-empty");
-    MsbPlan { topology, msb, sbs, rpps, racks }
+    MsbPlan {
+        topology,
+        msb,
+        sbs,
+        rpps,
+        racks,
+    }
 }
 
 /// A built single-row hierarchy (one RPP), as used by the §V-A prototype
@@ -120,9 +128,15 @@ pub fn single_row(rack_count: usize) -> RowPlan {
     let rpp = builder.root(DeviceKind::Rpp, DeviceKind::Rpp.nominal_limit());
     let racks: Vec<RackId> = (0..rack_count as u32).map(RackId::new).collect();
     for &rack in &racks {
-        builder.attach_rack(rpp, rack).expect("rpp exists, rack fresh");
+        builder
+            .attach_rack(rpp, rack)
+            .expect("rpp exists, rack fresh");
     }
-    RowPlan { topology: builder.build().expect("non-empty"), rpp, racks }
+    RowPlan {
+        topology: builder.build().expect("non-empty"),
+        rpp,
+        racks,
+    }
 }
 
 #[cfg(test)]
@@ -151,7 +165,10 @@ mod tests {
             Some(Watts::from_megawatts(2.5))
         );
         for &sb in &plan.sbs {
-            assert_eq!(plan.topology.device(sb).unwrap().limit(), Some(Watts::from_megawatts(1.25)));
+            assert_eq!(
+                plan.topology.device(sb).unwrap().limit(),
+                Some(Watts::from_megawatts(1.25))
+            );
         }
         for &rpp in &plan.rpps {
             assert_eq!(

@@ -38,8 +38,15 @@ impl OpenTransition {
     /// Panics if `duration` is negative.
     #[must_use]
     pub fn new(device: DeviceId, start: SimTime, duration: Seconds) -> Self {
-        assert!(duration >= Seconds::ZERO, "open transition duration must be non-negative");
-        OpenTransition { device, start, duration }
+        assert!(
+            duration >= Seconds::ZERO,
+            "open transition duration must be non-negative"
+        );
+        OpenTransition {
+            device,
+            start,
+            duration,
+        }
     }
 
     /// The device whose subtree loses input power.
@@ -96,7 +103,11 @@ mod tests {
 
     #[test]
     fn interval_semantics() {
-        let ot = OpenTransition::new(DeviceId::new(3), SimTime::from_secs(10.0), Seconds::new(5.0));
+        let ot = OpenTransition::new(
+            DeviceId::new(3),
+            SimTime::from_secs(10.0),
+            Seconds::new(5.0),
+        );
         assert_eq!(ot.device(), DeviceId::new(3));
         assert_eq!(ot.start(), SimTime::from_secs(10.0));
         assert_eq!(ot.end(), SimTime::from_secs(15.0));

@@ -84,7 +84,11 @@ pub fn build(msb_count: usize, racks_per_msb: usize) -> SuitePlan {
         let mut placed = 0;
         for i in 0..rpp_count {
             let rpp = builder
-                .child(msb_sbs[i % 4], DeviceKind::Rpp, DeviceKind::Rpp.nominal_limit())
+                .child(
+                    msb_sbs[i % 4],
+                    DeviceKind::Rpp,
+                    DeviceKind::Rpp.nominal_limit(),
+                )
                 .expect("sb exists");
             for _ in 0..14 {
                 if placed == racks_per_msb {
@@ -137,9 +141,20 @@ impl MaintenanceEvent {
     /// would overlap (`duration < transition`).
     #[must_use]
     pub fn new(device: DeviceId, start: SimTime, duration: Seconds, transition: Seconds) -> Self {
-        assert!(transition >= Seconds::ZERO, "transition must be non-negative");
-        assert!(duration >= transition, "maintenance shorter than its own transition");
-        MaintenanceEvent { device, start, duration, transition }
+        assert!(
+            transition >= Seconds::ZERO,
+            "transition must be non-negative"
+        );
+        assert!(
+            duration >= transition,
+            "maintenance shorter than its own transition"
+        );
+        MaintenanceEvent {
+            device,
+            start,
+            duration,
+            transition,
+        }
     }
 
     /// The device under maintenance.
@@ -233,7 +248,14 @@ mod tests {
         let total: f64 = plan
             .msbs
             .iter()
-            .map(|&m| plan.topology.device(m).unwrap().limit().unwrap().as_megawatts())
+            .map(|&m| {
+                plan.topology
+                    .device(m)
+                    .unwrap()
+                    .limit()
+                    .unwrap()
+                    .as_megawatts()
+            })
             .sum();
         assert_eq!(total, 7.5);
     }
@@ -268,7 +290,7 @@ mod tests {
         let plan = build(2, 56);
         let calendar = annual_maintenance_calendar(&plan, 10.0);
         assert_eq!(calendar.len(), 2 + 8); // MSBs + SBs
-        // Events are spread over the year and ordered.
+                                           // Events are spread over the year and ordered.
         for pair in calendar.windows(2) {
             assert!(pair[1].open_transitions()[0].start() > pair[0].open_transitions()[0].start());
         }

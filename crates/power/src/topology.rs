@@ -117,10 +117,18 @@ impl TopologyBuilder {
         if self.devices.is_empty() {
             return Err(TopologyError::Empty);
         }
-        Ok(Topology { devices: self.devices, rack_owner: self.rack_owner })
+        Ok(Topology {
+            devices: self.devices,
+            rack_owner: self.rack_owner,
+        })
     }
 
-    fn push(&mut self, kind: DeviceKind, parent: Option<DeviceId>, limit: Option<Watts>) -> DeviceId {
+    fn push(
+        &mut self,
+        kind: DeviceKind,
+        parent: Option<DeviceId>,
+        limit: Option<Watts>,
+    ) -> DeviceId {
         let id = DeviceId::new(self.devices.len() as u32);
         self.devices.push(Device {
             id,
@@ -152,7 +160,9 @@ impl Topology {
     ///
     /// Returns [`TopologyError::UnknownDevice`] for ids from other topologies.
     pub fn device(&self, id: DeviceId) -> Result<&Device, TopologyError> {
-        self.devices.get(id.index() as usize).ok_or(TopologyError::UnknownDevice(id))
+        self.devices
+            .get(id.index() as usize)
+            .ok_or(TopologyError::UnknownDevice(id))
     }
 
     /// Mutable access to a device (breaker state).
@@ -161,7 +171,9 @@ impl Topology {
     ///
     /// Returns [`TopologyError::UnknownDevice`] for ids from other topologies.
     pub fn device_mut(&mut self, id: DeviceId) -> Result<&mut Device, TopologyError> {
-        self.devices.get_mut(id.index() as usize).ok_or(TopologyError::UnknownDevice(id))
+        self.devices
+            .get_mut(id.index() as usize)
+            .ok_or(TopologyError::UnknownDevice(id))
     }
 
     /// All devices, in arena order (parents before children).
@@ -245,9 +257,15 @@ mod tests {
     fn small() -> (Topology, DeviceId, DeviceId, DeviceId) {
         let mut b = TopologyBuilder::new();
         let msb = b.root(DeviceKind::Msb, Some(Watts::from_megawatts(2.5)));
-        let sb1 = b.child(msb, DeviceKind::Sb, Some(Watts::from_megawatts(1.25))).unwrap();
-        let sb2 = b.child(msb, DeviceKind::Sb, Some(Watts::from_megawatts(1.25))).unwrap();
-        let rpp = b.child(sb1, DeviceKind::Rpp, Some(Watts::from_kilowatts(190.0))).unwrap();
+        let sb1 = b
+            .child(msb, DeviceKind::Sb, Some(Watts::from_megawatts(1.25)))
+            .unwrap();
+        let sb2 = b
+            .child(msb, DeviceKind::Sb, Some(Watts::from_megawatts(1.25)))
+            .unwrap();
+        let rpp = b
+            .child(sb1, DeviceKind::Rpp, Some(Watts::from_kilowatts(190.0)))
+            .unwrap();
         for i in 0..4 {
             b.attach_rack(rpp, RackId::new(i)).unwrap();
         }
@@ -319,7 +337,10 @@ mod tests {
 
     #[test]
     fn empty_builder_fails() {
-        assert_eq!(TopologyBuilder::new().build().unwrap_err(), TopologyError::Empty);
+        assert_eq!(
+            TopologyBuilder::new().build().unwrap_err(),
+            TopologyError::Empty
+        );
     }
 
     #[test]

@@ -33,7 +33,10 @@ impl AorSimulation {
     /// 45-second mean open transition.
     #[must_use]
     pub fn new(sources: Vec<FailureSource>) -> Self {
-        AorSimulation { sources, mean_ot: Exponential::with_mean(MEAN_OPEN_TRANSITION_SECS) }
+        AorSimulation {
+            sources,
+            mean_ot: Exponential::with_mean(MEAN_OPEN_TRANSITION_SECS),
+        }
     }
 
     /// Overrides the mean open-transition duration (seconds).
@@ -91,15 +94,64 @@ impl AorSimulation {
         PowerLossTimeline::from_intervals(intervals, horizon)
     }
 
+    /// Samples `trials` independent blocks of `years_per_trial` each and
+    /// concatenates them into one timeline spanning
+    /// `trials × years_per_trial` years.
+    ///
+    /// Trial `t` runs on its own RNG stream derived from `(seed, t)` via a
+    /// SplitMix64 mix, and its intervals are shifted by `t` block lengths
+    /// before the final merge — so the result is a pure function of
+    /// `(years_per_trial, trials, seed)`, independent of execution order.
+    /// [`run_trials_parallel`](Self::run_trials_parallel) exploits exactly
+    /// that: it produces a **bit-identical** timeline on any thread count.
+    #[must_use]
+    pub fn run_trials(&self, years_per_trial: f64, trials: usize, seed: u64) -> PowerLossTimeline {
+        let timelines: Vec<PowerLossTimeline> = (0..trials)
+            .map(|t| self.run(years_per_trial, trial_seed(seed, t)))
+            .collect();
+        concat_timelines(&timelines, years_per_trial)
+    }
+
+    /// The parallel twin of [`run_trials`](Self::run_trials): distributes the
+    /// trials over `threads` OS threads and returns a timeline bit-identical
+    /// to the serial result.
+    ///
+    /// Each thread owns a disjoint chunk of the per-trial result slots, so
+    /// no synchronization is needed beyond the scope join. `threads` is
+    /// clamped to `[1, trials]`.
+    #[must_use]
+    pub fn run_trials_parallel(
+        &self,
+        years_per_trial: f64,
+        trials: usize,
+        seed: u64,
+        threads: usize,
+    ) -> PowerLossTimeline {
+        let threads = threads.clamp(1, trials.max(1));
+        let mut results: Vec<Option<PowerLossTimeline>> = vec![None; trials];
+        let chunk = trials.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (c, slots) in results.chunks_mut(chunk.max(1)).enumerate() {
+                let sim = &*self;
+                scope.spawn(move || {
+                    for (offset, slot) in slots.iter_mut().enumerate() {
+                        let t = c * chunk + offset;
+                        *slot = Some(sim.run(years_per_trial, trial_seed(seed, t)));
+                    }
+                });
+            }
+        });
+        let timelines: Vec<PowerLossTimeline> = results
+            .into_iter()
+            .map(|r| r.expect("all trials ran"))
+            .collect();
+        concat_timelines(&timelines, years_per_trial)
+    }
+
     /// Convenience: evaluates AOR at each charging time over one shared event
     /// stream, producing the Fig 9(a) curve.
     #[must_use]
-    pub fn aor_curve(
-        &self,
-        horizon_years: f64,
-        seed: u64,
-        charge_times: &[Seconds],
-    ) -> AorCurve {
+    pub fn aor_curve(&self, horizon_years: f64, seed: u64, charge_times: &[Seconds]) -> AorCurve {
         let timeline = self.run(horizon_years, seed);
         let points = charge_times
             .iter()
@@ -107,6 +159,37 @@ impl AorSimulation {
             .collect();
         AorCurve { points }
     }
+}
+
+/// Derives the RNG seed for trial `index` from the caller's master seed.
+///
+/// Two SplitMix64 steps over the (seed, index) pair decorrelate neighbouring
+/// trial streams; the mapping is pure, so serial and parallel execution see
+/// identical streams.
+#[must_use]
+pub fn trial_seed(seed: u64, index: usize) -> u64 {
+    let mut state = seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let first = rand::splitmix64(&mut state);
+    first ^ rand::splitmix64(&mut state)
+}
+
+/// Concatenates per-trial timelines (each spanning `years_per_trial`) into a
+/// single timeline over the combined horizon, shifting trial `t`'s intervals
+/// by `t` block lengths.
+fn concat_timelines(timelines: &[PowerLossTimeline], years_per_trial: f64) -> PowerLossTimeline {
+    let block = Seconds::from_years(years_per_trial).as_secs();
+    let horizon = block * timelines.len().max(1) as f64;
+    let intervals: Vec<(f64, f64)> = timelines
+        .iter()
+        .enumerate()
+        .flat_map(|(t, tl)| {
+            let shift = block * t as f64;
+            tl.intervals()
+                .iter()
+                .map(move |&(s, e)| (s + shift, e + shift))
+        })
+        .collect();
+    PowerLossTimeline::from_intervals(intervals, horizon)
 }
 
 /// A merged, sorted set of rack-input-power-loss intervals over a horizon.
@@ -129,7 +212,10 @@ impl PowerLossTimeline {
         }
         intervals.sort_by(|a, b| a.0.total_cmp(&b.0));
         let merged = Self::merge(&intervals);
-        PowerLossTimeline { intervals: merged, horizon }
+        PowerLossTimeline {
+            intervals: merged,
+            horizon,
+        }
     }
 
     fn merge(sorted: &[(f64, f64)]) -> Vec<(f64, f64)> {
@@ -291,8 +377,9 @@ mod tests {
     #[test]
     fn aor_curve_is_close_to_linear() {
         let sim = AorSimulation::new(standard_sources());
-        let times: Vec<Seconds> =
-            (0..=9).map(|i| Seconds::from_minutes(f64::from(i) * 10.0)).collect();
+        let times: Vec<Seconds> = (0..=9)
+            .map(|i| Seconds::from_minutes(f64::from(i) * 10.0))
+            .collect();
         let curve = sim.aor_curve(10_000.0, 3, &times);
         assert!(curve.slope_per_minute() < 0.0);
         assert!(
@@ -343,9 +430,46 @@ mod tests {
     }
 
     #[test]
+    fn parallel_trials_are_bit_identical_to_serial() {
+        let sim = AorSimulation::new(standard_sources());
+        let serial = sim.run_trials(100.0, 12, 42);
+        for threads in [1, 2, 3, 5, 12, 64] {
+            let parallel = sim.run_trials_parallel(100.0, 12, 42, threads);
+            assert_eq!(serial, parallel, "diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn trials_statistics_match_single_stream() {
+        // Chopping the horizon into independent trials must not bias the
+        // long-run episode rate or AOR (edge effects are O(1/block)).
+        let sim = AorSimulation::new(standard_sources());
+        let t = sim.run_trials(500.0, 10, 7);
+        assert!(
+            (8.0..11.5).contains(&t.episodes_per_year()),
+            "{}",
+            t.episodes_per_year()
+        );
+        let aor30 = t.aor(Seconds::from_minutes(30.0));
+        assert!((0.998..0.99995).contains(&aor30), "AOR(30) = {aor30:.5}");
+        assert!((t.horizon_secs() - Seconds::from_years(5_000.0).as_secs()).abs() < 1.0);
+    }
+
+    #[test]
+    fn trial_seeds_are_decorrelated() {
+        let s: Vec<u64> = (0..64).map(|i| trial_seed(9, i)).collect();
+        let mut unique = s.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), s.len(), "colliding trial seeds");
+        // A different master seed shifts every stream.
+        assert!((0..64).all(|i| trial_seed(10, i) != s[i]));
+    }
+
+    #[test]
     fn custom_open_transition_mean() {
-        let sim = AorSimulation::new(standard_sources())
-            .with_mean_open_transition(Seconds::new(5.0));
+        let sim =
+            AorSimulation::new(standard_sources()).with_mean_open_transition(Seconds::new(5.0));
         let t = sim.run(2_000.0, 5);
         // Shorter OTs reduce raw loss time but episodes stay similar.
         assert!((8.0..11.5).contains(&t.episodes_per_year()));

@@ -32,7 +32,10 @@ impl Exponential {
     /// Panics if `mean` is not positive and finite.
     #[must_use]
     pub fn with_mean(mean: f64) -> Self {
-        assert!(mean > 0.0 && mean.is_finite(), "exponential mean must be positive");
+        assert!(
+            mean > 0.0 && mean.is_finite(),
+            "exponential mean must be positive"
+        );
         Exponential { mean }
     }
 

@@ -111,17 +111,72 @@ pub fn standard_sources() -> Vec<FailureSource> {
     use Component::*;
     use FailureType::*;
     vec![
-        FailureSource { component: Utility, failure_type: UtilityFailure, mtbf_hours: 6.39e3, mttr_hours: 0.6 },
-        FailureSource { component: SubMsg, failure_type: CorrectiveMaintenance, mtbf_hours: 5.87e4, mttr_hours: 8.0 },
-        FailureSource { component: Msb, failure_type: CorrectiveMaintenance, mtbf_hours: 4.12e4, mttr_hours: 20.2 },
-        FailureSource { component: Sb, failure_type: CorrectiveMaintenance, mtbf_hours: 1.51e5, mttr_hours: 8.7 },
-        FailureSource { component: Rpp, failure_type: CorrectiveMaintenance, mtbf_hours: 6.31e5, mttr_hours: 5.5 },
-        FailureSource { component: Msb, failure_type: AnnualMaintenance, mtbf_hours: 8.76e3, mttr_hours: 12.8 },
-        FailureSource { component: Sb, failure_type: AnnualMaintenance, mtbf_hours: 8.76e3, mttr_hours: 7.4 },
-        FailureSource { component: Rpp, failure_type: AnnualMaintenance, mtbf_hours: 8.76e3, mttr_hours: 9.9 },
-        FailureSource { component: Msb, failure_type: PowerOutage, mtbf_hours: 2.93e5, mttr_hours: 6.4 },
-        FailureSource { component: Sb, failure_type: PowerOutage, mtbf_hours: 5.20e5, mttr_hours: 4.6 },
-        FailureSource { component: Rpp, failure_type: PowerOutage, mtbf_hours: 6.25e6, mttr_hours: 10.9 },
+        FailureSource {
+            component: Utility,
+            failure_type: UtilityFailure,
+            mtbf_hours: 6.39e3,
+            mttr_hours: 0.6,
+        },
+        FailureSource {
+            component: SubMsg,
+            failure_type: CorrectiveMaintenance,
+            mtbf_hours: 5.87e4,
+            mttr_hours: 8.0,
+        },
+        FailureSource {
+            component: Msb,
+            failure_type: CorrectiveMaintenance,
+            mtbf_hours: 4.12e4,
+            mttr_hours: 20.2,
+        },
+        FailureSource {
+            component: Sb,
+            failure_type: CorrectiveMaintenance,
+            mtbf_hours: 1.51e5,
+            mttr_hours: 8.7,
+        },
+        FailureSource {
+            component: Rpp,
+            failure_type: CorrectiveMaintenance,
+            mtbf_hours: 6.31e5,
+            mttr_hours: 5.5,
+        },
+        FailureSource {
+            component: Msb,
+            failure_type: AnnualMaintenance,
+            mtbf_hours: 8.76e3,
+            mttr_hours: 12.8,
+        },
+        FailureSource {
+            component: Sb,
+            failure_type: AnnualMaintenance,
+            mtbf_hours: 8.76e3,
+            mttr_hours: 7.4,
+        },
+        FailureSource {
+            component: Rpp,
+            failure_type: AnnualMaintenance,
+            mtbf_hours: 8.76e3,
+            mttr_hours: 9.9,
+        },
+        FailureSource {
+            component: Msb,
+            failure_type: PowerOutage,
+            mtbf_hours: 2.93e5,
+            mttr_hours: 6.4,
+        },
+        FailureSource {
+            component: Sb,
+            failure_type: PowerOutage,
+            mtbf_hours: 5.20e5,
+            mttr_hours: 4.6,
+        },
+        FailureSource {
+            component: Rpp,
+            failure_type: PowerOutage,
+            mtbf_hours: 6.25e6,
+            mttr_hours: 10.9,
+        },
     ]
 }
 
@@ -136,7 +191,10 @@ mod tests {
 
     #[test]
     fn annual_maintenance_is_yearly() {
-        for src in standard_sources().iter().filter(|s| s.failure_type.is_annual()) {
+        for src in standard_sources()
+            .iter()
+            .filter(|s| s.failure_type.is_annual())
+        {
             assert_eq!(src.mtbf_hours, 8_760.0);
             assert!((src.events_per_year() - 1.0).abs() < 1e-12);
         }

@@ -189,7 +189,10 @@ mod tests {
 
     #[test]
     fn mean_event_dod() {
-        let m = metrics(vec![outcome(Priority::P1, true), outcome(Priority::P2, true)]);
+        let m = metrics(vec![
+            outcome(Priority::P1, true),
+            outcome(Priority::P2, true),
+        ]);
         assert!((m.mean_event_dod().value() - 0.5).abs() < 1e-12);
         assert_eq!(metrics(vec![]).mean_event_dod(), Dod::ZERO);
     }

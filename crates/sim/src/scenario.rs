@@ -52,6 +52,7 @@ pub struct Scenario {
     pub(crate) warmup: Seconds,
     pub(crate) max_horizon: Seconds,
     pub(crate) allow_postponing: bool,
+    pub(crate) shards: Option<usize>,
 }
 
 impl Scenario {
@@ -73,6 +74,7 @@ impl Scenario {
             warmup: Seconds::new(60.0),
             max_horizon: Seconds::from_hours(3.0),
             allow_postponing: false,
+            shards: None,
         }
     }
 
@@ -147,6 +149,23 @@ impl Scenario {
         self
     }
 
+    /// Runs rack agents on `n` worker threads (a [`ThreadedFleet`] backend)
+    /// instead of stepping them in-process. Agent physics and controller
+    /// decisions are identical either way — sharding only changes who steps
+    /// the agents — so metrics match the in-memory backend exactly.
+    ///
+    /// [`ThreadedFleet`]: recharge_dynamo::ThreadedFleet
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn shards(mut self, n: usize) -> Self {
+        assert!(n > 0, "need at least one shard");
+        self.shards = Some(n);
+        self
+    }
+
     /// Sets the simulation tick (default 1 s).
     ///
     /// # Panics
@@ -192,7 +211,11 @@ impl Scenario {
     #[must_use]
     pub fn build(self) -> FleetSimulation {
         let fleet: SyntheticFleet = SyntheticFleetBuilder::new(self.seed)
-            .priority_counts(self.priority_counts.0, self.priority_counts.1, self.priority_counts.2)
+            .priority_counts(
+                self.priority_counts.0,
+                self.priority_counts.1,
+                self.priority_counts.2,
+            )
             .mean_rack_power(self.mean_rack_power)
             .diurnal(DiurnalModel::standard())
             .build();
@@ -238,7 +261,10 @@ mod tests {
     #[test]
     fn explicit_ot_duration_wins() {
         let s = Scenario::paper_msb(0).open_transition_duration(Seconds::new(5.0));
-        assert_eq!(s.ot_duration_for(Watts::from_kilowatts(6.0)), Seconds::new(5.0));
+        assert_eq!(
+            s.ot_duration_for(Watts::from_kilowatts(6.0)),
+            Seconds::new(5.0)
+        );
     }
 
     #[test]

@@ -3,7 +3,10 @@
 use std::collections::HashMap;
 
 use recharge_core::SlaTable;
-use recharge_dynamo::{Controller, ControllerConfig, InMemoryBus, RackAgent, SimRackAgent};
+use recharge_dynamo::{
+    AgentBus, Controller, ControllerConfig, InMemoryBus, PowerReading, RackAgent, SimRackAgent,
+    ThreadedFleet,
+};
 use recharge_power::{Breaker, BreakerStatus};
 use recharge_trace::{RackPowerTrace, SyntheticFleet};
 use recharge_units::{DeviceId, Priority, RackId, Seconds, SimTime, Watts};
@@ -30,9 +33,61 @@ struct ChargeTrack {
     dod: recharge_units::Dod,
 }
 
+/// Where the rack agents live: stepped in-process over an [`InMemoryBus`], or
+/// owned by [`ThreadedFleet`] shard workers ([`Scenario::shards`]). Both
+/// expose the same [`AgentBus`] to the controller and report the same
+/// [`PowerReading`] telemetry, so the tick loop is backend-agnostic.
+enum Backend {
+    InMemory {
+        bus: InMemoryBus<SimRackAgent>,
+        racks: Vec<RackId>,
+    },
+    Threaded(ThreadedFleet),
+}
+
+impl Backend {
+    fn step(&mut self, dt: Seconds, load_of: impl Fn(RackId) -> Watts, input_power: bool) {
+        match self {
+            Backend::InMemory { bus, racks } => {
+                for &rack in racks.iter() {
+                    if let Some(agent) = bus.agent_mut(rack) {
+                        agent.set_offered_load(load_of(rack));
+                        agent.set_input_power(input_power);
+                        agent.step(dt);
+                    }
+                }
+            }
+            Backend::Threaded(fleet) => fleet.step_all(dt, load_of, input_power),
+        }
+    }
+
+    /// Post-step telemetry for every rack, in fleet order.
+    fn readings(&self) -> Vec<PowerReading> {
+        match self {
+            Backend::InMemory { bus, .. } => bus.agents().map(RackAgent::read).collect(),
+            Backend::Threaded(fleet) => fleet
+                .racks()
+                .into_iter()
+                .filter_map(|r| fleet.read(r))
+                .collect(),
+        }
+    }
+
+    fn bus_mut(&mut self) -> &mut dyn AgentBus {
+        match self {
+            Backend::InMemory { bus, .. } => bus,
+            Backend::Threaded(fleet) => fleet,
+        }
+    }
+}
+
 impl FleetSimulation {
     pub(crate) fn new(scenario: Scenario, fleet: SyntheticFleet) -> Self {
-        FleetSimulation { scenario, fleet, mitigated: true }
+        FleetSimulation {
+            scenario,
+            fleet,
+            mitigated: true,
+        }
     }
 
     /// Disables the Dynamo controller entirely — no coordination, no capping.
@@ -75,7 +130,16 @@ impl FleetSimulation {
                     .build()
             })
             .collect();
-        let mut bus = InMemoryBus::new(agents);
+        let mut backend = match self.scenario.shards {
+            Some(n) => Backend::Threaded(ThreadedFleet::spawn(agents, n)),
+            None => {
+                let racks = agents.iter().map(RackAgent::rack).collect();
+                Backend::InMemory {
+                    bus: InMemoryBus::new(agents),
+                    racks,
+                }
+            }
+        };
         let mut config = ControllerConfig::new(DeviceId::new(0), self.scenario.power_limit);
         if self.scenario.allow_postponing {
             config = config.with_postponing();
@@ -100,30 +164,18 @@ impl FleetSimulation {
         loop {
             let in_ot = t >= ot_start && t < ot_end;
 
-            // Drive the physical layer.
-            let entries: Vec<(RackId, Watts)> = self
-                .fleet
-                .fleet()
-                .iter()
-                .map(|e| (e.rack, self.fleet.rack_power(e.rack, t)))
-                .collect();
-            for (rack, offered) in entries {
-                if let Some(agent) = bus.agent_mut(rack) {
-                    agent.set_offered_load(offered);
-                    agent.set_input_power(!in_ot);
-                    agent.step(tick);
-                }
-            }
+            // Drive the physical layer (in-process or across shard workers).
+            backend.step(tick, |rack| self.fleet.rack_power(rack, t), !in_ot);
+            let readings = backend.readings();
 
             // Control plane (or raw aggregation when unmitigated).
             let (it_load, recharge, capped) = if self.mitigated {
-                let report = controller.tick(t, &mut bus);
+                let report = controller.tick(t, backend.bus_mut());
                 (report.it_load, report.recharge_power, report.capped_power)
             } else {
                 let mut it = Watts::ZERO;
                 let mut re = Watts::ZERO;
-                for agent in bus.agents() {
-                    let reading = agent.read();
+                for reading in &readings {
                     if reading.input_power_present {
                         it += reading.it_load;
                         re += reading.recharge_power;
@@ -145,28 +197,34 @@ impl FleetSimulation {
             max_recharge = max_recharge.max(recharge);
             max_capped = max_capped.max(capped);
             if t >= next_sample {
-                series.push(SeriesPoint { at: t, it_load, recharge_power: recharge, capped_power: capped });
+                series.push(SeriesPoint {
+                    at: t,
+                    it_load,
+                    recharge_power: recharge,
+                    capped_power: capped,
+                });
                 next_sample = t + sample_every;
             }
 
-            // Track charge starts and completions.
+            // Track charge starts and completions from the telemetry the
+            // control plane itself sees, so the bookkeeping is identical
+            // across backends.
             let mut all_settled = true;
-            for agent in bus.agents() {
-                let battery = agent.battery();
-                match battery.state() {
+            for reading in &readings {
+                match reading.bbu_state {
                     recharge_battery::BbuState::Charging => {
                         all_settled = false;
-                        tracks.entry(agent.rack()).or_insert(ChargeTrack {
+                        tracks.entry(reading.rack).or_insert(ChargeTrack {
                             started: t,
-                            priority: agent.priority(),
-                            dod: battery.event_dod(),
+                            priority: reading.priority,
+                            dod: reading.event_dod,
                         });
                     }
                     recharge_battery::BbuState::FullyCharged => {
-                        if let Some(track) = tracks.remove(&agent.rack()) {
+                        if let Some(track) = tracks.remove(&reading.rack) {
                             let duration = t - track.started;
                             outcomes.push(RackSlaOutcome {
-                                rack: agent.rack(),
+                                rack: reading.rack,
                                 priority: track.priority,
                                 event_dod: track.dod,
                                 charge_duration: Some(duration),
@@ -234,7 +292,12 @@ mod tests {
         assert!(!metrics.breaker_tripped);
         assert_eq!(metrics.max_capped_power, Watts::ZERO);
         assert_eq!(metrics.rack_outcomes.len(), 7);
-        assert_eq!(metrics.total_sla_met(), 7, "outcomes: {:?}", metrics.rack_outcomes);
+        assert_eq!(
+            metrics.total_sla_met(),
+            7,
+            "outcomes: {:?}",
+            metrics.rack_outcomes
+        );
         // DOD landed near the low-discharge target.
         assert!((metrics.mean_event_dod().value() - 0.30).abs() < 0.06);
     }
@@ -314,7 +377,11 @@ mod tests {
             .build()
             .without_mitigation()
             .run();
-        assert!(metrics.breaker_tripped, "max draw {}", metrics.max_total_draw);
+        assert!(
+            metrics.breaker_tripped,
+            "max draw {}",
+            metrics.max_total_draw
+        );
     }
 
     #[test]
@@ -343,15 +410,35 @@ mod tests {
             aware_p1.met,
             global_p1.met
         );
-        assert!(aware_p1.met > 0, "aware should protect at least one P1 rack");
+        assert!(
+            aware_p1.met > 0,
+            "aware should protect at least one P1 rack"
+        );
+    }
+
+    #[test]
+    fn sharded_backend_matches_in_memory() {
+        // `shards(n)` only moves agent stepping onto worker threads; the
+        // physics, controller decisions, and bookkeeping must be identical.
+        let base = small(Strategy::PriorityAware, 190.0);
+        let serial = base.clone().build().run();
+        for shards in [1, 3] {
+            let sharded = base.clone().shards(shards).build().run();
+            assert_eq!(sharded, serial, "diverged with {shards} shards");
+        }
     }
 
     #[test]
     fn ot_duration_hits_target_dod() {
-        for (level, target) in
-            [(DischargeLevel::Low, 0.30), (DischargeLevel::Medium, 0.50), (DischargeLevel::High, 0.70)]
-        {
-            let metrics = small(Strategy::PriorityAware, 190.0).discharge(level).build().run();
+        for (level, target) in [
+            (DischargeLevel::Low, 0.30),
+            (DischargeLevel::Medium, 0.50),
+            (DischargeLevel::High, 0.70),
+        ] {
+            let metrics = small(Strategy::PriorityAware, 190.0)
+                .discharge(level)
+                .build()
+                .run();
             let mean = metrics.mean_event_dod().value();
             assert!(
                 (mean - target).abs() < 0.07,

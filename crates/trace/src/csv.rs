@@ -92,9 +92,19 @@ impl RecordedTrace {
         let mut rows = Vec::with_capacity(ticks);
         for tick in 0..ticks {
             let at = start + step * tick as f64;
-            rows.push(fleet.iter().map(|e| source.rack_power(e.rack, at)).collect());
+            rows.push(
+                fleet
+                    .iter()
+                    .map(|e| source.rack_power(e.rack, at))
+                    .collect(),
+            );
         }
-        RecordedTrace { fleet, start, step, rows }
+        RecordedTrace {
+            fleet,
+            start,
+            step,
+            rows,
+        }
     }
 
     /// The capture start instant.
@@ -121,8 +131,17 @@ impl RecordedTrace {
     ///
     /// Propagates I/O errors from the writer.
     pub fn write_csv<W: Write>(&self, mut w: W) -> Result<(), CsvTraceError> {
-        write!(w, "# start_s={} step_s={} racks=", self.start.as_secs(), self.step.as_secs())?;
-        let ids: Vec<String> = self.fleet.iter().map(|e| e.rack.index().to_string()).collect();
+        write!(
+            w,
+            "# start_s={} step_s={} racks=",
+            self.start.as_secs(),
+            self.step.as_secs()
+        )?;
+        let ids: Vec<String> = self
+            .fleet
+            .iter()
+            .map(|e| e.rack.index().to_string())
+            .collect();
         writeln!(w, "{}", ids.join(";"))?;
         let prios: Vec<String> = self.fleet.iter().map(|e| e.priority.to_string()).collect();
         writeln!(w, "# priorities={}", prios.join(";"))?;
@@ -154,7 +173,10 @@ impl RecordedTrace {
         let fleet: Vec<FleetEntry> = ids
             .into_iter()
             .zip(priorities)
-            .map(|(id, priority)| FleetEntry { rack: RackId::new(id), priority })
+            .map(|(id, priority)| FleetEntry {
+                rack: RackId::new(id),
+                priority,
+            })
             .collect();
 
         let mut rows = Vec::new();
@@ -166,10 +188,9 @@ impl RecordedTrace {
             let row: Result<Vec<Watts>, _> = line
                 .split(',')
                 .map(|cell| {
-                    cell.trim()
-                        .parse::<f64>()
-                        .map(Watts::new)
-                        .map_err(|_| CsvTraceError::Malformed(format!("bad number on data line {lineno}")))
+                    cell.trim().parse::<f64>().map(Watts::new).map_err(|_| {
+                        CsvTraceError::Malformed(format!("bad number on data line {lineno}"))
+                    })
                 })
                 .collect();
             let row = row?;
@@ -182,12 +203,19 @@ impl RecordedTrace {
             }
             rows.push(row);
         }
-        Ok(RecordedTrace { fleet, start, step, rows })
+        Ok(RecordedTrace {
+            fleet,
+            start,
+            step,
+            rows,
+        })
     }
 
     fn parse_header(header: &str) -> Result<(SimTime, Seconds, Vec<u32>), CsvTraceError> {
         let malformed = |what: &str| CsvTraceError::Malformed(what.to_owned());
-        let rest = header.strip_prefix("# ").ok_or_else(|| malformed("header must start with '# '"))?;
+        let rest = header
+            .strip_prefix("# ")
+            .ok_or_else(|| malformed("header must start with '# '"))?;
         let mut start = None;
         let mut step = None;
         let mut ids = None;
@@ -212,8 +240,7 @@ impl RecordedTrace {
             .strip_prefix("# priorities=")
             .ok_or_else(|| CsvTraceError::Malformed("second line must carry priorities".into()))?;
         let parsed: Result<Vec<Priority>, _> = rest.split(';').map(Priority::parse).collect();
-        let prios =
-            parsed.map_err(|_| CsvTraceError::Malformed("unparseable priority".into()))?;
+        let prios = parsed.map_err(|_| CsvTraceError::Malformed("unparseable priority".into()))?;
         if prios.len() != expected {
             return Err(CsvTraceError::Malformed(format!(
                 "{} priorities for {} racks",
@@ -256,7 +283,12 @@ mod tests {
 
     fn recorded() -> RecordedTrace {
         let fleet = SyntheticFleet::row(2, 1, 1, 5);
-        RecordedTrace::capture(&fleet, SimTime::from_secs(9.0), Seconds::new(30.0), Seconds::new(3.0))
+        RecordedTrace::capture(
+            &fleet,
+            SimTime::from_secs(9.0),
+            Seconds::new(30.0),
+            Seconds::new(3.0),
+        )
     }
 
     #[test]
@@ -292,7 +324,10 @@ mod tests {
         let same_tick = r.rack_power(rack, SimTime::from_secs(11.9));
         assert_eq!(within, same_tick);
         // Before the window clamps to the first sample; after, to the last.
-        assert_eq!(r.rack_power(rack, SimTime::ZERO), r.rack_power(rack, SimTime::from_secs(9.0)));
+        assert_eq!(
+            r.rack_power(rack, SimTime::ZERO),
+            r.rack_power(rack, SimTime::from_secs(9.0))
+        );
         assert_eq!(
             r.rack_power(rack, SimTime::from_secs(10_000.0)),
             r.rack_power(rack, SimTime::from_secs(9.0 + 27.0))
@@ -302,14 +337,19 @@ mod tests {
     #[test]
     fn unknown_rack_is_zero() {
         let r = recorded();
-        assert_eq!(r.rack_power(RackId::new(77), SimTime::from_secs(12.0)), Watts::ZERO);
+        assert_eq!(
+            r.rack_power(RackId::new(77), SimTime::from_secs(12.0)),
+            Watts::ZERO
+        );
     }
 
     #[test]
     fn malformed_inputs_are_rejected() {
         assert!(RecordedTrace::read_csv(&b"garbage"[..]).is_err());
-        assert!(RecordedTrace::read_csv(&b"# start_s=0 step_s=3 racks=0;1\n# priorities=P1\n"[..])
-            .is_err());
+        assert!(
+            RecordedTrace::read_csv(&b"# start_s=0 step_s=3 racks=0;1\n# priorities=P1\n"[..])
+                .is_err()
+        );
         let bad_cells = b"# start_s=0 step_s=3 racks=0;1\n# priorities=P1;P2\n1.0\n";
         assert!(matches!(
             RecordedTrace::read_csv(&bad_cells[..]),

@@ -28,7 +28,7 @@ mod stats;
 mod synth;
 
 pub use csv::{CsvTraceError, RecordedTrace};
-pub use oversub::{analyze_oversubscription, max_safe_racks, OversubscriptionReport};
 pub use model::{DiurnalModel, FleetEntry, RackPowerTrace};
+pub use oversub::{analyze_oversubscription, max_safe_racks, OversubscriptionReport};
 pub use stats::{find_peak, sample_aggregate, TracePoint};
 pub use synth::{SyntheticFleet, SyntheticFleetBuilder};

@@ -29,12 +29,18 @@ pub trait RackPowerTrace {
 
     /// Total IT load of the fleet at instant `at`.
     fn aggregate_power(&self, at: SimTime) -> Watts {
-        self.fleet().iter().map(|e| self.rack_power(e.rack, at)).sum()
+        self.fleet()
+            .iter()
+            .map(|e| self.rack_power(e.rack, at))
+            .sum()
     }
 
     /// Number of racks with the given priority.
     fn count_priority(&self, priority: Priority) -> usize {
-        self.fleet().iter().filter(|e| e.priority == priority).count()
+        self.fleet()
+            .iter()
+            .filter(|e| e.priority == priority)
+            .count()
     }
 }
 
@@ -57,7 +63,11 @@ impl DiurnalModel {
     /// a 316-rack / ≈2 MW fleet.
     #[must_use]
     pub fn standard() -> Self {
-        DiurnalModel { daily_amplitude: 0.05, weekly_amplitude: 0.01, peak_hour: 18.0 }
+        DiurnalModel {
+            daily_amplitude: 0.05,
+            weekly_amplitude: 0.01,
+            peak_hour: 18.0,
+        }
     }
 
     /// Multiplicative load factor at instant `at` (mean 1.0 over a week).
@@ -126,7 +136,10 @@ mod tests {
 
     #[test]
     fn fleet_entry_round_trip() {
-        let e = FleetEntry { rack: RackId::new(3), priority: Priority::P1 };
+        let e = FleetEntry {
+            rack: RackId::new(3),
+            priority: Priority::P1,
+        };
         assert_eq!(e.rack.index(), 3);
         assert_eq!(e.priority, Priority::P1);
     }

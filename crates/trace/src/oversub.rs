@@ -68,7 +68,10 @@ pub fn analyze_oversubscription<T: RackPowerTrace + ?Sized>(
 ) -> OversubscriptionReport {
     assert!(nameplate > Watts::ZERO, "nameplate rating must be positive");
     let samples = sample_aggregate(trace, start, end, step);
-    assert!(!samples.is_empty(), "window must contain at least one sample");
+    assert!(
+        !samples.is_empty(),
+        "window must contain at least one sample"
+    );
 
     let peak = samples
         .iter()
@@ -107,7 +110,10 @@ pub fn max_safe_racks<T: RackPowerTrace + ?Sized>(
 ) -> (usize, f64) {
     assert!(nameplate > Watts::ZERO, "nameplate rating must be positive");
     let samples = sample_aggregate(trace, start, end, step);
-    assert!(!samples.is_empty(), "window must contain at least one sample");
+    assert!(
+        !samples.is_empty(),
+        "window must contain at least one sample"
+    );
     let peak = samples
         .iter()
         .map(|p| p.power)
@@ -126,7 +132,11 @@ mod tests {
     use crate::synth::SyntheticFleet;
 
     fn week() -> (SimTime, SimTime, Seconds) {
-        (SimTime::ZERO, SimTime::from_secs(7.0 * 86_400.0), Seconds::from_minutes(30.0))
+        (
+            SimTime::ZERO,
+            SimTime::from_secs(7.0 * 86_400.0),
+            Seconds::from_minutes(30.0),
+        )
     }
 
     #[test]
@@ -143,7 +153,11 @@ mod tests {
         );
         assert_eq!(report.rack_count, 316);
         assert_eq!(report.nameplate_capacity, 198);
-        assert!((report.ratio - 1.596).abs() < 0.01, "ratio {}", report.ratio);
+        assert!(
+            (report.ratio - 1.596).abs() < 0.01,
+            "ratio {}",
+            report.ratio
+        );
         // §II-B band: 47% average, up to 70%.
         assert!((1.4..1.75).contains(&report.ratio));
         assert_eq!(report.exceedance, 0.0);

@@ -31,7 +31,10 @@ pub fn sample_aggregate<T: RackPowerTrace + ?Sized>(
     let mut points = Vec::new();
     let mut at = start;
     while at < end {
-        points.push(TracePoint { at, power: trace.aggregate_power(at) });
+        points.push(TracePoint {
+            at,
+            power: trace.aggregate_power(at),
+        });
         at += step;
     }
     points
@@ -104,6 +107,11 @@ mod tests {
     #[should_panic(expected = "step must be positive")]
     fn zero_step_panics() {
         let fleet = SyntheticFleet::row(1, 0, 0, 0);
-        let _ = sample_aggregate(&fleet, SimTime::ZERO, SimTime::from_secs(1.0), Seconds::ZERO);
+        let _ = sample_aggregate(
+            &fleet,
+            SimTime::ZERO,
+            SimTime::from_secs(1.0),
+            Seconds::ZERO,
+        );
     }
 }

@@ -88,7 +88,10 @@ impl SyntheticFleetBuilder {
         for (idx, &count) in self.counts.iter().enumerate() {
             let priority = Priority::ALL[idx];
             for _ in 0..count {
-                fleet.push(FleetEntry { rack: RackId::new(next), priority });
+                fleet.push(FleetEntry {
+                    rack: RackId::new(next),
+                    priority,
+                });
                 let jitter = 1.0 + rng.gen_range(-self.rack_power_spread..=self.rack_power_spread);
                 base.push(self.mean_rack_power * jitter);
                 next += 1;
@@ -251,7 +254,10 @@ mod tests {
     #[test]
     fn unknown_rack_draws_zero() {
         let fleet = SyntheticFleet::row(2, 2, 2, 0);
-        assert_eq!(fleet.rack_power(RackId::new(99), SimTime::ZERO), Watts::ZERO);
+        assert_eq!(
+            fleet.rack_power(RackId::new(99), SimTime::ZERO),
+            Watts::ZERO
+        );
     }
 
     #[test]
@@ -261,7 +267,10 @@ mod tests {
         let a = fleet.rack_power(r, SimTime::from_secs(0.0));
         let b = fleet.rack_power(r, SimTime::from_secs(1.0)); // same 3 s tick
         let c = fleet.rack_power(r, SimTime::from_secs(4.0)); // next tick
-        assert!((a.as_watts() - b.as_watts()).abs() < 0.2, "within-tick drift");
+        assert!(
+            (a.as_watts() - b.as_watts()).abs() < 0.2,
+            "within-tick drift"
+        );
         assert_ne!(a, c);
     }
 
@@ -291,6 +300,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one rack")]
     fn empty_fleet_panics() {
-        let _ = SyntheticFleetBuilder::new(0).priority_counts(0, 0, 0).build();
+        let _ = SyntheticFleetBuilder::new(0)
+            .priority_counts(0, 0, 0)
+            .build();
     }
 }

@@ -252,7 +252,10 @@ mod tests {
         let q = Amperes::new(5.0) * Seconds::from_minutes(60.0);
         assert_eq!(q.as_ampere_hours(), AmpereHours::new(5.0));
         assert_eq!(AmpereHours::new(2.0).as_coulombs(), Coulombs::new(7_200.0));
-        assert_eq!(Coulombs::new(3_600.0) / Amperes::new(1.0), Seconds::new(3_600.0));
+        assert_eq!(
+            Coulombs::new(3_600.0) / Amperes::new(1.0),
+            Seconds::new(3_600.0)
+        );
     }
 
     #[test]

@@ -34,7 +34,10 @@ fn main() {
                 metrics.sla_summary(Priority::P3).met,
             ));
         }
-        println!("   {limit_mw:.2}    |        {}          |      {}", cells[0], cells[1]);
+        println!(
+            "   {limit_mw:.2}    |        {}          |      {}",
+            cells[0], cells[1]
+        );
     }
     println!("\n(89 P1 / 142 P2 / 85 P3 racks; open transition at the diurnal peak)");
 }

@@ -14,9 +14,21 @@ fn main() {
     let limit = Watts::from_megawatts(2.3); // a constrained maintenance window
 
     for (name, strategy, policy) in [
-        ("original 5 A charger ", Strategy::Uncoordinated, ChargePolicy::Original),
-        ("variable charger     ", Strategy::Uncoordinated, ChargePolicy::Variable),
-        ("priority-aware       ", Strategy::PriorityAware, ChargePolicy::Variable),
+        (
+            "original 5 A charger ",
+            Strategy::Uncoordinated,
+            ChargePolicy::Original,
+        ),
+        (
+            "variable charger     ",
+            Strategy::Uncoordinated,
+            ChargePolicy::Variable,
+        ),
+        (
+            "priority-aware       ",
+            Strategy::PriorityAware,
+            ChargePolicy::Variable,
+        ),
     ] {
         let metrics = Scenario::paper_msb(7)
             .power_limit(limit)
@@ -38,7 +50,10 @@ fn main() {
         );
         for priority in [Priority::P1, Priority::P2, Priority::P3] {
             let summary = metrics.sla_summary(priority);
-            println!("    {priority}: {}/{} racks met their charging-time SLA", summary.met, summary.total);
+            println!(
+                "    {priority}: {}/{} racks met their charging-time SLA",
+                summary.met, summary.total
+            );
         }
     }
 }

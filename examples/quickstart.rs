@@ -11,7 +11,11 @@ use recharge::prelude::*;
 fn main() {
     // An Open Rack V2 battery shelf: six BBUs, variable (Eq. 1) charger.
     let mut rack = RackBatterySystem::new(BbuParams::production(), ChargePolicy::Variable);
-    println!("rack battery shelf: {} BBUs, fully charged = {}", rack.bbu_count(), rack.is_redundant());
+    println!(
+        "rack battery shelf: {} BBUs, fully charged = {}",
+        rack.bbu_count(),
+        rack.is_redundant()
+    );
 
     // A 60-second open transition while the rack draws 6.3 kW.
     let it_load = Watts::from_kilowatts(6.3);
@@ -28,7 +32,7 @@ fn main() {
     let mut elapsed = Seconds::ZERO;
     while !rack.is_redundant() {
         let report = rack.step(it_load, Seconds::new(1.0));
-        if (elapsed.as_secs() as u64) % 300 == 0 {
+        if (elapsed.as_secs() as u64).is_multiple_of(300) {
             println!(
                 "t+{:>4.1} min  recharge power {:>7.1} W  SoC {:>5.1}%",
                 elapsed.as_minutes(),
@@ -38,7 +42,10 @@ fn main() {
         }
         elapsed += Seconds::new(1.0);
     }
-    println!("fully charged after {:.1} min at the automatic setpoint", elapsed.as_minutes());
+    println!(
+        "fully charged after {:.1} min at the automatic setpoint",
+        elapsed.as_minutes()
+    );
 
     // The same event, but a Dynamo controller overrides the charger to the
     // 1 A hardware floor (what coordination does to a low-priority rack).
@@ -52,5 +59,8 @@ fn main() {
         throttled.step(it_load, Seconds::new(1.0));
         elapsed += Seconds::new(1.0);
     }
-    println!("throttled to 1 A, the same charge takes {:.1} min", elapsed.as_minutes());
+    println!(
+        "throttled to 1 A, the same charge takes {:.1} min",
+        elapsed.as_minutes()
+    );
 }

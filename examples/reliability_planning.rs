@@ -5,9 +5,9 @@
 //! cargo run --release --example reliability_planning
 //! ```
 
+use recharge::core::SlaTable;
 use recharge::prelude::*;
 use recharge::reliability::{table1, AorSimulation};
-use recharge::core::SlaTable;
 
 fn main() {
     // Sample 20,000 years of rack-input-power failures from Table I.
@@ -41,7 +41,11 @@ fn main() {
             sla.aor_target(priority) * 100.0,
             budget.as_minutes(),
             achieved * 100.0,
-            if achieved >= sla.aor_target(priority) - 2e-4 { "OK" } else { "MISS" },
+            if achieved >= sla.aor_target(priority) - 2e-4 {
+                "OK"
+            } else {
+                "MISS"
+            },
         );
     }
 }

@@ -19,9 +19,21 @@ fn main() {
     let per = (racks / 3) as usize;
 
     for (name, strategy, policy) in [
-        ("original charger (as in 2019)", Strategy::Uncoordinated, ChargePolicy::Original),
-        ("variable charger             ", Strategy::Uncoordinated, ChargePolicy::Variable),
-        ("coordinated priority-aware   ", Strategy::PriorityAware, ChargePolicy::Variable),
+        (
+            "original charger (as in 2019)",
+            Strategy::Uncoordinated,
+            ChargePolicy::Original,
+        ),
+        (
+            "variable charger             ",
+            Strategy::Uncoordinated,
+            ChargePolicy::Variable,
+        ),
+        (
+            "coordinated priority-aware   ",
+            Strategy::PriorityAware,
+            ChargePolicy::Variable,
+        ),
     ] {
         let metrics = Scenario::paper_msb(2)
             .priority_counts(per, per, racks as usize - 2 * per)
@@ -43,5 +55,7 @@ fn main() {
     }
 
     println!("\npaper: the 2019 event spiked +9.3 MW (≈15%) and Dynamo had to cap servers;");
-    println!("the variable charger cuts that by ≈60%, and coordination shapes it to fit any budget.");
+    println!(
+        "the variable charger cuts that by ≈60%, and coordination shapes it to fit any budget."
+    );
 }

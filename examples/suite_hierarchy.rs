@@ -48,7 +48,11 @@ fn main() {
                 .filter_map(|&r| fleet.read(r))
                 .map(|reading| reading.recharge_power)
                 .sum();
-            println!("t+{:>2} min  fleet recharge power {:>7.1} kW", s / 60, recharge.as_kilowatts());
+            println!(
+                "t+{:>2} min  fleet recharge power {:>7.1} kW",
+                s / 60,
+                recharge.as_kilowatts()
+            );
         }
         let all_done = fleet
             .racks()
@@ -56,16 +60,25 @@ fn main() {
             .filter_map(|&r| fleet.read(r))
             .all(|reading| !reading.is_charging());
         if all_done && s > 10 {
-            println!("all batteries recharged after {:.0} min", f64::from(s) / 60.0);
+            println!(
+                "all batteries recharged after {:.0} min",
+                f64::from(s) / 60.0
+            );
             // One more interval so the controllers observe the completions
             // and clear their overrides.
             control.tick(SimTime::from_secs(f64::from(s) + 1.0), &mut fleet);
             break;
         }
     }
-    println!("server power capped along the way: {:.1} kW", total_capped.as_kilowatts());
+    println!(
+        "server power capped along the way: {:.1} kW",
+        total_capped.as_kilowatts()
+    );
 
     let commanded = control.commanded_currents();
-    println!("racks still under coordination at exit: {}", commanded.len());
+    println!(
+        "racks still under coordination at exit: {}",
+        commanded.len()
+    );
     let _agents = fleet.into_agents(); // clean worker shutdown
 }

@@ -7,7 +7,12 @@ use recharge::prelude::*;
 use recharge::sim::{DischargeLevel, Scenario};
 
 /// A 9-rack row scenario with the given strategy/limit.
-fn row(strategy: Strategy, limit_kw: f64, policy: ChargePolicy, discharge: DischargeLevel) -> Scenario {
+fn row(
+    strategy: Strategy,
+    limit_kw: f64,
+    policy: ChargePolicy,
+    discharge: DischargeLevel,
+) -> Scenario {
     Scenario::row(3, 3, 3, 11)
         .power_limit(Watts::from_kilowatts(limit_kw))
         .strategy(strategy)
@@ -17,9 +22,14 @@ fn row(strategy: Strategy, limit_kw: f64, policy: ChargePolicy, discharge: Disch
 
 /// IT load of the row at its diurnal peak, in kW.
 fn it_peak_kw() -> f64 {
-    let probe = row(Strategy::PriorityAware, 500.0, ChargePolicy::Variable, DischargeLevel::Low)
-        .build()
-        .run();
+    let probe = row(
+        Strategy::PriorityAware,
+        500.0,
+        ChargePolicy::Variable,
+        DischargeLevel::Low,
+    )
+    .build()
+    .run();
     probe.it_load_before_ot.as_kilowatts()
 }
 
@@ -30,9 +40,19 @@ fn headline_priority_aware_never_needs_capping() {
     // charger does not.
     let limit_kw = it_peak_kw() + 4.5; // floor is 9 racks × ≈0.37 kW ≈ 3.4 kW
 
-    for discharge in [DischargeLevel::Low, DischargeLevel::Medium, DischargeLevel::High] {
-        let aware =
-            row(Strategy::PriorityAware, limit_kw, ChargePolicy::Variable, discharge).build().run();
+    for discharge in [
+        DischargeLevel::Low,
+        DischargeLevel::Medium,
+        DischargeLevel::High,
+    ] {
+        let aware = row(
+            Strategy::PriorityAware,
+            limit_kw,
+            ChargePolicy::Variable,
+            discharge,
+        )
+        .build()
+        .run();
         assert_eq!(
             aware.max_capped_power,
             Watts::ZERO,
@@ -43,8 +63,14 @@ fn headline_priority_aware_never_needs_capping() {
         assert!(aware.max_total_draw <= aware.power_limit, "{discharge:?}");
         assert!(!aware.breaker_tripped);
 
-        let original =
-            row(Strategy::Uncoordinated, limit_kw, ChargePolicy::Original, discharge).build().run();
+        let original = row(
+            Strategy::Uncoordinated,
+            limit_kw,
+            ChargePolicy::Original,
+            discharge,
+        )
+        .build()
+        .run();
         assert!(
             original.max_capped_power > Watts::ZERO,
             "original charger must need capping at {discharge:?}"
@@ -55,12 +81,22 @@ fn headline_priority_aware_never_needs_capping() {
 #[test]
 fn headline_variable_charger_cuts_spike_by_roughly_60_percent() {
     // §III-B: below 50% DOD the variable charger charges at 2 A vs 5 A.
-    let original = row(Strategy::Uncoordinated, 500.0, ChargePolicy::Original, DischargeLevel::Low)
-        .build()
-        .run();
-    let variable = row(Strategy::Uncoordinated, 500.0, ChargePolicy::Variable, DischargeLevel::Low)
-        .build()
-        .run();
+    let original = row(
+        Strategy::Uncoordinated,
+        500.0,
+        ChargePolicy::Original,
+        DischargeLevel::Low,
+    )
+    .build()
+    .run();
+    let variable = row(
+        Strategy::Uncoordinated,
+        500.0,
+        ChargePolicy::Variable,
+        DischargeLevel::Low,
+    )
+    .build()
+    .run();
     let reduction = 1.0 - variable.spike_magnitude() / original.spike_magnitude();
     assert!(
         (0.45..0.72).contains(&reduction),
@@ -75,18 +111,35 @@ fn headline_priority_ordering_under_pressure() {
     // Headroom: the 1 A floor (9 × ≈0.37 kW) plus roughly the three P1
     // upgrades to their ≈3.8 A SLA current at 70% DOD.
     let limit_kw = it_peak_kw() + 7.5;
-    let aware =
-        row(Strategy::PriorityAware, limit_kw, ChargePolicy::Variable, DischargeLevel::High)
-            .build()
-            .run();
-    let global = row(Strategy::Global, limit_kw, ChargePolicy::Variable, DischargeLevel::High)
-        .build()
-        .run();
+    let aware = row(
+        Strategy::PriorityAware,
+        limit_kw,
+        ChargePolicy::Variable,
+        DischargeLevel::High,
+    )
+    .build()
+    .run();
+    let global = row(
+        Strategy::Global,
+        limit_kw,
+        ChargePolicy::Variable,
+        DischargeLevel::High,
+    )
+    .build()
+    .run();
 
     let aware_p1 = aware.sla_summary(Priority::P1);
     let global_p1 = global.sla_summary(Priority::P1);
-    assert!(aware_p1.met >= global_p1.met, "aware {} < global {}", aware_p1.met, global_p1.met);
-    assert!(aware_p1.met > 0, "priority-aware should protect P1 under pressure");
+    assert!(
+        aware_p1.met >= global_p1.met,
+        "aware {} < global {}",
+        aware_p1.met,
+        global_p1.met
+    );
+    assert!(
+        aware_p1.met > 0,
+        "priority-aware should protect P1 under pressure"
+    );
 
     // And P3 is the sacrificial class under priority-aware coordination.
     let aware_p3 = aware.sla_summary(Priority::P3);
@@ -104,10 +157,14 @@ fn all_batteries_eventually_recover_redundancy() {
     // within the horizon when the breaker is not starved below the hardware
     // floor.
     let limit_kw = it_peak_kw() + 4.5;
-    let metrics =
-        row(Strategy::PriorityAware, limit_kw, ChargePolicy::Variable, DischargeLevel::High)
-            .build()
-            .run();
+    let metrics = row(
+        Strategy::PriorityAware,
+        limit_kw,
+        ChargePolicy::Variable,
+        DischargeLevel::High,
+    )
+    .build()
+    .run();
     for outcome in &metrics.rack_outcomes {
         assert!(
             outcome.charge_duration.is_some(),
@@ -120,9 +177,14 @@ fn all_batteries_eventually_recover_redundancy() {
 
 #[test]
 fn sla_outcomes_are_consistent_with_budgets() {
-    let metrics = row(Strategy::PriorityAware, 500.0, ChargePolicy::Variable, DischargeLevel::Medium)
-        .build()
-        .run();
+    let metrics = row(
+        Strategy::PriorityAware,
+        500.0,
+        ChargePolicy::Variable,
+        DischargeLevel::Medium,
+    )
+    .build()
+    .run();
     for outcome in &metrics.rack_outcomes {
         let budget_min = match outcome.priority {
             Priority::P1 => 30.0,

@@ -45,7 +45,11 @@ fn unmitigated_recharge_spike_trips_the_breaker() {
         .build()
         .without_mitigation()
         .run();
-    assert!(metrics.breaker_tripped, "max draw was {}", metrics.max_total_draw);
+    assert!(
+        metrics.breaker_tripped,
+        "max draw was {}",
+        metrics.max_total_draw
+    );
 }
 
 #[test]
@@ -60,7 +64,10 @@ fn mitigated_run_never_trips_even_when_capping() {
         .build()
         .run();
     assert!(!metrics.breaker_tripped);
-    assert!(metrics.max_capped_power > Watts::ZERO, "Dynamo should have capped");
+    assert!(
+        metrics.max_capped_power > Watts::ZERO,
+        "Dynamo should have capped"
+    );
 }
 
 #[test]
@@ -83,7 +90,10 @@ fn controller_survives_unreachable_agents() {
     // charge on their local automatic policy.
     for a in bus.agents() {
         assert!(
-            matches!(a.battery().state(), BbuState::FullyCharged | BbuState::Charging),
+            matches!(
+                a.battery().state(),
+                BbuState::FullyCharged | BbuState::Charging
+            ),
             "rack {} in state {:?}",
             a.rack(),
             a.battery().state()
@@ -105,8 +115,10 @@ fn second_transition_mid_charge_restarts_coordination() {
         }
         controller.tick(SimTime::from_secs(f64::from(s)), &mut bus);
     }
-    let dod_after_first: Vec<f64> =
-        bus.agents().map(|a| a.battery().event_dod().value()).collect();
+    let dod_after_first: Vec<f64> = bus
+        .agents()
+        .map(|a| a.battery().event_dod().value())
+        .collect();
 
     // A second, deeper transition before charging completes.
     open_transition(&mut bus, 90.0);
@@ -153,7 +165,10 @@ fn override_during_cv_phase_is_safe() {
     while agent.read().is_charging() {
         agent.step(Seconds::new(1.0));
         remaining += 1;
-        assert!(remaining < 7_200, "charge did not terminate after CV override");
+        assert!(
+            remaining < 7_200,
+            "charge did not terminate after CV override"
+        );
     }
     assert_eq!(agent.battery().state(), BbuState::FullyCharged);
 }
@@ -162,8 +177,14 @@ fn override_during_cv_phase_is_safe() {
 fn cap_then_uncap_round_trip_preserves_offered_load() {
     let mut bus = small_bus(3);
     bus.cap_servers(RackId::new(0), Watts::from_kilowatts(3.0));
-    assert_eq!(bus.read(RackId::new(0)).unwrap().it_load, Watts::from_kilowatts(3.0));
+    assert_eq!(
+        bus.read(RackId::new(0)).unwrap().it_load,
+        Watts::from_kilowatts(3.0)
+    );
     bus.uncap_servers(RackId::new(0));
-    assert_eq!(bus.read(RackId::new(0)).unwrap().it_load, Watts::from_kilowatts(6.0));
+    assert_eq!(
+        bus.read(RackId::new(0)).unwrap().it_load,
+        Watts::from_kilowatts(6.0)
+    );
     assert_eq!(bus.read(RackId::new(0)).unwrap().capped_power, Watts::ZERO);
 }

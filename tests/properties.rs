@@ -6,9 +6,44 @@ use proptest::prelude::*;
 use recharge::battery::{BbuPack, BbuParams, ChargeTimeTable};
 use recharge::core::{
     assign_global, assign_priority_aware, throttle_on_overload, RackChargeState,
-    RechargePowerModel, SlaCurrentPolicy,
+    RechargePowerModel, SlaCurrentPolicy, SLA_MEMO_DOD_BINS,
 };
 use recharge::prelude::*;
+use recharge::reliability::{table1, AorSimulation};
+
+/// The shrunken counterexample recorded in `properties.proptest-regressions`
+/// for `algorithm1_respects_budget_and_hardware_range`, pinned as a
+/// deterministic test: 21 P1 racks at 0% DOD except rack 18 at ≈27.7%, with
+/// a 10.04 kW budget that covers the fleet's 1 A floor plus little else.
+/// The historical failure came from treating an out-of-span charge-table
+/// query (`Err`) like an unattainable SLA (`Ok(None)`) and assigning 5 A.
+#[test]
+fn pinned_regression_budget_invariant_near_fleet_floor() {
+    let policy = SlaCurrentPolicy::production();
+    let model = RechargePowerModel::production();
+    let racks: Vec<RackChargeState> = (0..21)
+        .map(|i| RackChargeState {
+            rack: RackId::new(i),
+            priority: Priority::P1,
+            dod: Dod::new(if i == 18 { 0.2774863304984034 } else { 0.0 }),
+        })
+        .collect();
+    let budget = Watts::from_kilowatts(10.036436199333385);
+    let outcome = assign_priority_aware(&racks, budget, &policy, &model);
+
+    let floor = model.rack_power(Amperes::MIN_CHARGE) * racks.len() as f64;
+    assert!(
+        outcome.total_recharge_power <= budget.max(floor) + Watts::new(1e-6),
+        "total {} exceeds cap {}",
+        outcome.total_recharge_power,
+        budget.max(floor)
+    );
+    for a in &outcome.assignments {
+        assert!(a.current >= Amperes::MIN_CHARGE && a.current <= Amperes::MAX_CHARGE);
+    }
+    // The shallow racks need exactly the 2 A P1 floor — not 5 A saturation.
+    assert_eq!(outcome.assignments[0].current, Amperes::new(2.0));
+}
 
 fn arb_racks(max: usize) -> impl Strategy<Value = Vec<RackChargeState>> {
     proptest::collection::vec((0u8..3, 0.0f64..=1.0), 1..max).prop_map(|specs| {
@@ -78,7 +113,7 @@ proptest! {
             assign_priority_aware(&racks, Watts::from_kilowatts(100.0), &policy, &model)
                 .assignments;
         let overload = Watts::from_kilowatts(overload_kw);
-        let outcome = throttle_on_overload(&assignments, overload, &model);
+        let outcome = throttle_on_overload(&assignments, overload, &policy, &model);
         prop_assert!(
             (outcome.power_shed + outcome.residual_overload - overload).abs()
                 <= Watts::new(1e-6)
@@ -134,6 +169,59 @@ proptest! {
             predicted.as_minutes(),
             actual.as_minutes()
         );
+    }
+
+    #[test]
+    fn memoized_sla_current_brackets_exact(
+        dod in 0.0f64..=1.0,
+        priority_idx in 0u8..3,
+    ) {
+        // The memo rounds the DOD up to the next of SLA_MEMO_DOD_BINS bin
+        // edges: it must never undershoot the exact current, and never exceed
+        // what one bin step more discharge would require.
+        let policy = SlaCurrentPolicy::production();
+        let priority = Priority::ALL[priority_idx as usize];
+        let dod = Dod::new(dod);
+        let memo = policy.sla_current(priority, dod);
+        let exact = policy.sla_current_exact(priority, dod);
+        prop_assert!(memo >= exact, "{priority} at {dod}: memo {memo} < exact {exact}");
+        let step = 1.0 / SLA_MEMO_DOD_BINS as f64;
+        let deeper = policy.sla_current_exact(priority, Dod::new((dod.value() + step).min(1.0)));
+        prop_assert!(memo <= deeper, "{priority} at {dod}: memo {memo} > one-bin-deeper {deeper}");
+    }
+
+    #[test]
+    fn parallel_montecarlo_is_bit_identical(
+        seed in 0u64..1_000_000,
+        trials in 1usize..10,
+        threads in 1usize..8,
+    ) {
+        let sim = AorSimulation::new(table1::standard_sources());
+        let serial = sim.run_trials(20.0, trials, seed);
+        let parallel = sim.run_trials_parallel(20.0, trials, seed, threads);
+        prop_assert!(serial == parallel, "diverged: {trials} trials, {threads} threads");
+    }
+
+    #[test]
+    fn throttle_is_idempotent(
+        racks in arb_racks(30),
+        overload_kw in 0.0f64..30.0,
+    ) {
+        // Re-throttling the output against the uncovered residual is a
+        // no-op: either the overload was covered (residual zero) or every
+        // rack already sits at the 1 A floor with nothing left to shed.
+        let policy = SlaCurrentPolicy::production();
+        let model = RechargePowerModel::production();
+        let assignments =
+            assign_priority_aware(&racks, Watts::from_kilowatts(100.0), &policy, &model)
+                .assignments;
+        let overload = Watts::from_kilowatts(overload_kw);
+        let once = throttle_on_overload(&assignments, overload, &policy, &model);
+        let again =
+            throttle_on_overload(&once.assignments, once.residual_overload, &policy, &model);
+        prop_assert!(again.assignments == once.assignments);
+        prop_assert!(again.power_shed == Watts::ZERO);
+        prop_assert!(again.residual_overload == once.residual_overload);
     }
 
     #[test]

@@ -1,0 +1,306 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API subset this workspace's benches use — `Criterion`,
+//! `bench_function`, `benchmark_group`/`bench_with_input`, `BenchmarkId`,
+//! `Bencher::iter`, and the `criterion_group!`/`criterion_main!` macros —
+//! over a simple warmup-then-measure wall-clock loop. No statistics beyond
+//! mean/min; results print to stdout as `name ... time: <mean> (min <min>)`.
+//!
+//! Knobs (environment variables):
+//! * `BENCH_WARMUP_MS` — warmup duration per benchmark (default 100).
+//! * `BENCH_MEASURE_MS` — measurement duration per benchmark (default 300).
+//! * `BENCH_FILTER` — substring filter on benchmark names (like the real
+//!   criterion's CLI positional filter; the first non-flag CLI argument is
+//!   honoured too).
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+fn env_ms(name: &str, default_ms: u64) -> Duration {
+    let ms = std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default_ms);
+    Duration::from_millis(ms)
+}
+
+/// Formats nanoseconds-per-iteration with criterion-like units.
+fn fmt_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Times closures inside a benchmark (stand-in for `criterion::Bencher`).
+pub struct Bencher {
+    /// Total measured duration, accumulated across timed batches.
+    elapsed: Duration,
+    /// Number of iterations measured.
+    iters: u64,
+    /// Best (minimum) single-batch per-iteration time in nanoseconds.
+    min_ns: f64,
+    warmup: Duration,
+    measure: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly: first for the warmup window, then for the
+    /// measurement window, recording timing.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warmup: also calibrates the batch size so each timed batch is long
+        // enough for Instant resolution but short enough to keep samples.
+        let warmup_start = Instant::now();
+        let mut batch: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let dt = t.elapsed();
+            if warmup_start.elapsed() >= self.warmup {
+                break;
+            }
+            if dt < Duration::from_micros(50) {
+                batch = batch.saturating_mul(2);
+            }
+        }
+
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < self.measure {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let dt = t.elapsed();
+            self.elapsed += dt;
+            self.iters += batch;
+            let per_iter = dt.as_secs_f64() * 1e9 / batch as f64;
+            if per_iter < self.min_ns {
+                self.min_ns = per_iter;
+            }
+        }
+    }
+}
+
+/// The benchmark driver (stand-in for `criterion::Criterion`).
+pub struct Criterion {
+    warmup: Duration,
+    measure: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let filter = std::env::var("BENCH_FILTER")
+            .ok()
+            .or_else(|| std::env::args().skip(1).find(|a| !a.starts_with('-')));
+        Criterion {
+            warmup: env_ms("BENCH_WARMUP_MS", 100),
+            measure: env_ms("BENCH_MEASURE_MS", 300),
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepts CLI configuration; the stand-in reads env/args in `default()`.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        self.run_named(name, f);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    fn run_named<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+            min_ns: f64::INFINITY,
+            warmup: self.warmup,
+            measure: self.measure,
+        };
+        f(&mut bencher);
+        if bencher.iters == 0 {
+            println!("{name:<40} (no iterations recorded)");
+            return;
+        }
+        let mean_ns = bencher.elapsed.as_secs_f64() * 1e9 / bencher.iters as f64;
+        println!(
+            "{name:<40} time: {:>12} (min {:>12}, {} iters)",
+            fmt_time(mean_ns),
+            fmt_time(bencher.min_ns),
+            bencher.iters
+        );
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id: BenchmarkId = id.into();
+        let full = format!("{}/{}", self.name, id.0);
+        self.criterion.run_named(&full, f);
+        self
+    }
+
+    /// Runs one benchmark with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id: BenchmarkId = id.into();
+        let full = format!("{}/{}", self.name, id.0);
+        self.criterion.run_named(&full, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: function name plus parameter.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Creates an id like `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), parameter))
+    }
+
+    /// Creates an id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId(name.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId(name)
+    }
+}
+
+/// Bundles benchmark functions into a single runner (stand-in for
+/// `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default().configure_from_args();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates `main` running the given groups (stand-in for
+/// `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_criterion() -> Criterion {
+        Criterion {
+            warmup: Duration::from_millis(1),
+            measure: Duration::from_millis(5),
+            filter: None,
+        }
+    }
+
+    #[test]
+    fn bench_function_records_iterations() {
+        let mut c = fast_criterion();
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            b.iter(|| 1 + 1);
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn groups_compose_names() {
+        let mut c = fast_criterion();
+        let mut group = c.benchmark_group("group");
+        group.bench_with_input(BenchmarkId::new("with_input", 3), &3u32, |b, &n| {
+            b.iter(|| n * 2);
+        });
+        group.bench_function("plain", |b| b.iter(|| ()));
+        group.finish();
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = fast_criterion();
+        c.filter = Some("nomatch".to_string());
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            b.iter(|| ());
+            ran = true;
+        });
+        assert!(!ran);
+    }
+
+    #[test]
+    fn time_formatting_picks_units() {
+        assert!(fmt_time(12.0).ends_with("ns"));
+        assert!(fmt_time(12_000.0).ends_with("µs"));
+        assert!(fmt_time(12_000_000.0).ends_with("ms"));
+    }
+}

@@ -1,0 +1,88 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides `crossbeam::channel::{unbounded, Sender, Receiver}` over
+//! `std::sync::mpsc`. This workspace uses channels in a
+//! single-consumer-per-shard pattern, which mpsc covers; the crossbeam
+//! surface kept here is the cloneable `Sender` and the `send`/`recv`
+//! `Result` signatures.
+
+/// Multi-producer channels (stand-in for `crossbeam::channel`).
+pub mod channel {
+    use std::sync::mpsc;
+
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+    /// The sending half of an unbounded channel. Cloneable.
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a value; fails only if all receivers disconnected.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    /// The receiving half of an unbounded channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Blocks until a value arrives; fails once all senders disconnected
+        /// and the queue is drained.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+
+        /// Iterates over received values until the channel disconnects.
+        pub fn iter(&self) -> mpsc::Iter<'_, T> {
+            self.0.iter()
+        }
+    }
+
+    /// Creates an unbounded channel.
+    #[must_use]
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::unbounded;
+
+    #[test]
+    fn multi_producer_single_consumer() {
+        let (tx, rx) = unbounded::<u32>();
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let tx = tx.clone();
+                std::thread::spawn(move || tx.send(i).unwrap())
+            })
+            .collect();
+        drop(tx);
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut got: Vec<u32> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn recv_errors_after_disconnect() {
+        let (tx, rx) = unbounded::<()>();
+        drop(tx);
+        assert!(rx.recv().is_err());
+    }
+}

@@ -1,0 +1,475 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so the real `proptest`
+//! cannot be fetched. This crate reimplements the subset the workspace's
+//! property tests use:
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(...)]`),
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`] /
+//!   [`prop_assume!`],
+//! * [`Strategy`] with `prop_map`, numeric range strategies, tuple
+//!   strategies, [`collection::vec`], and [`bool::ANY`].
+//!
+//! Differences from upstream, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case panics with the full input `Debug`
+//!   dump instead of a minimized one.
+//! * **No regression-file replay.** `.proptest-regressions` seeds encode
+//!   upstream's internal RNG state and cannot be replayed here; known
+//!   regressions are instead pinned as explicit unit tests next to the
+//!   property (see `tests/properties.rs::regression_*`).
+//! * **Deterministic seeding.** Cases derive from a fixed per-test seed (the
+//!   hash of the test name), overridable via `PROPTEST_RNG_SEED`, so CI runs
+//!   are reproducible.
+
+pub use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Runner configuration (stand-in for `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Maximum ratio of rejected (assumed-away) to accepted cases.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` successful cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            max_global_rejects: 1024,
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig::with_cases(256)
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// `prop_assume!` filtered this input out; it does not count as a case.
+    Reject,
+    /// A `prop_assert!` failed.
+    Fail(String),
+}
+
+/// Per-case result type the [`proptest!`] macro's bodies return.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// A generator of random values (stand-in for `proptest::strategy::Strategy`).
+///
+/// Upstream strategies produce value *trees* to support shrinking; this
+/// stand-in produces plain values.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn new_value(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Filters generated values; kept cheap by resampling (no shrinking).
+    fn prop_filter<F>(self, _whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).new_value(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn new_value(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn new_value(&self, rng: &mut StdRng) -> S::Value {
+        for _ in 0..10_000 {
+            let v = self.inner.new_value(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter rejected 10000 consecutive samples");
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.new_value(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Collection strategies (stand-in for `proptest::collection`).
+pub mod collection {
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+
+    /// Bounds accepted by [`vec`].
+    pub trait SizeRange {
+        /// Samples a length from the bound.
+        fn sample_len(&self, rng: &mut StdRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn sample_len(&self, _rng: &mut StdRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for core::ops::Range<usize> {
+        fn sample_len(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl SizeRange for core::ops::RangeInclusive<usize> {
+        fn sample_len(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// A strategy for `Vec`s whose elements come from `element` and whose
+    /// length comes from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl SizeRange) -> VecStrategy<S, impl SizeRange> {
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S, Z> {
+        element: S,
+        size: Z,
+    }
+
+    impl<S: Strategy, Z: SizeRange> Strategy for VecStrategy<S, Z> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = self.size.sample_len(rng);
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+/// Boolean strategies (stand-in for `proptest::bool`).
+pub mod bool {
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+
+    /// A strategy yielding `true` and `false` with equal probability.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The uniform boolean strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn new_value(&self, rng: &mut StdRng) -> bool {
+            rng.gen_bool(0.5)
+        }
+    }
+}
+
+/// Test-runner plumbing used by the [`proptest!`] macro expansion.
+pub mod test_runner {
+    pub use super::{ProptestConfig as Config, TestCaseError, TestCaseResult};
+
+    /// Derives the base RNG seed for a test: reproducible per test name,
+    /// overridable via `PROPTEST_RNG_SEED`.
+    #[must_use]
+    pub fn base_seed(test_name: &str) -> u64 {
+        if let Ok(seed) = std::env::var("PROPTEST_RNG_SEED") {
+            if let Ok(seed) = seed.parse::<u64>() {
+                return seed;
+            }
+        }
+        // FNV-1a over the test name.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x1_0000_0000_01b3);
+        }
+        hash
+    }
+
+    /// Runs `case` until `config.cases` successes, panicking on the first
+    /// failure with the offending input's `Debug` rendering.
+    pub fn run<A: core::fmt::Debug>(
+        config: &Config,
+        test_name: &str,
+        mut case: impl FnMut(&mut rand::rngs::StdRng) -> (A, TestCaseResult),
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(base_seed(test_name));
+        let mut successes = 0u32;
+        let mut rejects = 0u32;
+        while successes < config.cases {
+            let (input, result) = case(&mut rng);
+            match result {
+                Ok(()) => successes += 1,
+                Err(TestCaseError::Reject) => {
+                    rejects += 1;
+                    assert!(
+                        rejects <= config.max_global_rejects,
+                        "{test_name}: too many prop_assume! rejections ({rejects})"
+                    );
+                }
+                Err(TestCaseError::Fail(message)) => {
+                    panic!(
+                        "{test_name}: property failed after {successes} passing case(s): \
+                         {message}\ninput: {input:#?}\n(no shrinking: offline proptest stand-in)"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Everything the tests import (stand-in for `proptest::prelude`).
+pub mod prelude {
+    /// Module alias so `proptest::collection::vec` resolves through the prelude glob too.
+    pub use crate::collection;
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, ProptestConfig,
+        Strategy,
+    };
+}
+
+/// Fails the current case with a formatted message unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{} == {}` (left: {:?}, right: {:?})",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)*);
+    }};
+}
+
+/// Fails the current case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: `{} != {}` (both: {:?})",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, $($fmt)*);
+    }};
+}
+
+/// Rejects the current case (it is resampled, not failed) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Declares property tests (stand-in for `proptest::proptest!`).
+///
+/// Supports the upstream form used in this workspace: an optional
+/// `#![proptest_config(expr)]` header followed by `#[test] fn name(pat in
+/// strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+    (@with_config ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $arg:ident in $strategy:expr ),+ $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                $crate::test_runner::run(&config, stringify!($name), |rng| {
+                    $(
+                        let $arg = $crate::Strategy::new_value(&($strategy), rng);
+                    )+
+                    let inputs = ( $( ::core::clone::Clone::clone(&$arg), )+ );
+                    let result = (|| -> $crate::TestCaseResult {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::core::result::Result::Ok(())
+                    })();
+                    (inputs, result)
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 0.0f64..=1.0, n in 1usize..10) {
+            prop_assert!((0.0..=1.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+        }
+
+        #[test]
+        fn vec_lengths_respect_bounds(
+            v in crate::collection::vec((0u8..3, 0.0f64..1.0), 1..7),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 7);
+            for (p, d) in &v {
+                prop_assert!(*p < 3);
+                prop_assert!((0.0..1.0).contains(d));
+            }
+        }
+
+        #[test]
+        fn prop_map_applies(doubled in (0u32..100).prop_map(|x| x * 2)) {
+            prop_assert_eq!(doubled % 2, 0);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failures_panic_with_input() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            fn inner(x in 0u32..10) {
+                prop_assert!(x > 100, "impossible bound on {x}");
+            }
+        }
+        inner();
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::test_runner::base_seed;
+        assert_eq!(base_seed("abc"), base_seed("abc"));
+        assert_ne!(base_seed("abc"), base_seed("abd"));
+    }
+}

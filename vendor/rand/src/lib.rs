@@ -1,0 +1,254 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access, so the real `rand` cannot be
+//! fetched. This crate implements the subset of the `rand` 0.8 API the
+//! workspace uses — [`Rng::gen_range`], [`SeedableRng::seed_from_u64`], and
+//! [`rngs::StdRng`] — over a xoshiro256++ generator seeded through
+//! SplitMix64 (the same seeding scheme `rand` uses for its small RNGs).
+//!
+//! The stream differs from the real `StdRng` (ChaCha12), so absolute sampled
+//! values differ from upstream-rand builds; every consumer in this workspace
+//! treats the stream as an arbitrary deterministic function of the seed and
+//! asserts only statistical or same-seed-equality properties, so the swap is
+//! behaviour-preserving at the test level.
+
+/// Raw 64-bit generator interface (subset of `rand_core::RngCore`).
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seedable generator interface (subset of `rand_core::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// SplitMix64 step: the standard stream-derivation function used to expand a
+/// 64-bit seed into generator state. Public so callers can derive independent
+/// per-trial seeds (`splitmix64(base ^ trial)`) that match across serial and
+/// parallel execution.
+#[must_use]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// High-level sampling interface (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range`.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    /// Samples a uniform `f64` in `[0, 1)`.
+    fn gen_f64(&mut self) -> f64 {
+        // 53 high bits → uniform double in [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types that can be sampled uniformly from a range.
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Samples uniformly from `[low, high)`; `high` is excluded.
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+    /// Samples uniformly from `[low, high]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+impl SampleUniform for f64 {
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        assert!(low < high, "gen_range: empty f64 range");
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let x = low + u * (high - low);
+        // Guard the open bound against rounding when the span is large.
+        if x >= high {
+            low.max(high - (high - low) * f64::EPSILON)
+        } else {
+            x
+        }
+    }
+
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        assert!(low <= high, "gen_range: empty f64 range");
+        let u = rng.next_u64() as f64 * (1.0 / u64::MAX as f64);
+        (low + u * (high - low)).clamp(low, high)
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range: empty integer range");
+                let span = (high as i128 - low as i128) as u128;
+                // Rejection sampling over the top 64 bits: unbiased.
+                let zone = u128::from(u64::MAX) - (u128::from(u64::MAX) + 1) % span;
+                loop {
+                    let v = u128::from(rng.next_u64());
+                    if v <= zone {
+                        return (low as i128 + (v % span) as i128) as $t;
+                    }
+                }
+            }
+
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low <= high, "gen_range: empty integer range");
+                if low == high {
+                    return low;
+                }
+                let span = (high as i128 - low as i128) as u128 + 1;
+                let zone = u128::from(u64::MAX) - (u128::from(u64::MAX) + 1) % span;
+                loop {
+                    let v = u128::from(rng.next_u64());
+                    if v <= zone {
+                        return (low as i128 + (v % span) as i128) as $t;
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges that [`Rng::gen_range`] accepts.
+pub trait SampleRange<T: SampleUniform> {
+    /// Draws one sample from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+/// Generator implementations (subset of `rand::rngs`).
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++ seeded via SplitMix64.
+    ///
+    /// Not the upstream ChaCha12 `StdRng`; see the crate docs for why that is
+    /// acceptable here.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng { s }
+        }
+    }
+
+    /// Alias of [`StdRng`]; upstream's `SmallRng` is also a xoshiro variant.
+    pub type SmallRng = StdRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0.0f64..1.0), b.gen_range(0.0f64..1.0));
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.gen_range(0.0f64..1.0), c.gen_range(0.0f64..1.0));
+    }
+
+    #[test]
+    fn f64_ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(0.0f64..1.0);
+            assert!((0.0..1.0).contains(&x));
+            let y = rng.gen_range(-2.0f64..=2.0);
+            assert!((-2.0..=2.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn integer_ranges_cover_all_values() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut seen = [false; 3];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0u8..3) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for _ in 0..1_000 {
+            let v = rng.gen_range(5usize..6);
+            assert_eq!(v, 5);
+        }
+    }
+
+    #[test]
+    fn uniform_mean_is_centred() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.gen_range(0.0f64..1.0)).sum();
+        let mean = sum / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.005, "mean {mean}");
+    }
+}

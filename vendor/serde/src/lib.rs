@@ -1,0 +1,42 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment for this workspace has no network access and no
+//! vendored registry, so the real `serde` cannot be fetched. Nothing in the
+//! workspace actually serializes at runtime (no `serde_json`/`bincode`
+//! consumer exists); the derives are carried on types purely so downstream
+//! users *could* enable persistence. This stand-in keeps the derive
+//! annotations compiling:
+//!
+//! * [`Serialize`] / [`Deserialize`] are marker traits blanket-implemented
+//!   for every type, so bounds like `T: Serialize` always hold.
+//! * The `derive` feature re-exports no-op derive macros from
+//!   `serde_derive` that accept (and ignore) `#[serde(...)]` attributes.
+//!
+//! Swapping the real serde back in requires only restoring the registry
+//! dependency in the workspace `Cargo.toml`; no source changes are needed.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker counterpart of `serde::Serialize`; blanket-implemented for all
+/// types so derive output and trait bounds compile unchanged.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker counterpart of `serde::Deserialize`; blanket-implemented for all
+/// sized types.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker counterpart of `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T {}
+
+/// Namespace mirror of `serde::ser`.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+/// Namespace mirror of `serde::de`.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}

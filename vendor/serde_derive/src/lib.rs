@@ -1,0 +1,21 @@
+//! No-op derive macros backing the offline `serde` stand-in.
+//!
+//! The real traits are blanket-implemented in the `serde` stand-in crate, so
+//! the derives only need to *accept* the input (including `#[serde(...)]`
+//! helper attributes) and emit nothing.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and emits nothing; the blanket impl in the
+/// `serde` stand-in already covers the type.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and emits nothing; the blanket impl in
+/// the `serde` stand-in already covers the type.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
