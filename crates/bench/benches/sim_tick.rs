@@ -97,10 +97,33 @@ fn bench_threaded_tick(c: &mut Criterion) {
     let _ = fleet.into_agents();
 }
 
+fn bench_steady_tick_telemetry(c: &mut Criterion) {
+    // bench_steady_tick with telemetry recording enabled: the delta against
+    // the plain variant is the live span/counter cost per controller tick.
+    // Buffers are drained afterwards so other benches see a clean slate.
+    let mut bus = msb_bus();
+    let mut controller = Controller::new(
+        ControllerConfig::new(DeviceId::new(0), Watts::from_megawatts(2.5)),
+        Strategy::PriorityAware,
+    );
+    let mut t = SimTime::ZERO;
+    recharge_telemetry::set_enabled(true);
+    c.bench_function("controller_tick_steady_316racks_telemetry", |b| {
+        b.iter(|| {
+            t += Seconds::new(1.0);
+            black_box(controller.tick(t, &mut bus))
+        });
+    });
+    recharge_telemetry::set_enabled(false);
+    let _ = recharge_telemetry::take_records();
+    recharge_telemetry::reset_metrics();
+}
+
 criterion_group!(
     benches,
     bench_steady_tick,
     bench_charging_tick,
-    bench_threaded_tick
+    bench_threaded_tick,
+    bench_steady_tick_telemetry
 );
 criterion_main!(benches);

@@ -145,6 +145,117 @@ fn sharded_sim(cores: usize) -> Pair {
     }
 }
 
+/// The telemetry pair: what do the disabled-path no-ops cost inside the tick
+/// loop, and what does an instrumented run actually record?
+///
+/// There is no uninstrumented build to diff against, so the overhead is
+/// measured directly: time `SPAN_OPS` disabled span+counter pairs to get a
+/// per-op cost, time a full (telemetry-off) scenario run to get seconds per
+/// tick, count the instrumentation ops one tick performs from an instrumented
+/// run's trace, and report `ops_per_tick × per_op_cost / tick_secs`. The
+/// gate (< 2%) fails the exit code like a fast-path mismatch would.
+struct TelemetryProbe {
+    per_op_ns: f64,
+    tick_secs: f64,
+    ops_per_tick: f64,
+    overhead_frac: f64,
+    trace_events: usize,
+    snapshot_json: String,
+    ok: bool,
+}
+
+fn telemetry_probe() -> TelemetryProbe {
+    let scenario = || {
+        Scenario::row(3, 2, 2, 7)
+            .power_limit(Watts::from_kilowatts(190.0))
+            .strategy(Strategy::PriorityAware)
+            .discharge(DischargeLevel::Low)
+            .tick(Seconds::new(1.0))
+            .max_horizon(Seconds::from_hours(2.5))
+    };
+
+    // Per-op cost of the disabled fast path: one span guard + one counter
+    // increment, the pair every instrumented site pays when telemetry is off.
+    recharge_telemetry::set_enabled(false);
+    const SPAN_OPS: u32 = 2_000_000;
+    let (_, disabled_secs) = time(|| {
+        for _ in 0..SPAN_OPS {
+            let _span = recharge_telemetry::tspan!("bench.noop", "bench");
+            recharge_telemetry::tcounter!("bench.noop_ops").inc();
+        }
+    });
+    let per_op_ns = disabled_secs * 1e9 / f64::from(SPAN_OPS);
+
+    // Telemetry-off wall time per tick for the sharded small scenario.
+    let (_, run_secs) = time(|| scenario().shards(2).build().run());
+
+    // Instrumented run: counts real ops per tick and yields the snapshot +
+    // trace that BENCH_telemetry.json publishes.
+    recharge_telemetry::set_enabled(true);
+    recharge_telemetry::reset_metrics();
+    let _ = recharge_telemetry::take_records();
+    let metrics = scenario().shards(2).build().run();
+    let _ = AorSimulation::new(table1::standard_sources()).run_trials(50.0, 4, 9);
+    let records = recharge_telemetry::take_records();
+    let snapshot = recharge_telemetry::snapshot();
+    recharge_telemetry::set_enabled(false);
+
+    let ticks = snapshot
+        .counters
+        .iter()
+        .find(|(name, _)| name == "sim.ticks")
+        .map_or(0, |&(_, v)| v);
+    let counter_ops: u64 = snapshot.counters.iter().map(|&(_, v)| v).sum();
+    let tick_secs = run_secs / (ticks.max(1) as f64);
+    // Spans/events recorded plus counter bumps, averaged over the tick loop.
+    let ops_per_tick = (records.len() as u64 + counter_ops) as f64 / ticks.max(1) as f64;
+    let overhead_frac = ops_per_tick * per_op_ns * 1e-9 / tick_secs.max(1e-12);
+
+    let ok = overhead_frac < 0.02 && !metrics.breaker_tripped && !records.is_empty();
+    TelemetryProbe {
+        per_op_ns,
+        tick_secs,
+        ops_per_tick,
+        overhead_frac,
+        trace_events: records.len(),
+        snapshot_json: snapshot.to_json(),
+        ok,
+    }
+}
+
+impl TelemetryProbe {
+    fn emit(&self, out_dir: &Path) -> std::io::Result<()> {
+        let mut json = String::new();
+        let _ = writeln!(json, "{{");
+        let _ = writeln!(json, "  \"benchmark\": \"telemetry\",");
+        let _ = writeln!(json, "  \"disabled_per_op_ns\": {:.3},", self.per_op_ns);
+        let _ = writeln!(json, "  \"tick_secs\": {:.9},", self.tick_secs);
+        let _ = writeln!(json, "  \"ops_per_tick\": {:.2},", self.ops_per_tick);
+        let _ = writeln!(
+            json,
+            "  \"disabled_overhead_frac\": {:.9},",
+            self.overhead_frac
+        );
+        let _ = writeln!(json, "  \"overhead_gate\": 0.02,");
+        let _ = writeln!(json, "  \"trace_events\": {},", self.trace_events);
+        let _ = writeln!(json, "  \"pass\": {},", self.ok);
+        let _ = writeln!(json, "  \"telemetry\": {}", self.snapshot_json);
+        let _ = writeln!(json, "}}");
+        let path = out_dir.join("BENCH_telemetry.json");
+        std::fs::write(&path, json)?;
+        println!(
+            "telemetry: disabled op {:.1} ns, {:.1} ops/tick, overhead {:.5}%, \
+             {} trace events, pass: {}",
+            self.per_op_ns,
+            self.ops_per_tick,
+            self.overhead_frac * 100.0,
+            self.trace_events,
+            self.ok
+        );
+        Ok(())
+    }
+}
+
 fn main() -> ExitCode {
     let out = std::env::args().nth(1).unwrap_or_else(|| ".".to_owned());
     let out_dir = Path::new(&out).to_path_buf();
@@ -168,6 +279,14 @@ fn main() -> ExitCode {
         }
         ok &= pair.identical;
     }
+
+    let probe = telemetry_probe();
+    if let Err(e) = probe.emit(&out_dir) {
+        eprintln!("failed to write BENCH_telemetry.json: {e}");
+        ok = false;
+    }
+    ok &= probe.ok;
+
     if ok {
         ExitCode::SUCCESS
     } else {

@@ -235,6 +235,14 @@ pub fn throttle_on_overload(
             shed += model.rack_power(a.current) - model.rack_power(Amperes::MIN_CHARGE);
             a.current = Amperes::MIN_CHARGE;
             a.sla_met = policy.meets_sla(a.priority, a.dod, a.current);
+            recharge_telemetry::tcounter!("core.throttle_demotions").inc();
+            recharge_telemetry::tevent!(
+                "throttle.demote",
+                "core",
+                "rack" => i64::from(a.rack.index()),
+                "priority" => a.priority.rank(),
+                "sla_met" => i64::from(a.sla_met),
+            );
         }
     }
     ThrottleOutcome {

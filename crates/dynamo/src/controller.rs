@@ -6,6 +6,7 @@ use recharge_core::{
     assign_global, assign_priority_aware, throttle_on_overload, ChargeAssignment, RackChargeState,
     RechargePowerModel, SlaCurrentPolicy,
 };
+use recharge_telemetry::{tcounter, tspan};
 use recharge_units::{Amperes, DeviceId, Dod, Priority, RackId, SimTime, Watts};
 
 use crate::bus::AgentBus;
@@ -247,7 +248,16 @@ impl Controller {
     }
 
     /// Runs one control interval: read, coordinate, protect.
+    ///
+    /// When telemetry is enabled the tick's phases are traced as spans
+    /// (`controller.gather`, `controller.assign`, `controller.throttle`,
+    /// `controller.postpone`, `controller.recover`) under the parent
+    /// `controller.tick`; the instrumentation reads clocks only and cannot
+    /// change any control decision.
     pub fn tick<B: AgentBus + ?Sized>(&mut self, now: SimTime, bus: &mut B) -> ControllerReport {
+        let _tick_span = tspan!("controller.tick", "controller");
+        tcounter!("controller.ticks").inc();
+        let gather_span = tspan!("controller.gather", "controller");
         let scoped_racks = match &self.config.scope {
             Some(scope) => scope.clone(),
             None => bus.racks(),
@@ -318,7 +328,9 @@ impl Controller {
             .filter(|state| !self.postponed.contains(&state.rack))
             .collect();
         let planning_it: Watts = readings.iter().map(|r| r.it_load).sum();
+        drop(gather_span);
 
+        let assign_span = tspan!("controller.assign", "controller");
         let mut overrides_sent = 0;
         match self.strategy {
             Strategy::Uncoordinated => {
@@ -367,6 +379,7 @@ impl Controller {
                 }
             }
         }
+        drop(assign_span);
 
         // Overload protection. The physical layer needs a control interval to
         // settle after an override (Fig 11: ~20 s in production), so the
@@ -390,6 +403,7 @@ impl Controller {
         let mut racks_postponed_now = 0;
         let _ = &mut racks_postponed_now;
         if effective_total > self.config.limit {
+            let _throttle_span = tspan!("controller.throttle", "controller");
             let overload = effective_total - self.config.limit;
             let residual = match self.strategy {
                 Strategy::PriorityAware => {
@@ -424,6 +438,7 @@ impl Controller {
                 && self.config.allow_postponing
                 && self.strategy == Strategy::PriorityAware
             {
+                let _postpone_span = tspan!("controller.postpone", "controller");
                 let assignments = self.as_assignments();
                 let outcome =
                     recharge_core::postpone_on_deficit(&assignments, residual, &self.config.model);
@@ -446,6 +461,7 @@ impl Controller {
                 cap_requested = caps.iter().map(|c| c.shed).sum();
             }
         } else {
+            let _recover_span = tspan!("controller.recover", "controller");
             // Resume postponed racks whose hardware-floor draw now fits; the
             // rack is dropped from the active set so that the next tick's
             // Algorithm 1 pass re-plans it from scratch.
@@ -482,6 +498,12 @@ impl Controller {
             for rack in plan_uncaps(&readings, headroom) {
                 bus.uncap_servers(rack);
             }
+        }
+
+        tcounter!("controller.overrides_sent").add(overrides_sent as u64);
+        tcounter!("controller.racks_throttled").add(racks_throttled as u64);
+        if cap_requested > Watts::ZERO {
+            tcounter!("controller.cap_requests").inc();
         }
 
         ControllerReport {

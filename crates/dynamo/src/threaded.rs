@@ -17,6 +17,7 @@ use std::thread::JoinHandle;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::RwLock;
 
+use recharge_telemetry::tspan;
 use recharge_units::{Amperes, RackId, Seconds, Watts};
 
 use crate::agent::{RackAgent, SimRackAgent};
@@ -129,6 +130,11 @@ impl ThreadedFleet {
     where
         F: Fn(RackId) -> Watts,
     {
+        // The coordinator-side span brackets fan-out + join; each worker
+        // separately records `shard.step` and `shard.cache_refresh`, so the
+        // gap between this span and the workers' busy time is the per-tick
+        // channel/wakeup overhead.
+        let _step_span = tspan!("fleet.step_all", "fleet");
         let mut per_shard: Vec<Vec<(RackId, Watts)>> =
             (0..self.shards.len()).map(|_| Vec::new()).collect();
         for &rack in &self.racks {
@@ -265,14 +271,18 @@ fn shard_main(
                 input_power,
                 done,
             } => {
-                for (rack, load) in loads {
-                    if let Some(a) = find(&mut agents, rack) {
-                        a.set_offered_load(load);
-                        a.set_input_power(input_power);
-                        a.step(dt);
+                {
+                    let _span = tspan!("shard.step", "fleet");
+                    for (rack, load) in loads {
+                        if let Some(a) = find(&mut agents, rack) {
+                            a.set_offered_load(load);
+                            a.set_input_power(input_power);
+                            a.step(dt);
+                        }
                     }
                 }
                 {
+                    let _span = tspan!("shard.cache_refresh", "fleet");
                     let mut snapshot = cache.write();
                     for a in &agents {
                         snapshot.insert(a.rack(), a.read());

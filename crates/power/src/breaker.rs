@@ -132,6 +132,15 @@ impl Breaker {
             let since = *self.over_trip_since.get_or_insert(now);
             if now.since(since) >= self.curve.sustain {
                 self.tripped = true;
+                // First trip only: the latch above makes re-entry impossible
+                // until reset(), so the counter counts distinct trips.
+                recharge_telemetry::tcounter!("power.breaker_trips").inc();
+                recharge_telemetry::tevent!(
+                    "breaker.trip",
+                    "power",
+                    "limit_w" => self.limit.as_watts(),
+                    "draw_w" => draw.as_watts(),
+                );
                 return BreakerStatus::Tripped;
             }
             BreakerStatus::Overloaded

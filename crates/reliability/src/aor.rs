@@ -3,6 +3,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use recharge_telemetry::{tcounter, tspan};
 use recharge_units::Seconds;
 
 use crate::dist::{Exponential, Normal};
@@ -106,9 +107,14 @@ impl AorSimulation {
     /// that: it produces a **bit-identical** timeline on any thread count.
     #[must_use]
     pub fn run_trials(&self, years_per_trial: f64, trials: usize, seed: u64) -> PowerLossTimeline {
+        tcounter!("mc.trials").add(trials as u64);
         let timelines: Vec<PowerLossTimeline> = (0..trials)
-            .map(|t| self.run(years_per_trial, trial_seed(seed, t)))
+            .map(|t| {
+                let _span = tspan!("mc.trial", "reliability");
+                self.run(years_per_trial, trial_seed(seed, t))
+            })
             .collect();
+        let _concat_span = tspan!("mc.concat", "reliability");
         concat_timelines(&timelines, years_per_trial)
     }
 
@@ -128,6 +134,7 @@ impl AorSimulation {
         threads: usize,
     ) -> PowerLossTimeline {
         let threads = threads.clamp(1, trials.max(1));
+        tcounter!("mc.trials").add(trials as u64);
         let mut results: Vec<Option<PowerLossTimeline>> = vec![None; trials];
         let chunk = trials.div_ceil(threads);
         std::thread::scope(|scope| {
@@ -136,6 +143,7 @@ impl AorSimulation {
                 scope.spawn(move || {
                     for (offset, slot) in slots.iter_mut().enumerate() {
                         let t = c * chunk + offset;
+                        let _span = tspan!("mc.trial", "reliability");
                         *slot = Some(sim.run(years_per_trial, trial_seed(seed, t)));
                     }
                 });
@@ -145,6 +153,7 @@ impl AorSimulation {
             .into_iter()
             .map(|r| r.expect("all trials ran"))
             .collect();
+        let _concat_span = tspan!("mc.concat", "reliability");
         concat_timelines(&timelines, years_per_trial)
     }
 

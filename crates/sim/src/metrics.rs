@@ -126,6 +126,19 @@ impl RunMetrics {
         }
     }
 
+    /// Publishes the per-priority SLA attainment as a telemetry gauge family
+    /// (`sim.sla_met.p1`/`p2`/`p3`, fractions in `[0, 1]`) plus
+    /// `sim.sla_met.total` (count of racks meeting their SLA).
+    ///
+    /// A no-op when telemetry is disabled; never feeds back into the metrics.
+    pub fn publish_sla_gauges(&self) {
+        use recharge_telemetry::tgauge;
+        tgauge!("sim.sla_met.p1").set(self.sla_summary(Priority::P1).fraction());
+        tgauge!("sim.sla_met.p2").set(self.sla_summary(Priority::P2).fraction());
+        tgauge!("sim.sla_met.p3").set(self.sla_summary(Priority::P3).fraction());
+        tgauge!("sim.sla_met.total").set(self.total_sla_met() as f64);
+    }
+
     /// Average depth of discharge across racks that charged.
     #[must_use]
     pub fn mean_event_dod(&self) -> Dod {

@@ -49,6 +49,7 @@ pub struct Scenario {
     pub(crate) discharge: DischargeLevel,
     pub(crate) explicit_ot_duration: Option<Seconds>,
     pub(crate) tick: Seconds,
+    pub(crate) sample_every: Seconds,
     pub(crate) warmup: Seconds,
     pub(crate) max_horizon: Seconds,
     pub(crate) allow_postponing: bool,
@@ -71,6 +72,7 @@ impl Scenario {
             discharge: DischargeLevel::Medium,
             explicit_ot_duration: None,
             tick: Seconds::new(1.0),
+            sample_every: Seconds::new(5.0),
             warmup: Seconds::new(60.0),
             max_horizon: Seconds::from_hours(3.0),
             allow_postponing: false,
@@ -178,6 +180,21 @@ impl Scenario {
         self
     }
 
+    /// Sets the metrics sampling interval (default 5 s): how often the run
+    /// records power/SLA samples into [`RunMetrics`].
+    ///
+    /// [`RunMetrics`]: crate::metrics::RunMetrics
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is not positive.
+    #[must_use]
+    pub fn sample_every(mut self, interval: Seconds) -> Self {
+        assert!(interval > Seconds::ZERO, "sample interval must be positive");
+        self.sample_every = interval;
+        self
+    }
+
     /// Sets the post-charge horizon cap (default 3 h past the transition).
     #[must_use]
     pub fn max_horizon(mut self, horizon: Seconds) -> Self {
@@ -273,11 +290,24 @@ mod tests {
             .power_limit(Watts::from_kilowatts(100.0))
             .strategy(Strategy::Global)
             .discharge(DischargeLevel::High)
-            .tick(Seconds::new(3.0));
+            .tick(Seconds::new(3.0))
+            .sample_every(Seconds::new(2.0));
         assert_eq!(s.priority_counts, (9, 5, 3));
         assert_eq!(s.power_limit, Watts::from_kilowatts(100.0));
         assert_eq!(s.strategy, Strategy::Global);
         assert_eq!(s.tick, Seconds::new(3.0));
+        assert_eq!(s.sample_every, Seconds::new(2.0));
+    }
+
+    #[test]
+    fn default_sample_interval_is_five_seconds() {
+        assert_eq!(Scenario::paper_msb(0).sample_every, Seconds::new(5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "sample interval must be positive")]
+    fn zero_sample_interval_panics() {
+        let _ = Scenario::paper_msb(0).sample_every(Seconds::ZERO);
     }
 
     #[test]

@@ -8,6 +8,7 @@ use recharge_dynamo::{
     ThreadedFleet,
 };
 use recharge_power::{Breaker, BreakerStatus};
+use recharge_telemetry::{tcounter, tspan};
 use recharge_trace::{RackPowerTrace, SyntheticFleet};
 use recharge_units::{DeviceId, Priority, RackId, Seconds, SimTime, Watts};
 
@@ -106,8 +107,38 @@ impl FleetSimulation {
     }
 
     /// Runs the simulation to completion and reports its metrics.
+    ///
+    /// When the `RECHARGE_TRACE` environment variable names a file path,
+    /// telemetry is enabled for the run and a Chrome-trace JSON of every
+    /// recorded span and event is written there on completion (open it in
+    /// Perfetto or `chrome://tracing`). Instrumentation only reads clocks —
+    /// the returned [`RunMetrics`] are bit-identical with telemetry on or
+    /// off.
     #[must_use]
     pub fn run(self) -> RunMetrics {
+        let env_trace = recharge_telemetry::export::env_trace_path();
+        if env_trace.is_some() {
+            recharge_telemetry::set_enabled(true);
+        }
+        let metrics = self.run_inner();
+        metrics.publish_sla_gauges();
+        if env_trace.is_some() {
+            match recharge_telemetry::export::export_env_trace() {
+                Ok(Some((path, events))) => {
+                    eprintln!(
+                        "recharge: wrote {events} trace events to {}",
+                        path.display()
+                    );
+                }
+                Ok(None) => {}
+                Err(err) => eprintln!("recharge: failed to write RECHARGE_TRACE file: {err}"),
+            }
+        }
+        metrics
+    }
+
+    fn run_inner(&self) -> RunMetrics {
+        let _run_span = tspan!("sim.run", "sim");
         let sla = SlaTable::table2();
         let tick = self.scenario.tick;
 
@@ -149,7 +180,7 @@ impl FleetSimulation {
 
         let mut t = ot_start - self.scenario.warmup;
         let hard_end = ot_end + self.scenario.max_horizon;
-        let sample_every = Seconds::new(5.0);
+        let sample_every = self.scenario.sample_every;
         let mut next_sample = t;
 
         let mut series = Vec::new();
@@ -162,6 +193,8 @@ impl FleetSimulation {
         let mut outcomes: Vec<RackSlaOutcome> = Vec::new();
 
         loop {
+            let _tick_span = tspan!("sim.tick", "sim");
+            tcounter!("sim.ticks").inc();
             let in_ot = t >= ot_start && t < ot_end;
 
             // Drive the physical layer (in-process or across shard workers).

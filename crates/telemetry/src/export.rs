@@ -1,0 +1,241 @@
+//! Exporters: a metrics-snapshot JSON document and the Chrome trace-event
+//! format (openable directly in Perfetto / `chrome://tracing`).
+//!
+//! Everything is hand-rolled over `std::fmt::Write` — the vendored `serde`
+//! stand-in is derive-only, so the writers here are the workspace's real
+//! serializers.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use crate::registry::MetricsSnapshot;
+use crate::trace::{dropped_records, take_records, RecordKind, TraceRecord};
+
+/// Environment variable naming the Chrome-trace output path; when set,
+/// instrumented runs (e.g. `FleetSimulation::run`) enable telemetry and
+/// export their trace there on completion.
+pub const TRACE_ENV_VAR: &str = "RECHARGE_TRACE";
+
+/// Escapes a string for embedding in a JSON string literal.
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Writes an `f64` as a JSON number (`null` for non-finite values, which
+/// JSON cannot represent).
+fn number_into(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // `{:?}` round-trips f64 exactly and always includes a decimal point
+        // or exponent, so the output re-parses as the same float.
+        let _ = write!(out, "{v:?}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+impl MetricsSnapshot {
+    /// Renders the snapshot as a self-contained JSON object:
+    /// `{"counters": {...}, "gauges": {...}, "histograms": {...}}`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"counters\":{");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            escape_into(&mut out, name);
+            let _ = write!(out, "\":{value}");
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, value)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            escape_into(&mut out, name);
+            out.push_str("\":");
+            number_into(&mut out, *value);
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, h) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            escape_into(&mut out, &h.name);
+            out.push_str("\":{\"bounds\":[");
+            for (j, b) in h.bounds.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                number_into(&mut out, *b);
+            }
+            out.push_str("],\"counts\":[");
+            for (j, c) in h.counts.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{c}");
+            }
+            let _ = write!(out, "],\"count\":{},\"sum\":", h.count);
+            number_into(&mut out, h.sum);
+            out.push('}');
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Renders trace records as a Chrome trace-event JSON document.
+///
+/// Spans become complete (`ph: "X"`) events and instants become `ph: "i"`
+/// events; timestamps and durations are microseconds with nanosecond
+/// fractions, relative to the process trace epoch.
+#[must_use]
+pub fn chrome_trace_json(records: &[TraceRecord]) -> String {
+    let mut out = String::with_capacity(64 + records.len() * 96);
+    out.push_str("{\"traceEvents\":[");
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n{\"name\":\"");
+        escape_into(&mut out, r.name);
+        out.push_str("\",\"cat\":\"");
+        escape_into(&mut out, r.cat);
+        let ts_us = r.ts_ns as f64 / 1_000.0;
+        let _ = write!(out, "\",\"ph\":");
+        match r.kind {
+            RecordKind::Span => {
+                let dur_us = r.dur_ns as f64 / 1_000.0;
+                let _ = write!(out, "\"X\",\"ts\":{ts_us:.3},\"dur\":{dur_us:.3}");
+            }
+            RecordKind::Instant => {
+                let _ = write!(out, "\"i\",\"s\":\"t\",\"ts\":{ts_us:.3}");
+            }
+        }
+        let _ = write!(out, ",\"pid\":1,\"tid\":{}", r.tid);
+        if !r.args.is_empty() {
+            out.push_str(",\"args\":{");
+            for (j, (key, value)) in r.args.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                escape_into(&mut out, key);
+                let _ = write!(out, "\":{value}");
+            }
+            out.push('}');
+        }
+        out.push('}');
+    }
+    let _ = write!(
+        out,
+        "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{{\"dropped_records\":{}}}}}",
+        dropped_records()
+    );
+    out
+}
+
+/// The Chrome-trace output path configured via [`TRACE_ENV_VAR`], if any.
+#[must_use]
+pub fn env_trace_path() -> Option<PathBuf> {
+    std::env::var_os(TRACE_ENV_VAR)
+        .filter(|v| !v.is_empty())
+        .map(PathBuf::from)
+}
+
+/// Drains all buffered trace records and writes them as Chrome trace JSON to
+/// `path`. Returns the number of events written.
+///
+/// # Errors
+///
+/// Returns any I/O error from writing the file.
+pub fn write_chrome_trace(path: &std::path::Path) -> std::io::Result<usize> {
+    let records = take_records();
+    std::fs::write(path, chrome_trace_json(&records))?;
+    Ok(records.len())
+}
+
+/// If [`TRACE_ENV_VAR`] is set, drains the trace buffers and writes the
+/// Chrome trace there (overwriting a previous run's file). Returns the path
+/// and event count when a file was written.
+///
+/// # Errors
+///
+/// Returns any I/O error from writing the file.
+pub fn export_env_trace() -> std::io::Result<Option<(PathBuf, usize)>> {
+    match env_trace_path() {
+        Some(path) => {
+            let events = write_chrome_trace(&path)?;
+            Ok(Some((path, events)))
+        }
+        None => Ok(None),
+    }
+}
+
+/// One line of [`span_summary`]: aggregate statistics for one span name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanStats {
+    /// Span name.
+    pub name: &'static str,
+    /// Number of recorded spans.
+    pub count: u64,
+    /// Total recorded duration in nanoseconds.
+    pub total_ns: u64,
+    /// Longest single span in nanoseconds.
+    pub max_ns: u64,
+}
+
+impl SpanStats {
+    /// Mean span duration in nanoseconds.
+    #[must_use]
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.count as f64
+        }
+    }
+}
+
+/// Aggregates span records by name (instants are skipped), sorted by total
+/// duration descending — the quick "where did the time go" view.
+#[must_use]
+pub fn span_summary(records: &[TraceRecord]) -> Vec<SpanStats> {
+    let mut stats: Vec<SpanStats> = Vec::new();
+    for r in records {
+        if r.kind != RecordKind::Span {
+            continue;
+        }
+        match stats.iter_mut().find(|s| s.name == r.name) {
+            Some(s) => {
+                s.count += 1;
+                s.total_ns = s.total_ns.saturating_add(r.dur_ns);
+                s.max_ns = s.max_ns.max(r.dur_ns);
+            }
+            None => stats.push(SpanStats {
+                name: r.name,
+                count: 1,
+                total_ns: r.dur_ns,
+                max_ns: r.dur_ns,
+            }),
+        }
+    }
+    stats.sort_by_key(|s| std::cmp::Reverse(s.total_ns));
+    stats
+}

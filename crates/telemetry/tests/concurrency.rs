@@ -1,0 +1,80 @@
+//! Concurrency guarantees of the metrics registry and trace buffers.
+//!
+//! Runs as a single `#[test]` because it owns the process-global `enabled`
+//! flag and trace buffers.
+
+use recharge_telemetry as telemetry;
+use telemetry::{tcounter, tspan};
+
+const THREADS: usize = 8;
+const INCREMENTS: u64 = 50_000;
+
+#[test]
+fn concurrent_recording_is_exact() {
+    telemetry::set_enabled(true);
+    let counter = telemetry::counter("concurrency.counter");
+    let histogram = telemetry::histogram("concurrency.hist", &[0.25, 0.5, 0.75]);
+
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let counter = counter.clone();
+            let histogram = histogram.clone();
+            scope.spawn(move || {
+                for i in 0..INCREMENTS {
+                    counter.inc();
+                    // Deterministic spread across all four buckets.
+                    histogram.record((i % 4) as f64 / 4.0 + 0.1);
+                    if i % 1_000 == 0 {
+                        let _span = tspan!("concurrency.span", "test");
+                        tcounter!("concurrency.cached").inc();
+                    }
+                }
+            });
+        }
+    });
+
+    let total = THREADS as u64 * INCREMENTS;
+    assert_eq!(counter.value(), total, "lost counter increments");
+    assert_eq!(histogram.count(), total, "lost histogram records");
+    let buckets = histogram.bucket_counts();
+    assert_eq!(buckets.iter().sum::<u64>(), total);
+    // i%4/4 + 0.1 ∈ {0.1, 0.35, 0.6, 0.85}: one value per bucket.
+    assert!(buckets.iter().all(|&b| b == total / 4), "{buckets:?}");
+
+    let expected_spans = THREADS as u64 * INCREMENTS.div_ceil(1_000);
+    assert_eq!(
+        telemetry::counter("concurrency.cached").value(),
+        expected_spans
+    );
+
+    let records = telemetry::take_records();
+    telemetry::set_enabled(false);
+    let spans: Vec<_> = records
+        .iter()
+        .filter(|r| r.name == "concurrency.span")
+        .collect();
+    assert_eq!(spans.len(), usize::try_from(expected_spans).unwrap());
+    // Every participating thread got its own tid.
+    let mut tids: Vec<u64> = spans.iter().map(|r| r.tid).collect();
+    tids.sort_unstable();
+    tids.dedup();
+    assert_eq!(tids.len(), THREADS);
+    // Records come out sorted by start time.
+    assert!(records.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+
+    // A second drain is empty: buffers were consumed, not copied.
+    assert!(telemetry::take_records().is_empty());
+
+    // The snapshot sees the concurrent totals and renders valid JSON.
+    let snap = telemetry::snapshot();
+    let parsed = telemetry::json::parse(&snap.to_json()).expect("snapshot JSON");
+    assert_eq!(
+        parsed
+            .get("counters")
+            .unwrap()
+            .get("concurrency.counter")
+            .unwrap()
+            .as_num(),
+        Some(total as f64)
+    );
+}

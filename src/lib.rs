@@ -11,6 +11,7 @@ pub use recharge_dynamo as dynamo;
 pub use recharge_power as power;
 pub use recharge_reliability as reliability;
 pub use recharge_sim as sim;
+pub use recharge_telemetry as telemetry;
 pub use recharge_trace as trace;
 pub use recharge_units as units;
 
