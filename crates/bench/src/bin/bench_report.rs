@@ -145,6 +145,87 @@ fn sharded_sim(cores: usize) -> Pair {
     }
 }
 
+/// The batched-submission probe: the same sharded scenario stepped per tick
+/// (one channel round-trip per shard per sub-step) versus batched (one
+/// round-trip per shard per control interval), with the serial backend as the
+/// equivalence reference. Gates only on bit-identical metrics — the speedup
+/// column is informational, so the probe stays green on a single core where
+/// threading measures pure coordination overhead.
+struct BackendProbe {
+    serial_secs: f64,
+    per_tick_secs: f64,
+    batched_secs: f64,
+    shards: usize,
+    control_every: usize,
+    identical: bool,
+}
+
+fn backend_probe() -> BackendProbe {
+    let shards = 2;
+    let control_every = 20;
+    let base = || {
+        Scenario::row(3, 2, 2, 7)
+            .power_limit(Watts::from_kilowatts(190.0))
+            .strategy(Strategy::PriorityAware)
+            .discharge(DischargeLevel::Low)
+            .tick(Seconds::new(1.0))
+            .max_horizon(Seconds::from_hours(2.5))
+            .control_every(control_every)
+    };
+    let (serial, serial_secs) = time(|| base().build().run());
+    let (per_tick, per_tick_secs) = time(|| base().shards(shards).build().run());
+    let (batched, batched_secs) = time(|| base().shards_batched(shards).build().run());
+    BackendProbe {
+        serial_secs,
+        per_tick_secs,
+        batched_secs,
+        shards,
+        control_every,
+        identical: per_tick == serial && batched == serial,
+    }
+}
+
+impl BackendProbe {
+    fn emit(&self, out_dir: &Path, cores: usize) -> std::io::Result<()> {
+        let speedup = self.per_tick_secs / self.batched_secs.max(1e-12);
+        let mut json = String::new();
+        let _ = writeln!(json, "{{");
+        let _ = writeln!(json, "  \"benchmark\": \"backend\",");
+        let _ = writeln!(json, "  \"serial_secs\": {:.6},", self.serial_secs);
+        let _ = writeln!(json, "  \"per_tick_secs\": {:.6},", self.per_tick_secs);
+        let _ = writeln!(json, "  \"batched_secs\": {:.6},", self.batched_secs);
+        let _ = writeln!(json, "  \"batched_speedup\": {speedup:.3},");
+        let _ = writeln!(json, "  \"shards\": {},", self.shards);
+        let _ = writeln!(json, "  \"control_every\": {},", self.control_every);
+        let _ = writeln!(
+            json,
+            "  \"round_trips_per_interval_per_tick\": {},",
+            self.shards * self.control_every
+        );
+        let _ = writeln!(
+            json,
+            "  \"round_trips_per_interval_batched\": {},",
+            self.shards
+        );
+        let _ = writeln!(json, "  \"identical\": {},", self.identical);
+        let _ = writeln!(json, "  \"cores\": {cores}");
+        let _ = writeln!(json, "}}");
+        let path = out_dir.join("BENCH_backend.json");
+        std::fs::write(&path, json)?;
+        println!(
+            "backend: serial {:.3}s, per-tick {:.3}s, batched {:.3}s \
+             (speedup {speedup:.2}x, {} vs {} round-trips/interval), identical: {}",
+            self.serial_secs,
+            self.per_tick_secs,
+            self.batched_secs,
+            self.shards * self.control_every,
+            self.shards,
+            self.identical
+        );
+        Ok(())
+    }
+}
+
 /// The telemetry pair: what do the disabled-path no-ops cost inside the tick
 /// loop, and what does an instrumented run actually record?
 ///
@@ -279,6 +360,13 @@ fn main() -> ExitCode {
         }
         ok &= pair.identical;
     }
+
+    let backend = backend_probe();
+    if let Err(e) = backend.emit(&out_dir, cores) {
+        eprintln!("failed to write BENCH_backend.json: {e}");
+        ok = false;
+    }
+    ok &= backend.identical;
 
     let probe = telemetry_probe();
     if let Err(e) = probe.emit(&out_dir) {

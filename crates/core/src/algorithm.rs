@@ -5,6 +5,7 @@ use serde::{Deserialize, Serialize};
 
 use recharge_units::{Amperes, Dod, Priority, RackId, Watts};
 
+use crate::index::ChargeIndex;
 use crate::policy::SlaCurrentPolicy;
 use crate::power_model::RechargePowerModel;
 
@@ -123,17 +124,71 @@ pub fn assign_priority_aware(
             .then(racks[a].dod.value().total_cmp(&racks[b].dod.value()))
     });
 
+    let remaining = upgrade_in_order(
+        &mut assignments,
+        order.into_iter(),
+        available_power,
+        policy,
+        model,
+    );
+    finish_assignment(assignments, remaining, policy, model)
+}
+
+/// **Algorithm 1** over an incrementally maintained [`ChargeIndex`]: the same
+/// assignment as [`assign_priority_aware`], but the
+/// highest-priority-lowest-discharge-first order is read straight off the
+/// index instead of re-sorting the fleet — the per-call cost is `O(n)` in the
+/// tracked racks with no comparison sort.
+///
+/// Assignments are returned in the index's charge order. Within one DOD
+/// quantization bucket (1/[`SLA_MEMO_DOD_BINS`] of discharge depth) racks tie
+/// on their memoized SLA current, so the bucket ordering assigns the same
+/// totals as the exact-DOD ordering; ties inside a bucket resolve by rack id.
+///
+/// [`SLA_MEMO_DOD_BINS`]: crate::SLA_MEMO_DOD_BINS
+#[must_use]
+pub fn assign_priority_aware_indexed(
+    index: &ChargeIndex,
+    available_power: Watts,
+    policy: &SlaCurrentPolicy,
+    model: &RechargePowerModel,
+) -> AssignmentOutcome {
+    let mut assignments: Vec<ChargeAssignment> = index
+        .charge_order()
+        .map(|(rack, e)| ChargeAssignment {
+            rack,
+            priority: e.priority,
+            dod: e.dod,
+            current: Amperes::MIN_CHARGE,
+            sla_met: false,
+        })
+        .collect();
+    let order = 0..assignments.len();
+    let remaining = upgrade_in_order(&mut assignments, order, available_power, policy, model);
+    finish_assignment(assignments, remaining, policy, model)
+}
+
+/// Steps 6-8 of Algorithm 1: commit the 1 A floor, then upgrade racks to
+/// their SLA current in the caller-provided order while budget remains,
+/// stopping at the first rack that no longer fits. Returns the unallocated
+/// remainder.
+fn upgrade_in_order(
+    assignments: &mut [ChargeAssignment],
+    order: impl Iterator<Item = usize>,
+    available_power: Watts,
+    policy: &SlaCurrentPolicy,
+    model: &RechargePowerModel,
+) -> Watts {
     // The 1 A minimum is committed regardless of budget. When the committed
     // floor already exceeds the headroom (a heavily oversubscribed tick) the
     // deficit is not an upgrade budget: clamp at zero so no rack can be
     // upgraded against a negative remainder.
-    let min_power = model.rack_power(Amperes::MIN_CHARGE) * racks.len() as f64;
+    let min_power = model.rack_power(Amperes::MIN_CHARGE) * assignments.len() as f64;
     let mut remaining = (available_power - min_power).max(Watts::ZERO);
 
-    // Steps 6-8: satisfy SLAs in order while power remains.
-    for &idx in &order {
-        let state = &racks[idx];
-        let sla_current = policy.sla_current(state.priority, state.dod);
+    for idx in order {
+        let a = &assignments[idx];
+        let sla_current = policy.sla_current(a.priority, a.dod);
         let upgrade = model.rack_power(sla_current) - model.rack_power(Amperes::MIN_CHARGE);
         if upgrade <= remaining {
             remaining -= upgrade;
@@ -142,7 +197,16 @@ pub fn assign_priority_aware(
             break;
         }
     }
+    remaining
+}
 
+/// Recomputes `sla_met` flags and totals for a finished assignment pass.
+fn finish_assignment(
+    mut assignments: Vec<ChargeAssignment>,
+    remaining: Watts,
+    policy: &SlaCurrentPolicy,
+    model: &RechargePowerModel,
+) -> AssignmentOutcome {
     for a in &mut assignments {
         a.sla_met = policy.meets_sla(a.priority, a.dod, a.current);
     }
@@ -225,8 +289,83 @@ pub fn throttle_on_overload(
             .then(updated[b].dod.value().total_cmp(&updated[a].dod.value()))
     });
 
+    let shed = shed_in_order(&mut updated, order.into_iter(), overload, policy, model);
+    ThrottleOutcome {
+        assignments: updated,
+        power_shed: shed,
+        residual_overload: (overload - shed).max(Watts::ZERO),
+    }
+}
+
+/// Reverse-order throttling over an incrementally maintained [`ChargeIndex`]:
+/// the same shed pass as [`throttle_on_overload`], but the
+/// lowest-priority-highest-discharge-first order is read off the index's
+/// materialized ordering — no per-call comparison sort. The racks' commanded
+/// currents are read from the index.
+///
+/// Assignments are returned in the index's *charge* order (the reverse of the
+/// shed order), with `sla_met` recomputed for every rack against `policy`.
+#[must_use]
+pub fn throttle_on_overload_indexed(
+    index: &ChargeIndex,
+    overload: Watts,
+    policy: &SlaCurrentPolicy,
+    model: &RechargePowerModel,
+) -> ThrottleOutcome {
+    let mut updated: Vec<ChargeAssignment> = index
+        .charge_order()
+        .map(|(rack, e)| ChargeAssignment {
+            rack,
+            priority: e.priority,
+            dod: e.dod,
+            current: e.current,
+            sla_met: policy.meets_sla(e.priority, e.dod, e.current),
+        })
+        .collect();
+    if overload <= Watts::ZERO {
+        return ThrottleOutcome {
+            assignments: updated,
+            power_shed: Watts::ZERO,
+            residual_overload: Watts::ZERO,
+        };
+    }
+    // The shed order visits (priority, DOD-bucket) groups in reverse charge
+    // order but keeps the racks *within* a group ascending — matching the
+    // stable descending sort in `throttle_on_overload`, which sheds
+    // equal-(priority, DOD) racks in their input (rack-ascending) order.
+    let keys: Vec<(u8, u16)> = updated
+        .iter()
+        .map(|a| (a.priority.rank(), ChargeIndex::dod_bucket(a.dod)))
+        .collect();
+    let mut order = Vec::with_capacity(updated.len());
+    let mut end = updated.len();
+    while end > 0 {
+        let mut start = end;
+        while start > 0 && keys[start - 1] == keys[end - 1] {
+            start -= 1;
+        }
+        order.extend(start..end);
+        end = start;
+    }
+    let shed = shed_in_order(&mut updated, order.into_iter(), overload, policy, model);
+    ThrottleOutcome {
+        assignments: updated,
+        power_shed: shed,
+        residual_overload: (overload - shed).max(Watts::ZERO),
+    }
+}
+
+/// The shared shed loop: demote racks to the 1 A minimum in the caller's
+/// order until the shed power covers `overload`. Returns the power shed.
+fn shed_in_order(
+    updated: &mut [ChargeAssignment],
+    order: impl Iterator<Item = usize>,
+    overload: Watts,
+    policy: &SlaCurrentPolicy,
+    model: &RechargePowerModel,
+) -> Watts {
     let mut shed = Watts::ZERO;
-    for &idx in &order {
+    for idx in order {
         if shed >= overload {
             break;
         }
@@ -245,11 +384,7 @@ pub fn throttle_on_overload(
             );
         }
     }
-    ThrottleOutcome {
-        assignments: updated,
-        power_shed: shed,
-        residual_overload: (overload - shed).max(Watts::ZERO),
-    }
+    shed
 }
 
 #[cfg(test)]
@@ -530,6 +665,157 @@ mod tests {
         assert_eq!(again.assignments, once.assignments);
         assert_eq!(again.power_shed, Watts::ZERO);
         assert_eq!(again.residual_overload, once.residual_overload);
+    }
+
+    /// Builds an index over the given states with zero commanded currents.
+    fn index_of(racks: &[RackChargeState]) -> ChargeIndex {
+        let mut index = ChargeIndex::new();
+        for r in racks {
+            index.upsert(r.rack, r.priority, r.dod, Amperes::ZERO);
+        }
+        index
+    }
+
+    #[test]
+    fn indexed_assign_matches_sorted_assign() {
+        // Distinct DOD buckets: the index order and the exact-DOD sort agree
+        // rack for rack, so the assignments must match exactly.
+        let racks = vec![
+            rack(0, Priority::P3, 0.62),
+            rack(1, Priority::P1, 0.41),
+            rack(2, Priority::P2, 0.83),
+            rack(3, Priority::P1, 0.77),
+            rack(4, Priority::P2, 0.15),
+        ];
+        let index = index_of(&racks);
+        for budget_kw in [0.0, 2.0, 4.0, 8.0, 100.0] {
+            let budget = Watts::from_kilowatts(budget_kw);
+            let plain = assign_priority_aware(&racks, budget, &policy(), &model());
+            let indexed = assign_priority_aware_indexed(&index, budget, &policy(), &model());
+            assert_eq!(plain.total_recharge_power, indexed.total_recharge_power);
+            assert_eq!(plain.remaining_power, indexed.remaining_power);
+            assert_eq!(
+                plain.sla_met_count(None),
+                indexed.sla_met_count(None),
+                "budget {budget}"
+            );
+            // Same per-rack currents, modulo output order.
+            let mut plain_by_rack: Vec<(RackId, Amperes)> = plain
+                .assignments
+                .iter()
+                .map(|a| (a.rack, a.current))
+                .collect();
+            let mut indexed_by_rack: Vec<(RackId, Amperes)> = indexed
+                .assignments
+                .iter()
+                .map(|a| (a.rack, a.current))
+                .collect();
+            plain_by_rack.sort_by_key(|&(r, _)| r);
+            indexed_by_rack.sort_by_key(|&(r, _)| r);
+            assert_eq!(plain_by_rack, indexed_by_rack, "budget {budget}");
+        }
+    }
+
+    #[test]
+    fn indexed_assign_output_is_in_charge_order() {
+        let racks = vec![
+            rack(0, Priority::P3, 0.3),
+            rack(1, Priority::P1, 0.6),
+            rack(2, Priority::P2, 0.4),
+        ];
+        let index = index_of(&racks);
+        let outcome =
+            assign_priority_aware_indexed(&index, Watts::from_megawatts(1.0), &policy(), &model());
+        let order: Vec<u32> = outcome.assignments.iter().map(|a| a.rack.index()).collect();
+        assert_eq!(order, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn indexed_throttle_matches_sorted_throttle() {
+        let m = model();
+        let p = policy();
+        let racks = vec![
+            rack(0, Priority::P1, 0.5),
+            rack(1, Priority::P3, 0.4),
+            rack(2, Priority::P3, 0.8),
+            rack(3, Priority::P2, 0.66),
+        ];
+        let assigned = assign_priority_aware(&racks, Watts::from_megawatts(1.0), &p, &m);
+        let mut index = index_of(&racks);
+        for a in &assigned.assignments {
+            index.set_current(a.rack, a.current);
+        }
+        let one_rack = m.rack_power(Amperes::new(3.0)) - m.rack_power(Amperes::MIN_CHARGE);
+        for overload in [
+            Watts::ZERO,
+            one_rack * 0.9,
+            one_rack * 2.5,
+            one_rack * 100.0,
+        ] {
+            let plain = throttle_on_overload(&assigned.assignments, overload, &p, &m);
+            let indexed = throttle_on_overload_indexed(&index, overload, &p, &m);
+            assert!(
+                (plain.power_shed - indexed.power_shed).abs() < Watts::new(1e-9),
+                "shed diverged at overload {overload}"
+            );
+            assert!(
+                (plain.residual_overload - indexed.residual_overload).abs() < Watts::new(1e-9),
+                "residual diverged at overload {overload}"
+            );
+            let mut plain_by_rack: Vec<(RackId, Amperes)> = plain
+                .assignments
+                .iter()
+                .map(|a| (a.rack, a.current))
+                .collect();
+            let mut indexed_by_rack: Vec<(RackId, Amperes)> = indexed
+                .assignments
+                .iter()
+                .map(|a| (a.rack, a.current))
+                .collect();
+            plain_by_rack.sort_by_key(|&(r, _)| r);
+            indexed_by_rack.sort_by_key(|&(r, _)| r);
+            assert_eq!(plain_by_rack, indexed_by_rack, "overload {overload}");
+        }
+    }
+
+    #[test]
+    fn indexed_throttle_breaks_ties_like_the_stable_sort() {
+        // Identical racks tie on (priority, DOD); the stable descending sort
+        // sheds them in input (rack-ascending) order, and the indexed pass
+        // must pick the same victim when the overload only needs one.
+        let m = model();
+        let p = policy();
+        let racks: Vec<RackChargeState> = (0..3).map(|i| rack(i, Priority::P1, 0.65)).collect();
+        let assigned = assign_priority_aware(&racks, Watts::from_megawatts(1.0), &p, &m);
+        assert!(assigned.assignments[0].current > Amperes::MIN_CHARGE);
+        let mut index = index_of(&racks);
+        for a in &assigned.assignments {
+            index.set_current(a.rack, a.current);
+        }
+        let one_rack =
+            m.rack_power(assigned.assignments[0].current) - m.rack_power(Amperes::MIN_CHARGE);
+        let plain = throttle_on_overload(&assigned.assignments, one_rack * 0.5, &p, &m);
+        let indexed = throttle_on_overload_indexed(&index, one_rack * 0.5, &p, &m);
+        let mut plain_by_rack: Vec<(RackId, Amperes)> = plain
+            .assignments
+            .iter()
+            .map(|a| (a.rack, a.current))
+            .collect();
+        let mut indexed_by_rack: Vec<(RackId, Amperes)> = indexed
+            .assignments
+            .iter()
+            .map(|a| (a.rack, a.current))
+            .collect();
+        plain_by_rack.sort_by_key(|&(r, _)| r);
+        indexed_by_rack.sort_by_key(|&(r, _)| r);
+        assert_eq!(plain_by_rack, indexed_by_rack);
+        // Exactly one rack demoted, and it is the lowest rack id of the tie.
+        let demoted: Vec<RackId> = indexed_by_rack
+            .iter()
+            .filter(|&&(_, c)| c == Amperes::MIN_CHARGE)
+            .map(|&(r, _)| r)
+            .collect();
+        assert_eq!(demoted, vec![RackId::new(0)]);
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //! * [`throttle_on_overload`] — the reverse
 //!   (lowest-priority-highest-discharge-first) throttling pass used when a
 //!   breaker overloads mid-charge.
+//! * [`ChargeIndex`] — an incrementally maintained (priority, DOD-bucket)
+//!   ordering of the fleet, fed by battery-state deltas, that lets the
+//!   `_indexed` variants of both passes skip the per-tick `O(n log n)` sort.
 //! * [`assign_global`] — the priority-oblivious equal-rate baseline the paper
 //!   compares against (§V-B3).
 //!
@@ -42,16 +45,19 @@
 
 mod algorithm;
 mod global;
+mod index;
 mod policy;
 mod postpone;
 mod power_model;
 mod sla;
 
 pub use algorithm::{
-    assign_priority_aware, throttle_on_overload, AssignmentOutcome, ChargeAssignment,
-    RackChargeState, ThrottleOutcome,
+    assign_priority_aware, assign_priority_aware_indexed, throttle_on_overload,
+    throttle_on_overload_indexed, AssignmentOutcome, ChargeAssignment, RackChargeState,
+    ThrottleOutcome,
 };
 pub use global::assign_global;
+pub use index::{ChargeIndex, IndexedCharge};
 pub use policy::{SlaCurrentPolicy, SLA_MEMO_DOD_BINS};
 pub use postpone::{postpone_on_deficit, PostponeOutcome};
 pub use power_model::RechargePowerModel;

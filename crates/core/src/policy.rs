@@ -230,9 +230,15 @@ impl SlaCurrentPolicy {
     /// Whether a rack charging at `current` from `dod` meets its priority's
     /// charging-time SLA.
     ///
-    /// Semantics are exact (unquantized); the memoized threshold grid only
-    /// short-circuits queries whose answer is forced by charge-time
-    /// monotonicity, and everything else falls through to the interpolator.
+    /// Semantics are exact (unquantized), but the query is fully memoized:
+    /// because the table's charge-time interpolation is monotone in DOD
+    /// between grid rows (nondecreasing minutes down every current column, a
+    /// property the charge-time physics guarantees and the workspace property
+    /// tests pin), the precomputed threshold currents at the two enclosing
+    /// 1/[`SLA_MEMO_DOD_BINS`] bin edges bracket the answer. The interpolator
+    /// is consulted only inside that one-bin ambiguity band — `current`
+    /// strictly between the two edge thresholds — or when a bin edge lies
+    /// outside a partial grid's sampled span (NaN sentinel).
     #[must_use]
     pub fn meets_sla(&self, priority: Priority, dod: Dod, current: Amperes) -> bool {
         let current = current.clamp(Amperes::MIN_CHARGE, Amperes::MAX_CHARGE);
@@ -246,12 +252,19 @@ impl SlaCurrentPolicy {
         // the sampled span. A NaN threshold (bin outside a partial grid)
         // fails the comparison and falls through.
         let (shallowest, deepest) = self.table.dod_domain();
-        if dod >= shallowest && dod <= deepest && current.as_amps() >= thresholds[bin_hi] {
+        let in_span = dod >= shallowest && dod <= deepest;
+        if in_span && current.as_amps() >= thresholds[bin_hi] {
             return true;
         }
         // Fast reject: unattainable even at 5 A for the *shallower* bin edge
         // is unattainable at `dod` too.
         if thresholds[bin_lo].is_infinite() {
+            return false;
+        }
+        // Fast reject: by the same monotonicity, less current than the
+        // *shallower* bin edge needs cannot charge the deeper `dod` back in
+        // budget either. A NaN threshold fails the `<` and falls through.
+        if in_span && current.as_amps() < thresholds[bin_lo] {
             return false;
         }
         let budget = self.sla.charge_time_budget(priority);

@@ -1,0 +1,256 @@
+//! Pluggable fleet-execution backends.
+//!
+//! The simulator's tick loop needs three things from wherever the rack agents
+//! live: advance the physics over a schedule of sub-steps, read back the
+//! fleet's telemetry, and hand the controller an [`AgentBus`]. The
+//! [`FleetBackend`] trait captures exactly that surface, so the loop is
+//! agnostic to whether agents are stepped serially in-process
+//! ([`SerialBackend`]), on sharded worker threads ([`ShardedBackend`]), or —
+//! in the future — behind an async or remote transport.
+//!
+//! All backends are **bit-identical**: a backend chooses *who* executes the
+//! per-agent `set_offered_load → set_input_power → step` sequence and how
+//! many channel round-trips a schedule costs, never what the sequence
+//! computes. [`FleetBackendKind`] is the serializable selector a
+//! scenario carries.
+
+use recharge_units::{RackId, Seconds, Watts};
+
+use crate::agent::{RackAgent, SimRackAgent};
+use crate::bus::{AgentBus, InMemoryBus};
+use crate::messages::PowerReading;
+use crate::threaded::ThreadedFleet;
+
+/// Where rack agents execute, and how sub-step schedules reach them.
+///
+/// A *schedule* is the run of physical sub-steps between two consecutive
+/// controller interventions: `input_power[i]` and `load_of(rack, i)` describe
+/// sub-step `i`, every sub-step lasting `dt`. Commands issued through
+/// [`bus_mut`](Self::bus_mut) are only required to take effect at schedule
+/// boundaries — which is where the controller runs, so it can never observe
+/// the difference.
+pub trait FleetBackend: Send {
+    /// A short stable name for reports and diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Advances every agent through the schedule's sub-steps.
+    fn step_schedule(
+        &mut self,
+        dt: Seconds,
+        input_power: &[bool],
+        load_of: &dyn Fn(RackId, usize) -> Watts,
+    );
+
+    /// Post-step telemetry for every rack, in fleet order.
+    fn readings(&self) -> Vec<PowerReading>;
+
+    /// The command/read surface the controller drives.
+    fn bus_mut(&mut self) -> &mut dyn AgentBus;
+}
+
+/// Steps every agent in-process, one rack at a time — the reference backend.
+pub struct SerialBackend {
+    bus: InMemoryBus<SimRackAgent>,
+    racks: Vec<RackId>,
+}
+
+impl SerialBackend {
+    /// Creates a serial backend over the given agents.
+    #[must_use]
+    pub fn new(agents: Vec<SimRackAgent>) -> Self {
+        let racks = agents.iter().map(RackAgent::rack).collect();
+        SerialBackend {
+            bus: InMemoryBus::new(agents),
+            racks,
+        }
+    }
+}
+
+impl FleetBackend for SerialBackend {
+    fn name(&self) -> &'static str {
+        "serial"
+    }
+
+    fn step_schedule(
+        &mut self,
+        dt: Seconds,
+        input_power: &[bool],
+        load_of: &dyn Fn(RackId, usize) -> Watts,
+    ) {
+        for (i, &power) in input_power.iter().enumerate() {
+            for &rack in &self.racks {
+                if let Some(agent) = self.bus.agent_mut(rack) {
+                    agent.set_offered_load(load_of(rack, i));
+                    agent.set_input_power(power);
+                    agent.step(dt);
+                }
+            }
+        }
+    }
+
+    fn readings(&self) -> Vec<PowerReading> {
+        self.bus.agents().map(RackAgent::read).collect()
+    }
+
+    fn bus_mut(&mut self) -> &mut dyn AgentBus {
+        &mut self.bus
+    }
+}
+
+/// Steps agents on [`ThreadedFleet`] shard workers.
+///
+/// With `batched` set, a whole schedule travels as **one** channel round-trip
+/// per shard ([`ThreadedFleet::step_batch`]); otherwise each sub-step is
+/// submitted individually — the per-tick cadence the batched path is measured
+/// against. Results are bit-identical either way.
+pub struct ShardedBackend {
+    fleet: ThreadedFleet,
+    batched: bool,
+}
+
+impl ShardedBackend {
+    /// Spawns `shards` workers over the agents (the count clamps to
+    /// `[1, agents.len()]`).
+    #[must_use]
+    pub fn new(agents: Vec<SimRackAgent>, shards: usize, batched: bool) -> Self {
+        ShardedBackend {
+            fleet: ThreadedFleet::spawn(agents, shards),
+            batched,
+        }
+    }
+}
+
+impl FleetBackend for ShardedBackend {
+    fn name(&self) -> &'static str {
+        if self.batched {
+            "sharded-batched"
+        } else {
+            "sharded"
+        }
+    }
+
+    fn step_schedule(
+        &mut self,
+        dt: Seconds,
+        input_power: &[bool],
+        load_of: &dyn Fn(RackId, usize) -> Watts,
+    ) {
+        if self.batched {
+            self.fleet.step_batch(dt, input_power, load_of);
+        } else {
+            for (i, &power) in input_power.iter().enumerate() {
+                self.fleet
+                    .step_batch(dt, &[power], |rack, _| load_of(rack, i));
+            }
+        }
+    }
+
+    fn readings(&self) -> Vec<PowerReading> {
+        self.fleet
+            .racks()
+            .into_iter()
+            .filter_map(|r| self.fleet.read(r))
+            .collect()
+    }
+
+    fn bus_mut(&mut self) -> &mut dyn AgentBus {
+        &mut self.fleet
+    }
+}
+
+/// The backend selector a scenario carries: which [`FleetBackend`] to build
+/// for a fleet of agents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FleetBackendKind {
+    /// In-process serial stepping ([`SerialBackend`]); the default.
+    #[default]
+    Serial,
+    /// Sharded worker threads, one channel round-trip per sub-step.
+    Sharded {
+        /// Worker-thread count (clamped to `[1, agents.len()]` at build).
+        shards: usize,
+    },
+    /// Sharded worker threads, one channel round-trip per schedule.
+    ShardedBatched {
+        /// Worker-thread count (clamped to `[1, agents.len()]` at build).
+        shards: usize,
+    },
+}
+
+impl FleetBackendKind {
+    /// Builds the backend over the given agents.
+    #[must_use]
+    pub fn build(self, agents: Vec<SimRackAgent>) -> Box<dyn FleetBackend> {
+        match self {
+            FleetBackendKind::Serial => Box::new(SerialBackend::new(agents)),
+            FleetBackendKind::Sharded { shards } => {
+                Box::new(ShardedBackend::new(agents, shards, false))
+            }
+            FleetBackendKind::ShardedBatched { shards } => {
+                Box::new(ShardedBackend::new(agents, shards, true))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recharge_units::Priority;
+
+    fn agents(n: u32) -> Vec<SimRackAgent> {
+        (0..n)
+            .map(|i| {
+                SimRackAgent::builder(RackId::new(i), Priority::ALL[(i % 3) as usize])
+                    .offered_load(Watts::from_kilowatts(6.0))
+                    .build()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn backends_agree_on_a_mixed_schedule() {
+        let schedule: Vec<bool> = (0..8).map(|i| i % 5 != 2).collect();
+        let load = |rack: RackId, i: usize| {
+            Watts::from_kilowatts(5.5 + 0.2 * f64::from(rack.index()) + 0.05 * i as f64)
+        };
+        let mut backends: Vec<Box<dyn FleetBackend>> = vec![
+            FleetBackendKind::Serial.build(agents(6)),
+            FleetBackendKind::Sharded { shards: 3 }.build(agents(6)),
+            FleetBackendKind::ShardedBatched { shards: 3 }.build(agents(6)),
+        ];
+        for backend in &mut backends {
+            backend.step_schedule(Seconds::new(1.0), &schedule, &load);
+        }
+        let reference = backends[0].readings();
+        for backend in &backends[1..] {
+            let readings = backend.readings();
+            assert_eq!(readings.len(), reference.len(), "{}", backend.name());
+            for (a, b) in reference.iter().zip(&readings) {
+                assert_eq!(a.rack, b.rack, "{}", backend.name());
+                assert_eq!(a.bbu_state, b.bbu_state, "{}", backend.name());
+                assert_eq!(a.recharge_power, b.recharge_power, "{}", backend.name());
+                assert_eq!(a.it_load, b.it_load, "{}", backend.name());
+                assert_eq!(a.event_dod, b.event_dod, "{}", backend.name());
+            }
+        }
+    }
+
+    #[test]
+    fn kind_names_and_default() {
+        assert_eq!(FleetBackendKind::default(), FleetBackendKind::Serial);
+        assert_eq!(FleetBackendKind::Serial.build(agents(1)).name(), "serial");
+        assert_eq!(
+            FleetBackendKind::Sharded { shards: 1 }
+                .build(agents(1))
+                .name(),
+            "sharded"
+        );
+        assert_eq!(
+            FleetBackendKind::ShardedBatched { shards: 1 }
+                .build(agents(1))
+                .name(),
+            "sharded-batched"
+        );
+    }
+}

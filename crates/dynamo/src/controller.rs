@@ -3,8 +3,8 @@
 use std::collections::HashMap;
 
 use recharge_core::{
-    assign_global, assign_priority_aware, throttle_on_overload, ChargeAssignment, RackChargeState,
-    RechargePowerModel, SlaCurrentPolicy,
+    assign_global, assign_priority_aware_indexed, throttle_on_overload_indexed, ChargeAssignment,
+    ChargeIndex, RechargePowerModel, SlaCurrentPolicy,
 };
 use recharge_telemetry::{tcounter, tspan};
 use recharge_units::{Amperes, DeviceId, Dod, Priority, RackId, SimTime, Watts};
@@ -186,12 +186,14 @@ pub struct ControllerReport {
     pub racks_postponed: usize,
 }
 
-/// A record of one rack's in-progress charge sequence.
+/// A record of a rack whose charging is deferred by the postponing extension:
+/// parked outside the [`ChargeIndex`] (it takes no part in assignment or
+/// throttling — its commanded current is held at zero) with its state frozen
+/// at park time for the resume ordering.
 #[derive(Debug, Clone, Copy, PartialEq)]
-struct ActiveCharge {
+struct ParkedCharge {
     priority: Priority,
     dod: Dod,
-    current: Amperes,
 }
 
 /// A Dynamo controller protecting one breaker (§IV-B): monitors the racks
@@ -199,14 +201,20 @@ struct ActiveCharge {
 /// [`Strategy`], and caps servers when charging throttles cannot prevent an
 /// overload.
 ///
+/// The plannable charging population lives in a [`ChargeIndex`] — an
+/// incrementally maintained (priority, DOD-bucket) ordering fed by per-tick
+/// battery-state deltas — so Algorithm 1 and the reverse throttling pass read
+/// their iteration order straight off the index instead of re-sorting the
+/// fleet every tick.
+///
 /// Call [`Controller::tick`] once per control interval with the agent bus;
 /// the controller is transport-agnostic and holds no references between
 /// ticks.
 pub struct Controller {
     config: ControllerConfig,
     strategy: Strategy,
-    active: HashMap<RackId, ActiveCharge>,
-    postponed: std::collections::HashSet<RackId>,
+    index: ChargeIndex,
+    parked: HashMap<RackId, ParkedCharge>,
 }
 
 impl Controller {
@@ -216,15 +224,15 @@ impl Controller {
         Controller {
             config,
             strategy,
-            active: HashMap::new(),
-            postponed: Default::default(),
+            index: ChargeIndex::new(),
+            parked: HashMap::new(),
         }
     }
 
     /// Racks whose charging is currently postponed.
     #[must_use]
     pub fn postponed_racks(&self) -> Vec<RackId> {
-        let mut v: Vec<RackId> = self.postponed.iter().copied().collect();
+        let mut v: Vec<RackId> = self.parked.keys().copied().collect();
         v.sort_unstable();
         v
     }
@@ -241,10 +249,19 @@ impl Controller {
         self.strategy
     }
 
-    /// Currents currently commanded for in-progress charge sequences.
+    /// Currents currently commanded for in-progress charge sequences
+    /// (postponed racks are held at zero).
     #[must_use]
     pub fn commanded_currents(&self) -> HashMap<RackId, Amperes> {
-        self.active.iter().map(|(&r, a)| (r, a.current)).collect()
+        let mut currents: HashMap<RackId, Amperes> = self
+            .index
+            .charge_order()
+            .map(|(r, e)| (r, e.current))
+            .collect();
+        for &rack in self.parked.keys() {
+            currents.insert(rack, Amperes::ZERO);
+        }
+        currents
     }
 
     /// Runs one control interval: read, coordinate, protect.
@@ -293,40 +310,25 @@ impl Controller {
             .iter()
             .chain(discharging.iter())
             .copied()
-            .filter(|r| !self.active.contains_key(&r.rack))
+            .filter(|r| !self.index.contains(r.rack) && !self.parked.contains_key(&r.rack))
             .collect();
         let finished: Vec<RackId> = self
-            .active
-            .keys()
-            .copied()
+            .index
+            .charge_order()
+            .map(|(r, _)| r)
+            .chain(self.parked.keys().copied())
             .filter(|r| {
                 !charging.iter().any(|c| c.rack == *r) && !discharging.iter().any(|d| d.rack == *r)
             })
             .collect();
         for rack in finished {
-            self.active.remove(&rack);
-            self.postponed.remove(&rack);
+            self.index.remove(rack);
+            self.parked.remove(&rack);
             bus.clear_charge_override(rack);
         }
 
-        // The planning view: charging racks with their latched event DOD, and
-        // discharging racks with their live DOD estimate. Available power is
-        // planned against the fleet's full IT load — racks on battery bring
-        // their load back the moment the transition ends.
-        let planning: Vec<RackChargeState> = charging
-            .iter()
-            .map(|r| RackChargeState {
-                rack: r.rack,
-                priority: r.priority,
-                dod: r.event_dod,
-            })
-            .chain(discharging.iter().map(|r| RackChargeState {
-                rack: r.rack,
-                priority: r.priority,
-                dod: r.dod,
-            }))
-            .filter(|state| !self.postponed.contains(&state.rack))
-            .collect();
+        // Available power is planned against the fleet's full IT load — racks
+        // on battery bring their load back the moment the transition ends.
         let planning_it: Watts = readings.iter().map(|r| r.it_load).sum();
         drop(gather_span);
 
@@ -335,23 +337,15 @@ impl Controller {
         match self.strategy {
             Strategy::Uncoordinated => {
                 // Chargers run their local policy; just remember who charges.
-                for r in &fresh {
-                    self.active.insert(
-                        r.rack,
-                        ActiveCharge {
-                            priority: r.priority,
-                            dod: r.event_dod,
-                            current: Amperes::ZERO,
-                        },
-                    );
-                }
+                self.admit(&fresh);
             }
             Strategy::Global => {
                 self.admit(&fresh);
-                self.refresh_dods(&planning);
+                self.refresh_dods(&charging, &discharging);
                 // Re-derive the uniform rate from instantaneous headroom.
-                if !planning.is_empty() {
+                if !self.index.is_empty() {
                     let available = (self.config.planning_limit() - planning_it).max(Watts::ZERO);
+                    let planning = self.index.states();
                     let outcome = assign_global(
                         &planning,
                         available,
@@ -364,13 +358,14 @@ impl Controller {
             Strategy::PriorityAware => {
                 // Algorithm 1 runs while racks are discharging (pre-planning
                 // with the live DOD estimate) and whenever new racks appear;
-                // settled assignments persist otherwise.
+                // settled assignments persist otherwise. The iteration order
+                // comes straight off the incrementally maintained index.
                 if !fresh.is_empty() || !discharging.is_empty() {
                     self.admit(&fresh);
-                    self.refresh_dods(&planning);
+                    self.refresh_dods(&charging, &discharging);
                     let available = (self.config.planning_limit() - planning_it).max(Watts::ZERO);
-                    let outcome = assign_priority_aware(
-                        &planning,
+                    let outcome = assign_priority_aware_indexed(
+                        &self.index,
                         available,
                         &self.config.policy,
                         &self.config.model,
@@ -389,7 +384,7 @@ impl Controller {
         // uncommanded racks, the measurement.
         let effective_recharge: Watts = charging
             .iter()
-            .map(|r| match self.active.get(&r.rack).map(|a| a.current) {
+            .map(|r| match self.index.current(r.rack) {
                 Some(c) if c > Amperes::ZERO => {
                     self.config.model.rack_power(c).min(r.recharge_power)
                 }
@@ -407,9 +402,8 @@ impl Controller {
             let overload = effective_total - self.config.limit;
             let residual = match self.strategy {
                 Strategy::PriorityAware => {
-                    let assignments = self.as_assignments();
-                    let outcome = throttle_on_overload(
-                        &assignments,
+                    let outcome = throttle_on_overload_indexed(
+                        &self.index,
                         overload,
                         &self.config.policy,
                         &self.config.model,
@@ -417,8 +411,11 @@ impl Controller {
                     racks_throttled = outcome
                         .assignments
                         .iter()
-                        .zip(&assignments)
-                        .filter(|(after, before)| after.current < before.current)
+                        .filter(|after| {
+                            self.index
+                                .current(after.rack)
+                                .is_some_and(|before| after.current < before)
+                        })
                         .count();
                     overrides_sent += self.apply_assignments(&outcome.assignments, bus);
                     outcome.residual_overload
@@ -439,14 +436,22 @@ impl Controller {
                 && self.strategy == Strategy::PriorityAware
             {
                 let _postpone_span = tspan!("controller.postpone", "controller");
-                let assignments = self.as_assignments();
+                let assignments = self.index_assignments();
                 let outcome =
                     recharge_core::postpone_on_deficit(&assignments, residual, &self.config.model);
                 for &rack in &outcome.postponed {
                     bus.set_charge_postponed(rack, true);
-                    self.postponed.insert(rack);
-                    if let Some(active) = self.active.get_mut(&rack) {
-                        active.current = Amperes::ZERO;
+                    // Park the rack outside the index: it no longer takes
+                    // part in assignment or throttling, and its commanded
+                    // current is implicitly zero until resumed.
+                    if let Some(entry) = self.index.remove(rack) {
+                        self.parked.insert(
+                            rack,
+                            ParkedCharge {
+                                priority: entry.priority,
+                                dod: entry.dod,
+                            },
+                        );
                     }
                 }
                 racks_postponed_now += outcome.postponed.len();
@@ -463,9 +468,9 @@ impl Controller {
         } else {
             let _recover_span = tspan!("controller.recover", "controller");
             // Resume postponed racks whose hardware-floor draw now fits; the
-            // rack is dropped from the active set so that the next tick's
-            // Algorithm 1 pass re-plans it from scratch.
-            if !self.postponed.is_empty() {
+            // rack is dropped from the parked set so that the next tick's
+            // Algorithm 1 pass re-admits and re-plans it from scratch.
+            if !self.parked.is_empty() {
                 let mut headroom =
                     (self.config.planning_limit() - effective_total).max(Watts::ZERO);
                 // Hysteresis: reserve twice the hardware-floor draw per
@@ -474,23 +479,21 @@ impl Controller {
                 // servers in the gap.
                 let reserve = self.config.model.rack_power(Amperes::MIN_CHARGE) * 2.0;
                 let mut resumable: Vec<(RackId, Priority, f64)> = self
-                    .postponed
+                    .parked
                     .iter()
-                    .filter_map(|&rack| {
-                        self.active
-                            .get(&rack)
-                            .map(|a| (rack, a.priority, a.dod.value()))
-                    })
+                    .map(|(&rack, p)| (rack, p.priority, p.dod.value()))
                     .collect();
-                resumable.sort_by(|a, b| a.1.cmp(&b.1).then(a.2.total_cmp(&b.2)));
+                // The rack-id tail keeps the order deterministic when parked
+                // racks tie on (priority, DOD).
+                resumable
+                    .sort_by(|a, b| a.1.cmp(&b.1).then(a.2.total_cmp(&b.2)).then(a.0.cmp(&b.0)));
                 for (rack, ..) in resumable {
                     if reserve > headroom {
                         break;
                     }
                     headroom -= reserve;
                     bus.set_charge_postponed(rack, false);
-                    self.postponed.remove(&rack);
-                    self.active.remove(&rack);
+                    self.parked.remove(&rack);
                 }
             }
             // Recovery: release caps that fit comfortably in the headroom.
@@ -516,50 +519,47 @@ impl Controller {
             racks_throttled,
             capped_power: capped_now,
             cap_requested,
-            racks_postponed: self.postponed.len().max(racks_postponed_now),
+            racks_postponed: self.parked.len().max(racks_postponed_now),
         }
     }
 
-    /// Registers newly seen charging/discharging racks with an uncommanded
-    /// (zero) current so the first applied assignment always sends a real
-    /// override.
+    /// Registers newly seen charging/discharging racks in the index with an
+    /// uncommanded (zero) current so the first applied assignment always
+    /// sends a real override.
     fn admit(&mut self, fresh: &[&PowerReading]) {
         for r in fresh {
-            self.active.insert(
-                r.rack,
-                ActiveCharge {
-                    priority: r.priority,
-                    dod: r.event_dod,
-                    current: Amperes::ZERO,
-                },
-            );
+            self.index
+                .upsert(r.rack, r.priority, r.event_dod, Amperes::ZERO);
         }
     }
 
-    /// Refreshes the DOD of tracked racks from the latest planning view (the
-    /// estimate grows while a rack is still riding the open transition).
-    fn refresh_dods(&mut self, planning: &[RackChargeState]) {
-        for state in planning {
-            if let Some(active) = self.active.get_mut(&state.rack) {
-                active.dod = state.dod;
-            }
+    /// Refreshes the DOD of indexed racks from the latest readings: charging
+    /// racks keep their latched event DOD, discharging racks track the live
+    /// estimate (it grows while the rack is still riding the open
+    /// transition). Each refresh is a state delta into the index — the
+    /// ordering only moves when a quantization-bucket boundary is crossed.
+    fn refresh_dods(&mut self, charging: &[&PowerReading], discharging: &[&PowerReading]) {
+        for r in charging {
+            self.index.set_dod(r.rack, r.event_dod);
+        }
+        for r in discharging {
+            self.index.set_dod(r.rack, r.dod);
         }
     }
 
-    fn as_assignments(&self) -> Vec<ChargeAssignment> {
-        let mut v: Vec<ChargeAssignment> = self
-            .active
-            .iter()
-            .map(|(&rack, a)| ChargeAssignment {
+    /// The indexed population as assignments (charge order), for passes that
+    /// take a plain slice.
+    fn index_assignments(&self) -> Vec<ChargeAssignment> {
+        self.index
+            .charge_order()
+            .map(|(rack, e)| ChargeAssignment {
                 rack,
-                priority: a.priority,
-                dod: a.dod,
-                current: a.current,
+                priority: e.priority,
+                dod: e.dod,
+                current: e.current,
                 sla_met: false,
             })
-            .collect();
-        v.sort_by_key(|a| a.rack);
-        v
+            .collect()
     }
 
     /// Sends overrides for assignments that differ from the commanded state;
@@ -571,11 +571,11 @@ impl Controller {
     ) -> usize {
         let mut sent = 0;
         for a in assignments {
-            let Some(active) = self.active.get_mut(&a.rack) else {
+            let Some(current) = self.index.current(a.rack) else {
                 continue;
             };
-            if (active.current - a.current).abs() > Amperes::new(0.01) {
-                active.current = a.current;
+            if (current - a.current).abs() > Amperes::new(0.01) {
+                self.index.set_current(a.rack, a.current);
                 bus.set_charge_override(a.rack, a.current);
                 sent += 1;
             }

@@ -10,6 +10,9 @@
 //!   charge/discharge power, and forwards charging-current overrides and
 //!   server power caps to the rack.
 //! * [`AgentBus`] / [`InMemoryBus`] — the controller ↔ agent request path.
+//! * [`FleetBackend`] / [`FleetBackendKind`] — pluggable fleet execution:
+//!   serial in-process, sharded worker threads (per-tick or batched
+//!   submission), all bit-identical.
 //! * [`Controller`] — a leaf/upper controller protecting one breaker: detects
 //!   charge sequences, runs Algorithm 1 (or the global baseline), monitors
 //!   for overload, throttles battery charging in reverse priority order, and
@@ -36,6 +39,7 @@
 #![warn(missing_docs)]
 
 mod agent;
+mod backend;
 mod bus;
 pub mod capping;
 mod controller;
@@ -44,6 +48,7 @@ mod messages;
 mod threaded;
 
 pub use agent::{RackAgent, SimRackAgent, SimRackAgentBuilder};
+pub use backend::{FleetBackend, FleetBackendKind, SerialBackend, ShardedBackend};
 pub use bus::{AgentBus, InMemoryBus};
 pub use controller::{Controller, ControllerConfig, ControllerReport, Strategy};
 pub use hierarchy::{HierarchicalControl, UpperMonitor};

@@ -3,7 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 use recharge_battery::ChargePolicy;
-use recharge_dynamo::Strategy;
+use recharge_dynamo::{FleetBackendKind, Strategy};
 use recharge_trace::{DiurnalModel, SyntheticFleet, SyntheticFleetBuilder};
 use recharge_units::{Seconds, Watts};
 
@@ -53,7 +53,8 @@ pub struct Scenario {
     pub(crate) warmup: Seconds,
     pub(crate) max_horizon: Seconds,
     pub(crate) allow_postponing: bool,
-    pub(crate) shards: Option<usize>,
+    pub(crate) backend: FleetBackendKind,
+    pub(crate) control_every: usize,
 }
 
 impl Scenario {
@@ -76,7 +77,8 @@ impl Scenario {
             warmup: Seconds::new(60.0),
             max_horizon: Seconds::from_hours(3.0),
             allow_postponing: false,
-            shards: None,
+            backend: FleetBackendKind::Serial,
+            control_every: 1,
         }
     }
 
@@ -152,19 +154,52 @@ impl Scenario {
     }
 
     /// Runs rack agents on `n` worker threads (a [`ThreadedFleet`] backend)
-    /// instead of stepping them in-process. Agent physics and controller
-    /// decisions are identical either way — sharding only changes who steps
-    /// the agents — so metrics match the in-memory backend exactly.
+    /// instead of stepping them in-process, submitting one channel round-trip
+    /// per tick. Agent physics and controller decisions are identical either
+    /// way — sharding only changes who steps the agents — so metrics match
+    /// the in-memory backend exactly.
+    ///
+    /// `n` is clamped to `[1, rack_count]` when the fleet is built: zero
+    /// shards and more shards than racks both degenerate (an idle coordinator
+    /// or empty workers), so neither is ever spawned.
     ///
     /// [`ThreadedFleet`]: recharge_dynamo::ThreadedFleet
+    #[must_use]
+    pub fn shards(mut self, n: usize) -> Self {
+        self.backend = FleetBackendKind::Sharded { shards: n };
+        self
+    }
+
+    /// Like [`shards`](Self::shards), but every schedule of sub-steps between
+    /// controller interventions travels as a single batched round-trip per
+    /// shard. Bit-identical to the per-tick submission; pair with
+    /// [`control_every`](Self::control_every) to make batches longer than one
+    /// sub-step.
+    #[must_use]
+    pub fn shards_batched(mut self, n: usize) -> Self {
+        self.backend = FleetBackendKind::ShardedBatched { shards: n };
+        self
+    }
+
+    /// Selects the fleet-execution backend explicitly.
+    #[must_use]
+    pub fn backend(mut self, backend: FleetBackendKind) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Sets how many physical sub-steps run between consecutive controller
+    /// interventions (default 1: the controller runs every tick). The
+    /// simulated schedule is identical for every backend; a batched backend
+    /// collapses the interval into one channel round-trip per shard.
     ///
     /// # Panics
     ///
     /// Panics if `n` is zero.
     #[must_use]
-    pub fn shards(mut self, n: usize) -> Self {
-        assert!(n > 0, "need at least one shard");
-        self.shards = Some(n);
+    pub fn control_every(mut self, n: usize) -> Self {
+        assert!(n > 0, "control interval must be at least one tick");
+        self.control_every = n;
         self
     }
 

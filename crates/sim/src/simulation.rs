@@ -3,10 +3,7 @@
 use std::collections::HashMap;
 
 use recharge_core::SlaTable;
-use recharge_dynamo::{
-    AgentBus, Controller, ControllerConfig, InMemoryBus, PowerReading, RackAgent, SimRackAgent,
-    ThreadedFleet,
-};
+use recharge_dynamo::{Controller, ControllerConfig, FleetBackend, SimRackAgent};
 use recharge_power::{Breaker, BreakerStatus};
 use recharge_telemetry::{tcounter, tspan};
 use recharge_trace::{RackPowerTrace, SyntheticFleet};
@@ -32,54 +29,6 @@ struct ChargeTrack {
     started: SimTime,
     priority: Priority,
     dod: recharge_units::Dod,
-}
-
-/// Where the rack agents live: stepped in-process over an [`InMemoryBus`], or
-/// owned by [`ThreadedFleet`] shard workers ([`Scenario::shards`]). Both
-/// expose the same [`AgentBus`] to the controller and report the same
-/// [`PowerReading`] telemetry, so the tick loop is backend-agnostic.
-enum Backend {
-    InMemory {
-        bus: InMemoryBus<SimRackAgent>,
-        racks: Vec<RackId>,
-    },
-    Threaded(ThreadedFleet),
-}
-
-impl Backend {
-    fn step(&mut self, dt: Seconds, load_of: impl Fn(RackId) -> Watts, input_power: bool) {
-        match self {
-            Backend::InMemory { bus, racks } => {
-                for &rack in racks.iter() {
-                    if let Some(agent) = bus.agent_mut(rack) {
-                        agent.set_offered_load(load_of(rack));
-                        agent.set_input_power(input_power);
-                        agent.step(dt);
-                    }
-                }
-            }
-            Backend::Threaded(fleet) => fleet.step_all(dt, load_of, input_power),
-        }
-    }
-
-    /// Post-step telemetry for every rack, in fleet order.
-    fn readings(&self) -> Vec<PowerReading> {
-        match self {
-            Backend::InMemory { bus, .. } => bus.agents().map(RackAgent::read).collect(),
-            Backend::Threaded(fleet) => fleet
-                .racks()
-                .into_iter()
-                .filter_map(|r| fleet.read(r))
-                .collect(),
-        }
-    }
-
-    fn bus_mut(&mut self) -> &mut dyn AgentBus {
-        match self {
-            Backend::InMemory { bus, .. } => bus,
-            Backend::Threaded(fleet) => fleet,
-        }
-    }
 }
 
 impl FleetSimulation {
@@ -161,16 +110,11 @@ impl FleetSimulation {
                     .build()
             })
             .collect();
-        let mut backend = match self.scenario.shards {
-            Some(n) => Backend::Threaded(ThreadedFleet::spawn(agents, n)),
-            None => {
-                let racks = agents.iter().map(RackAgent::rack).collect();
-                Backend::InMemory {
-                    bus: InMemoryBus::new(agents),
-                    racks,
-                }
-            }
-        };
+        // Where the agents execute — serial in-process, sharded threads, or
+        // sharded with batched submission — is a pluggable [`FleetBackend`];
+        // every backend runs the identical sub-step schedule, so metrics are
+        // bit-identical across them.
+        let mut backend: Box<dyn FleetBackend> = self.scenario.backend.build(agents);
         let mut config = ControllerConfig::new(DeviceId::new(0), self.scenario.power_limit);
         if self.scenario.allow_postponing {
             config = config.with_postponing();
@@ -192,18 +136,41 @@ impl FleetSimulation {
         let mut tracks: HashMap<RackId, ChargeTrack> = HashMap::new();
         let mut outcomes: Vec<RackSlaOutcome> = Vec::new();
 
+        // Between two controller interventions the run performs
+        // `control_every` physical sub-steps. The schedule — per-sub-step
+        // times and input-power states — is computed here by the same
+        // repeated-addition recurrence regardless of backend, so the float
+        // sequence every agent sees is structurally identical whether the
+        // schedule executes serially, sharded per tick, or as one batch.
+        let control_every = self.scenario.control_every;
+        let mut times: Vec<SimTime> = Vec::with_capacity(control_every);
+        let mut input_power: Vec<bool> = Vec::with_capacity(control_every);
+
         loop {
             let _tick_span = tspan!("sim.tick", "sim");
-            tcounter!("sim.ticks").inc();
-            let in_ot = t >= ot_start && t < ot_end;
+            tcounter!("sim.ticks").add(control_every as u64);
+            times.clear();
+            input_power.clear();
+            let mut t_sub = t;
+            for _ in 0..control_every {
+                let in_ot = t_sub >= ot_start && t_sub < ot_end;
+                times.push(t_sub);
+                input_power.push(!in_ot);
+                t_sub += tick;
+            }
+            // The controller observes the fleet at the interval's last
+            // sub-step; commands flush at this schedule boundary.
+            let now = times[control_every - 1];
 
-            // Drive the physical layer (in-process or across shard workers).
-            backend.step(tick, |rack| self.fleet.rack_power(rack, t), !in_ot);
+            // Drive the physical layer through the whole schedule.
+            backend.step_schedule(tick, &input_power, &|rack, i| {
+                self.fleet.rack_power(rack, times[i])
+            });
             let readings = backend.readings();
 
             // Control plane (or raw aggregation when unmitigated).
             let (it_load, recharge, capped) = if self.mitigated {
-                let report = controller.tick(t, backend.bus_mut());
+                let report = controller.tick(now, backend.bus_mut());
                 (report.it_load, report.recharge_power, report.capped_power)
             } else {
                 let mut it = Watts::ZERO;
@@ -218,25 +185,25 @@ impl FleetSimulation {
             };
             let total = it_load + recharge;
 
-            if breaker.observe(total, t) == BreakerStatus::Tripped {
+            if breaker.observe(total, now) == BreakerStatus::Tripped {
                 tripped = true;
             }
 
             // Bookkeeping.
-            if t < ot_start {
+            if now < ot_start {
                 it_before_ot = total;
             }
             max_total = max_total.max(total);
             max_recharge = max_recharge.max(recharge);
             max_capped = max_capped.max(capped);
-            if t >= next_sample {
+            if now >= next_sample {
                 series.push(SeriesPoint {
-                    at: t,
+                    at: now,
                     it_load,
                     recharge_power: recharge,
                     capped_power: capped,
                 });
-                next_sample = t + sample_every;
+                next_sample = now + sample_every;
             }
 
             // Track charge starts and completions from the telemetry the
@@ -248,14 +215,14 @@ impl FleetSimulation {
                     recharge_battery::BbuState::Charging => {
                         all_settled = false;
                         tracks.entry(reading.rack).or_insert(ChargeTrack {
-                            started: t,
+                            started: now,
                             priority: reading.priority,
                             dod: reading.event_dod,
                         });
                     }
                     recharge_battery::BbuState::FullyCharged => {
                         if let Some(track) = tracks.remove(&reading.rack) {
-                            let duration = t - track.started;
+                            let duration = now - track.started;
                             outcomes.push(RackSlaOutcome {
                                 rack: reading.rack,
                                 priority: track.priority,
@@ -269,7 +236,7 @@ impl FleetSimulation {
                 }
             }
 
-            t += tick;
+            t = t_sub;
             if tripped || (t >= ot_end + Seconds::new(60.0) && all_settled) || t >= hard_end {
                 break;
             }
@@ -458,6 +425,19 @@ mod tests {
         for shards in [1, 3] {
             let sharded = base.clone().shards(shards).build().run();
             assert_eq!(sharded, serial, "diverged with {shards} shards");
+        }
+    }
+
+    #[test]
+    fn degenerate_shard_counts_clamp_to_the_fleet() {
+        // `shards(0)` and `shards(99)` (more shards than the 7 racks) must
+        // clamp to [1, rack_count] at build and run identically to serial —
+        // no panic, no idle-worker divergence.
+        let base = small(Strategy::PriorityAware, 190.0);
+        let serial = base.clone().build().run();
+        for shards in [0, 99] {
+            let clamped = base.clone().shards(shards).build().run();
+            assert_eq!(clamped, serial, "diverged with {shards} requested shards");
         }
     }
 

@@ -1,0 +1,68 @@
+//! Every fleet backend must produce bit-identical [`RunMetrics`].
+//!
+//! The matrix covers {serial, sharded per-tick, sharded batched} ×
+//! {telemetry off, telemetry on} × {controller every tick, controller every
+//! 5 ticks}. Batching and sharding may only change who executes the sub-step
+//! schedule and how many channel round-trips it costs — never a single bit of
+//! the result.
+//!
+//! This is a single-test integration binary because it toggles the global
+//! telemetry enable flag — state no other concurrently running test may
+//! share. The shard count defaults to 2 and can be raised via the
+//! `RECHARGE_TEST_SHARDS` environment variable (CI runs the matrix at 4 to
+//! exercise real multi-core interleavings).
+
+use recharge_dynamo::{FleetBackendKind, Strategy};
+use recharge_sim::{DischargeLevel, RunMetrics, Scenario};
+use recharge_units::{Seconds, Watts};
+
+fn scenario() -> Scenario {
+    Scenario::row(3, 2, 2, 7)
+        .power_limit(Watts::from_kilowatts(190.0))
+        .strategy(Strategy::PriorityAware)
+        .discharge(DischargeLevel::Low)
+        .tick(Seconds::new(1.0))
+        .max_horizon(Seconds::from_hours(2.5))
+}
+
+fn test_shards() -> usize {
+    std::env::var("RECHARGE_TEST_SHARDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2)
+}
+
+fn run_matrix_row(backend: FleetBackendKind, control_every: usize) -> RunMetrics {
+    scenario()
+        .backend(backend)
+        .control_every(control_every)
+        .build()
+        .run()
+}
+
+#[test]
+fn run_metrics_are_bit_identical_across_backends() {
+    let shards = test_shards();
+    let backends = [
+        FleetBackendKind::Serial,
+        FleetBackendKind::Sharded { shards },
+        FleetBackendKind::ShardedBatched { shards },
+    ];
+
+    for telemetry in [false, true] {
+        recharge_telemetry::set_enabled(telemetry);
+        for control_every in [1, 5] {
+            let reference = run_matrix_row(backends[0], control_every);
+            for &backend in &backends[1..] {
+                let metrics = run_matrix_row(backend, control_every);
+                assert_eq!(
+                    metrics, reference,
+                    "{backend:?} diverged from serial \
+                     (telemetry={telemetry}, control_every={control_every}, \
+                     shards={shards})"
+                );
+            }
+        }
+    }
+    recharge_telemetry::set_enabled(false);
+}

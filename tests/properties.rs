@@ -191,6 +191,32 @@ proptest! {
     }
 
     #[test]
+    fn charge_time_is_monotone_in_dod_between_grid_rows(
+        dod_lo in 0.0f64..=1.0,
+        dod_delta in 0.0f64..=0.049,
+        amps in 1.0f64..=5.0,
+    ) {
+        // The `meets_sla` memo fast-accepts at the DOD bin *above* a query
+        // and fast-rejects from the bin *below* it. Both shortcuts are sound
+        // only if the interpolated charge time never decreases with DOD —
+        // including *between* the table's 5% grid rows, where bilinear
+        // interpolation (not a physical simulation) supplies the answer. The
+        // delta keeps the pair within one grid spacing, so the pair usually
+        // straddles the interior of a cell or a row boundary.
+        let table = ChargeTimeTable::production();
+        let dod_hi = (dod_lo + dod_delta).min(1.0);
+        let current = Amperes::new(amps);
+        let shallow = table.charge_time(Dod::new(dod_lo), current).expect("in range");
+        let deep = table.charge_time(Dod::new(dod_hi), current).expect("in range");
+        prop_assert!(
+            shallow.as_minutes() <= deep.as_minutes() + 1e-9,
+            "T({dod_lo:.4}, {amps:.2} A) = {:.4} min > T({dod_hi:.4}) = {:.4} min",
+            shallow.as_minutes(),
+            deep.as_minutes()
+        );
+    }
+
+    #[test]
     fn parallel_montecarlo_is_bit_identical(
         seed in 0u64..1_000_000,
         trials in 1usize..10,

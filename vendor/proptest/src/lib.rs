@@ -12,8 +12,14 @@
 //!
 //! Differences from upstream, deliberately accepted:
 //!
-//! * **No shrinking.** A failing case panics with the full input `Debug`
-//!   dump instead of a minimized one.
+//! * **Minimal shrinking.** On failure the runner greedily re-runs smaller
+//!   inputs before panicking: integer ranges shrink toward their lower bound
+//!   by halving deltas, booleans toward `false`, tuples component-wise,
+//!   `collection::vec` by element removal (respecting the size lower bound)
+//!   and element-wise shrinking, and `prop_filter` forwards candidates its
+//!   predicate accepts. Float ranges and `prop_map` outputs do **not**
+//!   shrink (mapping is not invertible without upstream's value trees) — the
+//!   original failing input is then reported as-is.
 //! * **No regression-file replay.** `.proptest-regressions` seeds encode
 //!   upstream's internal RNG state and cannot be replayed here; known
 //!   regressions are instead pinned as explicit unit tests next to the
@@ -74,6 +80,14 @@ pub trait Strategy {
     /// Generates one value.
     fn new_value(&self, rng: &mut StdRng) -> Self::Value;
 
+    /// Proposes strictly "smaller" variants of a failing value, most
+    /// aggressive first. The runner re-runs candidates greedily and keeps the
+    /// smallest one that still fails. The default — no candidates — disables
+    /// shrinking for the strategy.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+
     /// Maps generated values through `f`.
     fn prop_map<U, F>(self, f: F) -> Map<Self, F>
     where
@@ -97,6 +111,9 @@ impl<S: Strategy + ?Sized> Strategy for &S {
     type Value = S::Value;
     fn new_value(&self, rng: &mut StdRng) -> Self::Value {
         (**self).new_value(rng)
+    }
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        (**self).shrink(value)
     }
 }
 
@@ -130,6 +147,13 @@ impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
         }
         panic!("prop_filter rejected 10000 consecutive samples");
     }
+    fn shrink(&self, value: &S::Value) -> Vec<S::Value> {
+        self.inner
+            .shrink(value)
+            .into_iter()
+            .filter(|v| (self.f)(v))
+            .collect()
+    }
 }
 
 /// A strategy that always yields a clone of one value.
@@ -143,7 +167,55 @@ impl<T: Clone> Strategy for Just<T> {
     }
 }
 
-macro_rules! impl_range_strategy {
+/// Integer-range shrink candidates: the low bound first (most aggressive),
+/// then `value - delta` for halving deltas down to `value - 1` — a bisection
+/// toward the smallest failing value.
+macro_rules! int_shrink_candidates {
+    ($low:expr, $value:expr) => {{
+        let low = $low;
+        let value = $value;
+        let mut out = Vec::new();
+        if value > low {
+            out.push(low);
+            let mut delta = (value - low) / 2;
+            while delta > 0 {
+                out.push(value - delta);
+                delta /= 2;
+            }
+        }
+        out
+    }};
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                int_shrink_candidates!(self.start, *value)
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                int_shrink_candidates!(*self.start(), *value)
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// Float ranges generate but do not shrink: there is no smallest failing float
+// to bisect toward at this fidelity, and the tests' float inputs are already
+// human-readable.
+macro_rules! impl_float_range_strategy {
     ($($t:ty),*) => {$(
         impl Strategy for core::ops::Range<$t> {
             type Value = $t;
@@ -160,27 +232,39 @@ macro_rules! impl_range_strategy {
     )*};
 }
 
-impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+impl_float_range_strategy!(f64);
 
 macro_rules! impl_tuple_strategy {
-    ($($name:ident),+) => {
-        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+    ($($name:ident . $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+)
+        where
+            $($name::Value: Clone),+
+        {
             type Value = ($($name::Value,)+);
-            #[allow(non_snake_case)]
             fn new_value(&self, rng: &mut StdRng) -> Self::Value {
-                let ($($name,)+) = self;
-                ($($name.new_value(rng),)+)
+                ($(self.$idx.new_value(rng),)+)
+            }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = candidate;
+                        out.push(next);
+                    }
+                )+
+                out
             }
         }
     };
 }
 
-impl_tuple_strategy!(A);
-impl_tuple_strategy!(A, B);
-impl_tuple_strategy!(A, B, C);
-impl_tuple_strategy!(A, B, C, D);
-impl_tuple_strategy!(A, B, C, D, E);
-impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A.0);
+impl_tuple_strategy!(A.0, B.1);
+impl_tuple_strategy!(A.0, B.1, C.2);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
 
 /// Collection strategies (stand-in for `proptest::collection`).
 pub mod collection {
@@ -191,10 +275,17 @@ pub mod collection {
     pub trait SizeRange {
         /// Samples a length from the bound.
         fn sample_len(&self, rng: &mut StdRng) -> usize;
+
+        /// The smallest length the bound admits; shrinking never removes
+        /// elements below it.
+        fn min_len(&self) -> usize;
     }
 
     impl SizeRange for usize {
         fn sample_len(&self, _rng: &mut StdRng) -> usize {
+            *self
+        }
+        fn min_len(&self) -> usize {
             *self
         }
     }
@@ -203,11 +294,17 @@ pub mod collection {
         fn sample_len(&self, rng: &mut StdRng) -> usize {
             rng.gen_range(self.clone())
         }
+        fn min_len(&self) -> usize {
+            self.start
+        }
     }
 
     impl SizeRange for core::ops::RangeInclusive<usize> {
         fn sample_len(&self, rng: &mut StdRng) -> usize {
             rng.gen_range(self.clone())
+        }
+        fn min_len(&self) -> usize {
+            *self.start()
         }
     }
 
@@ -223,11 +320,35 @@ pub mod collection {
         size: Z,
     }
 
-    impl<S: Strategy, Z: SizeRange> Strategy for VecStrategy<S, Z> {
+    impl<S: Strategy, Z: SizeRange> Strategy for VecStrategy<S, Z>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn new_value(&self, rng: &mut StdRng) -> Vec<S::Value> {
             let len = self.size.sample_len(rng);
             (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            // Structural first: drop each element in turn while the size
+            // bound still admits the shorter vector.
+            if value.len() > self.size.min_len() {
+                for i in 0..value.len() {
+                    let mut next = value.clone();
+                    next.remove(i);
+                    out.push(next);
+                }
+            }
+            // Then element-wise: shrink each element in place.
+            for (i, elem) in value.iter().enumerate() {
+                for candidate in self.element.shrink(elem) {
+                    let mut next = value.clone();
+                    next[i] = candidate;
+                    out.push(next);
+                }
+            }
+            out
         }
     }
 }
@@ -248,6 +369,13 @@ pub mod bool {
         type Value = bool;
         fn new_value(&self, rng: &mut StdRng) -> bool {
             rng.gen_bool(0.5)
+        }
+        fn shrink(&self, value: &bool) -> Vec<bool> {
+            if *value {
+                vec![false]
+            } else {
+                Vec::new()
+            }
         }
     }
 }
@@ -276,6 +404,12 @@ pub mod test_runner {
 
     /// Runs `case` until `config.cases` successes, panicking on the first
     /// failure with the offending input's `Debug` rendering.
+    ///
+    /// Legacy entry point that samples inside the case closure; it cannot
+    /// shrink because the runner never sees the strategy. The [`proptest!`]
+    /// macro expands to [`run_with_strategy`] instead.
+    ///
+    /// [`proptest!`]: crate::proptest
     pub fn run<A: core::fmt::Debug>(
         config: &Config,
         test_name: &str,
@@ -304,6 +438,86 @@ pub mod test_runner {
                 }
             }
         }
+    }
+
+    /// Upper bound on candidate re-executions during one shrink search, so a
+    /// slow property cannot turn a failure into a hang.
+    const SHRINK_BUDGET: u32 = 512;
+
+    /// Runs `case` over values drawn from `strategy` until `config.cases`
+    /// successes. On the first failure the runner greedily shrinks the input
+    /// — re-running [`Strategy::shrink`] candidates and descending into the
+    /// first that still fails, within [`SHRINK_BUDGET`] re-executions — and
+    /// panics with the smallest failing input found.
+    ///
+    /// [`Strategy::shrink`]: super::Strategy::shrink
+    pub fn run_with_strategy<S: super::Strategy>(
+        config: &Config,
+        test_name: &str,
+        strategy: &S,
+        mut case: impl FnMut(S::Value) -> TestCaseResult,
+    ) where
+        S::Value: Clone + core::fmt::Debug,
+    {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(base_seed(test_name));
+        let mut successes = 0u32;
+        let mut rejects = 0u32;
+        while successes < config.cases {
+            let input = strategy.new_value(&mut rng);
+            match case(input.clone()) {
+                Ok(()) => successes += 1,
+                Err(TestCaseError::Reject) => {
+                    rejects += 1;
+                    assert!(
+                        rejects <= config.max_global_rejects,
+                        "{test_name}: too many prop_assume! rejections ({rejects})"
+                    );
+                }
+                Err(TestCaseError::Fail(message)) => {
+                    let (minimal, message, steps) =
+                        shrink_failure(strategy, input, message, &mut case);
+                    panic!(
+                        "{test_name}: property failed after {successes} passing case(s): \
+                         {message}\nminimal input ({steps} shrink step(s)): {minimal:#?}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Greedy bounded shrink: repeatedly asks the strategy for smaller
+    /// candidates and descends into the first one that still fails, until no
+    /// candidate fails or the budget runs out. Returns the smallest failing
+    /// input, its failure message, and how many descents happened. A
+    /// candidate that rejects (`prop_assume!`) counts as passing.
+    fn shrink_failure<S: super::Strategy>(
+        strategy: &S,
+        mut current: S::Value,
+        mut message: String,
+        case: &mut impl FnMut(S::Value) -> TestCaseResult,
+    ) -> (S::Value, String, u32)
+    where
+        S::Value: Clone,
+    {
+        let mut steps = 0u32;
+        let mut budget = SHRINK_BUDGET;
+        'descend: loop {
+            for candidate in strategy.shrink(&current) {
+                if budget == 0 {
+                    break 'descend;
+                }
+                budget -= 1;
+                if let Err(TestCaseError::Fail(msg)) = case(candidate.clone()) {
+                    current = candidate;
+                    message = msg;
+                    steps += 1;
+                    continue 'descend;
+                }
+            }
+            break;
+        }
+        (current, message, steps)
     }
 }
 
@@ -398,18 +612,20 @@ macro_rules! proptest {
             $(#[$meta])*
             fn $name() {
                 let config: $crate::ProptestConfig = $config;
-                $crate::test_runner::run(&config, stringify!($name), |rng| {
-                    $(
-                        let $arg = $crate::Strategy::new_value(&($strategy), rng);
-                    )+
-                    let inputs = ( $( ::core::clone::Clone::clone(&$arg), )+ );
-                    let result = (|| -> $crate::TestCaseResult {
+                // A tuple of strategies samples left to right — the same RNG
+                // stream the former per-argument sampling produced — and
+                // gives the runner one composite strategy to shrink.
+                let strategy = ( $( $strategy, )+ );
+                $crate::test_runner::run_with_strategy(
+                    &config,
+                    stringify!($name),
+                    &strategy,
+                    |( $( $arg, )+ )| -> $crate::TestCaseResult {
                         $body
                         #[allow(unreachable_code)]
                         ::core::result::Result::Ok(())
-                    })();
-                    (inputs, result)
-                });
+                    },
+                );
             }
         )*
     };
@@ -464,6 +680,79 @@ mod tests {
             }
         }
         inner();
+    }
+
+    #[test]
+    fn integer_ranges_shrink_toward_the_low_bound() {
+        let s = 0u32..100;
+        let candidates = s.shrink(&40);
+        assert_eq!(candidates.first(), Some(&0));
+        assert!(candidates.contains(&39), "{candidates:?}");
+        assert!(candidates.iter().all(|&c| c < 40), "{candidates:?}");
+        assert!(s.shrink(&0).is_empty());
+
+        let s = 5i64..=64;
+        let candidates = s.shrink(&64);
+        assert_eq!(candidates.first(), Some(&5));
+        assert!(candidates.contains(&63));
+        assert!(candidates.iter().all(|&c| (5..64).contains(&c)));
+        assert!(s.shrink(&5).is_empty());
+    }
+
+    #[test]
+    fn tuples_shrink_one_component_at_a_time() {
+        let s = (0u32..10, 0u32..10);
+        let candidates = s.shrink(&(4, 6));
+        assert!(!candidates.is_empty());
+        for (a, b) in &candidates {
+            let changed = usize::from(*a != 4) + usize::from(*b != 6);
+            assert_eq!(changed, 1, "candidate ({a}, {b}) changed both components");
+        }
+        assert!(candidates.contains(&(0, 6)));
+        assert!(candidates.contains(&(4, 0)));
+    }
+
+    #[test]
+    fn vecs_shrink_by_removal_and_element_wise() {
+        let s = crate::collection::vec(0u32..100, 1..5);
+        let candidates = s.shrink(&vec![7, 90]);
+        // Removals first, respecting the min length of 1...
+        assert!(candidates.contains(&vec![90]));
+        assert!(candidates.contains(&vec![7]));
+        // ...then element-wise integer shrinks.
+        assert!(candidates.contains(&vec![0, 90]));
+        assert!(candidates.contains(&vec![7, 0]));
+        // A minimum-length vector only shrinks element-wise.
+        assert!(s.shrink(&vec![5]).iter().all(|v| v.len() == 1));
+    }
+
+    #[test]
+    fn filters_only_propose_candidates_their_predicate_accepts() {
+        let s = (0u32..100).prop_filter("even", |x| x % 2 == 0);
+        let candidates = Strategy::shrink(&s, &40);
+        assert!(!candidates.is_empty());
+        assert!(candidates.iter().all(|c| c % 2 == 0), "{candidates:?}");
+    }
+
+    #[test]
+    fn failing_cases_shrink_to_the_boundary() {
+        let result = std::panic::catch_unwind(|| {
+            proptest! {
+                #![proptest_config(ProptestConfig::with_cases(16))]
+                fn inner(x in 0u32..100) {
+                    prop_assert!(x < 50, "x = {x} exceeds the bound");
+                }
+            }
+            inner();
+        });
+        let payload = result.expect_err("the property must fail");
+        let message = payload
+            .downcast_ref::<String>()
+            .expect("panic carries a formatted message");
+        assert!(message.contains("property failed"), "{message}");
+        // The greedy bisection lands on the smallest failing input, 50.
+        assert!(message.contains("x = 50 exceeds the bound"), "{message}");
+        assert!(message.contains("minimal input"), "{message}");
     }
 
     #[test]
