@@ -337,6 +337,109 @@ impl TelemetryProbe {
     }
 }
 
+/// The mesh probe: the same scenario over the in-process serial backend and
+/// over the RPC mesh on loopback TCP, clean link and chaos profile.
+///
+/// Gates on the clean-link run being bit-identical to serial — the mesh's
+/// headline guarantee — and on the chaos run (10 % drops, tail delays, one
+/// 60-tick partition) keeping the breaker closed. The per-tick overhead and
+/// retry counts are informational.
+struct NetProbe {
+    serial_secs: f64,
+    rpc_secs: f64,
+    chaos_secs: f64,
+    ticks: u64,
+    rpc_calls: u64,
+    chaos_retries: u64,
+    identical: bool,
+    chaos_ok: bool,
+}
+
+fn net_probe() -> NetProbe {
+    use recharge_net::{FaultPlan, Partition, RpcMeshConfig};
+
+    let base = || {
+        Scenario::row(3, 2, 2, 7)
+            .power_limit(Watts::from_kilowatts(190.0))
+            .strategy(Strategy::PriorityAware)
+            .discharge(DischargeLevel::Low)
+            .tick(Seconds::new(1.0))
+            .max_horizon(Seconds::from_hours(2.5))
+    };
+
+    // Counters gate on the global enable flag; keep it on for all three runs
+    // so serial and mesh pay the same (sub-2 %) instrumentation cost.
+    recharge_telemetry::set_enabled(true);
+    let ticks_counter = recharge_telemetry::counter("sim.ticks");
+    let calls = recharge_telemetry::counter("net.rpc_calls");
+    let retries = recharge_telemetry::counter("net.rpc_retries");
+
+    let ticks_before = ticks_counter.value();
+    let (serial, serial_secs) = time(|| base().build().run());
+    let ticks = ticks_counter.value() - ticks_before;
+
+    let calls_before = calls.value();
+    let (rpc, rpc_secs) = time(|| base().rpc(RpcMeshConfig::default()).build().run());
+    let rpc_calls = calls.value() - calls_before;
+
+    let retries_before = retries.value();
+    let chaos_plan = FaultPlan::chaos(0x000C_4A05, 0.10, vec![Partition::all(600, 660)]);
+    let (chaos, chaos_secs) = time(|| {
+        base()
+            .rpc(RpcMeshConfig::with_fault(chaos_plan))
+            .build()
+            .run()
+    });
+    let chaos_retries = retries.value() - retries_before;
+    recharge_telemetry::set_enabled(false);
+
+    NetProbe {
+        serial_secs,
+        rpc_secs,
+        chaos_secs,
+        ticks,
+        rpc_calls,
+        chaos_retries,
+        identical: rpc == serial,
+        chaos_ok: !chaos.breaker_tripped,
+    }
+}
+
+impl NetProbe {
+    fn emit(&self, out_dir: &Path, cores: usize) -> std::io::Result<()> {
+        let ticks = self.ticks.max(1) as f64;
+        let overhead_us = (self.rpc_secs - self.serial_secs) * 1e6 / ticks;
+        let mut json = String::new();
+        let _ = writeln!(json, "{{");
+        let _ = writeln!(json, "  \"benchmark\": \"net\",");
+        let _ = writeln!(json, "  \"serial_secs\": {:.6},", self.serial_secs);
+        let _ = writeln!(json, "  \"rpc_secs\": {:.6},", self.rpc_secs);
+        let _ = writeln!(json, "  \"chaos_secs\": {:.6},", self.chaos_secs);
+        let _ = writeln!(json, "  \"ticks\": {},", self.ticks);
+        let _ = writeln!(json, "  \"rpc_overhead_us_per_tick\": {overhead_us:.3},");
+        let _ = writeln!(json, "  \"rpc_calls\": {},", self.rpc_calls);
+        let _ = writeln!(json, "  \"chaos_retries\": {},", self.chaos_retries);
+        let _ = writeln!(json, "  \"identical\": {},", self.identical);
+        let _ = writeln!(json, "  \"chaos_breaker_held\": {},", self.chaos_ok);
+        let _ = writeln!(json, "  \"cores\": {cores}");
+        let _ = writeln!(json, "}}");
+        let path = out_dir.join("BENCH_net.json");
+        std::fs::write(&path, json)?;
+        println!(
+            "net: serial {:.3}s, rpc {:.3}s ({overhead_us:.1} µs/tick over {} calls), \
+             chaos {:.3}s ({} retries), identical: {}, chaos breaker held: {}",
+            self.serial_secs,
+            self.rpc_secs,
+            self.rpc_calls,
+            self.chaos_secs,
+            self.chaos_retries,
+            self.identical,
+            self.chaos_ok
+        );
+        Ok(())
+    }
+}
+
 fn main() -> ExitCode {
     let out = std::env::args().nth(1).unwrap_or_else(|| ".".to_owned());
     let out_dir = Path::new(&out).to_path_buf();
@@ -374,6 +477,13 @@ fn main() -> ExitCode {
         ok = false;
     }
     ok &= probe.ok;
+
+    let net = net_probe();
+    if let Err(e) = net.emit(&out_dir, cores) {
+        eprintln!("failed to write BENCH_net.json: {e}");
+        ok = false;
+    }
+    ok &= net.identical && net.chaos_ok;
 
     if ok {
         ExitCode::SUCCESS

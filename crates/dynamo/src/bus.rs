@@ -1,5 +1,7 @@
 //! The controller → agent request path.
 
+use std::collections::HashSet;
+
 use recharge_units::{Amperes, RackId, Watts};
 
 use crate::agent::RackAgent;
@@ -37,8 +39,10 @@ pub trait AgentBus {
 /// A direct in-process bus over a vector of agents.
 pub struct InMemoryBus<A> {
     agents: Vec<A>,
-    /// Racks that stop answering reads (failure injection).
-    unreachable: Vec<RackId>,
+    /// Racks that stop answering reads (failure injection). A set, not a
+    /// list: `read` consults it on every controller tick for every rack, so
+    /// membership must not cost O(disconnected).
+    unreachable: HashSet<RackId>,
 }
 
 impl<A: RackAgent> InMemoryBus<A> {
@@ -47,21 +51,19 @@ impl<A: RackAgent> InMemoryBus<A> {
     pub fn new(agents: Vec<A>) -> Self {
         InMemoryBus {
             agents,
-            unreachable: Vec::new(),
+            unreachable: HashSet::new(),
         }
     }
 
     /// Marks a rack's agent as unreachable (reads return `None`); used for
-    /// failure-injection tests.
+    /// failure-injection tests. Idempotent.
     pub fn disconnect(&mut self, rack: RackId) {
-        if !self.unreachable.contains(&rack) {
-            self.unreachable.push(rack);
-        }
+        self.unreachable.insert(rack);
     }
 
-    /// Restores a previously disconnected agent.
+    /// Restores a previously disconnected agent. Idempotent.
     pub fn reconnect(&mut self, rack: RackId) {
-        self.unreachable.retain(|&r| r != rack);
+        self.unreachable.remove(&rack);
     }
 
     /// Iterates over the agents.

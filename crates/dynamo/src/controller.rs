@@ -341,6 +341,7 @@ impl Controller {
             }
             Strategy::Global => {
                 self.admit(&fresh);
+                Self::unpostpone_fresh(&fresh, bus);
                 self.refresh_dods(&charging, &discharging);
                 // Re-derive the uniform rate from instantaneous headroom.
                 if !self.index.is_empty() {
@@ -362,6 +363,7 @@ impl Controller {
                 // comes straight off the incrementally maintained index.
                 if !fresh.is_empty() || !discharging.is_empty() {
                     self.admit(&fresh);
+                    Self::unpostpone_fresh(&fresh, bus);
                     self.refresh_dods(&charging, &discharging);
                     let available = (self.config.planning_limit() - planning_it).max(Watts::ZERO);
                     let outcome = assign_priority_aware_indexed(
@@ -564,6 +566,20 @@ impl Controller {
 
     /// Sends overrides for assignments that differ from the commanded state;
     /// returns how many were sent.
+    /// Clears any stale postpone flag on newly admitted racks.
+    ///
+    /// A rack re-appearing after a partition or an agent flap may still
+    /// carry a postpone flag from an earlier plan that nobody could clear
+    /// while it was unreachable (the mesh lease clears it on standalone
+    /// fallback, but an in-memory flap has no lease). Admission means the
+    /// rack is planned to charge, so make that true on the agent as well —
+    /// a no-op for racks that were never postponed.
+    fn unpostpone_fresh<B: AgentBus + ?Sized>(fresh: &[&PowerReading], bus: &mut B) {
+        for r in fresh {
+            bus.set_charge_postponed(r.rack, false);
+        }
+    }
+
     fn apply_assignments<B: AgentBus + ?Sized>(
         &mut self,
         assignments: &[ChargeAssignment],

@@ -11,6 +11,7 @@
 
 use std::collections::{HashMap, HashSet};
 
+use recharge_core::ChargeIndex;
 use recharge_power::{DeviceKind, Topology};
 use recharge_units::{Amperes, DeviceId, RackId, SimTime, Watts};
 
@@ -25,12 +26,21 @@ use crate::messages::PowerReading;
 /// progressively forces charging racks to the hardware minimum —
 /// lowest-priority-highest-discharge first — and caps servers only if the
 /// whole subtree is already at the floor.
+///
+/// The shed order is kept *materialized* in a persistent [`ChargeIndex`]
+/// maintained from per-tick reading deltas, the same structure the leaf
+/// controllers use — overload response walks the index instead of re-sorting
+/// the subtree every tick. Ordering follows the index convention: (priority
+/// rank, quantized DOD bucket) groups in reverse charge order, racks within
+/// a group in ascending (input) order — matching the stable descending sort
+/// it replaces (see [`charge_tiebreak_parity`] in the module tests).
 #[derive(Debug)]
 pub struct UpperMonitor {
     device: DeviceId,
     limit: Watts,
     racks: Vec<RackId>,
     forced_minimum: HashSet<RackId>,
+    index: ChargeIndex,
     max_cap_fraction: f64,
 }
 
@@ -43,6 +53,7 @@ impl UpperMonitor {
             limit,
             racks,
             forced_minimum: HashSet::new(),
+            index: ChargeIndex::new(),
             max_cap_fraction: 0.4,
         }
     }
@@ -64,32 +75,87 @@ impl UpperMonitor {
     pub fn tick<B: AgentBus + ?Sized>(&mut self, bus: &mut B) -> Watts {
         let readings: Vec<PowerReading> = self.racks.iter().filter_map(|&r| bus.read(r)).collect();
         let draw: Watts = readings.iter().map(PowerReading::input_draw).sum();
+
+        // Maintain the persistent shed index from reading deltas: admit
+        // newly charging racks, refresh DODs (a no-op unless a quantization
+        // bucket is crossed), drop racks that finished or vanished.
+        let mut charging = 0usize;
+        for reading in &readings {
+            if reading.is_charging() {
+                charging += 1;
+                if self.index.contains(reading.rack) {
+                    self.index.set_dod(reading.rack, reading.event_dod);
+                } else {
+                    self.index.upsert(
+                        reading.rack,
+                        reading.priority,
+                        reading.event_dod,
+                        Amperes::ZERO,
+                    );
+                }
+            } else {
+                self.index.remove(reading.rack);
+            }
+        }
+        if self.index.len() > charging {
+            // Unreachable racks disappeared from the readings entirely.
+            let present: HashSet<RackId> = readings.iter().map(|r| r.rack).collect();
+            let gone: Vec<RackId> = self
+                .index
+                .charge_order()
+                .map(|(rack, _)| rack)
+                .filter(|rack| !present.contains(rack))
+                .collect();
+            for rack in gone {
+                self.index.remove(rack);
+            }
+        }
+
         if draw <= self.limit {
             // Forget finished charge sequences so the next event starts clean.
             self.forced_minimum
-                .retain(|rack| readings.iter().any(|r| r.rack == *rack && r.is_charging()));
+                .retain(|rack| self.index.contains(*rack));
             return Watts::ZERO;
         }
         let mut overload = draw - self.limit;
 
         // Reverse order: lowest priority first, deepest discharge first.
-        let mut candidates: Vec<&PowerReading> = readings
-            .iter()
-            .filter(|r| r.is_charging() && !self.forced_minimum.contains(&r.rack))
+        // Visit the index's (priority, DOD-bucket) groups in reverse charge
+        // order, keeping racks *within* a group ascending — the same
+        // convention as `throttle_on_overload_indexed`, matching the stable
+        // descending sort this replaces.
+        let entries: Vec<(RackId, (u8, u16))> = self
+            .index
+            .charge_order()
+            .map(|(rack, e)| (rack, (e.priority.rank(), ChargeIndex::dod_bucket(e.dod))))
             .collect();
-        candidates.sort_by(|a, b| {
-            b.priority
-                .cmp(&a.priority)
-                .then(b.event_dod.value().total_cmp(&a.event_dod.value()))
-        });
+        let mut order = Vec::with_capacity(entries.len());
+        let mut end = entries.len();
+        while end > 0 {
+            let mut start = end;
+            while start > 0 && entries[start - 1].1 == entries[end - 1].1 {
+                start -= 1;
+            }
+            order.extend(start..end);
+            end = start;
+        }
 
+        let by_rack: HashMap<RackId, &PowerReading> =
+            readings.iter().map(|r| (r.rack, r)).collect();
         let floor = Watts::new(375.0); // ≈1 A rack draw; shed estimate only
-        for reading in candidates {
+        for i in order {
             if overload <= Watts::ZERO {
                 break;
             }
-            bus.set_charge_override(reading.rack, Amperes::MIN_CHARGE);
-            self.forced_minimum.insert(reading.rack);
+            let rack = entries[i].0;
+            if self.forced_minimum.contains(&rack) {
+                continue;
+            }
+            let Some(reading) = by_rack.get(&rack) else {
+                continue;
+            };
+            bus.set_charge_override(rack, Amperes::MIN_CHARGE);
+            self.forced_minimum.insert(rack);
             overload -= (reading.recharge_power - floor).max(Watts::ZERO);
         }
 
@@ -302,6 +368,113 @@ mod tests {
             draw <= it + Watts::new(500.0) + Watts::new(1.0),
             "draw {draw}"
         );
+    }
+
+    /// A fixed-reading bus that records the override order the monitor
+    /// issues; commands route nowhere.
+    struct RecordingBus {
+        readings: Vec<PowerReading>,
+        overrides: Vec<RackId>,
+    }
+
+    impl AgentBus for RecordingBus {
+        fn racks(&self) -> Vec<RackId> {
+            self.readings.iter().map(|r| r.rack).collect()
+        }
+        fn read(&self, rack: RackId) -> Option<PowerReading> {
+            self.readings.iter().find(|r| r.rack == rack).copied()
+        }
+        fn set_charge_override(&mut self, rack: RackId, _current: Amperes) {
+            self.overrides.push(rack);
+        }
+        fn clear_charge_override(&mut self, _rack: RackId) {}
+        fn set_charge_postponed(&mut self, _rack: RackId, _postponed: bool) {}
+        fn cap_servers(&mut self, _rack: RackId, _limit: Watts) {}
+        fn uncap_servers(&mut self, _rack: RackId) {}
+    }
+
+    fn charging_reading(rack: u32, priority: Priority, dod: f64) -> PowerReading {
+        PowerReading {
+            rack: RackId::new(rack),
+            priority,
+            input_power_present: true,
+            it_load: Watts::from_kilowatts(6.0),
+            recharge_power: Watts::from_kilowatts(1.0),
+            bbu_state: recharge_battery::BbuState::Charging,
+            event_dod: recharge_units::Dod::new(dod),
+            dod: recharge_units::Dod::new(dod),
+            capped_power: Watts::ZERO,
+        }
+    }
+
+    /// The indexed shed order must match the sorted path it replaced: the
+    /// old code stably sorted candidates by descending priority, then
+    /// descending exact DOD — so exact-(priority, DOD) ties shed in input
+    /// (rack-ascending) order. The index walks (rank, DOD-bucket) groups in
+    /// reverse charge order with racks ascending within a group; with DODs
+    /// in distinct buckets plus exact ties, the two orders must be equal.
+    #[test]
+    fn charge_tiebreak_parity() {
+        let readings = vec![
+            charging_reading(0, Priority::P1, 0.30),
+            charging_reading(1, Priority::P3, 0.80), // exact tie with rack 2
+            charging_reading(2, Priority::P3, 0.80),
+            charging_reading(3, Priority::P2, 0.55), // exact tie with rack 5
+            charging_reading(4, Priority::P3, 0.20),
+            charging_reading(5, Priority::P2, 0.55),
+        ];
+
+        // The replicated old path: stable sort, descending priority then
+        // descending exact DOD, over the readings in input order.
+        let mut sorted: Vec<&PowerReading> = readings.iter().collect();
+        sorted.sort_by(|a, b| {
+            b.priority
+                .cmp(&a.priority)
+                .then(b.event_dod.value().total_cmp(&a.event_dod.value()))
+        });
+        let expected: Vec<RackId> = sorted.iter().map(|r| r.rack).collect();
+
+        // The indexed path, via a monitor whose limit forces a full shed.
+        let racks: Vec<RackId> = readings.iter().map(|r| r.rack).collect();
+        let mut monitor = UpperMonitor::new(DeviceId::new(9), Watts::new(1.0), racks);
+        let mut bus = RecordingBus {
+            readings,
+            overrides: Vec::new(),
+        };
+        monitor.tick(&mut bus);
+
+        assert_eq!(
+            bus.overrides, expected,
+            "indexed shed order diverged from the sorted path"
+        );
+        assert_eq!(monitor.forced_count(), 6);
+    }
+
+    /// The persistent index follows reading deltas: racks that finish
+    /// charging (or vanish from the readings) drop out of the shed order.
+    #[test]
+    fn index_tracks_reading_deltas() {
+        let mut readings = vec![
+            charging_reading(0, Priority::P2, 0.40),
+            charging_reading(1, Priority::P3, 0.60),
+        ];
+        let racks: Vec<RackId> = readings.iter().map(|r| r.rack).collect();
+        // Generous limit: no shed, but the index still tracks charging racks.
+        let mut monitor = UpperMonitor::new(DeviceId::new(9), Watts::from_kilowatts(100.0), racks);
+        let mut bus = RecordingBus {
+            readings: readings.clone(),
+            overrides: Vec::new(),
+        };
+        monitor.tick(&mut bus);
+        assert_eq!(monitor.index.len(), 2);
+
+        // Rack 1 finishes charging; rack 0 disappears (unreachable).
+        readings[1].bbu_state = recharge_battery::BbuState::FullyCharged;
+        readings.remove(0);
+        bus.readings = readings;
+        monitor.tick(&mut bus);
+        assert!(monitor.index.is_empty(), "finished/vanished racks linger");
+        assert!(bus.overrides.is_empty(), "no overload, no overrides");
     }
 
     #[test]

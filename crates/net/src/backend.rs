@@ -1,0 +1,255 @@
+//! Running a whole fleet behind the mesh: [`RpcFleetBackend`].
+//!
+//! The backend hosts the rack agents in an [`AgentHost`] served over a real
+//! socket (loopback TCP by default, Unix-domain on request) and gives the
+//! simulation loop an [`RpcBus`] as its controller-facing bus — every
+//! controller read and command crosses the wire, exactly as in production.
+//! Physics stepping stays local (the host *is* the rack; only coordination
+//! is remote), replicating [`SerialBackend`]'s per-agent order so a
+//! clean-link run is bit-identical to the in-memory backends.
+//!
+//! [`RpcMeshConfig`] is the scenario-carried selector, playing the same role
+//! [`FleetBackendKind`](recharge_dynamo::FleetBackendKind) plays for the
+//! in-process backends: a plain value describing transport, lease, deadlines,
+//! retry budget, and (optionally) a seeded [`FaultPlan`] for chaos runs.
+//!
+//! [`SerialBackend`]: recharge_dynamo::SerialBackend
+
+use std::io;
+use std::sync::Arc;
+use std::time::Duration;
+
+use recharge_dynamo::{AgentBus, FleetBackend, PowerReading, RackAgent, SimRackAgent};
+use recharge_units::{RackId, Seconds, Watts};
+
+use crate::client::{RetryPolicy, RpcBus, RpcBusConfig};
+use crate::endpoint::Endpoint;
+use crate::fault::{FaultClock, FaultPlan};
+use crate::server::{AgentHost, AgentServer, DEFAULT_LEASE_TICKS};
+
+/// Which socket family the mesh uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RpcTransport {
+    /// Ephemeral loopback TCP (`127.0.0.1:0`); works everywhere.
+    #[default]
+    TcpLoopback,
+    /// A fresh Unix-domain socket under the temp directory (Unix only).
+    UnixSocket,
+}
+
+/// Scenario-carried configuration for a fleet running over the mesh.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RpcMeshConfig {
+    /// Socket family.
+    pub transport: RpcTransport,
+    /// Coordination lease in simulation ticks; must exceed the controller's
+    /// `control_every`, or healthy racks would flap into standalone between
+    /// control tick contacts.
+    pub lease_ticks: u64,
+    /// Per-attempt response deadline.
+    pub deadline: Duration,
+    /// Retry budget and backoff shape.
+    pub retry: RetryPolicy,
+    /// Link faults to inject; `None` for a clean link.
+    pub fault: Option<FaultPlan>,
+    /// Seed for client backoff jitter.
+    pub seed: u64,
+}
+
+impl Default for RpcMeshConfig {
+    fn default() -> Self {
+        RpcMeshConfig {
+            transport: RpcTransport::TcpLoopback,
+            lease_ticks: DEFAULT_LEASE_TICKS,
+            deadline: Duration::from_millis(500),
+            retry: RetryPolicy::default(),
+            fault: None,
+            seed: 0x0b5e_55ed,
+        }
+    }
+}
+
+impl RpcMeshConfig {
+    /// The default mesh over Unix-domain sockets.
+    #[must_use]
+    pub fn unix() -> Self {
+        RpcMeshConfig {
+            transport: RpcTransport::UnixSocket,
+            ..RpcMeshConfig::default()
+        }
+    }
+
+    /// The default mesh with a fault plan attached.
+    #[must_use]
+    pub fn with_fault(fault: FaultPlan) -> Self {
+        RpcMeshConfig {
+            fault: Some(fault),
+            ..RpcMeshConfig::default()
+        }
+    }
+}
+
+/// A [`FleetBackend`] whose controller bus crosses a real socket.
+pub struct RpcFleetBackend {
+    host: Arc<AgentHost<SimRackAgent>>,
+    // Dropped after `bus`, stopping the server threads; field order is load-
+    // bearing only for prompt shutdown, not correctness.
+    _server: AgentServer<SimRackAgent>,
+    bus: RpcBus,
+    name: &'static str,
+}
+
+impl RpcFleetBackend {
+    /// Hosts `agents` behind a freshly bound server and connects the bus.
+    pub fn spawn(agents: Vec<SimRackAgent>, config: &RpcMeshConfig) -> io::Result<Self> {
+        let endpoint = match config.transport {
+            RpcTransport::TcpLoopback => Endpoint::loopback(),
+            #[cfg(unix)]
+            RpcTransport::UnixSocket => Endpoint::unix_temp(),
+            #[cfg(not(unix))]
+            RpcTransport::UnixSocket => {
+                return Err(io::Error::new(
+                    io::ErrorKind::Unsupported,
+                    "unix-domain sockets are not available on this target",
+                ))
+            }
+        };
+        let clock = FaultClock::new();
+        let host = Arc::new(AgentHost::new(agents, config.lease_ticks, clock.clone()));
+        let server = AgentServer::serve(Arc::clone(&host), &endpoint)?;
+        let bus = RpcBus::connect(
+            server.endpoint(),
+            RpcBusConfig {
+                deadline: config.deadline,
+                connect_timeout: Duration::from_secs(2),
+                retry: config.retry,
+                seed: config.seed,
+                fault: config.fault.clone(),
+            },
+            clock,
+        )?;
+        let name = match config.transport {
+            RpcTransport::TcpLoopback => "rpc-tcp",
+            RpcTransport::UnixSocket => "rpc-unix",
+        };
+        Ok(RpcFleetBackend {
+            host,
+            _server: server,
+            bus,
+            name,
+        })
+    }
+
+    /// The hosted racks and lease state (inspection for tests and reports).
+    #[must_use]
+    pub fn host(&self) -> &Arc<AgentHost<SimRackAgent>> {
+        &self.host
+    }
+
+    /// The client bus (inspection; the simulation gets it via `bus_mut`).
+    #[must_use]
+    pub fn bus(&self) -> &RpcBus {
+        &self.bus
+    }
+}
+
+impl FleetBackend for RpcFleetBackend {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn step_schedule(
+        &mut self,
+        dt: Seconds,
+        input_power: &[bool],
+        load_of: &dyn Fn(RackId, usize) -> Watts,
+    ) {
+        // Identical per-agent order to SerialBackend: sub-step outer, rack
+        // inner — the bit-identical guarantee depends on it.
+        self.host.with_agents(|agents| {
+            for (i, &power) in input_power.iter().enumerate() {
+                for agent in agents.iter_mut() {
+                    agent.set_offered_load(load_of(agent.rack(), i));
+                    agent.set_input_power(power);
+                    agent.step(dt);
+                }
+            }
+        });
+        // Advance the shared tick clock (partition windows) and sweep leases
+        // *after* physics, *before* the controller's next look — the same
+        // boundary where command effects become observable.
+        self.host.advance(input_power.len() as u64);
+    }
+
+    fn readings(&self) -> Vec<PowerReading> {
+        // Omniscient simulator bookkeeping reads locally; only the
+        // *controller's* view crosses the wire.
+        self.host.readings()
+    }
+
+    fn bus_mut(&mut self) -> &mut dyn AgentBus {
+        &mut self.bus
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recharge_units::Priority;
+
+    fn agents(n: u32) -> Vec<SimRackAgent> {
+        (0..n)
+            .map(|i| {
+                SimRackAgent::builder(RackId::new(i), Priority::ALL[(i % 3) as usize])
+                    .offered_load(Watts::from_kilowatts(6.0))
+                    .build()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rpc_backend_matches_serial_physics() {
+        use recharge_dynamo::FleetBackendKind;
+        let schedule: Vec<bool> = (0..8).map(|i| i % 5 != 2).collect();
+        let load = |rack: RackId, i: usize| {
+            Watts::from_kilowatts(5.5 + 0.2 * f64::from(rack.index()) + 0.05 * i as f64)
+        };
+        let mut serial = FleetBackendKind::Serial.build(agents(4));
+        let mut rpc = RpcFleetBackend::spawn(agents(4), &RpcMeshConfig::default()).expect("spawn");
+        serial.step_schedule(Seconds::new(1.0), &schedule, &load);
+        rpc.step_schedule(Seconds::new(1.0), &schedule, &load);
+        assert_eq!(serial.readings(), rpc.readings());
+    }
+
+    #[test]
+    fn controller_commands_cross_the_wire() {
+        let mut rpc = RpcFleetBackend::spawn(agents(2), &RpcMeshConfig::default()).expect("spawn");
+        assert_eq!(rpc.name(), "rpc-tcp");
+        let racks = rpc.bus_mut().racks();
+        assert_eq!(racks, vec![RackId::new(0), RackId::new(1)]);
+        rpc.bus_mut()
+            .cap_servers(RackId::new(0), Watts::from_kilowatts(3.0));
+        let reading = rpc.bus_mut().read(RackId::new(0)).expect("read");
+        assert_eq!(reading.it_load, Watts::from_kilowatts(3.0));
+        // The simulator-side (local) view agrees: same host state.
+        assert_eq!(rpc.readings()[0].it_load, Watts::from_kilowatts(3.0));
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn unix_transport_works() {
+        let mut rpc = RpcFleetBackend::spawn(agents(1), &RpcMeshConfig::unix()).expect("spawn");
+        assert_eq!(rpc.name(), "rpc-unix");
+        assert!(rpc.bus_mut().read(RackId::new(0)).is_some());
+    }
+
+    #[test]
+    fn ticks_advance_with_schedules() {
+        let mut rpc = RpcFleetBackend::spawn(agents(1), &RpcMeshConfig::default()).expect("spawn");
+        assert_eq!(rpc.host().clock().tick(), 0);
+        rpc.step_schedule(Seconds::new(1.0), &[true; 5], &|_, _| {
+            Watts::from_kilowatts(6.0)
+        });
+        assert_eq!(rpc.host().clock().tick(), 5);
+    }
+}

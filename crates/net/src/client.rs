@@ -1,0 +1,548 @@
+//! The controller side of the mesh: [`RpcBus`], an [`AgentBus`] over a
+//! framed socket connection.
+//!
+//! Every call carries a per-call deadline, a bounded retry budget with
+//! exponential backoff and deterministic jitter, and reconnects lazily when
+//! the connection is lost. A call that exhausts its budget degrades exactly
+//! the way the controller already tolerates: reads return `None` (the rack
+//! looks unreachable, as with [`InMemoryBus::disconnect`]) and commands are
+//! dropped — the agent's own lease machinery (see
+//! [`server`](crate::server)) guarantees a rack that stops hearing commands
+//! falls back to safe standalone behaviour.
+//!
+//! The rack list is discovered once at connect time and cached: a bus whose
+//! link later degrades still *scopes* the same racks (matching
+//! [`InMemoryBus`] semantics, where disconnected racks stay listed but stop
+//! answering reads), so the controller keeps trying them and notices the
+//! heal.
+//!
+//! Fault injection ([`LinkFaults`]) wraps the call path: injected drops
+//! consume a retry attempt as a synthetic timeout (without holding the
+//! caller for the full wall-clock deadline — see [`fault`](crate::fault)),
+//! injected delays are real sleeps, and partitions fail calls fast.
+//!
+//! [`InMemoryBus`]: recharge_dynamo::InMemoryBus
+//! [`InMemoryBus::disconnect`]: recharge_dynamo::InMemoryBus::disconnect
+
+use std::io;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use rand::splitmix64;
+use recharge_dynamo::{AgentBus, PowerReading};
+use recharge_telemetry::{tcounter, tspan};
+use recharge_units::{Amperes, RackId, Watts};
+
+use crate::endpoint::{recv_frame, send_frame, Endpoint, FrameBuffer, FrameRead, NetStream};
+use crate::fault::{FaultClock, FaultPlan, LinkFaults};
+use crate::wire::{decode_response, encode_request, Request, Response};
+
+/// Bounded-retry parameters: exponential backoff with deterministic jitter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts per call (first try included); at least 1.
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per retry.
+    pub base_backoff: Duration,
+    /// Ceiling on a single backoff sleep.
+    pub max_backoff: Duration,
+    /// Jitter fraction in `[0, 1]`: each sleep is scaled by a seeded uniform
+    /// factor in `[1 - jitter, 1 + jitter]` to de-synchronise retry storms.
+    pub jitter: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(50),
+            jitter: 0.5,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff before retry number `retry` (1-based), jittered by a
+    /// uniform draw `u` in `[0, 1)`.
+    fn backoff(&self, retry: u32, u: f64) -> Duration {
+        let doubled = self
+            .base_backoff
+            .saturating_mul(1u32 << (retry - 1).min(16))
+            .min(self.max_backoff);
+        let factor = 1.0 - self.jitter + 2.0 * self.jitter * u;
+        doubled.mul_f64(factor.max(0.0))
+    }
+}
+
+/// Connection and call parameters for an [`RpcBus`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RpcBusConfig {
+    /// Per-attempt response deadline.
+    pub deadline: Duration,
+    /// TCP connect timeout.
+    pub connect_timeout: Duration,
+    /// Retry budget and backoff shape.
+    pub retry: RetryPolicy,
+    /// Seed for backoff jitter (distinct from the fault-plan seed).
+    pub seed: u64,
+    /// Link faults to inject; `None` for a clean link.
+    pub fault: Option<FaultPlan>,
+}
+
+impl Default for RpcBusConfig {
+    fn default() -> Self {
+        RpcBusConfig {
+            deadline: Duration::from_millis(500),
+            connect_timeout: Duration::from_secs(2),
+            retry: RetryPolicy::default(),
+            seed: 0x0b5e_55ed,
+            fault: None,
+        }
+    }
+}
+
+struct ClientInner {
+    conn: Option<(NetStream, FrameBuffer)>,
+    faults: LinkFaults,
+    jitter_rng: u64,
+    next_id: u64,
+    ever_connected: bool,
+}
+
+/// An [`AgentBus`] speaking the framed wire protocol to an
+/// [`AgentServer`](crate::server::AgentServer).
+///
+/// Interior mutability (one mutex around the connection) lets `read` keep
+/// the trait's `&self` signature; the controller is single-threaded per bus,
+/// so the lock is uncontended in practice.
+pub struct RpcBus {
+    endpoint: Endpoint,
+    config: RpcBusConfig,
+    racks: Vec<RackId>,
+    inner: Mutex<ClientInner>,
+}
+
+impl RpcBus {
+    /// Connects to `endpoint` and discovers the hosted racks.
+    ///
+    /// Discovery uses the same deadline/retry budget as any call; if the
+    /// server is unreachable the constructor fails rather than returning a
+    /// bus that scopes zero racks.
+    pub fn connect(
+        endpoint: &Endpoint,
+        config: RpcBusConfig,
+        clock: FaultClock,
+    ) -> io::Result<Self> {
+        let faults = LinkFaults::new(config.fault.clone().unwrap_or_default(), clock);
+        let mut bus = RpcBus {
+            endpoint: endpoint.clone(),
+            racks: Vec::new(),
+            inner: Mutex::new(ClientInner {
+                conn: None,
+                faults,
+                jitter_rng: config.seed ^ 0xa5a5_a5a5_a5a5_a5a5,
+                next_id: 1,
+                ever_connected: false,
+            }),
+            config,
+        };
+        match bus.call(&Request::ListRacks) {
+            Some(Response::Racks(racks)) => {
+                bus.racks = racks;
+                Ok(bus)
+            }
+            _ => Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                format!(
+                    "rack discovery failed against {endpoint}",
+                    endpoint = bus.endpoint
+                ),
+            )),
+        }
+    }
+
+    /// The endpoint this bus talks to.
+    #[must_use]
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// Issues one request with the full deadline/retry budget.
+    ///
+    /// `None` means the budget was exhausted: the caller sees the same
+    /// signal an unreachable in-memory rack produces.
+    fn call(&self, request: &Request) -> Option<Response> {
+        let _span = tspan!("net.rpc_call", "net");
+        tcounter!("net.rpc_calls").inc();
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let inner = &mut *inner;
+        let rack = request.rack();
+
+        for attempt in 1..=self.config.retry.max_attempts.max(1) {
+            if attempt > 1 {
+                tcounter!("net.rpc_retries").inc();
+                let u = uniform(&mut inner.jitter_rng);
+                std::thread::sleep(self.config.retry.backoff(attempt - 1, u));
+            }
+
+            // An active partition fails the call fast: partitions persist for
+            // whole simulation ticks, so burning wall-clock deadlines against
+            // one would only slow the run without changing the outcome.
+            if inner.faults.partitioned(rack) {
+                tcounter!("net.rpc_timeouts").inc();
+                break;
+            }
+
+            let decision = inner.faults.decide();
+            if !decision.delay.is_zero() {
+                std::thread::sleep(decision.delay);
+            }
+
+            // Ensure a connection.
+            if inner.conn.is_none() {
+                match NetStream::connect(&self.endpoint, self.config.connect_timeout) {
+                    Ok(stream) => {
+                        if stream
+                            .set_read_timeout(Some(Duration::from_millis(5)))
+                            .is_err()
+                        {
+                            continue;
+                        }
+                        if inner.ever_connected {
+                            tcounter!("net.rpc_reconnects").inc();
+                        }
+                        inner.ever_connected = true;
+                        inner.conn = Some((stream, FrameBuffer::new()));
+                    }
+                    Err(_) => {
+                        tcounter!("net.rpc_connect_failures").inc();
+                        continue;
+                    }
+                }
+            }
+
+            let id = inner.next_id;
+            inner.next_id += 1;
+            let payload = encode_request(id, request);
+
+            if decision.drop_request {
+                // The frame never reaches the wire; the attempt times out
+                // synthetically (no wall-clock wait — see module docs).
+                tcounter!("net.rpc_timeouts").inc();
+                continue;
+            }
+
+            let (stream, buffer) = inner.conn.as_mut().expect("connection ensured above");
+            let mut send = send_frame(stream, &payload);
+            if send.is_ok() && decision.duplicate {
+                send = send_frame(stream, &payload);
+            }
+            if send.is_err() {
+                inner.conn = None;
+                tcounter!("net.rpc_send_failures").inc();
+                continue;
+            }
+
+            if decision.drop_response {
+                // The server received and executed the request, but the reply
+                // is lost. It stays buffered in the stream; the id check
+                // below discards it as stale on the next attempt.
+                tcounter!("net.rpc_timeouts").inc();
+                continue;
+            }
+
+            // Await the matching reply within the per-attempt deadline.
+            let deadline = Instant::now() + self.config.deadline;
+            let mut drop_conn = false;
+            let reply = loop {
+                match recv_frame(stream, buffer, Some(deadline)) {
+                    Ok(FrameRead::Frame(frame)) => match decode_response(&frame) {
+                        Ok((got_id, response)) if got_id == id => break Some(response),
+                        Ok(_) => {
+                            // A reply to an earlier (timed-out or duplicated)
+                            // request; discard and keep waiting.
+                            tcounter!("net.rpc_stale_replies").inc();
+                        }
+                        Err(_) => {
+                            tcounter!("net.rpc_bad_frames").inc();
+                            drop_conn = true;
+                            break None;
+                        }
+                    },
+                    Ok(FrameRead::TimedOut) => {
+                        tcounter!("net.rpc_timeouts").inc();
+                        break None;
+                    }
+                    Ok(FrameRead::Closed) | Err(_) => {
+                        tcounter!("net.rpc_disconnects").inc();
+                        drop_conn = true;
+                        break None;
+                    }
+                }
+            };
+            if drop_conn {
+                inner.conn = None;
+            }
+            if let Some(response) = reply {
+                return Some(response);
+            }
+        }
+        tcounter!("net.rpc_failures").inc();
+        None
+    }
+
+    /// Issues a command, dropping it (with a counter) if the budget runs out.
+    fn command(&self, request: &Request) {
+        if self.call(request).is_none() {
+            tcounter!("net.rpc_lost_commands").inc();
+        }
+    }
+}
+
+fn uniform(state: &mut u64) -> f64 {
+    (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+impl AgentBus for RpcBus {
+    fn racks(&self) -> Vec<RackId> {
+        self.racks.clone()
+    }
+
+    fn read(&self, rack: RackId) -> Option<PowerReading> {
+        match self.call(&Request::Read(rack)) {
+            Some(Response::Reading(reading)) => reading,
+            _ => None,
+        }
+    }
+
+    fn set_charge_override(&mut self, rack: RackId, current: Amperes) {
+        self.command(&Request::SetChargeOverride(rack, current));
+    }
+
+    fn clear_charge_override(&mut self, rack: RackId) {
+        self.command(&Request::ClearChargeOverride(rack));
+    }
+
+    fn set_charge_postponed(&mut self, rack: RackId, postponed: bool) {
+        self.command(&Request::SetChargePostponed(rack, postponed));
+    }
+
+    fn cap_servers(&mut self, rack: RackId, limit: Watts) {
+        self.command(&Request::CapServers(rack, limit));
+    }
+
+    fn uncap_servers(&mut self, rack: RackId) {
+        self.command(&Request::UncapServers(rack));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::Partition;
+    use crate::server::{AgentHost, AgentServer, DEFAULT_LEASE_TICKS};
+    use recharge_dynamo::SimRackAgent;
+    use recharge_units::Priority;
+    use std::sync::Arc;
+
+    fn spawn_server(
+        n: u32,
+        clock: &FaultClock,
+    ) -> (AgentServer<SimRackAgent>, Arc<AgentHost<SimRackAgent>>) {
+        let agents = (0..n)
+            .map(|i| SimRackAgent::builder(RackId::new(i), Priority::ALL[(i % 3) as usize]).build())
+            .collect();
+        let host = Arc::new(AgentHost::new(agents, DEFAULT_LEASE_TICKS, clock.clone()));
+        let server = AgentServer::serve(Arc::clone(&host), &Endpoint::loopback()).expect("serve");
+        (server, host)
+    }
+
+    #[test]
+    fn bus_discovers_reads_and_commands() {
+        let clock = FaultClock::new();
+        let (server, host) = spawn_server(3, &clock);
+        let mut bus =
+            RpcBus::connect(server.endpoint(), RpcBusConfig::default(), clock).expect("connect");
+        assert_eq!(
+            bus.racks(),
+            vec![RackId::new(0), RackId::new(1), RackId::new(2)]
+        );
+        let reading = bus.read(RackId::new(2)).expect("read");
+        assert_eq!(reading.rack, RackId::new(2));
+        assert!(bus.read(RackId::new(9)).is_none(), "unknown rack");
+
+        bus.set_charge_override(RackId::new(1), Amperes::MIN_CHARGE);
+        host.with_agents(|agents| {
+            assert_eq!(
+                agents[1].battery().bbu().charger().override_current(),
+                Some(Amperes::MIN_CHARGE)
+            );
+        });
+        bus.clear_charge_override(RackId::new(1));
+        host.with_agents(|agents| {
+            assert!(agents[1]
+                .battery()
+                .bbu()
+                .charger()
+                .override_current()
+                .is_none());
+        });
+    }
+
+    #[test]
+    fn connect_fails_without_a_server() {
+        let config = RpcBusConfig {
+            deadline: Duration::from_millis(20),
+            connect_timeout: Duration::from_millis(50),
+            retry: RetryPolicy {
+                max_attempts: 2,
+                ..RetryPolicy::default()
+            },
+            ..RpcBusConfig::default()
+        };
+        // A listener that was dropped: the port is closed.
+        let endpoint = {
+            let listener = crate::endpoint::NetListener::bind(&Endpoint::loopback()).expect("bind");
+            listener.local_endpoint().expect("endpoint")
+        };
+        assert!(RpcBus::connect(&endpoint, config, FaultClock::new()).is_err());
+    }
+
+    #[test]
+    fn partition_makes_reads_fail_fast_and_heal() {
+        let clock = FaultClock::new();
+        let (server, _host) = spawn_server(1, &clock);
+        let config = RpcBusConfig {
+            fault: Some(FaultPlan::partitions_only(vec![Partition::all(5, 10)])),
+            ..RpcBusConfig::default()
+        };
+        let bus = RpcBus::connect(server.endpoint(), config, clock.clone()).expect("connect");
+        assert!(bus.read(RackId::new(0)).is_some(), "before partition");
+        clock.advance(5);
+        let start = Instant::now();
+        assert!(bus.read(RackId::new(0)).is_none(), "during partition");
+        assert!(
+            start.elapsed() < Duration::from_millis(200),
+            "partitioned calls must fail fast, took {:?}",
+            start.elapsed()
+        );
+        // Scoping is unaffected: the cached rack list persists.
+        assert_eq!(bus.racks(), vec![RackId::new(0)]);
+        clock.advance(5);
+        assert!(bus.read(RackId::new(0)).is_some(), "after heal");
+    }
+
+    #[test]
+    fn dropped_frames_are_retried_transparently() {
+        let clock = FaultClock::new();
+        let (server, _host) = spawn_server(1, &clock);
+        // Heavy request-drop but a generous retry budget: calls still land.
+        let config = RpcBusConfig {
+            fault: Some(FaultPlan {
+                seed: 11,
+                drop_request: 0.4,
+                duplicate: 0.2,
+                ..FaultPlan::default()
+            }),
+            retry: RetryPolicy {
+                max_attempts: 12,
+                base_backoff: Duration::from_micros(100),
+                max_backoff: Duration::from_millis(2),
+                jitter: 0.5,
+            },
+            ..RpcBusConfig::default()
+        };
+        let bus = RpcBus::connect(server.endpoint(), config, clock).expect("connect");
+        for _ in 0..50 {
+            assert!(bus.read(RackId::new(0)).is_some());
+        }
+    }
+
+    #[test]
+    fn lost_responses_still_apply_commands() {
+        let clock = FaultClock::new();
+        let (server, host) = spawn_server(1, &clock);
+        let config = RpcBusConfig {
+            fault: Some(FaultPlan {
+                seed: 3,
+                drop_response: 0.5,
+                ..FaultPlan::default()
+            }),
+            retry: RetryPolicy {
+                max_attempts: 10,
+                base_backoff: Duration::from_micros(100),
+                max_backoff: Duration::from_millis(2),
+                jitter: 0.5,
+            },
+            ..RpcBusConfig::default()
+        };
+        let mut bus = RpcBus::connect(server.endpoint(), config, clock).expect("connect");
+        for _ in 0..20 {
+            bus.set_charge_override(RackId::new(0), Amperes::MAX_CHARGE);
+            assert!(bus.read(RackId::new(0)).is_some());
+        }
+        host.with_agents(|agents| {
+            assert_eq!(
+                agents[0].battery().bbu().charger().override_current(),
+                Some(Amperes::MAX_CHARGE)
+            );
+        });
+    }
+
+    #[test]
+    fn reconnects_after_server_restart() {
+        let clock = FaultClock::new();
+        let (server, _host) = spawn_server(2, &clock);
+        let endpoint = server.endpoint().clone();
+        let config = RpcBusConfig {
+            deadline: Duration::from_millis(100),
+            connect_timeout: Duration::from_millis(100),
+            retry: RetryPolicy {
+                max_attempts: 2,
+                base_backoff: Duration::from_millis(1),
+                max_backoff: Duration::from_millis(5),
+                jitter: 0.0,
+            },
+            ..RpcBusConfig::default()
+        };
+        let bus = RpcBus::connect(&endpoint, config, clock.clone()).expect("connect");
+        assert!(bus.read(RackId::new(0)).is_some());
+        drop(server);
+        // The controller keeps polling; reads fail while the server is down.
+        assert!(bus.read(RackId::new(0)).is_none());
+
+        // Restart on the same endpoint (loopback TCP port may be reused only
+        // if we bind the exact address — do so explicitly).
+        let agents = vec![
+            SimRackAgent::builder(RackId::new(0), Priority::P1).build(),
+            SimRackAgent::builder(RackId::new(1), Priority::P2).build(),
+        ];
+        let host = Arc::new(AgentHost::new(agents, DEFAULT_LEASE_TICKS, clock));
+        let _server = AgentServer::serve(host, &endpoint).expect("rebind");
+        // A few attempts may be needed while the listener comes up.
+        let healed = (0..50).any(|_| {
+            std::thread::sleep(Duration::from_millis(10));
+            bus.read(RackId::new(0)).is_some()
+        });
+        assert!(healed, "bus must reconnect after server restart");
+    }
+
+    #[test]
+    fn backoff_shape_is_bounded_and_jittered() {
+        let policy = RetryPolicy {
+            max_attempts: 8,
+            base_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(20),
+            jitter: 0.5,
+        };
+        // No jitter draw at the extremes: u=0.5 is the midpoint (factor 1).
+        assert_eq!(policy.backoff(1, 0.5), Duration::from_millis(2));
+        assert_eq!(policy.backoff(2, 0.5), Duration::from_millis(4));
+        // Capped at max_backoff before jitter.
+        assert_eq!(policy.backoff(7, 0.5), Duration::from_millis(20));
+        // Jitter spans [0.5, 1.5]× around the nominal sleep.
+        assert_eq!(policy.backoff(1, 0.0), Duration::from_millis(1));
+        assert_eq!(policy.backoff(1, 1.0), Duration::from_millis(3));
+    }
+}

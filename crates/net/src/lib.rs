@@ -1,0 +1,54 @@
+//! `recharge-net`: the RPC mesh between Dynamo controllers and rack agents.
+//!
+//! The paper's controllers coordinate rack-level battery charging over a
+//! production RPC mesh (§IV-B/C); the simulator historically stood that in
+//! with a function call ([`InMemoryBus`](recharge_dynamo::InMemoryBus)).
+//! This crate provides the real thing, std-only (no async runtime — plain
+//! `std::net` sockets and threads, honouring the workspace's vendored-deps
+//! constraint):
+//!
+//! - [`wire`] — a length-prefixed framed binary protocol for the
+//!   `messages.rs` types, `f64`-bit-exact so remote readings equal local
+//!   ones.
+//! - [`endpoint`] — TCP and Unix-domain transports behind one façade, with
+//!   short-read- and timeout-safe frame I/O.
+//! - [`server`] — [`AgentHost`]/[`AgentServer`]: racks behind a listener,
+//!   with the lease-based degraded-mode state machine (coordinated →
+//!   standalone → rejoin) from the paper's §III-B standalone variable
+//!   charger.
+//! - [`client`] — [`RpcBus`]: an [`AgentBus`](recharge_dynamo::AgentBus)
+//!   with per-call deadlines, bounded retry (exponential backoff + seeded
+//!   jitter), and transparent reconnect. Exhausted budgets look exactly like
+//!   today's unreachable racks: `read` returns `None`.
+//! - [`fault`] — deterministic seeded link faults (drop / delay / duplicate /
+//!   partition schedules in simulation ticks) for reproducible chaos runs.
+//! - [`backend`] — [`RpcFleetBackend`]: a
+//!   [`FleetBackend`](recharge_dynamo::FleetBackend) whose controller bus
+//!   crosses a real socket, selected per scenario via [`RpcMeshConfig`].
+//!
+//! Telemetry: every RPC path records `net.rpc_*` counters (calls, retries,
+//! timeouts, reconnects, stale replies, lost commands) and `net.rpc_call` /
+//! `net.rpc_serve` spans; fallback and rejoin transitions emit
+//! `net.standalone_fallback` / `net.rejoin` events with rack and tick.
+//!
+//! The headline correctness property, pinned by
+//! `crates/sim/tests/backend_equivalence.rs`: with a clean link, a full
+//! simulation over [`RpcFleetBackend`] produces **bit-identical**
+//! `RunMetrics` to the in-memory backends.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod client;
+pub mod endpoint;
+pub mod fault;
+pub mod server;
+pub mod wire;
+
+pub use backend::{RpcFleetBackend, RpcMeshConfig, RpcTransport};
+pub use client::{RetryPolicy, RpcBus, RpcBusConfig};
+pub use endpoint::{Endpoint, NetListener, NetStream};
+pub use fault::{FaultClock, FaultPlan, LinkFaults, Partition, PartitionScope};
+pub use server::{AgentHost, AgentServer, DEFAULT_LEASE_TICKS};
+pub use wire::{Request, Response, WireError, PROTOCOL_VERSION};

@@ -1,0 +1,508 @@
+//! The agent side of the mesh: hosted racks, degraded-mode state machine,
+//! and the socket server.
+//!
+//! [`AgentHost`] owns the [`RackAgent`]s and tracks, per rack, when the
+//! controller last spoke to it. The degraded-mode state machine (§III-B of
+//! the paper) is lease-based:
+//!
+//! ```text
+//!            first contact / contact while standalone
+//!   standalone ────────────────────────────────────────► coordinated
+//!        ▲                                                    │
+//!        └──────────── lease expires (no contact for ─────────┘
+//!                      `lease_ticks` simulation ticks)
+//! ```
+//!
+//! Falling back to standalone clears any charge override and resumes
+//! postponed charging, so the rack's variable charger picks currents
+//! autonomously — exactly the uncoordinated policy the paper's chargers run
+//! when no controller exists. Server power caps are deliberately **left in
+//! place**: caps protect breakers, and dropping one because the control
+//! plane hiccupped could trip the very device the cap was guarding. The
+//! controller re-evaluates caps as soon as it can reach the rack again.
+//!
+//! Racks *start* standalone and join on first contact. This matters for the
+//! equivalence guarantee: a fleet warms up for many ticks before the
+//! controller's first read, and a lease that expired during warm-up would
+//! otherwise inject a spurious fallback event into every run.
+//!
+//! [`AgentServer`] puts an [`AgentHost`] behind a TCP or Unix-domain
+//! listener: one accept thread, one handler thread per connection, all
+//! plain blocking I/O with short poll timeouts so shutdown is prompt.
+
+use std::collections::HashMap;
+use std::io;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use recharge_dynamo::{PowerReading, RackAgent};
+use recharge_telemetry::{tcounter, tevent, tspan};
+use recharge_units::RackId;
+
+use crate::endpoint::{
+    recv_frame, send_frame, Endpoint, FrameBuffer, FrameRead, NetListener, NetStream,
+};
+use crate::fault::FaultClock;
+use crate::wire::{decode_request, encode_response, Request, Response};
+
+/// Default coordination lease, in simulation ticks.
+///
+/// Must comfortably exceed the controller's `control_every` interval:
+/// the controller reads every scoped rack once per control tick, so under a
+/// healthy link the lease is renewed long before it expires.
+pub const DEFAULT_LEASE_TICKS: u64 = 30;
+
+/// Per-rack coordination state.
+#[derive(Debug, Clone, Copy)]
+struct RackLease {
+    /// Tick of the last controller contact.
+    last_contact: u64,
+    /// Whether the rack currently follows controller commands.
+    coordinated: bool,
+}
+
+struct HostState<A> {
+    agents: Vec<A>,
+    leases: Vec<RackLease>,
+}
+
+/// The racks hosted behind one server, with lease tracking.
+///
+/// Shared between the stepping side (a fleet backend advancing physics) and
+/// the serving side (handler threads executing controller requests); all
+/// access goes through one mutex, so a request can never observe a rack
+/// mid-step.
+pub struct AgentHost<A> {
+    state: Mutex<HostState<A>>,
+    index_of: HashMap<RackId, usize>,
+    racks: Vec<RackId>,
+    clock: FaultClock,
+    lease_ticks: u64,
+}
+
+impl<A: RackAgent> AgentHost<A> {
+    /// Hosts `agents` with the given lease, sharing `clock` with whoever
+    /// advances simulation time.
+    #[must_use]
+    pub fn new(agents: Vec<A>, lease_ticks: u64, clock: FaultClock) -> Self {
+        let racks: Vec<RackId> = agents.iter().map(RackAgent::rack).collect();
+        let index_of = racks.iter().enumerate().map(|(i, &r)| (r, i)).collect();
+        let leases = vec![
+            RackLease {
+                last_contact: 0,
+                coordinated: false,
+            };
+            agents.len()
+        ];
+        AgentHost {
+            state: Mutex::new(HostState { agents, leases }),
+            index_of,
+            racks,
+            clock,
+            lease_ticks,
+        }
+    }
+
+    /// The shared simulation-tick clock.
+    #[must_use]
+    pub fn clock(&self) -> &FaultClock {
+        &self.clock
+    }
+
+    /// The hosted racks, in stable (fleet) order.
+    #[must_use]
+    pub fn racks(&self) -> &[RackId] {
+        &self.racks
+    }
+
+    fn lock(&self) -> MutexGuard<'_, HostState<A>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Runs `f` over the mutable agent slice (fleet order) — the stepping
+    /// hook for backends.
+    pub fn with_agents<R>(&self, f: impl FnOnce(&mut [A]) -> R) -> R {
+        let mut state = self.lock();
+        f(&mut state.agents)
+    }
+
+    /// Post-step telemetry for every hosted rack, in fleet order.
+    #[must_use]
+    pub fn readings(&self) -> Vec<PowerReading> {
+        let state = self.lock();
+        state.agents.iter().map(RackAgent::read).collect()
+    }
+
+    /// Whether `rack` is currently coordinated (lease unexpired).
+    #[must_use]
+    pub fn is_coordinated(&self, rack: RackId) -> bool {
+        let state = self.lock();
+        self.index_of
+            .get(&rack)
+            .is_some_and(|&i| state.leases[i].coordinated)
+    }
+
+    /// Advances the shared tick clock and sweeps leases: any coordinated
+    /// rack whose lease expired falls back to standalone.
+    pub fn advance(&self, ticks: u64) {
+        self.clock.advance(ticks);
+        let now = self.clock.tick();
+        let mut state = self.lock();
+        for i in 0..state.leases.len() {
+            let lease = state.leases[i];
+            if lease.coordinated && now.saturating_sub(lease.last_contact) > self.lease_ticks {
+                state.leases[i].coordinated = false;
+                // Standalone: automatic variable-charger current, charging
+                // resumed. Caps stay (see module docs).
+                state.agents[i].clear_charge_override();
+                state.agents[i].set_charge_postponed(false);
+                tcounter!("net.standalone_fallbacks").inc();
+                tevent!(
+                    "net.standalone_fallback",
+                    "net",
+                    "rack" => state.agents[i].rack().index(),
+                    "tick" => now,
+                );
+            }
+        }
+    }
+
+    /// Executes one controller request. Any rack-addressed request renews
+    /// that rack's lease (and rejoins it if it was standalone).
+    pub fn handle(&self, request: &Request) -> Response {
+        let _span = tspan!("net.rpc_serve", "net");
+        tcounter!("net.rpc_server_requests").inc();
+        let mut state = self.lock();
+        if let Some(rack) = request.rack() {
+            if let Some(&i) = self.index_of.get(&rack) {
+                let now = self.clock.tick();
+                state.leases[i].last_contact = now;
+                if !state.leases[i].coordinated {
+                    state.leases[i].coordinated = true;
+                    tcounter!("net.rejoins").inc();
+                    tevent!("net.rejoin", "net", "rack" => rack.index(), "tick" => now);
+                }
+            }
+        }
+        match *request {
+            Request::ListRacks => Response::Racks(self.racks.clone()),
+            Request::Ping => Response::Pong,
+            Request::Read(rack) => {
+                let reading = self.index_of.get(&rack).map(|&i| state.agents[i].read());
+                Response::Reading(reading)
+            }
+            Request::SetChargeOverride(rack, current) => {
+                if let Some(&i) = self.index_of.get(&rack) {
+                    state.agents[i].set_charge_override(current);
+                }
+                Response::Ack
+            }
+            Request::ClearChargeOverride(rack) => {
+                if let Some(&i) = self.index_of.get(&rack) {
+                    state.agents[i].clear_charge_override();
+                }
+                Response::Ack
+            }
+            Request::SetChargePostponed(rack, postponed) => {
+                if let Some(&i) = self.index_of.get(&rack) {
+                    state.agents[i].set_charge_postponed(postponed);
+                }
+                Response::Ack
+            }
+            Request::CapServers(rack, limit) => {
+                if let Some(&i) = self.index_of.get(&rack) {
+                    state.agents[i].cap_servers(limit);
+                }
+                Response::Ack
+            }
+            Request::UncapServers(rack) => {
+                if let Some(&i) = self.index_of.get(&rack) {
+                    state.agents[i].uncap_servers();
+                }
+                Response::Ack
+            }
+        }
+    }
+}
+
+/// Poll interval for accept and read loops; bounds shutdown latency.
+const POLL_INTERVAL: Duration = Duration::from_millis(10);
+
+/// An [`AgentHost`] behind a listening socket.
+///
+/// Dropping the server stops the accept loop, closes every connection
+/// handler, and (for Unix endpoints) removes the socket file.
+pub struct AgentServer<A> {
+    host: Arc<AgentHost<A>>,
+    endpoint: Endpoint,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl<A: RackAgent + Send + 'static> AgentServer<A> {
+    /// Binds `endpoint` and starts serving `host`.
+    pub fn serve(host: Arc<AgentHost<A>>, endpoint: &Endpoint) -> io::Result<Self> {
+        let listener = NetListener::bind(endpoint)?;
+        let bound = listener.local_endpoint()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let accept_thread = {
+            let host = Arc::clone(&host);
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::Builder::new()
+                .name("recharge-net-accept".into())
+                .spawn(move || accept_loop(&listener, &host, &shutdown))
+                .map_err(|e| io::Error::other(format!("spawning accept thread: {e}")))?
+        };
+        Ok(AgentServer {
+            host,
+            endpoint: bound,
+            shutdown,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The endpoint actually bound (ephemeral ports resolved).
+    #[must_use]
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// The hosted racks and leases.
+    #[must_use]
+    pub fn host(&self) -> &Arc<AgentHost<A>> {
+        &self.host
+    }
+}
+
+impl<A> Drop for AgentServer<A> {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn accept_loop<A: RackAgent + Send + 'static>(
+    listener: &NetListener,
+    host: &Arc<AgentHost<A>>,
+    shutdown: &Arc<AtomicBool>,
+) {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok(stream) => {
+                tcounter!("net.rpc_server_accepts").inc();
+                let host = Arc::clone(host);
+                let shutdown = Arc::clone(shutdown);
+                let spawned = std::thread::Builder::new()
+                    .name("recharge-net-conn".into())
+                    .spawn(move || connection_loop(stream, &host, &shutdown));
+                match spawned {
+                    Ok(handle) => handlers.push(handle),
+                    Err(_) => continue,
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_INTERVAL);
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+        handlers.retain(|h| !h.is_finished());
+    }
+    for handle in handlers {
+        let _ = handle.join();
+    }
+}
+
+fn connection_loop<A: RackAgent>(
+    mut stream: NetStream,
+    host: &AgentHost<A>,
+    shutdown: &AtomicBool,
+) {
+    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
+        return;
+    }
+    let mut buffer = FrameBuffer::new();
+    while !shutdown.load(Ordering::SeqCst) {
+        match recv_frame(&mut stream, &mut buffer, None) {
+            Ok(FrameRead::Frame(payload)) => {
+                let Ok((id, request)) = decode_request(&payload) else {
+                    // A peer that stops speaking the protocol gets dropped;
+                    // answering garbage risks mis-pairing replies.
+                    tcounter!("net.rpc_server_bad_frames").inc();
+                    return;
+                };
+                let response = host.handle(&request);
+                if send_frame(&mut stream, &encode_response(id, &response)).is_err() {
+                    return;
+                }
+            }
+            Ok(FrameRead::TimedOut) => {} // poll tick: re-check shutdown
+            Ok(FrameRead::Closed) | Err(_) => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recharge_dynamo::SimRackAgent;
+    use recharge_units::{Amperes, Priority, Seconds, Watts};
+
+    fn host(n: u32, lease: u64) -> AgentHost<SimRackAgent> {
+        let agents = (0..n)
+            .map(|i| SimRackAgent::builder(RackId::new(i), Priority::ALL[(i % 3) as usize]).build())
+            .collect();
+        AgentHost::new(agents, lease, FaultClock::new())
+    }
+
+    #[test]
+    fn racks_start_standalone_and_join_on_contact() {
+        let host = host(2, 10);
+        assert!(!host.is_coordinated(RackId::new(0)));
+        host.handle(&Request::Read(RackId::new(0)));
+        assert!(host.is_coordinated(RackId::new(0)));
+        assert!(!host.is_coordinated(RackId::new(1)));
+    }
+
+    #[test]
+    fn lease_expiry_falls_back_and_clears_overrides() {
+        let host = host(1, 5);
+        let rack = RackId::new(0);
+        host.handle(&Request::SetChargeOverride(rack, Amperes::MIN_CHARGE));
+        host.handle(&Request::SetChargePostponed(rack, true));
+        assert!(host.is_coordinated(rack));
+        host.with_agents(|agents| {
+            assert!(agents[0].battery().is_postponed());
+        });
+
+        // Within the lease: still coordinated, override intact.
+        host.advance(5);
+        assert!(host.is_coordinated(rack));
+
+        // One past the lease: standalone, override cleared, charging resumed.
+        host.advance(1);
+        assert!(!host.is_coordinated(rack));
+        host.with_agents(|agents| {
+            assert!(!agents[0].battery().is_postponed());
+            assert!(agents[0]
+                .battery()
+                .bbu()
+                .charger()
+                .override_current()
+                .is_none());
+        });
+    }
+
+    #[test]
+    fn contact_renews_the_lease() {
+        let host = host(1, 5);
+        let rack = RackId::new(0);
+        host.handle(&Request::Read(rack));
+        for _ in 0..10 {
+            host.advance(3);
+            host.handle(&Request::Read(rack));
+        }
+        assert!(host.is_coordinated(rack), "renewed lease must not expire");
+    }
+
+    #[test]
+    fn caps_survive_fallback() {
+        let host = host(1, 2);
+        let rack = RackId::new(0);
+        host.handle(&Request::CapServers(rack, Watts::from_kilowatts(4.0)));
+        host.advance(3); // lease expires
+        assert!(!host.is_coordinated(rack));
+        let reading = &host.readings()[0];
+        assert!(
+            reading.capped_power > Watts::ZERO,
+            "caps must survive standalone fallback"
+        );
+    }
+
+    #[test]
+    fn unknown_rack_reads_none_and_acks_commands() {
+        let host = host(1, 5);
+        let ghost = RackId::new(99);
+        assert_eq!(host.handle(&Request::Read(ghost)), Response::Reading(None));
+        assert_eq!(
+            host.handle(&Request::ClearChargeOverride(ghost)),
+            Response::Ack
+        );
+    }
+
+    #[test]
+    fn server_round_trips_over_loopback() {
+        let host = Arc::new(host(3, DEFAULT_LEASE_TICKS));
+        let server = AgentServer::serve(Arc::clone(&host), &Endpoint::loopback()).expect("serve");
+        let mut stream =
+            NetStream::connect(server.endpoint(), Duration::from_secs(1)).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_millis(20)))
+            .expect("timeout");
+        let mut buffer = FrameBuffer::new();
+
+        let mut call = |id: u64, request: &Request| -> Response {
+            send_frame(&mut stream, &crate::wire::encode_request(id, request)).expect("send");
+            let deadline = Some(std::time::Instant::now() + Duration::from_secs(5));
+            loop {
+                match recv_frame(&mut stream, &mut buffer, deadline).expect("recv") {
+                    FrameRead::Frame(payload) => {
+                        let (got_id, response) =
+                            crate::wire::decode_response(&payload).expect("decode");
+                        assert_eq!(got_id, id);
+                        return response;
+                    }
+                    FrameRead::TimedOut => continue,
+                    FrameRead::Closed => panic!("server closed connection"),
+                }
+            }
+        };
+
+        let Response::Racks(racks) = call(1, &Request::ListRacks) else {
+            panic!("expected racks");
+        };
+        assert_eq!(racks, vec![RackId::new(0), RackId::new(1), RackId::new(2)]);
+        let Response::Reading(Some(reading)) = call(2, &Request::Read(RackId::new(1))) else {
+            panic!("expected reading");
+        };
+        assert_eq!(reading.rack, RackId::new(1));
+        assert_eq!(call(3, &Request::Ping), Response::Pong);
+        assert_eq!(
+            call(
+                4,
+                &Request::SetChargeOverride(RackId::new(0), Amperes::MAX_CHARGE)
+            ),
+            Response::Ack
+        );
+        // The command took effect on the hosted agent.
+        host.with_agents(|agents| {
+            assert_eq!(
+                agents[0].battery().bbu().charger().override_current(),
+                Some(Amperes::MAX_CHARGE)
+            );
+        });
+        drop(server);
+    }
+
+    #[test]
+    fn stepping_and_serving_share_state() {
+        let host = Arc::new(host(1, DEFAULT_LEASE_TICKS));
+        // Ride through an outage, then read over the host surface.
+        host.with_agents(|agents| {
+            agents[0].set_input_power(false);
+            agents[0].step(Seconds::new(60.0));
+            agents[0].set_input_power(true);
+            agents[0].step(Seconds::new(1.0));
+        });
+        let Response::Reading(Some(reading)) = host.handle(&Request::Read(RackId::new(0))) else {
+            panic!("expected reading");
+        };
+        assert!(reading.is_charging());
+        assert_eq!(host.readings()[0], reading);
+    }
+}

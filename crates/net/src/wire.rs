@@ -1,0 +1,520 @@
+//! The length-prefixed framed wire protocol.
+//!
+//! Every message travels as one *frame*: a little-endian `u32` payload length
+//! followed by the payload. A payload is
+//!
+//! ```text
+//! [ version: u8 = 1 ][ request id: u64 LE ][ opcode: u8 ][ body ... ]
+//! ```
+//!
+//! The request id is chosen by the client and echoed verbatim in the reply,
+//! so a client that retried after a timeout (or whose link duplicated a
+//! frame) can discard stale replies instead of mis-pairing them. All
+//! quantities are encoded exactly: `f64` fields travel as their IEEE-754 bit
+//! patterns, so a reading decoded on the far side is bit-identical to the
+//! one the agent produced — the foundation of the clean-link equivalence
+//! guarantee.
+//!
+//! The vendored `serde` in this workspace is a compile-only stand-in (no
+//! runtime serializer exists in the offline build environment), so the codec
+//! here is hand-rolled over the same `messages.rs` types the in-memory bus
+//! passes by value.
+
+use recharge_battery::BbuState;
+use recharge_dynamo::PowerReading;
+use recharge_units::{Amperes, Dod, Priority, RackId, Watts};
+
+/// Protocol version carried in every payload; peers reject mismatches.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Upper bound on a frame payload; anything larger is treated as a corrupt
+/// stream and the connection is dropped.
+pub const MAX_FRAME_LEN: u32 = 1 << 20;
+
+/// A controller → agent-server request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Request {
+    /// The racks hosted behind this server, in stable order.
+    ListRacks,
+    /// Read a rack's telemetry.
+    Read(RackId),
+    /// Force a rack's BBU charging current.
+    SetChargeOverride(RackId, Amperes),
+    /// Return a rack's charger to automatic current selection.
+    ClearChargeOverride(RackId),
+    /// Suspend or resume a rack's battery charging.
+    SetChargePostponed(RackId, bool),
+    /// Cap a rack's server power.
+    CapServers(RackId, Watts),
+    /// Remove a rack's server power cap.
+    UncapServers(RackId),
+    /// Liveness probe.
+    Ping,
+}
+
+impl Request {
+    /// The rack a request addresses, if any (`ListRacks`/`Ping` address the
+    /// server itself).
+    #[must_use]
+    pub fn rack(&self) -> Option<RackId> {
+        match *self {
+            Request::ListRacks | Request::Ping => None,
+            Request::Read(rack)
+            | Request::SetChargeOverride(rack, _)
+            | Request::ClearChargeOverride(rack)
+            | Request::SetChargePostponed(rack, _)
+            | Request::CapServers(rack, _)
+            | Request::UncapServers(rack) => Some(rack),
+        }
+    }
+}
+
+/// An agent-server → controller reply.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Reply to [`Request::ListRacks`].
+    Racks(Vec<RackId>),
+    /// Reply to [`Request::Read`]: `None` when the rack is not hosted here.
+    Reading(Option<PowerReading>),
+    /// Reply to a command.
+    Ack,
+    /// Reply to [`Request::Ping`].
+    Pong,
+}
+
+/// A malformed payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The payload ended before the message did.
+    Truncated,
+    /// Unknown opcode byte.
+    BadOpcode(u8),
+    /// Peer speaks a different protocol version.
+    BadVersion(u8),
+    /// An enum discriminant outside its legal range.
+    BadEnum(&'static str, u8),
+    /// Trailing bytes after a complete message.
+    TrailingBytes,
+}
+
+impl core::fmt::Display for WireError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "payload truncated"),
+            WireError::BadOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            WireError::BadVersion(v) => {
+                write!(f, "protocol version {v} (expected {PROTOCOL_VERSION})")
+            }
+            WireError::BadEnum(what, v) => write!(f, "illegal {what} discriminant {v}"),
+            WireError::TrailingBytes => write!(f, "trailing bytes after message"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+// Request opcodes.
+const OP_LIST_RACKS: u8 = 0x01;
+const OP_READ: u8 = 0x02;
+const OP_SET_OVERRIDE: u8 = 0x03;
+const OP_CLEAR_OVERRIDE: u8 = 0x04;
+const OP_SET_POSTPONED: u8 = 0x05;
+const OP_CAP: u8 = 0x06;
+const OP_UNCAP: u8 = 0x07;
+const OP_PING: u8 = 0x08;
+// Response opcodes (high bit set).
+const OP_RACKS: u8 = 0x81;
+const OP_READING: u8 = 0x82;
+const OP_ACK: u8 = 0x83;
+const OP_PONG: u8 = 0x84;
+
+/// Little-endian byte-buffer writer.
+struct Writer(Vec<u8>);
+
+impl Writer {
+    fn new() -> Self {
+        Writer(Vec::with_capacity(96))
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    fn rack(&mut self, rack: RackId) {
+        self.u32(rack.index());
+    }
+}
+
+/// Little-endian byte-buffer reader.
+struct Reader<'a>(&'a [u8]);
+
+impl Reader<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], WireError> {
+        if self.0.len() < n {
+            return Err(WireError::Truncated);
+        }
+        let (head, tail) = self.0.split_at(n);
+        self.0 = tail;
+        Ok(head)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn rack(&mut self) -> Result<RackId, WireError> {
+        Ok(RackId::new(self.u32()?))
+    }
+
+    fn bool(&mut self) -> Result<bool, WireError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            v => Err(WireError::BadEnum("bool", v)),
+        }
+    }
+
+    fn finish(&self) -> Result<(), WireError> {
+        if self.0.is_empty() {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes)
+        }
+    }
+}
+
+fn put_priority(w: &mut Writer, priority: Priority) {
+    w.u8(priority.rank());
+}
+
+fn get_priority(r: &mut Reader<'_>) -> Result<Priority, WireError> {
+    match r.u8()? {
+        1 => Ok(Priority::P1),
+        2 => Ok(Priority::P2),
+        3 => Ok(Priority::P3),
+        v => Err(WireError::BadEnum("priority", v)),
+    }
+}
+
+fn put_bbu_state(w: &mut Writer, state: BbuState) {
+    w.u8(match state {
+        BbuState::FullyCharged => 0,
+        BbuState::Charging => 1,
+        BbuState::Discharging => 2,
+        BbuState::FullyDischarged => 3,
+    });
+}
+
+fn get_bbu_state(r: &mut Reader<'_>) -> Result<BbuState, WireError> {
+    match r.u8()? {
+        0 => Ok(BbuState::FullyCharged),
+        1 => Ok(BbuState::Charging),
+        2 => Ok(BbuState::Discharging),
+        3 => Ok(BbuState::FullyDischarged),
+        v => Err(WireError::BadEnum("bbu state", v)),
+    }
+}
+
+fn put_reading(w: &mut Writer, reading: &PowerReading) {
+    w.rack(reading.rack);
+    put_priority(w, reading.priority);
+    w.u8(u8::from(reading.input_power_present));
+    w.f64(reading.it_load.as_watts());
+    w.f64(reading.recharge_power.as_watts());
+    put_bbu_state(w, reading.bbu_state);
+    w.f64(reading.event_dod.value());
+    w.f64(reading.dod.value());
+    w.f64(reading.capped_power.as_watts());
+}
+
+fn get_reading(r: &mut Reader<'_>) -> Result<PowerReading, WireError> {
+    Ok(PowerReading {
+        rack: r.rack()?,
+        priority: get_priority(r)?,
+        input_power_present: r.bool()?,
+        it_load: Watts::new(r.f64()?),
+        recharge_power: Watts::new(r.f64()?),
+        bbu_state: get_bbu_state(r)?,
+        event_dod: Dod::new(r.f64()?),
+        dod: Dod::new(r.f64()?),
+        capped_power: Watts::new(r.f64()?),
+    })
+}
+
+fn header(w: &mut Writer, id: u64, opcode: u8) {
+    w.u8(PROTOCOL_VERSION);
+    w.u64(id);
+    w.u8(opcode);
+}
+
+fn read_header(r: &mut Reader<'_>) -> Result<(u64, u8), WireError> {
+    let version = r.u8()?;
+    if version != PROTOCOL_VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    let id = r.u64()?;
+    let opcode = r.u8()?;
+    Ok((id, opcode))
+}
+
+/// Encodes a request payload (no length prefix).
+#[must_use]
+pub fn encode_request(id: u64, request: &Request) -> Vec<u8> {
+    let mut w = Writer::new();
+    match *request {
+        Request::ListRacks => header(&mut w, id, OP_LIST_RACKS),
+        Request::Read(rack) => {
+            header(&mut w, id, OP_READ);
+            w.rack(rack);
+        }
+        Request::SetChargeOverride(rack, current) => {
+            header(&mut w, id, OP_SET_OVERRIDE);
+            w.rack(rack);
+            w.f64(current.as_amps());
+        }
+        Request::ClearChargeOverride(rack) => {
+            header(&mut w, id, OP_CLEAR_OVERRIDE);
+            w.rack(rack);
+        }
+        Request::SetChargePostponed(rack, postponed) => {
+            header(&mut w, id, OP_SET_POSTPONED);
+            w.rack(rack);
+            w.u8(u8::from(postponed));
+        }
+        Request::CapServers(rack, limit) => {
+            header(&mut w, id, OP_CAP);
+            w.rack(rack);
+            w.f64(limit.as_watts());
+        }
+        Request::UncapServers(rack) => {
+            header(&mut w, id, OP_UNCAP);
+            w.rack(rack);
+        }
+        Request::Ping => header(&mut w, id, OP_PING),
+    }
+    w.0
+}
+
+/// Decodes a request payload.
+pub fn decode_request(payload: &[u8]) -> Result<(u64, Request), WireError> {
+    let mut r = Reader(payload);
+    let (id, opcode) = read_header(&mut r)?;
+    let request = match opcode {
+        OP_LIST_RACKS => Request::ListRacks,
+        OP_READ => Request::Read(r.rack()?),
+        OP_SET_OVERRIDE => Request::SetChargeOverride(r.rack()?, Amperes::new(r.f64()?)),
+        OP_CLEAR_OVERRIDE => Request::ClearChargeOverride(r.rack()?),
+        OP_SET_POSTPONED => {
+            let rack = r.rack()?;
+            Request::SetChargePostponed(rack, r.bool()?)
+        }
+        OP_CAP => {
+            let rack = r.rack()?;
+            Request::CapServers(rack, Watts::new(r.f64()?))
+        }
+        OP_UNCAP => Request::UncapServers(r.rack()?),
+        OP_PING => Request::Ping,
+        op => return Err(WireError::BadOpcode(op)),
+    };
+    r.finish()?;
+    Ok((id, request))
+}
+
+/// Encodes a response payload (no length prefix).
+#[must_use]
+pub fn encode_response(id: u64, response: &Response) -> Vec<u8> {
+    let mut w = Writer::new();
+    match response {
+        Response::Racks(racks) => {
+            header(&mut w, id, OP_RACKS);
+            w.u32(racks.len() as u32);
+            for &rack in racks {
+                w.rack(rack);
+            }
+        }
+        Response::Reading(reading) => {
+            header(&mut w, id, OP_READING);
+            match reading {
+                Some(reading) => {
+                    w.u8(1);
+                    put_reading(&mut w, reading);
+                }
+                None => w.u8(0),
+            }
+        }
+        Response::Ack => header(&mut w, id, OP_ACK),
+        Response::Pong => header(&mut w, id, OP_PONG),
+    }
+    w.0
+}
+
+/// Decodes a response payload.
+pub fn decode_response(payload: &[u8]) -> Result<(u64, Response), WireError> {
+    let mut r = Reader(payload);
+    let (id, opcode) = read_header(&mut r)?;
+    let response = match opcode {
+        OP_RACKS => {
+            let count = r.u32()? as usize;
+            // A count that could not fit the remaining payload is corrupt.
+            if count > MAX_FRAME_LEN as usize / 4 {
+                return Err(WireError::Truncated);
+            }
+            let mut racks = Vec::with_capacity(count);
+            for _ in 0..count {
+                racks.push(r.rack()?);
+            }
+            Response::Racks(racks)
+        }
+        OP_READING => match r.u8()? {
+            0 => Response::Reading(None),
+            1 => Response::Reading(Some(get_reading(&mut r)?)),
+            v => return Err(WireError::BadEnum("option", v)),
+        },
+        OP_ACK => Response::Ack,
+        OP_PONG => Response::Pong,
+        op => return Err(WireError::BadOpcode(op)),
+    };
+    r.finish()?;
+    Ok((id, response))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reading() -> PowerReading {
+        PowerReading {
+            rack: RackId::new(42),
+            priority: Priority::P2,
+            input_power_present: true,
+            it_load: Watts::new(6_000.123_456_789),
+            recharge_power: Watts::new(701.000_000_001),
+            bbu_state: BbuState::Charging,
+            event_dod: Dod::new(0.300_000_000_000_01),
+            dod: Dod::new(0.123_456_789),
+            capped_power: Watts::new(0.0),
+        }
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let requests = [
+            Request::ListRacks,
+            Request::Read(RackId::new(7)),
+            Request::SetChargeOverride(RackId::new(1), Amperes::new(2.345_678_9)),
+            Request::ClearChargeOverride(RackId::new(2)),
+            Request::SetChargePostponed(RackId::new(3), true),
+            Request::CapServers(RackId::new(4), Watts::from_kilowatts(4.2)),
+            Request::UncapServers(RackId::new(5)),
+            Request::Ping,
+        ];
+        for (i, request) in requests.iter().enumerate() {
+            let id = 1000 + i as u64;
+            let payload = encode_request(id, request);
+            assert_eq!(decode_request(&payload), Ok((id, *request)));
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let responses = [
+            Response::Racks(vec![RackId::new(0), RackId::new(9)]),
+            Response::Racks(Vec::new()),
+            Response::Reading(Some(reading())),
+            Response::Reading(None),
+            Response::Ack,
+            Response::Pong,
+        ];
+        for (i, response) in responses.iter().enumerate() {
+            let id = u64::MAX - i as u64;
+            let payload = encode_response(id, response);
+            assert_eq!(decode_response(&payload), Ok((id, response.clone())));
+        }
+    }
+
+    #[test]
+    fn readings_survive_bit_exactly() {
+        // The equivalence guarantee rests on f64 fields crossing the wire as
+        // raw bit patterns — no text formatting, no rounding.
+        let original = reading();
+        let payload = encode_response(1, &Response::Reading(Some(original)));
+        let (_, decoded) = decode_response(&payload).expect("decodes");
+        let Response::Reading(Some(decoded)) = decoded else {
+            panic!("wrong variant");
+        };
+        assert_eq!(
+            decoded.it_load.as_watts().to_bits(),
+            original.it_load.as_watts().to_bits()
+        );
+        assert_eq!(
+            decoded.event_dod.value().to_bits(),
+            original.event_dod.value().to_bits()
+        );
+        assert_eq!(decoded, original);
+    }
+
+    #[test]
+    fn corrupt_payloads_are_rejected() {
+        assert_eq!(decode_request(&[]), Err(WireError::Truncated));
+        // Wrong version byte.
+        let mut payload = encode_request(1, &Request::Ping);
+        payload[0] = 99;
+        assert_eq!(decode_request(&payload), Err(WireError::BadVersion(99)));
+        // Unknown opcode.
+        let mut payload = encode_request(1, &Request::Ping);
+        payload[9] = 0x7f;
+        assert_eq!(decode_request(&payload), Err(WireError::BadOpcode(0x7f)));
+        // Truncated body.
+        let payload = encode_request(1, &Request::Read(RackId::new(3)));
+        assert_eq!(
+            decode_request(&payload[..payload.len() - 1]),
+            Err(WireError::Truncated)
+        );
+        // Trailing garbage.
+        let mut payload = encode_request(1, &Request::Ping);
+        payload.push(0);
+        assert_eq!(decode_request(&payload), Err(WireError::TrailingBytes));
+        // Response decoded as request and vice versa.
+        let payload = encode_response(1, &Response::Ack);
+        assert_eq!(decode_request(&payload), Err(WireError::BadOpcode(OP_ACK)));
+    }
+
+    #[test]
+    fn request_rack_scope() {
+        assert_eq!(Request::ListRacks.rack(), None);
+        assert_eq!(Request::Ping.rack(), None);
+        assert_eq!(Request::Read(RackId::new(4)).rack(), Some(RackId::new(4)));
+        assert_eq!(
+            Request::CapServers(RackId::new(5), Watts::ZERO).rack(),
+            Some(RackId::new(5))
+        );
+    }
+}

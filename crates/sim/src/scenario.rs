@@ -4,6 +4,7 @@ use serde::{Deserialize, Serialize};
 
 use recharge_battery::ChargePolicy;
 use recharge_dynamo::{FleetBackendKind, Strategy};
+use recharge_net::RpcMeshConfig;
 use recharge_trace::{DiurnalModel, SyntheticFleet, SyntheticFleetBuilder};
 use recharge_units::{Seconds, Watts};
 
@@ -54,6 +55,7 @@ pub struct Scenario {
     pub(crate) max_horizon: Seconds,
     pub(crate) allow_postponing: bool,
     pub(crate) backend: FleetBackendKind,
+    pub(crate) rpc: Option<RpcMeshConfig>,
     pub(crate) control_every: usize,
 }
 
@@ -78,6 +80,7 @@ impl Scenario {
             max_horizon: Seconds::from_hours(3.0),
             allow_postponing: false,
             backend: FleetBackendKind::Serial,
+            rpc: None,
             control_every: 1,
         }
     }
@@ -185,6 +188,21 @@ impl Scenario {
     #[must_use]
     pub fn backend(mut self, backend: FleetBackendKind) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Runs controller↔agent coordination over the RPC mesh
+    /// ([`RpcFleetBackend`]): agents are hosted behind a real socket
+    /// (loopback TCP or Unix-domain per the config) and every controller
+    /// read and command crosses the wire, with the config's deadlines,
+    /// retries, and optional seeded fault plan. Overrides
+    /// [`backend`](Self::backend) — physics stepping stays local either way,
+    /// so a clean-link run is bit-identical to the in-memory backends.
+    ///
+    /// [`RpcFleetBackend`]: recharge_net::RpcFleetBackend
+    #[must_use]
+    pub fn rpc(mut self, config: RpcMeshConfig) -> Self {
+        self.rpc = Some(config);
         self
     }
 

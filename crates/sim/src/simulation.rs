@@ -110,11 +110,18 @@ impl FleetSimulation {
                     .build()
             })
             .collect();
-        // Where the agents execute — serial in-process, sharded threads, or
-        // sharded with batched submission — is a pluggable [`FleetBackend`];
-        // every backend runs the identical sub-step schedule, so metrics are
-        // bit-identical across them.
-        let mut backend: Box<dyn FleetBackend> = self.scenario.backend.build(agents);
+        // Where the agents execute — serial in-process, sharded threads,
+        // sharded with batched submission, or hosted behind the RPC mesh —
+        // is a pluggable [`FleetBackend`]; every backend runs the identical
+        // sub-step schedule, so metrics are bit-identical across them (for
+        // the mesh: under a clean link).
+        let mut backend: Box<dyn FleetBackend> = match &self.scenario.rpc {
+            Some(mesh) => Box::new(
+                recharge_net::RpcFleetBackend::spawn(agents, mesh)
+                    .expect("spawning the RPC mesh backend"),
+            ),
+            None => self.scenario.backend.build(agents),
+        };
         let mut config = ControllerConfig::new(DeviceId::new(0), self.scenario.power_limit);
         if self.scenario.allow_postponing {
             config = config.with_postponing();

@@ -1,10 +1,15 @@
 //! Every fleet backend must produce bit-identical [`RunMetrics`].
 //!
-//! The matrix covers {serial, sharded per-tick, sharded batched} ×
-//! {telemetry off, telemetry on} × {controller every tick, controller every
-//! 5 ticks}. Batching and sharding may only change who executes the sub-step
-//! schedule and how many channel round-trips it costs — never a single bit of
-//! the result.
+//! The matrix covers {serial, sharded per-tick, sharded batched, RPC mesh
+//! over loopback TCP} × {telemetry off, telemetry on} × {controller every
+//! tick, controller every 5 ticks}. Batching, sharding, and the wire may
+//! only change who executes the sub-step schedule and what transport the
+//! controller's reads and commands cross — never a single bit of the result.
+//! For the mesh this is the headline clean-link guarantee: the framed codec
+//! carries every `f64` as its exact bit pattern, the lease never expires
+//! under a healthy link, and the controller issues the identical call
+//! sequence, so `RunMetrics` over [`RpcBus`](recharge_net::RpcBus) equals
+//! the in-memory result exactly.
 //!
 //! This is a single-test integration binary because it toggles the global
 //! telemetry enable flag — state no other concurrently running test may
@@ -13,6 +18,7 @@
 //! exercise real multi-core interleavings).
 
 use recharge_dynamo::{FleetBackendKind, Strategy};
+use recharge_net::RpcMeshConfig;
 use recharge_sim::{DischargeLevel, RunMetrics, Scenario};
 use recharge_units::{Seconds, Watts};
 
@@ -62,6 +68,19 @@ fn run_metrics_are_bit_identical_across_backends() {
                      shards={shards})"
                 );
             }
+            // The RPC mesh over a clean loopback link: every controller read
+            // and command crosses a real TCP socket, yet the metrics must be
+            // bit-identical to the in-process run.
+            let rpc = scenario()
+                .rpc(RpcMeshConfig::default())
+                .control_every(control_every)
+                .build()
+                .run();
+            assert_eq!(
+                rpc, reference,
+                "rpc-tcp diverged from serial \
+                 (telemetry={telemetry}, control_every={control_every})"
+            );
         }
     }
     recharge_telemetry::set_enabled(false);

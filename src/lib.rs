@@ -8,6 +8,7 @@
 pub use recharge_battery as battery;
 pub use recharge_core as core;
 pub use recharge_dynamo as dynamo;
+pub use recharge_net as net;
 pub use recharge_power as power;
 pub use recharge_reliability as reliability;
 pub use recharge_sim as sim;

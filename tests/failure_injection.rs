@@ -3,8 +3,10 @@
 
 use recharge::battery::{BbuState, ChargePolicy};
 use recharge::dynamo::{
-    AgentBus, Controller, ControllerConfig, InMemoryBus, RackAgent, SimRackAgent, Strategy,
+    AgentBus, Controller, ControllerConfig, FleetBackend, InMemoryBus, RackAgent, SimRackAgent,
+    Strategy,
 };
+use recharge::net::{FaultPlan, Partition, RpcFleetBackend, RpcMeshConfig};
 use recharge::prelude::*;
 use recharge::sim::{DischargeLevel, Scenario};
 
@@ -171,6 +173,173 @@ fn override_during_cv_phase_is_safe() {
         );
     }
     assert_eq!(agent.battery().state(), BbuState::FullyCharged);
+}
+
+#[test]
+fn controller_partition_during_recharge_falls_back_then_rejoins() {
+    // Agents ride out a 60 s open transition before the mesh comes up, so
+    // the partition hits them mid-recharge.
+    let mut agents: Vec<SimRackAgent> = (0..4u32)
+        .map(|i| {
+            SimRackAgent::builder(RackId::new(i), Priority::ALL[(i % 3) as usize])
+                .offered_load(Watts::from_kilowatts(6.0))
+                .build()
+        })
+        .collect();
+    for a in &mut agents {
+        a.set_input_power(false);
+    }
+    for a in &mut agents {
+        a.step(Seconds::new(60.0));
+    }
+    for a in &mut agents {
+        a.set_input_power(true);
+    }
+
+    // Total controller loss for ticks [120, 240): every rack's coordination
+    // lease (30 ticks) expires mid-recharge.
+    let mesh =
+        RpcMeshConfig::with_fault(FaultPlan::partitions_only(vec![Partition::all(120, 240)]));
+    let mut backend = RpcFleetBackend::spawn(agents, &mesh).expect("spawning the mesh");
+    let racks: Vec<RackId> = (0..4).map(RackId::new).collect();
+    let mut controller = Controller::new(
+        ControllerConfig::new(DeviceId::new(0), Watts::from_kilowatts(190.0)),
+        Strategy::PriorityAware,
+    );
+
+    let load = |_: RackId, _: usize| Watts::from_kilowatts(6.0);
+    for s in 0..420u32 {
+        backend.step_schedule(Seconds::new(1.0), &[true], &load);
+        controller.tick(SimTime::from_secs(f64::from(s)), backend.bus_mut());
+
+        if s == 100 {
+            // Before the partition: fully coordinated, every rack under an
+            // explicit override.
+            assert_eq!(controller.commanded_currents().len(), 4);
+            for &rack in &racks {
+                assert!(backend.host().is_coordinated(rack), "{rack} not joined");
+            }
+            backend.host().with_agents(|agents| {
+                for a in agents {
+                    assert!(a.battery().bbu().charger().override_current().is_some());
+                }
+            });
+        }
+        if s == 200 {
+            // Deep in the partition, past lease expiry: every rack fell back
+            // to standalone and charges on its local automatic policy — the
+            // same current the uncoordinated variable charger would pick.
+            for &rack in &racks {
+                assert!(
+                    !backend.host().is_coordinated(rack),
+                    "{rack} still coordinated mid-partition"
+                );
+            }
+            backend.host().with_agents(|agents| {
+                for a in agents {
+                    let battery = a.battery();
+                    assert!(a.battery().bbu().charger().override_current().is_none());
+                    assert!(!battery.is_postponed());
+                    assert_eq!(battery.state(), BbuState::Charging);
+                    assert_eq!(
+                        battery.setpoint(),
+                        ChargePolicy::Variable.automatic_current(battery.event_dod()),
+                        "standalone rack must run its local automatic policy"
+                    );
+                }
+            });
+        }
+    }
+
+    // Healed: every rack rejoined, was re-overridden, and none is left
+    // postponed or stuck.
+    assert_eq!(controller.commanded_currents().len(), 4);
+    for &rack in &racks {
+        assert!(backend.host().is_coordinated(rack), "{rack} never rejoined");
+    }
+    backend.host().with_agents(|agents| {
+        for a in agents {
+            assert!(
+                !a.battery().is_postponed(),
+                "rack left postponed after heal"
+            );
+            assert!(matches!(
+                a.battery().state(),
+                BbuState::Charging | BbuState::FullyCharged
+            ));
+            if a.battery().state() == BbuState::Charging {
+                assert!(
+                    a.battery().bbu().charger().override_current().is_some(),
+                    "controller must re-issue overrides after the heal"
+                );
+            }
+        }
+    });
+}
+
+#[test]
+fn agent_flap_leaves_no_rack_postponed() {
+    // A limit tight enough that the postponing extension engages — 6 racks ×
+    // 6 kW IT leaves 2 kW of charging headroom, below the ~2.25 kW the fleet
+    // draws even at the 1 A hardware floor — yet loose enough that headroom
+    // reappears as chargers taper, so parked racks can legitimately resume.
+    let mut bus = small_bus(6);
+    let mut controller = Controller::new(
+        ControllerConfig::new(DeviceId::new(0), Watts::from_kilowatts(38.0)).with_postponing(),
+        Strategy::PriorityAware,
+    );
+    open_transition(&mut bus, 90.0);
+
+    let mut any_postponed = false;
+    let mut done_at = None;
+    for s in 0..20_000u32 {
+        for a in bus.agents_mut() {
+            a.step(Seconds::new(1.0));
+        }
+        controller.tick(SimTime::from_secs(f64::from(s)), &mut bus);
+        any_postponed |= !controller.postponed_racks().is_empty();
+
+        // Two flap cycles, the first one long. Racks 2 and 5 are the P3
+        // (lowest-priority) racks the deficit postpones, so at least one
+        // flaps *while postponed* — exactly the state nobody can clear on
+        // the agent while it is unreachable.
+        match s {
+            120 => {
+                bus.disconnect(RackId::new(2));
+                bus.disconnect(RackId::new(5));
+            }
+            300 => bus.reconnect(RackId::new(2)),
+            360 => bus.disconnect(RackId::new(2)),
+            420 => {
+                bus.reconnect(RackId::new(2));
+                bus.reconnect(RackId::new(5));
+            }
+            _ => {}
+        }
+
+        if s > 420
+            && bus
+                .agents()
+                .all(|a| a.battery().state() == BbuState::FullyCharged)
+        {
+            done_at = Some(s);
+            break;
+        }
+    }
+
+    assert!(
+        any_postponed,
+        "the tight limit should have postponed at least one rack"
+    );
+    let done_at = done_at.expect("fleet never finished charging");
+    assert!(controller.postponed_racks().is_empty());
+    for a in bus.agents() {
+        assert!(
+            !a.battery().is_postponed(),
+            "rack {} left postponed after the flaps healed (t={done_at})",
+            a.rack()
+        );
+    }
 }
 
 #[test]
