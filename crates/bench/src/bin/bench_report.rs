@@ -440,6 +440,197 @@ impl NetProbe {
     }
 }
 
+/// The sharded-mesh probe: the same scenario over serial, the single-server
+/// mesh, and the sharded mesh at 1/2/4 shards, all with `control_every(5)`.
+///
+/// Gates on every mesh run being bit-identical to serial and on the batched
+/// wire ops actually collapsing traffic: at most 3 RPCs per shard per
+/// control tick (the implementation spends 2 — one `ReadAllReadings`, one
+/// `ApplyCommandBatch`). The fan-out timing comparison is informational: on
+/// a single-core host the concurrent shard threads measure coordination
+/// overhead, not latency hiding.
+struct ShardedNetRow {
+    shards: usize,
+    secs: f64,
+    rpc_calls: u64,
+    identical: bool,
+}
+
+struct ShardedNetProbe {
+    serial_secs: f64,
+    single_secs: f64,
+    single_calls: u64,
+    control_ticks: u64,
+    control_every: usize,
+    rows: Vec<ShardedNetRow>,
+    identical: bool,
+    rpc_economy_ok: bool,
+}
+
+const SHARDED_NET_RPC_GATE: f64 = 3.0;
+
+fn sharded_net_probe() -> ShardedNetProbe {
+    use recharge_net::RpcMeshConfig;
+
+    let control_every = 5;
+    let base = || {
+        Scenario::row(3, 2, 2, 7)
+            .power_limit(Watts::from_kilowatts(190.0))
+            .strategy(Strategy::PriorityAware)
+            .discharge(DischargeLevel::Low)
+            .tick(Seconds::new(1.0))
+            .max_horizon(Seconds::from_hours(2.5))
+            .control_every(control_every)
+    };
+
+    recharge_telemetry::set_enabled(true);
+    let ticks_counter = recharge_telemetry::counter("sim.ticks");
+    let calls = recharge_telemetry::counter("net.rpc_calls");
+
+    let ticks_before = ticks_counter.value();
+    let (serial, serial_secs) = time(|| base().build().run());
+    let control_ticks = (ticks_counter.value() - ticks_before) / control_every as u64;
+
+    let calls_before = calls.value();
+    let (single, single_secs) = time(|| base().rpc(RpcMeshConfig::default()).build().run());
+    let single_calls = calls.value() - calls_before;
+
+    let mut rows = Vec::new();
+    for shards in [1usize, 2, 4] {
+        let calls_before = calls.value();
+        let (metrics, secs) = time(|| base().rpc(RpcMeshConfig::shard_count(shards)).build().run());
+        rows.push(ShardedNetRow {
+            shards,
+            secs,
+            rpc_calls: calls.value() - calls_before,
+            identical: metrics == serial,
+        });
+    }
+    recharge_telemetry::set_enabled(false);
+
+    let identical = single == serial && rows.iter().all(|r| r.identical);
+    let rpc_economy_ok = rows.iter().all(|r| {
+        r.rpc_calls as f64 <= SHARDED_NET_RPC_GATE * (r.shards as u64 * control_ticks.max(1)) as f64
+    });
+    ShardedNetProbe {
+        serial_secs,
+        single_secs,
+        single_calls,
+        control_ticks,
+        control_every,
+        rows,
+        identical,
+        rpc_economy_ok,
+    }
+}
+
+impl ShardedNetProbe {
+    fn emit(&self, out_dir: &Path, cores: usize) -> std::io::Result<()> {
+        let control_ticks = self.control_ticks.max(1) as f64;
+        let four_shard_secs = self
+            .rows
+            .iter()
+            .find(|r| r.shards == 4)
+            .map_or(self.single_secs, |r| r.secs);
+        let mut json = String::new();
+        let _ = writeln!(json, "{{");
+        let _ = writeln!(json, "  \"benchmark\": \"net_sharded\",");
+        let _ = writeln!(json, "  \"serial_secs\": {:.6},", self.serial_secs);
+        let _ = writeln!(json, "  \"single_rpc_secs\": {:.6},", self.single_secs);
+        let _ = writeln!(json, "  \"single_rpc_calls\": {},", self.single_calls);
+        let _ = writeln!(json, "  \"control_ticks\": {},", self.control_ticks);
+        let _ = writeln!(json, "  \"control_every\": {},", self.control_every);
+        let _ = writeln!(json, "  \"shards\": [");
+        for (i, row) in self.rows.iter().enumerate() {
+            let per_shard_tick = row.rpc_calls as f64 / (row.shards as f64 * control_ticks);
+            let overhead_us = (row.secs - self.serial_secs) * 1e6 / control_ticks;
+            let comma = if i + 1 == self.rows.len() { "" } else { "," };
+            let _ = writeln!(
+                json,
+                "    {{\"shards\": {}, \"secs\": {:.6}, \"rpc_calls\": {}, \
+                 \"rpcs_per_shard_per_control_tick\": {per_shard_tick:.3}, \
+                 \"overhead_us_per_control_tick\": {overhead_us:.3}, \
+                 \"identical\": {}}}{comma}",
+                row.shards, row.secs, row.rpc_calls, row.identical
+            );
+        }
+        let _ = writeln!(json, "  ],");
+        let _ = writeln!(
+            json,
+            "  \"rpc_gate_per_shard_per_control_tick\": {SHARDED_NET_RPC_GATE},"
+        );
+        let _ = writeln!(json, "  \"rpc_economy_ok\": {},", self.rpc_economy_ok);
+        let _ = writeln!(
+            json,
+            "  \"fanout_no_worse_than_single\": {},",
+            four_shard_secs <= self.single_secs
+        );
+        let _ = writeln!(json, "  \"identical\": {},", self.identical);
+        let _ = writeln!(json, "  \"cores\": {cores}");
+        let _ = writeln!(json, "}}");
+        let path = out_dir.join("BENCH_net_sharded.json");
+        std::fs::write(&path, json)?;
+        println!(
+            "net_sharded: serial {:.3}s, single-rpc {:.3}s ({} calls); identical: {}, \
+             rpc economy ok: {}",
+            self.serial_secs,
+            self.single_secs,
+            self.single_calls,
+            self.identical,
+            self.rpc_economy_ok
+        );
+        for row in &self.rows {
+            println!(
+                "  {} shard(s): {:.3}s, {} calls ({:.2} rpcs/shard/control-tick)",
+                row.shards,
+                row.secs,
+                row.rpc_calls,
+                row.rpc_calls as f64 / (row.shards as f64 * control_ticks)
+            );
+        }
+        Ok(())
+    }
+}
+
+/// One consolidated `BENCH_summary.json` over every probe: name, pass flag,
+/// and the probe's headline figure, so CI can gate (and humans skim) one
+/// file instead of seven.
+struct Summary {
+    entries: Vec<(String, bool, String)>,
+}
+
+impl Summary {
+    fn new() -> Self {
+        Summary {
+            entries: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, name: &str, pass: bool, headline: String) {
+        self.entries.push((name.to_owned(), pass, headline));
+    }
+
+    fn emit(&self, out_dir: &Path, cores: usize) -> std::io::Result<()> {
+        let all_pass = self.entries.iter().all(|&(_, pass, _)| pass);
+        let mut json = String::new();
+        let _ = writeln!(json, "{{");
+        let _ = writeln!(json, "  \"report\": \"bench_summary\",");
+        let _ = writeln!(json, "  \"cores\": {cores},");
+        let _ = writeln!(json, "  \"pass\": {all_pass},");
+        let _ = writeln!(json, "  \"benchmarks\": [");
+        for (i, (name, pass, headline)) in self.entries.iter().enumerate() {
+            let comma = if i + 1 == self.entries.len() { "" } else { "," };
+            let _ = writeln!(
+                json,
+                "    {{\"name\": \"{name}\", \"pass\": {pass}, {headline}}}{comma}"
+            );
+        }
+        let _ = writeln!(json, "  ]");
+        let _ = writeln!(json, "}}");
+        std::fs::write(out_dir.join("BENCH_summary.json"), json)
+    }
+}
+
 fn main() -> ExitCode {
     let out = std::env::args().nth(1).unwrap_or_else(|| ".".to_owned());
     let out_dir = Path::new(&out).to_path_buf();
@@ -449,6 +640,7 @@ fn main() -> ExitCode {
         out_dir.display()
     );
 
+    let mut summary = Summary::new();
     let pairs = [
         parallel_montecarlo(cores),
         parallel_physical_aor(cores),
@@ -462,6 +654,14 @@ fn main() -> ExitCode {
             ok = false;
         }
         ok &= pair.identical;
+        summary.push(
+            pair.name,
+            pair.identical,
+            format!(
+                "\"speedup\": {:.3}",
+                pair.serial_secs / pair.fast_secs.max(1e-12)
+            ),
+        );
     }
 
     let backend = backend_probe();
@@ -470,6 +670,14 @@ fn main() -> ExitCode {
         ok = false;
     }
     ok &= backend.identical;
+    summary.push(
+        "backend",
+        backend.identical,
+        format!(
+            "\"batched_speedup\": {:.3}",
+            backend.per_tick_secs / backend.batched_secs.max(1e-12)
+        ),
+    );
 
     let probe = telemetry_probe();
     if let Err(e) = probe.emit(&out_dir) {
@@ -477,6 +685,11 @@ fn main() -> ExitCode {
         ok = false;
     }
     ok &= probe.ok;
+    summary.push(
+        "telemetry",
+        probe.ok,
+        format!("\"disabled_overhead_frac\": {:.9}", probe.overhead_frac),
+    );
 
     let net = net_probe();
     if let Err(e) = net.emit(&out_dir, cores) {
@@ -484,6 +697,39 @@ fn main() -> ExitCode {
         ok = false;
     }
     ok &= net.identical && net.chaos_ok;
+    summary.push(
+        "net",
+        net.identical && net.chaos_ok,
+        format!(
+            "\"rpc_overhead_us_per_tick\": {:.3}",
+            (net.rpc_secs - net.serial_secs) * 1e6 / net.ticks.max(1) as f64
+        ),
+    );
+
+    let sharded_net = sharded_net_probe();
+    if let Err(e) = sharded_net.emit(&out_dir, cores) {
+        eprintln!("failed to write BENCH_net_sharded.json: {e}");
+        ok = false;
+    }
+    ok &= sharded_net.identical && sharded_net.rpc_economy_ok;
+    summary.push(
+        "net_sharded",
+        sharded_net.identical && sharded_net.rpc_economy_ok,
+        format!(
+            "\"max_rpcs_per_shard_per_control_tick\": {:.3}",
+            sharded_net
+                .rows
+                .iter()
+                .map(|r| r.rpc_calls as f64
+                    / (r.shards as f64 * sharded_net.control_ticks.max(1) as f64))
+                .fold(0.0, f64::max)
+        ),
+    );
+
+    if let Err(e) = summary.emit(&out_dir, cores) {
+        eprintln!("failed to write BENCH_summary.json: {e}");
+        ok = false;
+    }
 
     if ok {
         ExitCode::SUCCESS

@@ -14,7 +14,10 @@
 //! computes. [`FleetBackendKind`] is the serializable selector a
 //! scenario carries.
 
-use recharge_units::{RackId, Seconds, Watts};
+use std::fmt;
+use std::str::FromStr;
+
+use recharge_units::{RackId, Seconds, SimTime, Watts};
 
 use crate::agent::{RackAgent, SimRackAgent};
 use crate::bus::{AgentBus, InMemoryBus};
@@ -46,6 +49,32 @@ pub trait FleetBackend: Send {
 
     /// The command/read surface the controller drives.
     fn bus_mut(&mut self) -> &mut dyn AgentBus;
+
+    /// Runs a control tick *hosted by the backend*, if it supports one.
+    ///
+    /// Backends that colocate the leaf control tier with the agents (e.g. a
+    /// sharded RPC mesh running leaf controllers server-side) return
+    /// `Some(report)` and the simulator skips its own controller for that
+    /// tick; the default is `None` — control stays with the simulator.
+    fn hosted_control_tick(&mut self, _now: SimTime) -> Option<HostedControlReport> {
+        None
+    }
+}
+
+/// What a backend-hosted control tick observed, summed over the fleet.
+///
+/// The fields mirror the like-named [`ControllerReport`] aggregates so the
+/// simulator's bookkeeping is agnostic to who ran the control loop.
+///
+/// [`ControllerReport`]: crate::ControllerReport
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct HostedControlReport {
+    /// Total present IT load across reachable racks.
+    pub it_load: Watts,
+    /// Total battery recharge draw across reachable racks.
+    pub recharge_power: Watts,
+    /// Total server power currently capped away.
+    pub capped_power: Watts,
 }
 
 /// Steps every agent in-process, one rack at a time — the reference backend.
@@ -193,6 +222,58 @@ impl FleetBackendKind {
     }
 }
 
+impl fmt::Display for FleetBackendKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetBackendKind::Serial => write!(f, "serial"),
+            FleetBackendKind::Sharded { shards } => write!(f, "sharded:{shards}"),
+            FleetBackendKind::ShardedBatched { shards } => write!(f, "sharded-batched:{shards}"),
+        }
+    }
+}
+
+/// A [`FleetBackendKind`] string that did not parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBackendKindError {
+    /// The rejected input.
+    pub text: String,
+}
+
+impl fmt::Display for ParseBackendKindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown backend kind {:?} (expected \"serial\", \"sharded:N\", or \
+             \"sharded-batched:N\")",
+            self.text
+        )
+    }
+}
+
+impl std::error::Error for ParseBackendKindError {}
+
+impl FromStr for FleetBackendKind {
+    type Err = ParseBackendKindError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let reject = || ParseBackendKindError { text: s.to_owned() };
+        if s == "serial" {
+            return Ok(FleetBackendKind::Serial);
+        }
+        // The longer prefix first: "sharded-batched:2" also starts with
+        // "sharded" and must not fall into the plain sharded arm.
+        if let Some(count) = s.strip_prefix("sharded-batched:") {
+            let shards = count.parse().map_err(|_| reject())?;
+            return Ok(FleetBackendKind::ShardedBatched { shards });
+        }
+        if let Some(count) = s.strip_prefix("sharded:") {
+            let shards = count.parse().map_err(|_| reject())?;
+            return Ok(FleetBackendKind::Sharded { shards });
+        }
+        Err(reject())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -252,5 +333,24 @@ mod tests {
                 .name(),
             "sharded-batched"
         );
+    }
+
+    #[test]
+    fn kind_round_trips_through_strings() {
+        for kind in [
+            FleetBackendKind::Serial,
+            FleetBackendKind::Sharded { shards: 4 },
+            FleetBackendKind::ShardedBatched { shards: 2 },
+        ] {
+            assert_eq!(kind.to_string().parse(), Ok(kind));
+        }
+        assert_eq!("serial".parse(), Ok(FleetBackendKind::Serial));
+        assert_eq!(
+            "sharded-batched:8".parse(),
+            Ok(FleetBackendKind::ShardedBatched { shards: 8 })
+        );
+        for bad in ["", "serial:1", "sharded", "sharded:", "sharded:x", "mesh:2"] {
+            assert!(bad.parse::<FleetBackendKind>().is_err(), "{bad:?} parsed");
+        }
     }
 }

@@ -48,7 +48,10 @@ mod messages;
 mod threaded;
 
 pub use agent::{RackAgent, SimRackAgent, SimRackAgentBuilder};
-pub use backend::{FleetBackend, FleetBackendKind, SerialBackend, ShardedBackend};
+pub use backend::{
+    FleetBackend, FleetBackendKind, HostedControlReport, ParseBackendKindError, SerialBackend,
+    ShardedBackend,
+};
 pub use bus::{AgentBus, InMemoryBus};
 pub use controller::{Controller, ControllerConfig, ControllerReport, Strategy};
 pub use hierarchy::{HierarchicalControl, UpperMonitor};

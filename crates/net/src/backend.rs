@@ -26,6 +26,8 @@ use crate::client::{RetryPolicy, RpcBus, RpcBusConfig};
 use crate::endpoint::Endpoint;
 use crate::fault::{FaultClock, FaultPlan};
 use crate::server::{AgentHost, AgentServer, DEFAULT_LEASE_TICKS};
+use crate::sharded::{LeafControlSpec, ShardedRpcFleetBackend};
+use crate::wire::MAX_FRAME_LEN;
 
 /// Which socket family the mesh uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -35,6 +37,50 @@ pub enum RpcTransport {
     TcpLoopback,
     /// A fresh Unix-domain socket under the temp directory (Unix only).
     UnixSocket,
+}
+
+/// How the fleet is partitioned into agent servers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardPlan {
+    /// One server hosts the whole fleet (the original mesh).
+    #[default]
+    Single,
+    /// `n` servers over contiguous fleet chunks of near-equal size.
+    Count(usize),
+    /// One server per RPP row: contiguous chunks of `racks_per_rpp` racks,
+    /// matching the row layout of the Facebook topology (racks are dense in
+    /// RPP order, so contiguous chunking *is* RPP grouping).
+    ByRpp {
+        /// Racks hosted under each RPP (the paper's row size is 14).
+        racks_per_rpp: usize,
+    },
+}
+
+impl ShardPlan {
+    /// Splits `racks` (fleet order) into per-shard groups. Every rack lands
+    /// in exactly one group; groups preserve fleet order and are non-empty
+    /// whenever `racks` is.
+    #[must_use]
+    pub fn partition(&self, racks: &[RackId]) -> Vec<Vec<RackId>> {
+        let len = racks.len();
+        if len == 0 {
+            return vec![Vec::new()];
+        }
+        let shards = match *self {
+            ShardPlan::Single => 1,
+            ShardPlan::Count(n) => n.clamp(1, len),
+            ShardPlan::ByRpp { racks_per_rpp } => len.div_ceil(racks_per_rpp.max(1)),
+        };
+        match *self {
+            ShardPlan::ByRpp { racks_per_rpp } => racks
+                .chunks(racks_per_rpp.max(1))
+                .map(<[RackId]>::to_vec)
+                .collect(),
+            _ => (0..shards)
+                .map(|i| racks[i * len / shards..(i + 1) * len / shards].to_vec())
+                .collect(),
+        }
+    }
 }
 
 /// Scenario-carried configuration for a fleet running over the mesh.
@@ -54,6 +100,15 @@ pub struct RpcMeshConfig {
     pub fault: Option<FaultPlan>,
     /// Seed for client backoff jitter.
     pub seed: u64,
+    /// Fleet partitioning: one server, `n` servers, or one per RPP row.
+    pub shards: ShardPlan,
+    /// Frame cap both sides enforce (batched reading frames for very large
+    /// fleets can need more than the 1 MiB default).
+    pub max_frame_len: u32,
+    /// Host the leaf control tier inside each agent server: leaf ticks run
+    /// server-side and only per-group aggregates and power budgets cross the
+    /// wire. Requires a [`LeafControlSpec`] at spawn time.
+    pub leaf_control: bool,
 }
 
 impl Default for RpcMeshConfig {
@@ -65,6 +120,9 @@ impl Default for RpcMeshConfig {
             retry: RetryPolicy::default(),
             fault: None,
             seed: 0x0b5e_55ed,
+            shards: ShardPlan::Single,
+            max_frame_len: MAX_FRAME_LEN,
+            leaf_control: false,
         }
     }
 }
@@ -87,6 +145,97 @@ impl RpcMeshConfig {
             ..RpcMeshConfig::default()
         }
     }
+
+    /// A mesh sharded by RPP row (the paper's 14-rack rows): one agent
+    /// server per RPP, batched wire ops, concurrent controller fan-out.
+    #[must_use]
+    pub fn sharded_by_rpp() -> Self {
+        RpcMeshConfig {
+            shards: ShardPlan::ByRpp { racks_per_rpp: 14 },
+            ..RpcMeshConfig::default()
+        }
+    }
+
+    /// A mesh sharded into `n` contiguous fleet chunks.
+    #[must_use]
+    pub fn shard_count(n: usize) -> Self {
+        RpcMeshConfig {
+            shards: ShardPlan::Count(n),
+            ..RpcMeshConfig::default()
+        }
+    }
+
+    /// Attaches a fault plan to this config (sharded meshes project it per
+    /// shard via [`FaultPlan::for_shard`]).
+    #[must_use]
+    pub fn faulted(mut self, fault: FaultPlan) -> Self {
+        self.fault = Some(fault);
+        self
+    }
+
+    /// Overrides the shard plan.
+    #[must_use]
+    pub fn with_shards(mut self, shards: ShardPlan) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Overrides the frame cap.
+    #[must_use]
+    pub fn with_max_frame_len(mut self, max_frame_len: u32) -> Self {
+        self.max_frame_len = max_frame_len;
+        self
+    }
+
+    /// Enables in-server leaf control (requires a [`LeafControlSpec`] when
+    /// spawning).
+    #[must_use]
+    pub fn with_leaf_control(mut self) -> Self {
+        self.leaf_control = true;
+        self
+    }
+
+    /// The endpoint family this config binds.
+    pub(crate) fn fresh_endpoint(&self) -> io::Result<Endpoint> {
+        match self.transport {
+            RpcTransport::TcpLoopback => Ok(Endpoint::loopback()),
+            #[cfg(unix)]
+            RpcTransport::UnixSocket => Ok(Endpoint::unix_temp()),
+            #[cfg(not(unix))]
+            RpcTransport::UnixSocket => Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "unix-domain sockets are not available on this target",
+            )),
+        }
+    }
+}
+
+/// Spawns the backend a mesh config describes: a single-server
+/// [`RpcFleetBackend`] for [`ShardPlan::Single`], a
+/// [`ShardedRpcFleetBackend`] otherwise. `leaf` supplies the control
+/// parameters for in-server leaf ticks; it is required when
+/// `config.leaf_control` is set and ignored otherwise.
+pub fn spawn_mesh(
+    agents: Vec<SimRackAgent>,
+    config: &RpcMeshConfig,
+    leaf: Option<LeafControlSpec>,
+) -> io::Result<Box<dyn FleetBackend>> {
+    if config.leaf_control && leaf.is_none() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "leaf_control requires a LeafControlSpec",
+        ));
+    }
+    match config.shards {
+        ShardPlan::Single if !config.leaf_control => {
+            Ok(Box::new(RpcFleetBackend::spawn(agents, config)?))
+        }
+        _ => Ok(Box::new(ShardedRpcFleetBackend::spawn(
+            agents,
+            config,
+            if config.leaf_control { leaf } else { None },
+        )?)),
+    }
 }
 
 /// A [`FleetBackend`] whose controller bus crosses a real socket.
@@ -102,20 +251,12 @@ pub struct RpcFleetBackend {
 impl RpcFleetBackend {
     /// Hosts `agents` behind a freshly bound server and connects the bus.
     pub fn spawn(agents: Vec<SimRackAgent>, config: &RpcMeshConfig) -> io::Result<Self> {
-        let endpoint = match config.transport {
-            RpcTransport::TcpLoopback => Endpoint::loopback(),
-            #[cfg(unix)]
-            RpcTransport::UnixSocket => Endpoint::unix_temp(),
-            #[cfg(not(unix))]
-            RpcTransport::UnixSocket => {
-                return Err(io::Error::new(
-                    io::ErrorKind::Unsupported,
-                    "unix-domain sockets are not available on this target",
-                ))
-            }
-        };
+        let endpoint = config.fresh_endpoint()?;
         let clock = FaultClock::new();
-        let host = Arc::new(AgentHost::new(agents, config.lease_ticks, clock.clone()));
+        let host = Arc::new(
+            AgentHost::new(agents, config.lease_ticks, clock.clone())
+                .with_max_frame_len(config.max_frame_len),
+        );
         let server = AgentServer::serve(Arc::clone(&host), &endpoint)?;
         let bus = RpcBus::connect(
             server.endpoint(),
@@ -125,6 +266,7 @@ impl RpcFleetBackend {
                 retry: config.retry,
                 seed: config.seed,
                 fault: config.fault.clone(),
+                max_frame_len: config.max_frame_len,
             },
             clock,
         )?;

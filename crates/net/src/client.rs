@@ -31,11 +31,13 @@ use std::time::{Duration, Instant};
 use rand::splitmix64;
 use recharge_dynamo::{AgentBus, PowerReading};
 use recharge_telemetry::{tcounter, tspan};
-use recharge_units::{Amperes, RackId, Watts};
+use recharge_units::{Amperes, RackId, SimTime, Watts};
 
 use crate::endpoint::{recv_frame, send_frame, Endpoint, FrameBuffer, FrameRead, NetStream};
 use crate::fault::{FaultClock, FaultPlan, LinkFaults};
-use crate::wire::{decode_response, encode_request, Request, Response};
+use crate::wire::{
+    decode_response, encode_request, AgentCommand, GroupAggregate, Request, Response, MAX_FRAME_LEN,
+};
 
 /// Bounded-retry parameters: exponential backoff with deterministic jitter.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -88,6 +90,8 @@ pub struct RpcBusConfig {
     pub seed: u64,
     /// Link faults to inject; `None` for a clean link.
     pub fault: Option<FaultPlan>,
+    /// Frame cap this side enforces on both sent and received frames.
+    pub max_frame_len: u32,
 }
 
 impl Default for RpcBusConfig {
@@ -98,6 +102,7 @@ impl Default for RpcBusConfig {
             retry: RetryPolicy::default(),
             seed: 0x0b5e_55ed,
             fault: None,
+            max_frame_len: MAX_FRAME_LEN,
         }
     }
 }
@@ -234,9 +239,9 @@ impl RpcBus {
             }
 
             let (stream, buffer) = inner.conn.as_mut().expect("connection ensured above");
-            let mut send = send_frame(stream, &payload);
+            let mut send = send_frame(stream, &payload, self.config.max_frame_len);
             if send.is_ok() && decision.duplicate {
-                send = send_frame(stream, &payload);
+                send = send_frame(stream, &payload, self.config.max_frame_len);
             }
             if send.is_err() {
                 inner.conn = None;
@@ -256,7 +261,7 @@ impl RpcBus {
             let deadline = Instant::now() + self.config.deadline;
             let mut drop_conn = false;
             let reply = loop {
-                match recv_frame(stream, buffer, Some(deadline)) {
+                match recv_frame(stream, buffer, Some(deadline), self.config.max_frame_len) {
                     Ok(FrameRead::Frame(frame)) => match decode_response(&frame) {
                         Ok((got_id, response)) if got_id == id => break Some(response),
                         Ok(_) => {
@@ -296,6 +301,38 @@ impl RpcBus {
     fn command(&self, request: &Request) {
         if self.call(request).is_none() {
             tcounter!("net.rpc_lost_commands").inc();
+        }
+    }
+
+    /// Reads every hosted rack in one round trip (fleet order); `None` when
+    /// the retry budget is exhausted (the whole shard looks unreachable).
+    #[must_use]
+    pub fn read_all(&self) -> Option<Vec<PowerReading>> {
+        match self.call(&Request::ReadAllReadings) {
+            Some(Response::Readings(readings)) => Some(readings),
+            _ => None,
+        }
+    }
+
+    /// Applies a command batch in one round trip, returning how many commands
+    /// landed; `None` when the batch was lost (counted like a lost command).
+    pub fn apply_batch(&self, commands: Vec<AgentCommand>) -> Option<u32> {
+        match self.call(&Request::ApplyCommandBatch(commands)) {
+            Some(Response::BatchAck(applied)) => Some(applied),
+            _ => {
+                tcounter!("net.rpc_lost_commands").inc();
+                None
+            }
+        }
+    }
+
+    /// Runs the server-hosted leaf control tick, returning the group
+    /// aggregate; `None` when the shard is unreachable.
+    #[must_use]
+    pub fn tick_leaf(&self, now: SimTime, budget: Option<Watts>) -> Option<GroupAggregate> {
+        match self.call(&Request::TickLeaf { now, budget }) {
+            Some(Response::GroupAggregate(aggregate)) => Some(aggregate),
+            _ => None,
         }
     }
 }
@@ -388,6 +425,78 @@ mod tests {
                 .override_current()
                 .is_none());
         });
+    }
+
+    #[test]
+    fn batched_calls_round_trip() {
+        let clock = FaultClock::new();
+        let (server, host) = spawn_server(3, &clock);
+        let bus =
+            RpcBus::connect(server.endpoint(), RpcBusConfig::default(), clock).expect("connect");
+
+        let readings = bus.read_all().expect("read_all");
+        assert_eq!(readings.len(), 3);
+        for (i, reading) in readings.iter().enumerate() {
+            assert_eq!(reading.rack, RackId::new(i as u32));
+            // Batched reads must be bit-identical to per-rack reads.
+            assert_eq!(*reading, bus.read(reading.rack).expect("read"));
+        }
+
+        let applied = bus
+            .apply_batch(vec![
+                AgentCommand::SetChargeOverride(RackId::new(0), Amperes::MAX_CHARGE),
+                AgentCommand::SetChargeOverride(RackId::new(2), Amperes::MIN_CHARGE),
+                AgentCommand::ClearChargeOverride(RackId::new(42)),
+            ])
+            .expect("apply_batch");
+        assert_eq!(applied, 2);
+        host.with_agents(|agents| {
+            assert_eq!(
+                agents[0].battery().bbu().charger().override_current(),
+                Some(Amperes::MAX_CHARGE)
+            );
+            assert_eq!(
+                agents[2].battery().bbu().charger().override_current(),
+                Some(Amperes::MIN_CHARGE)
+            );
+        });
+
+        // No leaf installed: the tick reports a monitoring aggregate.
+        let aggregate = bus
+            .tick_leaf(SimTime::from_secs(0.0), None)
+            .expect("tick_leaf");
+        assert_eq!(aggregate.overrides_sent, 0);
+        let expected: Watts = readings
+            .iter()
+            .filter(|r| r.input_power_present)
+            .map(|r| r.it_load)
+            .sum();
+        assert_eq!(aggregate.it_load, expected);
+    }
+
+    #[test]
+    fn oversize_batch_reply_is_survivable() {
+        // A tiny receive cap on the client: the server's ListRacks reply fits,
+        // but a batched readings frame does not — the call fails cleanly (the
+        // shard looks unreachable) instead of wedging the stream.
+        let clock = FaultClock::new();
+        let (server, _host) = spawn_server(3, &clock);
+        let config = RpcBusConfig {
+            max_frame_len: 64,
+            retry: RetryPolicy {
+                max_attempts: 2,
+                base_backoff: Duration::from_micros(100),
+                max_backoff: Duration::from_millis(1),
+                jitter: 0.0,
+            },
+            ..RpcBusConfig::default()
+        };
+        let bus = RpcBus::connect(server.endpoint(), config, clock).expect("connect");
+        assert_eq!(bus.racks().len(), 3);
+        // 3 readings × 47 bytes ≫ 64: the reply trips the typed cap.
+        assert!(bus.read_all().is_none());
+        // The bus reconnects and keeps working for frames under the cap.
+        assert!(bus.read(RackId::new(0)).is_some());
     }
 
     #[test]

@@ -16,7 +16,7 @@ use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
-use crate::wire::MAX_FRAME_LEN;
+use crate::wire::WireError;
 
 /// Where an [`AgentServer`](crate::server::AgentServer) listens.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -203,9 +203,34 @@ impl Drop for NetListener {
     }
 }
 
+/// The typed oversize error: an `InvalidData` [`io::Error`] wrapping
+/// [`WireError::FrameTooLarge`], recoverable via [`as_frame_too_large`]
+/// instead of parsing message text.
+fn oversize(len: u32, limit: u32) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        WireError::FrameTooLarge { len, limit },
+    )
+}
+
+/// Extracts a [`WireError::FrameTooLarge`] from an I/O error produced by
+/// [`send_frame`] or [`recv_frame`], if that is what it carries.
+#[must_use]
+pub fn as_frame_too_large(err: &io::Error) -> Option<WireError> {
+    err.get_ref()
+        .and_then(|inner| inner.downcast_ref::<WireError>())
+        .filter(|wire| matches!(wire, WireError::FrameTooLarge { .. }))
+        .copied()
+}
+
 /// Writes one frame: `u32` little-endian payload length, then the payload.
-pub fn send_frame(stream: &mut NetStream, payload: &[u8]) -> io::Result<()> {
-    debug_assert!(payload.len() <= MAX_FRAME_LEN as usize);
+///
+/// A payload longer than `max_frame_len` is refused before any bytes hit the
+/// stream, with a typed [`WireError::FrameTooLarge`] inside the error.
+pub fn send_frame(stream: &mut NetStream, payload: &[u8], max_frame_len: u32) -> io::Result<()> {
+    if payload.len() > max_frame_len as usize {
+        return Err(oversize(payload.len() as u32, max_frame_len));
+    }
     let len = (payload.len() as u32).to_le_bytes();
     // One write per frame keeps packet boundaries tidy, but correctness only
     // needs the bytes in order.
@@ -262,17 +287,15 @@ pub fn recv_frame(
     stream: &mut NetStream,
     buffer: &mut FrameBuffer,
     deadline: Option<Instant>,
+    max_frame_len: u32,
 ) -> io::Result<FrameRead> {
     let mut chunk = [0u8; 4096];
     loop {
         // A complete frame may already be buffered from a previous over-read.
         if buffer.pending.len() >= 4 {
             let len = u32::from_le_bytes(buffer.pending[..4].try_into().expect("4 bytes"));
-            if len > MAX_FRAME_LEN {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("frame length {len} exceeds {MAX_FRAME_LEN}"),
-                ));
+            if len > max_frame_len {
+                return Err(oversize(len, max_frame_len));
             }
             let total = 4 + len as usize;
             if buffer.pending.len() >= total {
@@ -319,6 +342,7 @@ pub fn recv_frame(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::wire::MAX_FRAME_LEN;
     use std::thread;
 
     fn pair() -> (NetStream, NetStream) {
@@ -346,9 +370,9 @@ mod tests {
         let mut buffer = FrameBuffer::new();
 
         for payload in [&b"hello"[..], &[], &[0xAB; 10_000]] {
-            send_frame(&mut client, payload).expect("send");
+            send_frame(&mut client, payload, MAX_FRAME_LEN).expect("send");
             let deadline = Some(Instant::now() + Duration::from_secs(2));
-            match recv_frame(&mut server, &mut buffer, deadline).expect("recv") {
+            match recv_frame(&mut server, &mut buffer, deadline, MAX_FRAME_LEN).expect("recv") {
                 FrameRead::Frame(got) => assert_eq!(got, payload),
                 other => panic!("expected frame, got {other:?}"),
             }
@@ -361,16 +385,18 @@ mod tests {
         server
             .set_read_timeout(Some(Duration::from_millis(20)))
             .expect("timeout");
-        send_frame(&mut client, b"first").expect("send");
-        send_frame(&mut client, b"second").expect("send");
+        send_frame(&mut client, b"first", MAX_FRAME_LEN).expect("send");
+        send_frame(&mut client, b"second", MAX_FRAME_LEN).expect("send");
 
         let mut buffer = FrameBuffer::new();
         let deadline = Some(Instant::now() + Duration::from_secs(2));
-        let FrameRead::Frame(a) = recv_frame(&mut server, &mut buffer, deadline).expect("recv")
+        let FrameRead::Frame(a) =
+            recv_frame(&mut server, &mut buffer, deadline, MAX_FRAME_LEN).expect("recv")
         else {
             panic!("expected first frame");
         };
-        let FrameRead::Frame(b) = recv_frame(&mut server, &mut buffer, deadline).expect("recv")
+        let FrameRead::Frame(b) =
+            recv_frame(&mut server, &mut buffer, deadline, MAX_FRAME_LEN).expect("recv")
         else {
             panic!("expected second frame");
         };
@@ -396,7 +422,7 @@ mod tests {
             client.flush().expect("flush");
         }
         let deadline = Some(Instant::now() + Duration::from_millis(40));
-        match recv_frame(&mut server, &mut buffer, deadline).expect("recv") {
+        match recv_frame(&mut server, &mut buffer, deadline, MAX_FRAME_LEN).expect("recv") {
             FrameRead::TimedOut => {}
             other => panic!("expected timeout, got {other:?}"),
         }
@@ -408,7 +434,7 @@ mod tests {
             client.flush().expect("flush");
         }
         let deadline = Some(Instant::now() + Duration::from_secs(2));
-        match recv_frame(&mut server, &mut buffer, deadline).expect("recv") {
+        match recv_frame(&mut server, &mut buffer, deadline, MAX_FRAME_LEN).expect("recv") {
             FrameRead::Frame(got) => assert_eq!(got, payload),
             other => panic!("expected frame, got {other:?}"),
         }
@@ -423,7 +449,7 @@ mod tests {
         drop(client);
         let mut buffer = FrameBuffer::new();
         let deadline = Some(Instant::now() + Duration::from_secs(2));
-        match recv_frame(&mut server, &mut buffer, deadline).expect("recv") {
+        match recv_frame(&mut server, &mut buffer, deadline, MAX_FRAME_LEN).expect("recv") {
             FrameRead::Closed => {}
             other => panic!("expected closed, got {other:?}"),
         }
@@ -443,8 +469,65 @@ mod tests {
         }
         let mut buffer = FrameBuffer::new();
         let deadline = Some(Instant::now() + Duration::from_secs(2));
-        let err = recv_frame(&mut server, &mut buffer, deadline).expect_err("oversize");
+        let err =
+            recv_frame(&mut server, &mut buffer, deadline, MAX_FRAME_LEN).expect_err("oversize");
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert_eq!(
+            as_frame_too_large(&err),
+            Some(WireError::FrameTooLarge {
+                len: MAX_FRAME_LEN + 1,
+                limit: MAX_FRAME_LEN,
+            })
+        );
+    }
+
+    #[test]
+    fn frame_cap_boundary_is_exact() {
+        // A payload exactly at the configured cap crosses; one byte more is
+        // refused with the typed error — on both the send and receive sides.
+        let cap = 64u32;
+        let (mut client, mut server) = pair();
+        server
+            .set_read_timeout(Some(Duration::from_millis(20)))
+            .expect("timeout");
+        let mut buffer = FrameBuffer::new();
+
+        let at_cap = vec![0x5A; cap as usize];
+        send_frame(&mut client, &at_cap, cap).expect("at-cap send");
+        let deadline = Some(Instant::now() + Duration::from_secs(2));
+        match recv_frame(&mut server, &mut buffer, deadline, cap).expect("at-cap recv") {
+            FrameRead::Frame(got) => assert_eq!(got, at_cap),
+            other => panic!("expected frame, got {other:?}"),
+        }
+
+        // Send side: refused before any bytes hit the stream.
+        let over = vec![0x5A; cap as usize + 1];
+        let err = send_frame(&mut client, &over, cap).expect_err("oversize send");
+        assert_eq!(
+            as_frame_too_large(&err),
+            Some(WireError::FrameTooLarge {
+                len: cap + 1,
+                limit: cap,
+            })
+        );
+
+        // Receive side: a peer holding a larger cap can still send it; the
+        // small-cap receiver rejects it with the typed error.
+        send_frame(&mut client, &over, MAX_FRAME_LEN).expect("send past small cap");
+        let deadline = Some(Instant::now() + Duration::from_secs(2));
+        let err = recv_frame(&mut server, &mut buffer, deadline, cap).expect_err("oversize recv");
+        assert_eq!(
+            as_frame_too_large(&err),
+            Some(WireError::FrameTooLarge {
+                len: cap + 1,
+                limit: cap,
+            })
+        );
+        // Errors that are not FrameTooLarge do not downcast.
+        assert_eq!(
+            as_frame_too_large(&io::Error::new(io::ErrorKind::InvalidData, "other")),
+            None
+        );
     }
 
     #[cfg(unix)]
@@ -466,10 +549,10 @@ mod tests {
         server
             .set_read_timeout(Some(Duration::from_millis(20)))
             .expect("timeout");
-        send_frame(&mut client, b"over unix").expect("send");
+        send_frame(&mut client, b"over unix", MAX_FRAME_LEN).expect("send");
         let mut buffer = FrameBuffer::new();
         let deadline = Some(Instant::now() + Duration::from_secs(2));
-        match recv_frame(&mut server, &mut buffer, deadline).expect("recv") {
+        match recv_frame(&mut server, &mut buffer, deadline, MAX_FRAME_LEN).expect("recv") {
             FrameRead::Frame(got) => assert_eq!(got, b"over unix"),
             other => panic!("expected frame, got {other:?}"),
         }

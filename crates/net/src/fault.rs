@@ -169,6 +169,40 @@ impl FaultPlan {
             partitions,
         }
     }
+
+    /// Projects this plan onto one shard's link.
+    ///
+    /// Each shard gets its own derived seed (so fault streams across shards
+    /// are independent but still reproducible) and only the partitions that
+    /// touch `shard_racks`. A shard's link is one connection: a partition
+    /// whose rack scope intersects the shard cuts the **whole** shard link
+    /// (promoted to [`PartitionScope::All`]), because batched calls carry no
+    /// rack address to scope by. Partitions disjoint from the shard are
+    /// dropped entirely.
+    #[must_use]
+    pub fn for_shard(&self, shard: usize, shard_racks: &[RackId]) -> Self {
+        let mut state = self.seed ^ ((shard as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let seed = splitmix64(&mut state);
+        let partitions = self
+            .partitions
+            .iter()
+            .filter_map(|p| match &p.scope {
+                PartitionScope::All => Some(p.clone()),
+                PartitionScope::Racks(racks) => {
+                    if racks.iter().any(|r| shard_racks.contains(r)) {
+                        Some(Partition::all(p.from_tick, p.to_tick))
+                    } else {
+                        None
+                    }
+                }
+            })
+            .collect();
+        FaultPlan {
+            seed,
+            partitions,
+            ..self.clone()
+        }
+    }
 }
 
 /// What the fault layer decided for one call attempt.
@@ -325,6 +359,42 @@ mod tests {
         assert!(faults.partitioned(None));
         clock.advance(5);
         assert!(!faults.partitioned(Some(RackId::new(1))));
+    }
+
+    #[test]
+    fn shard_projection_scopes_partitions_and_derives_seeds() {
+        let plan = FaultPlan::chaos(
+            42,
+            0.1,
+            vec![
+                Partition::all(10, 20),
+                Partition::racks(30, 40, vec![RackId::new(1), RackId::new(5)]),
+                Partition::racks(50, 60, vec![RackId::new(9)]),
+            ],
+        );
+        let shard0 = plan.for_shard(0, &[RackId::new(0), RackId::new(1)]);
+        let shard1 = plan.for_shard(1, &[RackId::new(2), RackId::new(3)]);
+
+        // Whole-link partitions survive everywhere; the rack-scoped one that
+        // intersects shard 0 is promoted to the whole shard link; the one
+        // touching rack 9 reaches neither shard.
+        assert_eq!(
+            shard0.partitions,
+            vec![Partition::all(10, 20), Partition::all(30, 40)]
+        );
+        assert_eq!(shard1.partitions, vec![Partition::all(10, 20)]);
+
+        // Derived seeds are distinct per shard and stable across calls.
+        assert_ne!(shard0.seed, shard1.seed);
+        assert_ne!(shard0.seed, plan.seed);
+        assert_eq!(
+            shard0.seed,
+            plan.for_shard(0, &[RackId::new(0), RackId::new(1)]).seed
+        );
+
+        // Probabilistic knobs carry over untouched.
+        assert_eq!(shard0.drop_request, plan.drop_request);
+        assert_eq!(shard0.delay_p99, plan.delay_p99);
     }
 
     #[test]

@@ -25,6 +25,12 @@
 //! - [`backend`] — [`RpcFleetBackend`]: a
 //!   [`FleetBackend`](recharge_dynamo::FleetBackend) whose controller bus
 //!   crosses a real socket, selected per scenario via [`RpcMeshConfig`].
+//! - [`sharded`] — [`ShardedRpcFleetBackend`]: the fleet partitioned into
+//!   one server per RPP/row ([`ShardPlan`]), batched wire ops
+//!   (`ReadAllReadings` / `ApplyCommandBatch`: O(servers) RPCs per control
+//!   tick instead of O(racks)), concurrent per-shard client threads joined
+//!   on a latch, and optional in-server leaf control (`TickLeaf`) where only
+//!   per-group aggregates and budgets cross the wire.
 //!
 //! Telemetry: every RPC path records `net.rpc_*` counters (calls, retries,
 //! timeouts, reconnects, stale replies, lost commands) and `net.rpc_call` /
@@ -44,11 +50,13 @@ pub mod client;
 pub mod endpoint;
 pub mod fault;
 pub mod server;
+pub mod sharded;
 pub mod wire;
 
-pub use backend::{RpcFleetBackend, RpcMeshConfig, RpcTransport};
+pub use backend::{spawn_mesh, RpcFleetBackend, RpcMeshConfig, RpcTransport, ShardPlan};
 pub use client::{RetryPolicy, RpcBus, RpcBusConfig};
-pub use endpoint::{Endpoint, NetListener, NetStream};
+pub use endpoint::{as_frame_too_large, Endpoint, NetListener, NetStream};
 pub use fault::{FaultClock, FaultPlan, LinkFaults, Partition, PartitionScope};
 pub use server::{AgentHost, AgentServer, DEFAULT_LEASE_TICKS};
-pub use wire::{Request, Response, WireError, PROTOCOL_VERSION};
+pub use sharded::{LeafControlSpec, ShardedRpcBus, ShardedRpcFleetBackend};
+pub use wire::{AgentCommand, GroupAggregate, Request, Response, WireError, PROTOCOL_VERSION};

@@ -37,15 +37,17 @@ use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use recharge_dynamo::{PowerReading, RackAgent};
+use recharge_dynamo::{AgentBus, Controller, PowerReading, RackAgent};
 use recharge_telemetry::{tcounter, tevent, tspan};
-use recharge_units::RackId;
+use recharge_units::{Amperes, RackId, Watts};
 
 use crate::endpoint::{
     recv_frame, send_frame, Endpoint, FrameBuffer, FrameRead, NetListener, NetStream,
 };
 use crate::fault::FaultClock;
-use crate::wire::{decode_request, encode_response, Request, Response};
+use crate::wire::{
+    decode_request, encode_response, AgentCommand, GroupAggregate, Request, Response, MAX_FRAME_LEN,
+};
 
 /// Default coordination lease, in simulation ticks.
 ///
@@ -66,6 +68,57 @@ struct RackLease {
 struct HostState<A> {
     agents: Vec<A>,
     leases: Vec<RackLease>,
+    /// A server-hosted leaf controller ([`Request::TickLeaf`]); `None` for
+    /// plain agent hosting.
+    leaf: Option<Controller>,
+}
+
+/// [`AgentBus`] over a host's local agent slice — what a hosted leaf
+/// controller ticks against, so leaf control never touches the wire.
+struct LeafBus<'a, A> {
+    agents: &'a mut [A],
+    index_of: &'a HashMap<RackId, usize>,
+    racks: &'a [RackId],
+}
+
+impl<A: RackAgent> AgentBus for LeafBus<'_, A> {
+    fn racks(&self) -> Vec<RackId> {
+        self.racks.to_vec()
+    }
+
+    fn read(&self, rack: RackId) -> Option<PowerReading> {
+        self.index_of.get(&rack).map(|&i| self.agents[i].read())
+    }
+
+    fn set_charge_override(&mut self, rack: RackId, current: Amperes) {
+        if let Some(&i) = self.index_of.get(&rack) {
+            self.agents[i].set_charge_override(current);
+        }
+    }
+
+    fn clear_charge_override(&mut self, rack: RackId) {
+        if let Some(&i) = self.index_of.get(&rack) {
+            self.agents[i].clear_charge_override();
+        }
+    }
+
+    fn set_charge_postponed(&mut self, rack: RackId, postponed: bool) {
+        if let Some(&i) = self.index_of.get(&rack) {
+            self.agents[i].set_charge_postponed(postponed);
+        }
+    }
+
+    fn cap_servers(&mut self, rack: RackId, limit: Watts) {
+        if let Some(&i) = self.index_of.get(&rack) {
+            self.agents[i].cap_servers(limit);
+        }
+    }
+
+    fn uncap_servers(&mut self, rack: RackId) {
+        if let Some(&i) = self.index_of.get(&rack) {
+            self.agents[i].uncap_servers();
+        }
+    }
 }
 
 /// The racks hosted behind one server, with lease tracking.
@@ -80,6 +133,7 @@ pub struct AgentHost<A> {
     racks: Vec<RackId>,
     clock: FaultClock,
     lease_ticks: u64,
+    max_frame_len: u32,
 }
 
 impl<A: RackAgent> AgentHost<A> {
@@ -97,12 +151,36 @@ impl<A: RackAgent> AgentHost<A> {
             agents.len()
         ];
         AgentHost {
-            state: Mutex::new(HostState { agents, leases }),
+            state: Mutex::new(HostState {
+                agents,
+                leases,
+                leaf: None,
+            }),
             index_of,
             racks,
             clock,
             lease_ticks,
+            max_frame_len: MAX_FRAME_LEN,
         }
+    }
+
+    /// Overrides the frame cap this host's connections enforce.
+    #[must_use]
+    pub fn with_max_frame_len(mut self, max_frame_len: u32) -> Self {
+        self.max_frame_len = max_frame_len;
+        self
+    }
+
+    /// The frame cap this host's connections enforce.
+    #[must_use]
+    pub fn max_frame_len(&self) -> u32 {
+        self.max_frame_len
+    }
+
+    /// Installs a leaf controller that [`Request::TickLeaf`] runs against the
+    /// hosted agents — the in-server leaf tier of the control hierarchy.
+    pub fn install_leaf_controller(&self, controller: Controller) {
+        self.lock().leaf = Some(controller);
     }
 
     /// The shared simulation-tick clock.
@@ -144,10 +222,17 @@ impl<A: RackAgent> AgentHost<A> {
             .is_some_and(|&i| state.leases[i].coordinated)
     }
 
-    /// Advances the shared tick clock and sweeps leases: any coordinated
-    /// rack whose lease expired falls back to standalone.
+    /// Advances the shared tick clock and sweeps leases.
     pub fn advance(&self, ticks: u64) {
         self.clock.advance(ticks);
+        self.sweep_leases();
+    }
+
+    /// Sweeps leases at the current clock: any coordinated rack whose lease
+    /// expired falls back to standalone. Split from [`advance`](Self::advance)
+    /// for hosts sharing one clock — a sharded backend advances the clock
+    /// once, then sweeps every host.
+    pub fn sweep_leases(&self) {
         let now = self.clock.tick();
         let mut state = self.lock();
         for i in 0..state.leases.len() {
@@ -169,59 +254,153 @@ impl<A: RackAgent> AgentHost<A> {
         }
     }
 
-    /// Executes one controller request. Any rack-addressed request renews
-    /// that rack's lease (and rejoins it if it was standalone).
+    /// Renews rack `i`'s lease at tick `now`, rejoining it if standalone.
+    fn renew_lease(&self, state: &mut HostState<A>, i: usize, now: u64) {
+        state.leases[i].last_contact = now;
+        if !state.leases[i].coordinated {
+            state.leases[i].coordinated = true;
+            tcounter!("net.rejoins").inc();
+            tevent!("net.rejoin", "net", "rack" => self.racks[i].index(), "tick" => now);
+        }
+    }
+
+    /// Executes one controller request.
+    ///
+    /// Lease renewal mirrors the per-rack protocol exactly: a rack-addressed
+    /// request renews that rack; `ReadAllReadings` and `TickLeaf` renew every
+    /// hosted rack (the controller reads every scoped rack each control
+    /// tick, so the batched read is the same contact the per-rack reads
+    /// were); `ApplyCommandBatch` renews each addressed rack.
     pub fn handle(&self, request: &Request) -> Response {
         let _span = tspan!("net.rpc_serve", "net");
         tcounter!("net.rpc_server_requests").inc();
         let mut state = self.lock();
-        if let Some(rack) = request.rack() {
-            if let Some(&i) = self.index_of.get(&rack) {
-                let now = self.clock.tick();
-                state.leases[i].last_contact = now;
-                if !state.leases[i].coordinated {
-                    state.leases[i].coordinated = true;
-                    tcounter!("net.rejoins").inc();
-                    tevent!("net.rejoin", "net", "rack" => rack.index(), "tick" => now);
+        let now = self.clock.tick();
+        match request {
+            Request::ReadAllReadings | Request::TickLeaf { .. } => {
+                for i in 0..self.racks.len() {
+                    self.renew_lease(&mut state, i, now);
+                }
+            }
+            Request::ApplyCommandBatch(commands) => {
+                for command in commands {
+                    if let Some(&i) = self.index_of.get(&command.rack()) {
+                        self.renew_lease(&mut state, i, now);
+                    }
+                }
+            }
+            _ => {
+                if let Some(rack) = request.rack() {
+                    if let Some(&i) = self.index_of.get(&rack) {
+                        self.renew_lease(&mut state, i, now);
+                    }
                 }
             }
         }
-        match *request {
+        match request {
             Request::ListRacks => Response::Racks(self.racks.clone()),
             Request::Ping => Response::Pong,
             Request::Read(rack) => {
-                let reading = self.index_of.get(&rack).map(|&i| state.agents[i].read());
+                let reading = self.index_of.get(rack).map(|&i| state.agents[i].read());
                 Response::Reading(reading)
             }
             Request::SetChargeOverride(rack, current) => {
-                if let Some(&i) = self.index_of.get(&rack) {
-                    state.agents[i].set_charge_override(current);
+                if let Some(&i) = self.index_of.get(rack) {
+                    state.agents[i].set_charge_override(*current);
                 }
                 Response::Ack
             }
             Request::ClearChargeOverride(rack) => {
-                if let Some(&i) = self.index_of.get(&rack) {
+                if let Some(&i) = self.index_of.get(rack) {
                     state.agents[i].clear_charge_override();
                 }
                 Response::Ack
             }
             Request::SetChargePostponed(rack, postponed) => {
-                if let Some(&i) = self.index_of.get(&rack) {
-                    state.agents[i].set_charge_postponed(postponed);
+                if let Some(&i) = self.index_of.get(rack) {
+                    state.agents[i].set_charge_postponed(*postponed);
                 }
                 Response::Ack
             }
             Request::CapServers(rack, limit) => {
-                if let Some(&i) = self.index_of.get(&rack) {
-                    state.agents[i].cap_servers(limit);
+                if let Some(&i) = self.index_of.get(rack) {
+                    state.agents[i].cap_servers(*limit);
                 }
                 Response::Ack
             }
             Request::UncapServers(rack) => {
-                if let Some(&i) = self.index_of.get(&rack) {
+                if let Some(&i) = self.index_of.get(rack) {
                     state.agents[i].uncap_servers();
                 }
                 Response::Ack
+            }
+            Request::ReadAllReadings => {
+                Response::Readings(state.agents.iter().map(RackAgent::read).collect())
+            }
+            Request::ApplyCommandBatch(commands) => {
+                let mut applied = 0u32;
+                for command in commands {
+                    let Some(&i) = self.index_of.get(&command.rack()) else {
+                        continue;
+                    };
+                    let agent = &mut state.agents[i];
+                    match *command {
+                        AgentCommand::SetChargeOverride(_, current) => {
+                            agent.set_charge_override(current);
+                        }
+                        AgentCommand::ClearChargeOverride(_) => agent.clear_charge_override(),
+                        AgentCommand::SetChargePostponed(_, postponed) => {
+                            agent.set_charge_postponed(postponed);
+                        }
+                        AgentCommand::CapServers(_, limit) => agent.cap_servers(limit),
+                        AgentCommand::UncapServers(_) => agent.uncap_servers(),
+                    }
+                    applied += 1;
+                }
+                Response::BatchAck(applied)
+            }
+            Request::TickLeaf { now, budget } => {
+                let HostState { agents, leaf, .. } = &mut *state;
+                match leaf.as_mut() {
+                    Some(controller) => {
+                        if let Some(budget) = budget {
+                            controller.set_limit(*budget);
+                        }
+                        let mut bus = LeafBus {
+                            agents,
+                            index_of: &self.index_of,
+                            racks: &self.racks,
+                        };
+                        let report = controller.tick(*now, &mut bus);
+                        Response::GroupAggregate(GroupAggregate {
+                            it_load: report.it_load,
+                            recharge_power: report.recharge_power,
+                            capped_power: report.capped_power,
+                            overrides_sent: report.overrides_sent as u32,
+                            racks_throttled: report.racks_throttled as u32,
+                        })
+                    }
+                    // No leaf installed: a monitoring-only aggregate, summed
+                    // the way the controller sums its own readings.
+                    None => {
+                        let mut aggregate = GroupAggregate {
+                            it_load: Watts::ZERO,
+                            recharge_power: Watts::ZERO,
+                            capped_power: Watts::ZERO,
+                            overrides_sent: 0,
+                            racks_throttled: 0,
+                        };
+                        for agent in agents.iter() {
+                            let reading = agent.read();
+                            if reading.input_power_present {
+                                aggregate.it_load += reading.it_load;
+                                aggregate.recharge_power += reading.recharge_power;
+                            }
+                            aggregate.capped_power += reading.capped_power;
+                        }
+                        Response::GroupAggregate(aggregate)
+                    }
+                }
             }
         }
     }
@@ -327,8 +506,9 @@ fn connection_loop<A: RackAgent>(
         return;
     }
     let mut buffer = FrameBuffer::new();
+    let max_frame_len = host.max_frame_len();
     while !shutdown.load(Ordering::SeqCst) {
-        match recv_frame(&mut stream, &mut buffer, None) {
+        match recv_frame(&mut stream, &mut buffer, None, max_frame_len) {
             Ok(FrameRead::Frame(payload)) => {
                 let Ok((id, request)) = decode_request(&payload) else {
                     // A peer that stops speaking the protocol gets dropped;
@@ -337,7 +517,8 @@ fn connection_loop<A: RackAgent>(
                     return;
                 };
                 let response = host.handle(&request);
-                if send_frame(&mut stream, &encode_response(id, &response)).is_err() {
+                if send_frame(&mut stream, &encode_response(id, &response), max_frame_len).is_err()
+                {
                     return;
                 }
             }
@@ -447,10 +628,15 @@ mod tests {
         let mut buffer = FrameBuffer::new();
 
         let mut call = |id: u64, request: &Request| -> Response {
-            send_frame(&mut stream, &crate::wire::encode_request(id, request)).expect("send");
+            send_frame(
+                &mut stream,
+                &crate::wire::encode_request(id, request),
+                MAX_FRAME_LEN,
+            )
+            .expect("send");
             let deadline = Some(std::time::Instant::now() + Duration::from_secs(5));
             loop {
-                match recv_frame(&mut stream, &mut buffer, deadline).expect("recv") {
+                match recv_frame(&mut stream, &mut buffer, deadline, MAX_FRAME_LEN).expect("recv") {
                     FrameRead::Frame(payload) => {
                         let (got_id, response) =
                             crate::wire::decode_response(&payload).expect("decode");
@@ -487,6 +673,114 @@ mod tests {
             );
         });
         drop(server);
+    }
+
+    #[test]
+    fn batched_ops_mirror_per_rack_semantics() {
+        let host = host(3, 5);
+        // A batched read returns every hosted rack in fleet order and joins
+        // all of them, exactly as per-rack reads would have.
+        let Response::Readings(readings) = host.handle(&Request::ReadAllReadings) else {
+            panic!("expected readings");
+        };
+        assert_eq!(readings.len(), 3);
+        for (i, reading) in readings.iter().enumerate() {
+            assert_eq!(reading.rack, RackId::new(i as u32));
+            assert!(host.is_coordinated(reading.rack));
+        }
+
+        // A batch applies each hosted command and counts only those; the
+        // ghost rack is skipped without disturbing anything.
+        let response = host.handle(&Request::ApplyCommandBatch(vec![
+            AgentCommand::SetChargeOverride(RackId::new(0), Amperes::MAX_CHARGE),
+            AgentCommand::CapServers(RackId::new(1), Watts::from_kilowatts(4.0)),
+            AgentCommand::SetChargeOverride(RackId::new(99), Amperes::MAX_CHARGE),
+        ]));
+        assert_eq!(response, Response::BatchAck(2));
+        host.with_agents(|agents| {
+            assert_eq!(
+                agents[0].battery().bbu().charger().override_current(),
+                Some(Amperes::MAX_CHARGE)
+            );
+        });
+        assert!(host.readings()[1].capped_power > Watts::ZERO);
+
+        // Batched contact renews leases like per-rack contact does.
+        for _ in 0..10 {
+            host.advance(3);
+            host.handle(&Request::ReadAllReadings);
+        }
+        for i in 0..3 {
+            assert!(host.is_coordinated(RackId::new(i)));
+        }
+    }
+
+    #[test]
+    fn tick_leaf_without_controller_reports_monitoring_aggregate() {
+        use recharge_units::SimTime;
+        let host = host(2, 5);
+        host.with_agents(|agents| {
+            for a in agents {
+                a.step(Seconds::new(1.0));
+            }
+        });
+        let Response::GroupAggregate(aggregate) = host.handle(&Request::TickLeaf {
+            now: SimTime::from_secs(1.0),
+            budget: None,
+        }) else {
+            panic!("expected aggregate");
+        };
+        let expected: Watts = host
+            .readings()
+            .iter()
+            .filter(|r| r.input_power_present)
+            .map(|r| r.it_load)
+            .sum();
+        assert_eq!(aggregate.it_load, expected);
+        assert_eq!(aggregate.overrides_sent, 0);
+        // The monitoring tick still counts as controller contact.
+        assert!(host.is_coordinated(RackId::new(0)));
+    }
+
+    #[test]
+    fn tick_leaf_runs_the_hosted_controller_locally() {
+        use recharge_dynamo::{ControllerConfig, Strategy};
+        use recharge_units::{DeviceId, SimTime};
+        let host = host(3, DEFAULT_LEASE_TICKS);
+        host.install_leaf_controller(Controller::new(
+            ControllerConfig::new(DeviceId::new(0), Watts::from_kilowatts(190.0)),
+            Strategy::PriorityAware,
+        ));
+        // Ride through an outage so the leaf has charging racks to plan.
+        host.with_agents(|agents| {
+            for a in agents.iter_mut() {
+                a.set_input_power(false);
+            }
+            for a in agents.iter_mut() {
+                a.step(Seconds::new(60.0));
+            }
+            for a in agents.iter_mut() {
+                a.set_input_power(true);
+            }
+            for a in agents.iter_mut() {
+                a.step(Seconds::new(1.0));
+            }
+        });
+        let Response::GroupAggregate(aggregate) = host.handle(&Request::TickLeaf {
+            now: SimTime::from_secs(1.0),
+            budget: Some(Watts::from_kilowatts(150.0)),
+        }) else {
+            panic!("expected aggregate");
+        };
+        assert!(aggregate.overrides_sent > 0, "leaf sent no overrides");
+        host.with_agents(|agents| {
+            for a in agents {
+                assert!(
+                    a.battery().bbu().charger().override_current().is_some(),
+                    "leaf tick must coordinate hosted racks locally"
+                );
+            }
+        });
     }
 
     #[test]

@@ -22,17 +22,67 @@
 
 use recharge_battery::BbuState;
 use recharge_dynamo::PowerReading;
-use recharge_units::{Amperes, Dod, Priority, RackId, Watts};
+use recharge_units::{Amperes, Dod, Priority, RackId, SimTime, Watts};
 
 /// Protocol version carried in every payload; peers reject mismatches.
 pub const PROTOCOL_VERSION: u8 = 1;
 
-/// Upper bound on a frame payload; anything larger is treated as a corrupt
-/// stream and the connection is dropped.
+/// Default upper bound on a frame payload; anything larger is treated as a
+/// corrupt stream and the connection is dropped. Batched reading frames for
+/// very large fleets can legitimately exceed this — the cap is a knob on
+/// [`RpcMeshConfig`](crate::backend::RpcMeshConfig::max_frame_len).
 pub const MAX_FRAME_LEN: u32 = 1 << 20;
 
-/// A controller → agent-server request.
+/// One controller command inside a [`Request::ApplyCommandBatch`] frame.
+///
+/// Exactly the mutating half of the [`AgentBus`](recharge_dynamo::AgentBus)
+/// surface, so a batch replays per-rack calls verbatim on the server side.
 #[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AgentCommand {
+    /// Force a rack's BBU charging current.
+    SetChargeOverride(RackId, Amperes),
+    /// Return a rack's charger to automatic current selection.
+    ClearChargeOverride(RackId),
+    /// Suspend or resume a rack's battery charging.
+    SetChargePostponed(RackId, bool),
+    /// Cap a rack's server power.
+    CapServers(RackId, Watts),
+    /// Remove a rack's server power cap.
+    UncapServers(RackId),
+}
+
+impl AgentCommand {
+    /// The rack this command addresses.
+    #[must_use]
+    pub fn rack(&self) -> RackId {
+        match *self {
+            AgentCommand::SetChargeOverride(rack, _)
+            | AgentCommand::ClearChargeOverride(rack)
+            | AgentCommand::SetChargePostponed(rack, _)
+            | AgentCommand::CapServers(rack, _)
+            | AgentCommand::UncapServers(rack) => rack,
+        }
+    }
+}
+
+/// Per-group aggregates reported by a server-hosted leaf control tick — the
+/// only telemetry that crosses the wire in leaf-in-server mode.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GroupAggregate {
+    /// Sum of powered racks' IT load.
+    pub it_load: Watts,
+    /// Sum of powered racks' recharge draw.
+    pub recharge_power: Watts,
+    /// Sum of server power shed to caps.
+    pub capped_power: Watts,
+    /// Charge-current overrides the leaf sent this tick.
+    pub overrides_sent: u32,
+    /// Racks the leaf throttled this tick.
+    pub racks_throttled: u32,
+}
+
+/// A controller → agent-server request.
+#[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// The racks hosted behind this server, in stable order.
     ListRacks,
@@ -50,21 +100,41 @@ pub enum Request {
     UncapServers(RackId),
     /// Liveness probe.
     Ping,
+    /// Read every hosted rack in one round trip (fleet order); renews every
+    /// hosted rack's coordination lease.
+    ReadAllReadings,
+    /// Apply a batch of commands in one round trip; renews each addressed
+    /// rack's coordination lease.
+    ApplyCommandBatch(Vec<AgentCommand>),
+    /// Run the server-hosted leaf control tick at simulation time `now`,
+    /// optionally re-budgeting the leaf's power limit first. Renews every
+    /// hosted rack's coordination lease.
+    TickLeaf {
+        /// The controller's current simulation time.
+        now: SimTime,
+        /// Power budget assigned by the upper tier for this tick; `None`
+        /// keeps the leaf's configured limit.
+        budget: Option<Watts>,
+    },
 }
 
 impl Request {
-    /// The rack a request addresses, if any (`ListRacks`/`Ping` address the
-    /// server itself).
+    /// The rack a request addresses, if any (`ListRacks`/`Ping` and the
+    /// batched/leaf ops address the server itself).
     #[must_use]
     pub fn rack(&self) -> Option<RackId> {
-        match *self {
-            Request::ListRacks | Request::Ping => None,
+        match self {
+            Request::ListRacks
+            | Request::Ping
+            | Request::ReadAllReadings
+            | Request::ApplyCommandBatch(_)
+            | Request::TickLeaf { .. } => None,
             Request::Read(rack)
             | Request::SetChargeOverride(rack, _)
             | Request::ClearChargeOverride(rack)
             | Request::SetChargePostponed(rack, _)
             | Request::CapServers(rack, _)
-            | Request::UncapServers(rack) => Some(rack),
+            | Request::UncapServers(rack) => Some(*rack),
         }
     }
 }
@@ -80,6 +150,13 @@ pub enum Response {
     Ack,
     /// Reply to [`Request::Ping`].
     Pong,
+    /// Reply to [`Request::ReadAllReadings`]: every hosted rack, fleet order.
+    Readings(Vec<PowerReading>),
+    /// Reply to [`Request::ApplyCommandBatch`]: commands applied (addressed
+    /// racks actually hosted here).
+    BatchAck(u32),
+    /// Reply to [`Request::TickLeaf`].
+    GroupAggregate(GroupAggregate),
 }
 
 /// A malformed payload.
@@ -95,6 +172,15 @@ pub enum WireError {
     BadEnum(&'static str, u8),
     /// Trailing bytes after a complete message.
     TrailingBytes,
+    /// A frame longer than the configured cap (carried inside the
+    /// `InvalidData` [`io::Error`](std::io::Error) frame I/O returns, so
+    /// callers can downcast instead of parsing message text).
+    FrameTooLarge {
+        /// The offending frame's payload length.
+        len: u32,
+        /// The configured cap it exceeded.
+        limit: u32,
+    },
 }
 
 impl core::fmt::Display for WireError {
@@ -107,6 +193,9 @@ impl core::fmt::Display for WireError {
             }
             WireError::BadEnum(what, v) => write!(f, "illegal {what} discriminant {v}"),
             WireError::TrailingBytes => write!(f, "trailing bytes after message"),
+            WireError::FrameTooLarge { len, limit } => {
+                write!(f, "frame length {len} exceeds the {limit}-byte cap")
+            }
         }
     }
 }
@@ -122,11 +211,30 @@ const OP_SET_POSTPONED: u8 = 0x05;
 const OP_CAP: u8 = 0x06;
 const OP_UNCAP: u8 = 0x07;
 const OP_PING: u8 = 0x08;
+const OP_READ_ALL: u8 = 0x09;
+const OP_APPLY_BATCH: u8 = 0x0A;
+const OP_TICK_LEAF: u8 = 0x0B;
 // Response opcodes (high bit set).
 const OP_RACKS: u8 = 0x81;
 const OP_READING: u8 = 0x82;
 const OP_ACK: u8 = 0x83;
 const OP_PONG: u8 = 0x84;
+const OP_READINGS: u8 = 0x85;
+const OP_BATCH_ACK: u8 = 0x86;
+const OP_GROUP_AGGREGATE: u8 = 0x87;
+
+// Command tags inside an `ApplyCommandBatch` body.
+const CMD_SET_OVERRIDE: u8 = 0;
+const CMD_CLEAR_OVERRIDE: u8 = 1;
+const CMD_SET_POSTPONED: u8 = 2;
+const CMD_CAP: u8 = 3;
+const CMD_UNCAP: u8 = 4;
+
+/// Encoded size of one [`PowerReading`] in a batched frame: rack u32,
+/// priority u8, present u8, five f64 fields, bbu state u8.
+const READING_WIRE_BYTES: usize = 4 + 1 + 1 + 8 * 5 + 1;
+/// Minimum encoded size of one [`AgentCommand`]: tag u8 + rack u32.
+const COMMAND_WIRE_MIN_BYTES: usize = 1 + 4;
 
 /// Little-endian byte-buffer writer.
 struct Writer(Vec<u8>);
@@ -202,6 +310,10 @@ impl Reader<'_> {
         }
     }
 
+    fn remaining(&self) -> usize {
+        self.0.len()
+    }
+
     fn finish(&self) -> Result<(), WireError> {
         if self.0.is_empty() {
             Ok(())
@@ -269,6 +381,75 @@ fn get_reading(r: &mut Reader<'_>) -> Result<PowerReading, WireError> {
     })
 }
 
+fn put_command(w: &mut Writer, command: &AgentCommand) {
+    match *command {
+        AgentCommand::SetChargeOverride(rack, current) => {
+            w.u8(CMD_SET_OVERRIDE);
+            w.rack(rack);
+            w.f64(current.as_amps());
+        }
+        AgentCommand::ClearChargeOverride(rack) => {
+            w.u8(CMD_CLEAR_OVERRIDE);
+            w.rack(rack);
+        }
+        AgentCommand::SetChargePostponed(rack, postponed) => {
+            w.u8(CMD_SET_POSTPONED);
+            w.rack(rack);
+            w.u8(u8::from(postponed));
+        }
+        AgentCommand::CapServers(rack, limit) => {
+            w.u8(CMD_CAP);
+            w.rack(rack);
+            w.f64(limit.as_watts());
+        }
+        AgentCommand::UncapServers(rack) => {
+            w.u8(CMD_UNCAP);
+            w.rack(rack);
+        }
+    }
+}
+
+fn get_command(r: &mut Reader<'_>) -> Result<AgentCommand, WireError> {
+    match r.u8()? {
+        CMD_SET_OVERRIDE => {
+            let rack = r.rack()?;
+            Ok(AgentCommand::SetChargeOverride(
+                rack,
+                Amperes::new(r.f64()?),
+            ))
+        }
+        CMD_CLEAR_OVERRIDE => Ok(AgentCommand::ClearChargeOverride(r.rack()?)),
+        CMD_SET_POSTPONED => {
+            let rack = r.rack()?;
+            Ok(AgentCommand::SetChargePostponed(rack, r.bool()?))
+        }
+        CMD_CAP => {
+            let rack = r.rack()?;
+            Ok(AgentCommand::CapServers(rack, Watts::new(r.f64()?)))
+        }
+        CMD_UNCAP => Ok(AgentCommand::UncapServers(r.rack()?)),
+        v => Err(WireError::BadEnum("command", v)),
+    }
+}
+
+fn put_aggregate(w: &mut Writer, aggregate: &GroupAggregate) {
+    w.f64(aggregate.it_load.as_watts());
+    w.f64(aggregate.recharge_power.as_watts());
+    w.f64(aggregate.capped_power.as_watts());
+    w.u32(aggregate.overrides_sent);
+    w.u32(aggregate.racks_throttled);
+}
+
+fn get_aggregate(r: &mut Reader<'_>) -> Result<GroupAggregate, WireError> {
+    Ok(GroupAggregate {
+        it_load: Watts::new(r.f64()?),
+        recharge_power: Watts::new(r.f64()?),
+        capped_power: Watts::new(r.f64()?),
+        overrides_sent: r.u32()?,
+        racks_throttled: r.u32()?,
+    })
+}
+
 fn header(w: &mut Writer, id: u64, opcode: u8) {
     w.u8(PROTOCOL_VERSION);
     w.u64(id);
@@ -289,36 +470,55 @@ fn read_header(r: &mut Reader<'_>) -> Result<(u64, u8), WireError> {
 #[must_use]
 pub fn encode_request(id: u64, request: &Request) -> Vec<u8> {
     let mut w = Writer::new();
-    match *request {
+    match request {
         Request::ListRacks => header(&mut w, id, OP_LIST_RACKS),
         Request::Read(rack) => {
             header(&mut w, id, OP_READ);
-            w.rack(rack);
+            w.rack(*rack);
         }
         Request::SetChargeOverride(rack, current) => {
             header(&mut w, id, OP_SET_OVERRIDE);
-            w.rack(rack);
+            w.rack(*rack);
             w.f64(current.as_amps());
         }
         Request::ClearChargeOverride(rack) => {
             header(&mut w, id, OP_CLEAR_OVERRIDE);
-            w.rack(rack);
+            w.rack(*rack);
         }
         Request::SetChargePostponed(rack, postponed) => {
             header(&mut w, id, OP_SET_POSTPONED);
-            w.rack(rack);
-            w.u8(u8::from(postponed));
+            w.rack(*rack);
+            w.u8(u8::from(*postponed));
         }
         Request::CapServers(rack, limit) => {
             header(&mut w, id, OP_CAP);
-            w.rack(rack);
+            w.rack(*rack);
             w.f64(limit.as_watts());
         }
         Request::UncapServers(rack) => {
             header(&mut w, id, OP_UNCAP);
-            w.rack(rack);
+            w.rack(*rack);
         }
         Request::Ping => header(&mut w, id, OP_PING),
+        Request::ReadAllReadings => header(&mut w, id, OP_READ_ALL),
+        Request::ApplyCommandBatch(commands) => {
+            header(&mut w, id, OP_APPLY_BATCH);
+            w.u32(commands.len() as u32);
+            for command in commands {
+                put_command(&mut w, command);
+            }
+        }
+        Request::TickLeaf { now, budget } => {
+            header(&mut w, id, OP_TICK_LEAF);
+            w.f64(now.as_secs());
+            match budget {
+                Some(budget) => {
+                    w.u8(1);
+                    w.f64(budget.as_watts());
+                }
+                None => w.u8(0),
+            }
+        }
     }
     w.0
 }
@@ -342,6 +542,28 @@ pub fn decode_request(payload: &[u8]) -> Result<(u64, Request), WireError> {
         }
         OP_UNCAP => Request::UncapServers(r.rack()?),
         OP_PING => Request::Ping,
+        OP_READ_ALL => Request::ReadAllReadings,
+        OP_APPLY_BATCH => {
+            let count = r.u32()? as usize;
+            // A count the remaining payload cannot possibly hold is corrupt.
+            if count > r.remaining() / COMMAND_WIRE_MIN_BYTES {
+                return Err(WireError::Truncated);
+            }
+            let mut commands = Vec::with_capacity(count);
+            for _ in 0..count {
+                commands.push(get_command(&mut r)?);
+            }
+            Request::ApplyCommandBatch(commands)
+        }
+        OP_TICK_LEAF => {
+            let now = SimTime::from_secs(r.f64()?);
+            let budget = match r.u8()? {
+                0 => None,
+                1 => Some(Watts::new(r.f64()?)),
+                v => return Err(WireError::BadEnum("option", v)),
+            };
+            Request::TickLeaf { now, budget }
+        }
         op => return Err(WireError::BadOpcode(op)),
     };
     r.finish()?;
@@ -372,6 +594,21 @@ pub fn encode_response(id: u64, response: &Response) -> Vec<u8> {
         }
         Response::Ack => header(&mut w, id, OP_ACK),
         Response::Pong => header(&mut w, id, OP_PONG),
+        Response::Readings(readings) => {
+            header(&mut w, id, OP_READINGS);
+            w.u32(readings.len() as u32);
+            for reading in readings {
+                put_reading(&mut w, reading);
+            }
+        }
+        Response::BatchAck(applied) => {
+            header(&mut w, id, OP_BATCH_ACK);
+            w.u32(*applied);
+        }
+        Response::GroupAggregate(aggregate) => {
+            header(&mut w, id, OP_GROUP_AGGREGATE);
+            put_aggregate(&mut w, aggregate);
+        }
     }
     w.0
 }
@@ -400,6 +637,19 @@ pub fn decode_response(payload: &[u8]) -> Result<(u64, Response), WireError> {
         },
         OP_ACK => Response::Ack,
         OP_PONG => Response::Pong,
+        OP_READINGS => {
+            let count = r.u32()? as usize;
+            if count > r.remaining() / READING_WIRE_BYTES {
+                return Err(WireError::Truncated);
+            }
+            let mut readings = Vec::with_capacity(count);
+            for _ in 0..count {
+                readings.push(get_reading(&mut r)?);
+            }
+            Response::Readings(readings)
+        }
+        OP_BATCH_ACK => Response::BatchAck(r.u32()?),
+        OP_GROUP_AGGREGATE => Response::GroupAggregate(get_aggregate(&mut r)?),
         op => return Err(WireError::BadOpcode(op)),
     };
     r.finish()?;
@@ -435,11 +685,28 @@ mod tests {
             Request::CapServers(RackId::new(4), Watts::from_kilowatts(4.2)),
             Request::UncapServers(RackId::new(5)),
             Request::Ping,
+            Request::ReadAllReadings,
+            Request::ApplyCommandBatch(Vec::new()),
+            Request::ApplyCommandBatch(vec![
+                AgentCommand::SetChargeOverride(RackId::new(0), Amperes::new(3.241_59)),
+                AgentCommand::ClearChargeOverride(RackId::new(1)),
+                AgentCommand::SetChargePostponed(RackId::new(2), true),
+                AgentCommand::CapServers(RackId::new(3), Watts::from_kilowatts(5.5)),
+                AgentCommand::UncapServers(RackId::new(4)),
+            ]),
+            Request::TickLeaf {
+                now: SimTime::from_secs(612.0),
+                budget: None,
+            },
+            Request::TickLeaf {
+                now: SimTime::from_secs(613.0),
+                budget: Some(Watts::from_kilowatts(47.5)),
+            },
         ];
         for (i, request) in requests.iter().enumerate() {
             let id = 1000 + i as u64;
             let payload = encode_request(id, request);
-            assert_eq!(decode_request(&payload), Ok((id, *request)));
+            assert_eq!(decode_request(&payload), Ok((id, request.clone())));
         }
     }
 
@@ -452,6 +719,16 @@ mod tests {
             Response::Reading(None),
             Response::Ack,
             Response::Pong,
+            Response::Readings(vec![reading(), reading()]),
+            Response::Readings(Vec::new()),
+            Response::BatchAck(7),
+            Response::GroupAggregate(GroupAggregate {
+                it_load: Watts::from_kilowatts(84.0),
+                recharge_power: Watts::new(2_801.000_000_001),
+                capped_power: Watts::new(17.25),
+                overrides_sent: 14,
+                racks_throttled: 3,
+            }),
         ];
         for (i, response) in responses.iter().enumerate() {
             let id = u64::MAX - i as u64;
@@ -505,16 +782,83 @@ mod tests {
         // Response decoded as request and vice versa.
         let payload = encode_response(1, &Response::Ack);
         assert_eq!(decode_request(&payload), Err(WireError::BadOpcode(OP_ACK)));
+        // A batch whose claimed count cannot fit the remaining bytes.
+        let mut payload = encode_request(1, &Request::ApplyCommandBatch(Vec::new()));
+        let count_at = payload.len() - 4;
+        payload[count_at..].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(decode_request(&payload), Err(WireError::Truncated));
+        // Same for a readings frame.
+        let mut payload = encode_response(1, &Response::Readings(Vec::new()));
+        let count_at = payload.len() - 4;
+        payload[count_at..].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(decode_response(&payload), Err(WireError::Truncated));
+        // An unknown command tag inside a batch.
+        let mut payload = encode_request(
+            1,
+            &Request::ApplyCommandBatch(vec![AgentCommand::UncapServers(RackId::new(0))]),
+        );
+        payload[14] = 99;
+        assert_eq!(
+            decode_request(&payload),
+            Err(WireError::BadEnum("command", 99))
+        );
+    }
+
+    #[test]
+    fn batched_readings_survive_bit_exactly() {
+        let original = reading();
+        let payload = encode_response(9, &Response::Readings(vec![original, original]));
+        let (_, decoded) = decode_response(&payload).expect("decodes");
+        let Response::Readings(decoded) = decoded else {
+            panic!("wrong variant");
+        };
+        assert_eq!(decoded.len(), 2);
+        for reading in decoded {
+            assert_eq!(
+                reading.recharge_power.as_watts().to_bits(),
+                original.recharge_power.as_watts().to_bits()
+            );
+            assert_eq!(reading, original);
+        }
+    }
+
+    #[test]
+    fn reading_wire_size_matches_the_sanity_bound() {
+        // The count-vs-remaining sanity check in `decode_response` divides by
+        // this constant; keep it honest against the real encoder.
+        let lone = encode_response(0, &Response::Readings(vec![reading()]));
+        let empty = encode_response(0, &Response::Readings(Vec::new()));
+        assert_eq!(lone.len() - empty.len(), READING_WIRE_BYTES);
+        let lone = encode_request(
+            0,
+            &Request::ApplyCommandBatch(vec![AgentCommand::UncapServers(RackId::new(1))]),
+        );
+        let empty = encode_request(0, &Request::ApplyCommandBatch(Vec::new()));
+        assert_eq!(lone.len() - empty.len(), COMMAND_WIRE_MIN_BYTES);
     }
 
     #[test]
     fn request_rack_scope() {
         assert_eq!(Request::ListRacks.rack(), None);
         assert_eq!(Request::Ping.rack(), None);
+        assert_eq!(Request::ReadAllReadings.rack(), None);
+        assert_eq!(Request::ApplyCommandBatch(Vec::new()).rack(), None);
+        assert_eq!(
+            Request::TickLeaf {
+                now: SimTime::from_secs(0.0),
+                budget: None
+            }
+            .rack(),
+            None
+        );
         assert_eq!(Request::Read(RackId::new(4)).rack(), Some(RackId::new(4)));
         assert_eq!(
             Request::CapServers(RackId::new(5), Watts::ZERO).rack(),
             Some(RackId::new(5))
+        );
+        assert_eq!(
+            AgentCommand::SetChargePostponed(RackId::new(6), false).rack(),
+            RackId::new(6)
         );
     }
 }

@@ -191,15 +191,26 @@ impl Scenario {
         self
     }
 
-    /// Runs controller↔agent coordination over the RPC mesh
-    /// ([`RpcFleetBackend`]): agents are hosted behind a real socket
-    /// (loopback TCP or Unix-domain per the config) and every controller
-    /// read and command crosses the wire, with the config's deadlines,
-    /// retries, and optional seeded fault plan. Overrides
-    /// [`backend`](Self::backend) — physics stepping stays local either way,
-    /// so a clean-link run is bit-identical to the in-memory backends.
+    /// Runs controller↔agent coordination over the RPC mesh: agents are
+    /// hosted behind real sockets (loopback TCP or Unix-domain per the
+    /// config) with the config's deadlines, retries, and optional seeded
+    /// fault plan. Overrides [`backend`](Self::backend) — physics stepping
+    /// stays local either way, so a clean-link run is bit-identical to the
+    /// in-memory backends.
     ///
+    /// The config picks the mesh shape ([`spawn_mesh`]): a single
+    /// [`RpcFleetBackend`] server by default; with a shard plan
+    /// ([`RpcMeshConfig::shard_count`] / `sharded_by_rpp`) one server per
+    /// shard with batched reads/commands and concurrent fan-out
+    /// ([`ShardedRpcFleetBackend`], still bit-identical under a clean link);
+    /// with `with_leaf_control` the leaf tier additionally runs *inside*
+    /// each shard's server and only per-group aggregates and budgets cross
+    /// the wire.
+    ///
+    /// [`spawn_mesh`]: recharge_net::spawn_mesh
     /// [`RpcFleetBackend`]: recharge_net::RpcFleetBackend
+    /// [`RpcMeshConfig::shard_count`]: recharge_net::RpcMeshConfig::shard_count
+    /// [`ShardedRpcFleetBackend`]: recharge_net::ShardedRpcFleetBackend
     #[must_use]
     pub fn rpc(mut self, config: RpcMeshConfig) -> Self {
         self.rpc = Some(config);

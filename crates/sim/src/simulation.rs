@@ -116,10 +116,18 @@ impl FleetSimulation {
         // sub-step schedule, so metrics are bit-identical across them (for
         // the mesh: under a clean link).
         let mut backend: Box<dyn FleetBackend> = match &self.scenario.rpc {
-            Some(mesh) => Box::new(
-                recharge_net::RpcFleetBackend::spawn(agents, mesh)
-                    .expect("spawning the RPC mesh backend"),
-            ),
+            Some(mesh) => {
+                // A leaf spec travels along even when leaf hosting is off:
+                // `spawn_mesh` only installs server-side controllers when the
+                // config asks for them.
+                let leaf = recharge_net::LeafControlSpec {
+                    limit: self.scenario.power_limit,
+                    strategy: self.scenario.strategy,
+                    allow_postponing: self.scenario.allow_postponing,
+                };
+                recharge_net::spawn_mesh(agents, mesh, Some(leaf))
+                    .expect("spawning the RPC mesh backend")
+            }
             None => self.scenario.backend.build(agents),
         };
         let mut config = ControllerConfig::new(DeviceId::new(0), self.scenario.power_limit);
@@ -175,10 +183,17 @@ impl FleetSimulation {
             });
             let readings = backend.readings();
 
-            // Control plane (or raw aggregation when unmitigated).
+            // Control plane (or raw aggregation when unmitigated). A backend
+            // hosting the leaf tier (sharded mesh with in-server leaf
+            // control) runs the control tick itself — only aggregates come
+            // back — otherwise the simulator's own controller drives the bus.
             let (it_load, recharge, capped) = if self.mitigated {
-                let report = controller.tick(now, backend.bus_mut());
-                (report.it_load, report.recharge_power, report.capped_power)
+                if let Some(report) = backend.hosted_control_tick(now) {
+                    (report.it_load, report.recharge_power, report.capped_power)
+                } else {
+                    let report = controller.tick(now, backend.bus_mut());
+                    (report.it_load, report.recharge_power, report.capped_power)
+                }
             } else {
                 let mut it = Watts::ZERO;
                 let mut re = Watts::ZERO;

@@ -1,10 +1,15 @@
 //! Every fleet backend must produce bit-identical [`RunMetrics`].
 //!
 //! The matrix covers {serial, sharded per-tick, sharded batched, RPC mesh
-//! over loopback TCP} × {telemetry off, telemetry on} × {controller every
-//! tick, controller every 5 ticks}. Batching, sharding, and the wire may
-//! only change who executes the sub-step schedule and what transport the
-//! controller's reads and commands cross — never a single bit of the result.
+//! over loopback TCP, sharded RPC mesh at 1/2/4 shards} × {telemetry off,
+//! telemetry on} × {controller every tick, controller every 5 ticks}.
+//! Batching, sharding, and the wire may only change who executes the
+//! sub-step schedule and what transport the controller's reads and commands
+//! cross — never a single bit of the result. The sharded mesh additionally
+//! batches reads (`ReadAllReadings` snapshot) and defers commands
+//! (`ApplyCommandBatch` flushed at the next schedule boundary), and must
+//! *still* be bit-identical: nothing observes agent state between a
+//! controller tick and the next schedule's first sub-step.
 //! For the mesh this is the headline clean-link guarantee: the framed codec
 //! carries every `f64` as its exact bit pattern, the lease never expires
 //! under a healthy link, and the controller issues the identical call
@@ -13,9 +18,11 @@
 //!
 //! This is a single-test integration binary because it toggles the global
 //! telemetry enable flag — state no other concurrently running test may
-//! share. The shard count defaults to 2 and can be raised via the
+//! share. The in-process shard count defaults to 2 and can be raised via the
 //! `RECHARGE_TEST_SHARDS` environment variable (CI runs the matrix at 4 to
-//! exercise real multi-core interleavings).
+//! exercise real multi-core interleavings); the sharded-mesh loop defaults to
+//! {1, 2, 4} servers and can be pinned to a single count via
+//! `RECHARGE_MESH_SHARDS` (the `net-soak-sharded` CI matrix runs 2 and 4).
 
 use recharge_dynamo::{FleetBackendKind, Strategy};
 use recharge_net::RpcMeshConfig;
@@ -36,6 +43,16 @@ fn test_shards() -> usize {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(2)
+}
+
+fn mesh_shard_counts() -> Vec<usize> {
+    match std::env::var("RECHARGE_MESH_SHARDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+    {
+        Some(n) => vec![n],
+        None => vec![1, 2, 4],
+    }
 }
 
 fn run_matrix_row(backend: FleetBackendKind, control_every: usize) -> RunMetrics {
@@ -81,6 +98,28 @@ fn run_metrics_are_bit_identical_across_backends() {
                 "rpc-tcp diverged from serial \
                  (telemetry={telemetry}, control_every={control_every})"
             );
+            // The sharded mesh: per-shard servers, batched reads, buffered
+            // command batches, concurrent fan-out — and still bit-identical
+            // to both serial and the single-server mesh.
+            for mesh_shards in mesh_shard_counts() {
+                let sharded_rpc = scenario()
+                    .rpc(RpcMeshConfig::shard_count(mesh_shards))
+                    .control_every(control_every)
+                    .build()
+                    .run();
+                assert_eq!(
+                    sharded_rpc, reference,
+                    "rpc-sharded diverged from serial \
+                     (telemetry={telemetry}, control_every={control_every}, \
+                     mesh_shards={mesh_shards})"
+                );
+                assert_eq!(
+                    sharded_rpc, rpc,
+                    "rpc-sharded diverged from single-server rpc \
+                     (telemetry={telemetry}, control_every={control_every}, \
+                     mesh_shards={mesh_shards})"
+                );
+            }
         }
     }
     recharge_telemetry::set_enabled(false);

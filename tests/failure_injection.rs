@@ -278,6 +278,130 @@ fn controller_partition_during_recharge_falls_back_then_rejoins() {
 }
 
 #[test]
+fn single_shard_partition_degrades_only_that_shard() {
+    use recharge::net::ShardedRpcFleetBackend;
+
+    // Same shape as the single-server partition test, but over a two-shard
+    // mesh (racks [0,1] on shard 0, [2,3] on shard 1) with the partition
+    // scoped to shard 0's racks: only that shard's leases may expire; shard
+    // 1 must keep its overrides through the whole window.
+    let mut agents: Vec<SimRackAgent> = (0..4u32)
+        .map(|i| {
+            SimRackAgent::builder(RackId::new(i), Priority::ALL[(i % 3) as usize])
+                .offered_load(Watts::from_kilowatts(6.0))
+                .build()
+        })
+        .collect();
+    for a in &mut agents {
+        a.set_input_power(false);
+    }
+    for a in &mut agents {
+        a.step(Seconds::new(60.0));
+    }
+    for a in &mut agents {
+        a.set_input_power(true);
+    }
+
+    let shard0_racks: Vec<RackId> = (0..2).map(RackId::new).collect();
+    let mesh =
+        RpcMeshConfig::shard_count(2).faulted(FaultPlan::partitions_only(vec![Partition::racks(
+            120,
+            240,
+            shard0_racks.clone(),
+        )]));
+    let mut backend = ShardedRpcFleetBackend::spawn(agents, &mesh, None).expect("spawning");
+    let shard1_racks: Vec<RackId> = (2..4).map(RackId::new).collect();
+    let mut controller = Controller::new(
+        ControllerConfig::new(DeviceId::new(0), Watts::from_kilowatts(190.0)),
+        Strategy::PriorityAware,
+    );
+
+    let overridden = |backend: &ShardedRpcFleetBackend, rack: RackId| {
+        backend
+            .with_agent(rack, |a| {
+                a.battery().bbu().charger().override_current().is_some()
+            })
+            .expect("rack hosted")
+    };
+
+    let load = |_: RackId, _: usize| Watts::from_kilowatts(6.0);
+    for s in 0..420u32 {
+        backend.step_schedule(Seconds::new(1.0), &[true], &load);
+        controller.tick(SimTime::from_secs(f64::from(s)), backend.bus_mut());
+
+        if s == 100 {
+            // Before the partition: both shards fully coordinated.
+            assert_eq!(controller.commanded_currents().len(), 4);
+            for i in 0..4 {
+                let rack = RackId::new(i);
+                assert!(backend.is_coordinated(rack), "{rack} not joined");
+                assert!(overridden(&backend, rack), "{rack} missing override");
+            }
+        }
+        if s == 200 {
+            // Deep in the window, past lease expiry: shard 0 fell back to
+            // standalone variable charging...
+            for &rack in &shard0_racks {
+                assert!(
+                    !backend.is_coordinated(rack),
+                    "{rack} still coordinated mid-partition"
+                );
+                backend
+                    .with_agent(rack, |a| {
+                        let battery = a.battery();
+                        assert!(battery.bbu().charger().override_current().is_none());
+                        assert!(!battery.is_postponed());
+                        assert_eq!(battery.state(), BbuState::Charging);
+                        assert_eq!(
+                            battery.setpoint(),
+                            ChargePolicy::Variable.automatic_current(battery.event_dod()),
+                            "standalone rack must run its local automatic policy"
+                        );
+                    })
+                    .expect("rack hosted");
+            }
+            // ...while shard 1 never missed an override.
+            for &rack in &shard1_racks {
+                assert!(
+                    backend.is_coordinated(rack),
+                    "{rack} lost coordination though its shard was healthy"
+                );
+                assert!(overridden(&backend, rack), "{rack} dropped its override");
+            }
+        }
+        if (120..300).contains(&s) {
+            // Throughout the partition *and* the rejoin transient, the
+            // healthy shard's racks stay coordinated.
+            for &rack in &shard1_racks {
+                assert!(backend.is_coordinated(rack), "{rack} flapped at t={s}");
+            }
+        }
+    }
+
+    // Healed: shard 0 rejoined and was re-overridden; nothing left postponed.
+    assert_eq!(controller.commanded_currents().len(), 4);
+    for i in 0..4 {
+        let rack = RackId::new(i);
+        assert!(backend.is_coordinated(rack), "{rack} never rejoined");
+        backend
+            .with_agent(rack, |a| {
+                assert!(!a.battery().is_postponed());
+                assert!(matches!(
+                    a.battery().state(),
+                    BbuState::Charging | BbuState::FullyCharged
+                ));
+                if a.battery().state() == BbuState::Charging {
+                    assert!(
+                        a.battery().bbu().charger().override_current().is_some(),
+                        "controller must re-issue overrides after the heal"
+                    );
+                }
+            })
+            .expect("rack hosted");
+    }
+}
+
+#[test]
 fn agent_flap_leaves_no_rack_postponed() {
     // A limit tight enough that the postponing extension engages — 6 racks ×
     // 6 kW IT leaves 2 kW of charging headroom, below the ~2.25 kW the fleet

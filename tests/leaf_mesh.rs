@@ -1,0 +1,199 @@
+//! In-server leaf control over the sharded mesh: wire economy and degraded
+//! modes.
+//!
+//! With `leaf_control`, each shard's server hosts the leaf controller tier:
+//! leaf ticks run server-side against the local agents, and the only traffic
+//! per control tick is one `TickLeaf` request per shard carrying a power
+//! budget down and a [`GroupAggregate`] back. These tests pin that wire
+//! economy by counting RPCs, then exercise the per-shard degraded mode and a
+//! full scenario run.
+//!
+//! This is its own integration binary because the frame-count test reads the
+//! process-global `net.rpc_calls` counter — a lock serializes the tests, and
+//! no other binary shares the process.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use recharge::battery::{BbuState, ChargePolicy};
+use recharge::dynamo::{FleetBackend, SimRackAgent, Strategy};
+use recharge::net::{FaultPlan, LeafControlSpec, Partition, RpcMeshConfig, ShardedRpcFleetBackend};
+use recharge::prelude::*;
+use recharge::sim::{DischargeLevel, Scenario};
+
+fn telemetry_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn agents(n: u32) -> Vec<SimRackAgent> {
+    (0..n)
+        .map(|i| {
+            SimRackAgent::builder(RackId::new(i), Priority::ALL[(i % 3) as usize])
+                .offered_load(Watts::from_kilowatts(6.0))
+                .build()
+        })
+        .collect()
+}
+
+fn leaf_spec() -> LeafControlSpec {
+    LeafControlSpec {
+        limit: Watts::from_kilowatts(190.0),
+        strategy: Strategy::PriorityAware,
+        allow_postponing: false,
+    }
+}
+
+fn discharge(agents: &mut [SimRackAgent], secs: f64) {
+    for a in agents.iter_mut() {
+        a.set_input_power(false);
+    }
+    for a in agents.iter_mut() {
+        a.step(Seconds::new(secs));
+    }
+    for a in agents.iter_mut() {
+        a.set_input_power(true);
+    }
+}
+
+/// The headline wire-economy claim: in leaf mode a control tick costs
+/// exactly one RPC per shard — the `TickLeaf` carrying the budget down and
+/// the aggregate back — and the physics steps in between cost zero.
+#[test]
+fn leaf_control_tick_is_one_rpc_per_shard() {
+    let _lock = telemetry_lock();
+    recharge_telemetry::set_enabled(true);
+    let calls = recharge_telemetry::counter("net.rpc_calls");
+
+    for shards in [2usize, 4] {
+        let mut fleet = agents(8);
+        discharge(&mut fleet, 60.0);
+        let mut backend = ShardedRpcFleetBackend::spawn(
+            fleet,
+            &RpcMeshConfig::shard_count(shards).with_leaf_control(),
+            Some(leaf_spec()),
+        )
+        .expect("spawn");
+
+        // Counter baseline after spawn (discovery traffic excluded).
+        let before = calls.value();
+        let load = |_: RackId, _: usize| Watts::from_kilowatts(6.0);
+        let control_ticks = 10u32;
+        for s in 0..control_ticks {
+            // Five physical sub-steps per control tick: no wire traffic.
+            backend.step_schedule(Seconds::new(1.0), &[true; 5], &load);
+            let _ = backend.readings();
+            backend
+                .hosted_control_tick(SimTime::from_secs(f64::from(s * 5 + 4)))
+                .expect("leaf tick");
+        }
+        assert_eq!(
+            calls.value() - before,
+            u64::from(control_ticks) * shards as u64,
+            "leaf mode must cost exactly one TickLeaf per shard per control \
+             tick ({shards} shards)"
+        );
+    }
+    recharge_telemetry::set_enabled(false);
+}
+
+/// Partitioning one shard of a leaf-mode mesh degrades only that shard: its
+/// racks fall back to the standalone variable charger while the other
+/// shard's leaf keeps coordinating, and the heal re-joins everyone.
+#[test]
+fn leaf_mode_single_shard_partition_degrades_only_that_shard() {
+    let _lock = telemetry_lock();
+    let mut fleet = agents(4);
+    discharge(&mut fleet, 60.0);
+
+    let shard0_racks: Vec<RackId> = (0..2).map(RackId::new).collect();
+    let mesh =
+        RpcMeshConfig::shard_count(2)
+            .with_leaf_control()
+            .faulted(FaultPlan::partitions_only(vec![Partition::racks(
+                120,
+                240,
+                shard0_racks.clone(),
+            )]));
+    let mut backend =
+        ShardedRpcFleetBackend::spawn(fleet, &mesh, Some(leaf_spec())).expect("spawn");
+    let shard1_racks: Vec<RackId> = (2..4).map(RackId::new).collect();
+
+    let load = |_: RackId, _: usize| Watts::from_kilowatts(6.0);
+    for s in 0..420u32 {
+        backend.step_schedule(Seconds::new(1.0), &[true], &load);
+        let report = backend
+            .hosted_control_tick(SimTime::from_secs(f64::from(s)))
+            .expect("leaf tick");
+        assert!(report.it_load > Watts::ZERO, "aggregates lost at t={s}");
+
+        if s == 100 {
+            for i in 0..4 {
+                assert!(backend.is_coordinated(RackId::new(i)), "rack{i} not joined");
+            }
+        }
+        if s == 200 {
+            for &rack in &shard0_racks {
+                assert!(!backend.is_coordinated(rack), "{rack} still coordinated");
+                backend
+                    .with_agent(rack, |a| {
+                        let battery = a.battery();
+                        assert!(battery.bbu().charger().override_current().is_none());
+                        assert_eq!(
+                            battery.setpoint(),
+                            ChargePolicy::Variable.automatic_current(battery.event_dod()),
+                            "standalone rack must run its local automatic policy"
+                        );
+                    })
+                    .expect("hosted");
+            }
+            for &rack in &shard1_racks {
+                assert!(backend.is_coordinated(rack), "{rack} lost coordination");
+            }
+        }
+    }
+
+    for i in 0..4 {
+        let rack = RackId::new(i);
+        assert!(backend.is_coordinated(rack), "{rack} never rejoined");
+        backend
+            .with_agent(rack, |a| {
+                assert!(!a.battery().is_postponed());
+                assert!(matches!(
+                    a.battery().state(),
+                    BbuState::Charging | BbuState::FullyCharged
+                ));
+            })
+            .expect("hosted");
+    }
+}
+
+/// A full scenario over the leaf-mode mesh: the per-shard leaves plus the
+/// headroom re-budgeting must still protect the breaker and meet every
+/// Table II SLA.
+#[test]
+fn leaf_mode_scenario_meets_slas_without_tripping() {
+    let _lock = telemetry_lock();
+    let metrics = Scenario::row(3, 2, 2, 7)
+        .power_limit(Watts::from_kilowatts(190.0))
+        .strategy(Strategy::PriorityAware)
+        .discharge(DischargeLevel::Low)
+        .tick(Seconds::new(1.0))
+        .max_horizon(Seconds::from_hours(2.5))
+        .control_every(5)
+        .rpc(RpcMeshConfig::shard_count(2).with_leaf_control())
+        .build()
+        .run();
+    assert!(
+        !metrics.breaker_tripped,
+        "breaker tripped under leaf control (max draw {})",
+        metrics.max_total_draw
+    );
+    assert_eq!(metrics.rack_outcomes.len(), 7);
+    for outcome in &metrics.rack_outcomes {
+        assert!(
+            outcome.sla_met,
+            "rack {} ({:?}) missed its SLA under leaf control: {:?}",
+            outcome.rack, outcome.priority, outcome.charge_duration
+        );
+    }
+}

@@ -8,6 +8,9 @@ use recharge::core::{
     assign_global, assign_priority_aware, throttle_on_overload, RackChargeState,
     RechargePowerModel, SlaCurrentPolicy, SLA_MEMO_DOD_BINS,
 };
+use recharge::dynamo::FleetBackendKind;
+use recharge::net::ShardPlan;
+use recharge::power::facebook;
 use recharge::prelude::*;
 use recharge::reliability::{table1, AorSimulation};
 
@@ -43,6 +46,27 @@ fn pinned_regression_budget_invariant_near_fleet_floor() {
     }
     // The shallow racks need exactly the 2 A P1 floor — not 5 A saturation.
     assert_eq!(outcome.assignments[0].current, Amperes::new(2.0));
+}
+
+/// `ShardPlan::ByRpp` on the paper's MSB substrate must reproduce the power
+/// topology's own RPP rows: `facebook::single_msb` attaches racks to RPPs
+/// densely in fleet order, and the sharded mesh's contiguous 14-rack chunks
+/// are exactly those rows. Pinned at 28 racks (two full rows) plus the
+/// ragged 316-rack paper fleet.
+#[test]
+fn pinned_by_rpp_sharding_matches_power_topology_rows() {
+    for rack_count in [28usize, 316] {
+        let plan = facebook::single_msb(rack_count);
+        let groups = ShardPlan::ByRpp { racks_per_rpp: 14 }.partition(&plan.racks);
+        assert_eq!(groups.len(), plan.rpps.len(), "{rack_count} racks");
+        for (group, &rpp) in groups.iter().zip(&plan.rpps) {
+            assert_eq!(
+                *group,
+                plan.topology.racks_under(rpp),
+                "shard group diverged from RPP {rpp} ({rack_count} racks)"
+            );
+        }
+    }
 }
 
 fn arb_racks(max: usize) -> impl Strategy<Value = Vec<RackChargeState>> {
@@ -248,6 +272,59 @@ proptest! {
         prop_assert!(again.assignments == once.assignments);
         prop_assert!(again.power_shed == Watts::ZERO);
         prop_assert!(again.residual_overload == once.residual_overload);
+    }
+
+    #[test]
+    fn shard_partition_assigns_every_rack_exactly_once(
+        rack_count in 1usize..200,
+        plan_pick in 0u8..3,
+        n in 0usize..40,
+    ) {
+        // Whatever the plan, partitioning is a permutation-free split: every
+        // rack lands in exactly one shard, in fleet order, with no shard
+        // empty (so no server ever hosts zero racks while another hosts its
+        // racks twice).
+        let racks: Vec<RackId> = (0..rack_count as u32).map(RackId::new).collect();
+        let plan = match plan_pick {
+            0 => ShardPlan::Single,
+            1 => ShardPlan::Count(n),
+            _ => ShardPlan::ByRpp { racks_per_rpp: n.max(1) },
+        };
+        let groups = plan.partition(&racks);
+        let flattened: Vec<RackId> = groups.iter().flatten().copied().collect();
+        prop_assert_eq!(&flattened, &racks, "{:?} lost or duplicated racks", plan);
+        prop_assert!(
+            groups.iter().all(|g| !g.is_empty()),
+            "{:?} produced an empty shard for {} racks",
+            plan,
+            rack_count
+        );
+    }
+
+    #[test]
+    fn by_rpp_sharding_preserves_rpp_grouping(
+        rack_count in 1usize..150,
+        row_size in 1usize..15,
+    ) {
+        // The mesh's ByRpp chunks must equal the topology's RPP rows for any
+        // fleet size and row width, ragged tail included.
+        let plan = facebook::single_msb_with_row_size(rack_count, row_size);
+        let groups = ShardPlan::ByRpp { racks_per_rpp: row_size }.partition(&plan.racks);
+        prop_assert_eq!(groups.len(), plan.rpps.len());
+        for (group, &rpp) in groups.iter().zip(&plan.rpps) {
+            prop_assert_eq!(group, &plan.topology.racks_under(rpp));
+        }
+    }
+
+    #[test]
+    fn backend_kind_survives_string_round_trip(kind_pick in 0u8..3, shards in 0usize..100) {
+        let kind = match kind_pick {
+            0 => FleetBackendKind::Serial,
+            1 => FleetBackendKind::Sharded { shards },
+            _ => FleetBackendKind::ShardedBatched { shards },
+        };
+        let text = kind.to_string();
+        prop_assert_eq!(text.parse::<FleetBackendKind>(), Ok(kind), "via {:?}", text);
     }
 
     #[test]

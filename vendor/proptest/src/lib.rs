@@ -14,12 +14,14 @@
 //!
 //! * **Minimal shrinking.** On failure the runner greedily re-runs smaller
 //!   inputs before panicking: integer ranges shrink toward their lower bound
-//!   by halving deltas, booleans toward `false`, tuples component-wise,
+//!   by halving deltas, float ranges by the same bounded bisection in
+//!   order-preserving bit space (toward the range low, at most 64 candidates
+//!   per step), booleans toward `false`, tuples component-wise,
 //!   `collection::vec` by element removal (respecting the size lower bound)
 //!   and element-wise shrinking, and `prop_filter` forwards candidates its
-//!   predicate accepts. Float ranges and `prop_map` outputs do **not**
-//!   shrink (mapping is not invertible without upstream's value trees) — the
-//!   original failing input is then reported as-is.
+//!   predicate accepts. `prop_map` outputs do **not** shrink (mapping is
+//!   not invertible without upstream's value trees) — the original failing
+//!   input is then reported as-is.
 //! * **No regression-file replay.** `.proptest-regressions` seeds encode
 //!   upstream's internal RNG state and cannot be replayed here; known
 //!   regressions are instead pinned as explicit unit tests next to the
@@ -212,9 +214,49 @@ macro_rules! impl_int_range_strategy {
 
 impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
-// Float ranges generate but do not shrink: there is no smallest failing float
-// to bisect toward at this fidelity, and the tests' float inputs are already
-// human-readable.
+/// Order-preserving `f64 → u64` mapping over the finite floats: negative
+/// values map below positive ones and `a < b ⇔ ordered(a) < ordered(b)`, so
+/// integer arithmetic on the image bisects the float line.
+fn f64_ordered_bits(x: f64) -> u64 {
+    let bits = x.to_bits();
+    if bits & (1 << 63) != 0 {
+        !bits
+    } else {
+        bits | (1 << 63)
+    }
+}
+
+/// Inverse of [`f64_ordered_bits`].
+fn f64_from_ordered_bits(ordered: u64) -> f64 {
+    if ordered & (1 << 63) != 0 {
+        f64::from_bits(ordered & !(1 << 63))
+    } else {
+        f64::from_bits(!ordered)
+    }
+}
+
+/// Float-range shrink candidates, mirroring the integer bisection: the range
+/// low first (most aggressive), then `value − delta` for halving deltas —
+/// computed in ordered-bit space, where every halving step is well defined
+/// and strictly below `value`. At most 64 candidates (one per bit of delta).
+fn float_shrink_candidates(low: f64, value: f64) -> Vec<f64> {
+    if !low.is_finite() || !value.is_finite() || value <= low {
+        return Vec::new();
+    }
+    let low_bits = f64_ordered_bits(low);
+    let value_bits = f64_ordered_bits(value);
+    let mut out = vec![low];
+    let mut delta = (value_bits - low_bits) / 2;
+    while delta > 0 {
+        out.push(f64_from_ordered_bits(value_bits - delta));
+        delta /= 2;
+    }
+    out
+}
+
+// Float ranges bisect toward the range low in ordered-bit space. Note the
+// helpers above are f64-specific; instantiate this macro for another float
+// width only after widening them.
 macro_rules! impl_float_range_strategy {
     ($($t:ty),*) => {$(
         impl Strategy for core::ops::Range<$t> {
@@ -222,11 +264,17 @@ macro_rules! impl_float_range_strategy {
             fn new_value(&self, rng: &mut StdRng) -> $t {
                 rng.gen_range(self.clone())
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                float_shrink_candidates(self.start, *value)
+            }
         }
         impl Strategy for core::ops::RangeInclusive<$t> {
             type Value = $t;
             fn new_value(&self, rng: &mut StdRng) -> $t {
                 rng.gen_range(self.clone())
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                float_shrink_candidates(*self.start(), *value)
             }
         }
     )*};
@@ -539,7 +587,10 @@ macro_rules! prop_assert {
         $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
     };
     ($cond:expr, $($fmt:tt)*) => {
-        if !$cond {
+        // Bind before negating: `!(a < b)` on floats trips clippy's
+        // neg_cmp_op_on_partial_ord at every call site otherwise.
+        let cond: bool = $cond;
+        if !cond {
             return ::core::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)*)));
         }
     };
@@ -697,6 +748,62 @@ mod tests {
         assert!(candidates.contains(&63));
         assert!(candidates.iter().all(|&c| (5..64).contains(&c)));
         assert!(s.shrink(&5).is_empty());
+    }
+
+    #[test]
+    fn float_ranges_shrink_toward_the_low_bound() {
+        let s = 0.0f64..100.0;
+        let candidates = s.shrink(&40.0);
+        assert_eq!(candidates.first(), Some(&0.0));
+        assert!(candidates.len() <= 64, "{}", candidates.len());
+        assert!(
+            candidates.iter().all(|&c| (0.0..40.0).contains(&c)),
+            "{candidates:?}"
+        );
+        // The gentlest candidate is the previous representable float.
+        assert_eq!(
+            candidates.last().copied(),
+            Some(f64::from_bits(40.0f64.to_bits() - 1))
+        );
+        assert!(s.shrink(&0.0).is_empty());
+
+        // Negative lows shrink across the sign boundary toward the start.
+        let s = -5.0f64..=5.0;
+        let candidates = s.shrink(&4.0);
+        assert_eq!(candidates.first(), Some(&-5.0));
+        assert!(
+            candidates.iter().all(|&c| (-5.0..4.0).contains(&c)),
+            "{candidates:?}"
+        );
+        assert!(s.shrink(&-5.0).is_empty());
+    }
+
+    #[test]
+    fn float_failing_cases_shrink_to_the_boundary() {
+        let result = std::panic::catch_unwind(|| {
+            proptest! {
+                #![proptest_config(ProptestConfig::with_cases(16))]
+                fn inner(x in 0.0f64..100.0) {
+                    prop_assert!(x < 50.0, "x = {x} exceeds the bound");
+                }
+            }
+            inner();
+        });
+        let payload = result.expect_err("the property must fail");
+        let message = payload
+            .downcast_ref::<String>()
+            .expect("panic carries a formatted message");
+        assert!(message.contains("minimal input"), "{message}");
+        // The ordered-bit bisection converges onto the smallest failing
+        // float (or within the shrink budget's last few ulps of it).
+        let x: f64 = message
+            .split("x = ")
+            .nth(1)
+            .and_then(|tail| tail.split(' ').next())
+            .expect("message reports the failing input")
+            .parse()
+            .expect("the reported input is a float");
+        assert!((50.0..50.000001).contains(&x), "{message}");
     }
 
     #[test]
