@@ -141,6 +141,14 @@ impl Charger {
         self.override_current
     }
 
+    /// The automatic setpoint computed at the last
+    /// [`begin_charge`](Self::begin_charge), independent of any override or
+    /// postpone state — what [`setpoint`](Self::setpoint) falls back to.
+    #[must_use]
+    pub fn automatic_current(&self) -> Amperes {
+        self.automatic
+    }
+
     /// Suspends or resumes charging entirely.
     ///
     /// Postponing is the paper's stated future-work extension (§IV-A): with

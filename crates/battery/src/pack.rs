@@ -4,6 +4,7 @@ use serde::{Deserialize, Serialize};
 
 use recharge_units::{Amperes, Dod, Joules, Seconds, Soc, Volts, Watts};
 
+use crate::kernel;
 use crate::params::BbuParams;
 
 /// Which leg of the CC-CV sequence (Fig 6a) a charging step executed.
@@ -141,8 +142,7 @@ impl BbuPack {
     /// charge, before clamping to the commanded setpoint.
     #[must_use]
     pub fn natural_cv_current(&self) -> Amperes {
-        ((self.params.cv_voltage - self.open_circuit_voltage()) / self.params.internal_resistance)
-            .max(Amperes::ZERO)
+        kernel::natural_cv_current(&self.params, self.open_circuit_voltage())
     }
 
     /// Advances the CC-CV charge sequence by `dt` with the commanded setpoint.
@@ -153,65 +153,21 @@ impl BbuPack {
     ///    CC→CV threshold (52 V), charge at constant current.
     /// 2. Otherwise regulate the terminal at the CV voltage (52.5 V); the
     ///    current is the natural taper current, clamped to the setpoint.
-    /// 3. Terminate when the taper current falls to the cutoff (400 mA).
+    /// 3. Terminate when the taper current falls to the cutoff (400 mA); the
+    ///    terminating step reports the final sub-cutoff taper flow plus the
+    ///    snapped sliver of charge, so cumulative `stored_energy` telescopes
+    ///    exactly with ΔSoC × capacity (see [`kernel::charge_step`]).
     ///
     /// A zero or negative `setpoint` pauses charging (used by coordination
     /// layers that postpone charging entirely).
     pub fn charge_step(&mut self, setpoint: Amperes, dt: Seconds) -> ChargeStep {
-        if self.charge_terminated || setpoint <= Amperes::ZERO || dt <= Seconds::ZERO {
-            return ChargeStep {
-                phase: if self.charge_terminated {
-                    ChargePhase::Complete
-                } else {
-                    ChargePhase::ConstantCurrent
-                },
-                current: Amperes::ZERO,
-                terminal_voltage: self.open_circuit_voltage(),
-                wall_power: Watts::ZERO,
-                stored_energy: Joules::ZERO,
-            };
-        }
-
-        let ocv = self.open_circuit_voltage();
-        let cc_terminal = ocv + setpoint * self.params.internal_resistance;
-
-        let (phase, current, terminal) = if cc_terminal < self.params.cc_to_cv_voltage {
-            (ChargePhase::ConstantCurrent, setpoint, cc_terminal)
-        } else {
-            let natural = self.natural_cv_current();
-            let current = natural.min(setpoint);
-            if current <= self.params.cutoff_current {
-                // Taper finished: snap to full and latch termination.
-                self.soc = 1.0;
-                self.charge_terminated = true;
-                return ChargeStep {
-                    phase: ChargePhase::Complete,
-                    current: Amperes::ZERO,
-                    terminal_voltage: self.params.cv_voltage,
-                    wall_power: Watts::ZERO,
-                    stored_energy: Joules::ZERO,
-                };
-            }
-            (
-                ChargePhase::ConstantVoltage,
-                current,
-                self.params.cv_voltage,
-            )
-        };
-
-        // Energy stored by the chemistry accrues at the open-circuit potential
-        // scaled by the charge-acceptance efficiency; the I²R drop is heat.
-        let stored = ocv * current * dt * self.params.charge_efficiency;
-        self.soc = (self.soc + stored / self.params.full_discharge_energy).min(1.0);
-
-        let wall_power = terminal * current * self.params.wall_loss_factor;
-        ChargeStep {
-            phase,
-            current,
-            terminal_voltage: terminal,
-            wall_power,
-            stored_energy: stored,
-        }
+        kernel::charge_step(
+            &self.params,
+            &mut self.soc,
+            &mut self.charge_terminated,
+            setpoint,
+            dt,
+        )
     }
 
     /// Draws `requested` power from the pack for `dt`.
@@ -220,31 +176,13 @@ impl BbuPack {
     /// ([`BbuParams::max_discharge_power`]) and by the energy remaining; if the
     /// pack empties mid-step the delivered power is the average over `dt`.
     pub fn discharge_step(&mut self, requested: Watts, dt: Seconds) -> DischargeStep {
-        if requested <= Watts::ZERO || dt <= Seconds::ZERO || self.is_depleted() {
-            return DischargeStep {
-                delivered_power: Watts::ZERO,
-                depleted: self.is_depleted(),
-            };
-        }
-        self.charge_terminated = false;
-
-        let power = requested.min(self.params.max_discharge_power);
-        let wanted = power * dt;
-        let available = self.remaining_energy();
-        let (delivered_energy, depleted) = if wanted >= available {
-            (available, true)
-        } else {
-            (wanted, false)
-        };
-
-        self.soc = (self.soc - delivered_energy / self.params.full_discharge_energy).max(0.0);
-        if depleted {
-            self.soc = 0.0;
-        }
-        DischargeStep {
-            delivered_power: delivered_energy / dt,
-            depleted,
-        }
+        kernel::discharge_step(
+            &self.params,
+            &mut self.soc,
+            &mut self.charge_terminated,
+            requested,
+            dt,
+        )
     }
 
     /// Charges to completion at a fixed setpoint, returning the total time.
@@ -452,10 +390,46 @@ mod tests {
             wall > stored,
             "wall energy must exceed stored energy (losses)"
         );
+        // The terminating step accounts the snapped sliver, so the cumulative
+        // stored series telescopes with ΔSoC × capacity to float precision —
+        // not the 2% slack the zero-energy snap used to need.
         assert!(
-            (stored.as_joules() - 297_000.0).abs() / 297_000.0 < 0.02,
-            "stored {stored} should match capacity"
+            (stored.as_joules() - 297_000.0).abs() / 297_000.0 < 1e-9,
+            "stored {stored} should match capacity exactly"
         );
+    }
+
+    #[test]
+    fn termination_step_reports_taper_flow_not_zeros() {
+        // Drive a pack to the terminating step and check that the step that
+        // latches completion still reports the sub-cutoff taper current, a
+        // non-zero wall power (no one-tick dip to zero before completion),
+        // and the stored sliver that makes the energy series telescope.
+        let mut pack = pack_at(0.5);
+        let dt = Seconds::new(1.0);
+        for _ in 0..200_000 {
+            let soc_before = pack.soc().value();
+            let step = pack.charge_step(Amperes::new(2.0), dt);
+            if step.phase == ChargePhase::Complete {
+                assert!(step.current > Amperes::ZERO, "taper current flowed");
+                assert!(step.current <= pack.params().cutoff_current);
+                assert_eq!(step.terminal_voltage, pack.params().cv_voltage);
+                assert!(
+                    step.wall_power > Watts::ZERO,
+                    "wall power must taper, not dip to zero"
+                );
+                let expected = pack.params().full_discharge_energy * (1.0 - soc_before);
+                assert!(
+                    (step.stored_energy.as_joules() - expected.as_joules()).abs() < 1e-6,
+                    "terminating stored {} != remaining sliver {}",
+                    step.stored_energy,
+                    expected
+                );
+                assert!(pack.is_fully_charged());
+                return;
+            }
+        }
+        panic!("charge never terminated");
     }
 
     #[test]

@@ -6,6 +6,7 @@ use recharge_units::{Amperes, Dod, Seconds, Soc, Watts};
 
 use crate::bbu::{Bbu, BbuState};
 use crate::charger::ChargePolicy;
+use crate::error::BatteryError;
 use crate::params::BbuParams;
 
 /// What one simulation step of a [`RackBatterySystem`] did, rack-aggregated.
@@ -54,12 +55,35 @@ pub struct RackBatterySystem {
 
 impl RackBatterySystem {
     /// Creates a rack battery shelf with `params.bbus_per_rack` identical BBUs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters fail [`BbuParams::validate`] — in particular a
+    /// zero `bbus_per_rack` (constructible via serde) would otherwise turn
+    /// every load-share division in [`step`](Self::step) into silent NaN.
+    /// Fallible callers should use [`try_new`](Self::try_new).
     #[must_use]
     pub fn new(params: BbuParams, policy: ChargePolicy) -> Self {
-        RackBatterySystem {
+        match RackBatterySystem::try_new(params, policy) {
+            Ok(rack) => rack,
+            Err(err) => panic!("invalid BBU parameters: {err}"),
+        }
+    }
+
+    /// Creates a rack battery shelf, validating the parameters first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BatteryError::InvalidParams`] describing the first violated
+    /// constraint (see [`BbuParams::validate`]); deserialized configurations
+    /// with `bbus_per_rack: 0` are rejected here instead of yielding NaN load
+    /// shares at step time.
+    pub fn try_new(params: BbuParams, policy: ChargePolicy) -> Result<Self, BatteryError> {
+        params.validate()?;
+        Ok(RackBatterySystem {
             representative: Bbu::new(params, policy),
             count: params.bbus_per_rack,
-        }
+        })
     }
 
     /// Number of BBUs in the rack.
@@ -176,6 +200,32 @@ mod tests {
     fn six_bbus_by_default() {
         assert_eq!(rack().bbu_count(), 6);
         assert!(rack().is_redundant());
+    }
+
+    #[test]
+    fn zero_bbu_params_are_rejected_with_typed_error() {
+        // Regression: BbuParams is serde-deserializable, so a config file can
+        // carry bbus_per_rack: 0; construction must fail loudly instead of
+        // stepping into NaN load shares.
+        let params = BbuParams {
+            bbus_per_rack: 0,
+            ..BbuParams::default()
+        };
+        let err = RackBatterySystem::try_new(params, ChargePolicy::Variable).unwrap_err();
+        assert!(
+            matches!(&err, BatteryError::InvalidParams(msg) if msg.contains("bbus_per_rack")),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "bbus_per_rack")]
+    fn zero_bbu_params_panic_in_new() {
+        let params = BbuParams {
+            bbus_per_rack: 0,
+            ..BbuParams::default()
+        };
+        let _ = RackBatterySystem::new(params, ChargePolicy::Variable);
     }
 
     #[test]

@@ -16,10 +16,11 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use recharge_core::SlaCurrentPolicy;
-use recharge_dynamo::Strategy;
+use recharge_dynamo::{FleetBackendKind, SimRackAgent, Strategy};
 use recharge_reliability::{table1, AorSimulation, PhysicalAorSimulation};
 use recharge_sim::{DischargeLevel, Scenario};
-use recharge_units::{Amperes, Dod, Priority, Seconds, Watts};
+use recharge_trace::{CampusFleet, RackPowerTrace};
+use recharge_units::{Amperes, Dod, Priority, RackId, Seconds, Watts};
 
 struct Pair {
     name: &'static str,
@@ -592,6 +593,156 @@ impl ShardedNetProbe {
     }
 }
 
+/// The campus-scale probe: the struct-of-arrays kernel stepped over a
+/// ≥100k-rack campus (317 paper MSB rows), with the object path timed on the
+/// same schedule for the speedup headline.
+///
+/// Wall-clock throughput is core-count dependent, so on this probe the gates
+/// are core-count *independent*: (1) the SoA readings after the schedule are
+/// bit-identical to the object path's at full campus scale, (2) a small
+/// full-simulation run produces bit-identical `RunMetrics` on the serial,
+/// SoA, and sharded-SoA backends, and (3) the SoA kernel's ns-per-rack-step
+/// stays within a generous single-core budget. Racks × ticks/sec and the
+/// speedup over the object path are reported for reference.
+struct ScaleProbe {
+    racks: usize,
+    substeps: usize,
+    soa_secs: f64,
+    soa_sharded_secs: f64,
+    object_secs: f64,
+    ns_per_rack_step: f64,
+    identical_at_scale: bool,
+    sim_identical: bool,
+    pass: bool,
+}
+
+/// Single-core budget for one SoA rack sub-step (generous: the kernel
+/// measures in the low hundreds of nanoseconds).
+const SCALE_NS_BUDGET: f64 = 2_000.0;
+/// The tentpole floor: the probe must exercise at least this many racks.
+const SCALE_RACKS_GATE: usize = 100_000;
+
+fn scale_probe(cores: usize) -> ScaleProbe {
+    // 317 paper rows × 316 racks = 100,172 racks — just past the 100k floor.
+    let campus = CampusFleet::paper_campus(317, 41);
+    let agents: Vec<SimRackAgent> = campus
+        .fleet()
+        .iter()
+        .map(|e| {
+            SimRackAgent::builder(e.rack, e.priority)
+                .offered_load(Watts::from_kilowatts(6.0))
+                .build()
+        })
+        .collect();
+    let racks = agents.len();
+
+    // 12 dark sub-steps discharge every rack (~4% DOD), then power returns
+    // and the rest of the schedule charges — both kernel branches run hot.
+    let substeps = 48usize;
+    let schedule: Vec<bool> = (0..substeps).map(|i| i >= 12).collect();
+    let load = |rack: RackId, i: usize| {
+        Watts::from_kilowatts(5.5 + 0.25 * f64::from(rack.index() % 8) + 0.01 * (i % 16) as f64)
+    };
+
+    let mut soa = FleetBackendKind::Soa.build(agents.clone());
+    let ((), soa_secs) = time(|| soa.step_schedule(Seconds::new(1.0), &schedule, &load));
+    let mut soa_sharded = FleetBackendKind::SoaSharded {
+        shards: cores.max(2),
+    }
+    .build(agents.clone());
+    let ((), soa_sharded_secs) =
+        time(|| soa_sharded.step_schedule(Seconds::new(1.0), &schedule, &load));
+    let mut object = FleetBackendKind::Serial.build(agents);
+    let ((), object_secs) = time(|| object.step_schedule(Seconds::new(1.0), &schedule, &load));
+
+    let reference = object.readings();
+    let identical_at_scale = soa.readings() == reference && soa_sharded.readings() == reference;
+
+    // Full-simulation equivalence at a size the object path can afford: the
+    // controller, telemetry sampling, and metrics pipeline all ride on top of
+    // the backend, and the SoA run must not move a single bit of RunMetrics.
+    let sim = || {
+        Scenario::row(30, 30, 30, 13)
+            .power_limit(Watts::from_kilowatts(600.0))
+            .discharge(DischargeLevel::Medium)
+            .allow_postponing()
+            .max_horizon(Seconds::new(600.0))
+    };
+    let serial_metrics = sim().build().run();
+    let sim_identical = sim().soa().build().run() == serial_metrics
+        && sim().soa_sharded(2).build().run() == serial_metrics;
+
+    let ns_per_rack_step = soa_secs * 1e9 / (racks * substeps) as f64;
+    let pass = identical_at_scale
+        && sim_identical
+        && racks >= SCALE_RACKS_GATE
+        && ns_per_rack_step <= SCALE_NS_BUDGET;
+    ScaleProbe {
+        racks,
+        substeps,
+        soa_secs,
+        soa_sharded_secs,
+        object_secs,
+        ns_per_rack_step,
+        identical_at_scale,
+        sim_identical,
+        pass,
+    }
+}
+
+impl ScaleProbe {
+    fn emit(&self, out_dir: &Path, cores: usize) -> std::io::Result<()> {
+        let rack_steps = (self.racks * self.substeps) as f64;
+        let rack_ticks_per_sec = rack_steps / self.soa_secs.max(1e-12);
+        let speedup = self.object_secs / self.soa_secs.max(1e-12);
+        let mut json = String::new();
+        let _ = writeln!(json, "{{");
+        let _ = writeln!(json, "  \"benchmark\": \"scale\",");
+        let _ = writeln!(json, "  \"racks\": {},", self.racks);
+        let _ = writeln!(json, "  \"racks_gate\": {SCALE_RACKS_GATE},");
+        let _ = writeln!(json, "  \"substeps\": {},", self.substeps);
+        let _ = writeln!(json, "  \"soa_secs\": {:.6},", self.soa_secs);
+        let _ = writeln!(
+            json,
+            "  \"soa_sharded_secs\": {:.6},",
+            self.soa_sharded_secs
+        );
+        let _ = writeln!(json, "  \"object_secs\": {:.6},", self.object_secs);
+        let _ = writeln!(json, "  \"soa_speedup_over_object\": {speedup:.3},");
+        let _ = writeln!(
+            json,
+            "  \"ns_per_rack_step\": {:.3},",
+            self.ns_per_rack_step
+        );
+        let _ = writeln!(json, "  \"ns_per_rack_step_budget\": {SCALE_NS_BUDGET},");
+        let _ = writeln!(json, "  \"rack_ticks_per_sec\": {rack_ticks_per_sec:.0},");
+        let _ = writeln!(
+            json,
+            "  \"identical_at_scale\": {},",
+            self.identical_at_scale
+        );
+        let _ = writeln!(json, "  \"sim_metrics_identical\": {},", self.sim_identical);
+        let _ = writeln!(json, "  \"pass\": {},", self.pass);
+        let _ = writeln!(json, "  \"cores\": {cores}");
+        let _ = writeln!(json, "}}");
+        std::fs::write(out_dir.join("BENCH_scale.json"), json)?;
+        println!(
+            "scale: {} racks × {} sub-steps; soa {:.3}s ({:.0} ns/rack-step, \
+             {rack_ticks_per_sec:.2e} rack-ticks/s), object {:.3}s (speedup {speedup:.2}x), \
+             identical at scale: {}, sim metrics identical: {}, pass: {}",
+            self.racks,
+            self.substeps,
+            self.soa_secs,
+            self.ns_per_rack_step,
+            self.object_secs,
+            self.identical_at_scale,
+            self.sim_identical,
+            self.pass
+        );
+        Ok(())
+    }
+}
+
 /// One consolidated `BENCH_summary.json` over every probe: name, pass flag,
 /// and the probe's headline figure, so CI can gate (and humans skim) one
 /// file instead of seven.
@@ -723,6 +874,21 @@ fn main() -> ExitCode {
                 .map(|r| r.rpc_calls as f64
                     / (r.shards as f64 * sharded_net.control_ticks.max(1) as f64))
                 .fold(0.0, f64::max)
+        ),
+    );
+
+    let scale = scale_probe(cores);
+    if let Err(e) = scale.emit(&out_dir, cores) {
+        eprintln!("failed to write BENCH_scale.json: {e}");
+        ok = false;
+    }
+    ok &= scale.pass;
+    summary.push(
+        "scale",
+        scale.pass,
+        format!(
+            "\"racks\": {}, \"ns_per_rack_step\": {:.3}",
+            scale.racks, scale.ns_per_rack_step
         ),
     );
 

@@ -141,6 +141,18 @@ impl SimRackAgent {
         self.offered_load = load.max(Watts::ZERO);
     }
 
+    /// The IT load the servers want to draw, before capping.
+    #[must_use]
+    pub fn offered_load(&self) -> Watts {
+        self.offered_load
+    }
+
+    /// The active server power cap, if any.
+    #[must_use]
+    pub fn cap_limit(&self) -> Option<Watts> {
+        self.cap_limit
+    }
+
     /// The IT load actually drawn after capping.
     #[must_use]
     pub fn effective_load(&self) -> Watts {

@@ -22,6 +22,7 @@ use recharge_units::{RackId, Seconds, SimTime, Watts};
 use crate::agent::{RackAgent, SimRackAgent};
 use crate::bus::{AgentBus, InMemoryBus};
 use crate::messages::PowerReading;
+use crate::soa::SoaBackend;
 use crate::threaded::ThreadedFleet;
 
 /// Where rack agents execute, and how sub-step schedules reach them.
@@ -204,6 +205,15 @@ pub enum FleetBackendKind {
         /// Worker-thread count (clamped to `[1, agents.len()]` at build).
         shards: usize,
     },
+    /// Struct-of-arrays physics kernel, stepped in one serial pass
+    /// ([`SoaBackend::new`]); requires a homogeneous fleet.
+    Soa,
+    /// Struct-of-arrays physics kernel sharded over scoped threads
+    /// ([`SoaBackend::sharded`]); requires a homogeneous fleet.
+    SoaSharded {
+        /// Shard count (clamped to `[1, agents.len()]` at build).
+        shards: usize,
+    },
 }
 
 impl FleetBackendKind {
@@ -218,6 +228,10 @@ impl FleetBackendKind {
             FleetBackendKind::ShardedBatched { shards } => {
                 Box::new(ShardedBackend::new(agents, shards, true))
             }
+            FleetBackendKind::Soa => Box::new(SoaBackend::new(agents)),
+            FleetBackendKind::SoaSharded { shards } => {
+                Box::new(SoaBackend::sharded(agents, shards))
+            }
         }
     }
 }
@@ -228,6 +242,8 @@ impl fmt::Display for FleetBackendKind {
             FleetBackendKind::Serial => write!(f, "serial"),
             FleetBackendKind::Sharded { shards } => write!(f, "sharded:{shards}"),
             FleetBackendKind::ShardedBatched { shards } => write!(f, "sharded-batched:{shards}"),
+            FleetBackendKind::Soa => write!(f, "soa"),
+            FleetBackendKind::SoaSharded { shards } => write!(f, "soa-sharded:{shards}"),
         }
     }
 }
@@ -243,8 +259,8 @@ impl fmt::Display for ParseBackendKindError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "unknown backend kind {:?} (expected \"serial\", \"sharded:N\", or \
-             \"sharded-batched:N\")",
+            "unknown backend kind {:?} (expected \"serial\", \"sharded:N\", \
+             \"sharded-batched:N\", \"soa\", or \"soa-sharded:N\")",
             self.text
         )
     }
@@ -269,6 +285,13 @@ impl FromStr for FleetBackendKind {
         if let Some(count) = s.strip_prefix("sharded:") {
             let shards = count.parse().map_err(|_| reject())?;
             return Ok(FleetBackendKind::Sharded { shards });
+        }
+        if s == "soa" {
+            return Ok(FleetBackendKind::Soa);
+        }
+        if let Some(count) = s.strip_prefix("soa-sharded:") {
+            let shards = count.parse().map_err(|_| reject())?;
+            return Ok(FleetBackendKind::SoaSharded { shards });
         }
         Err(reject())
     }
@@ -299,6 +322,8 @@ mod tests {
             FleetBackendKind::Serial.build(agents(6)),
             FleetBackendKind::Sharded { shards: 3 }.build(agents(6)),
             FleetBackendKind::ShardedBatched { shards: 3 }.build(agents(6)),
+            FleetBackendKind::Soa.build(agents(6)),
+            FleetBackendKind::SoaSharded { shards: 3 }.build(agents(6)),
         ];
         for backend in &mut backends {
             backend.step_schedule(Seconds::new(1.0), &schedule, &load);
@@ -333,6 +358,13 @@ mod tests {
                 .name(),
             "sharded-batched"
         );
+        assert_eq!(FleetBackendKind::Soa.build(agents(1)).name(), "soa");
+        assert_eq!(
+            FleetBackendKind::SoaSharded { shards: 1 }
+                .build(agents(1))
+                .name(),
+            "soa-sharded"
+        );
     }
 
     #[test]
@@ -341,6 +373,8 @@ mod tests {
             FleetBackendKind::Serial,
             FleetBackendKind::Sharded { shards: 4 },
             FleetBackendKind::ShardedBatched { shards: 2 },
+            FleetBackendKind::Soa,
+            FleetBackendKind::SoaSharded { shards: 3 },
         ] {
             assert_eq!(kind.to_string().parse(), Ok(kind));
         }
@@ -349,7 +383,22 @@ mod tests {
             "sharded-batched:8".parse(),
             Ok(FleetBackendKind::ShardedBatched { shards: 8 })
         );
-        for bad in ["", "serial:1", "sharded", "sharded:", "sharded:x", "mesh:2"] {
+        assert_eq!("soa".parse(), Ok(FleetBackendKind::Soa));
+        assert_eq!(
+            "soa-sharded:4".parse(),
+            Ok(FleetBackendKind::SoaSharded { shards: 4 })
+        );
+        for bad in [
+            "",
+            "serial:1",
+            "sharded",
+            "sharded:",
+            "sharded:x",
+            "mesh:2",
+            "soa:1",
+            "soa-sharded",
+            "soa-sharded:x",
+        ] {
             assert!(bad.parse::<FleetBackendKind>().is_err(), "{bad:?} parsed");
         }
     }

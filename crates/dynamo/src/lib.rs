@@ -12,7 +12,8 @@
 //! * [`AgentBus`] / [`InMemoryBus`] — the controller ↔ agent request path.
 //! * [`FleetBackend`] / [`FleetBackendKind`] — pluggable fleet execution:
 //!   serial in-process, sharded worker threads (per-tick or batched
-//!   submission), all bit-identical.
+//!   submission), or the struct-of-arrays kernel ([`SoaBackend`]) for
+//!   campus-scale fleets — all bit-identical.
 //! * [`Controller`] — a leaf/upper controller protecting one breaker: detects
 //!   charge sequences, runs Algorithm 1 (or the global baseline), monitors
 //!   for overload, throttles battery charging in reverse priority order, and
@@ -45,6 +46,7 @@ pub mod capping;
 mod controller;
 mod hierarchy;
 mod messages;
+mod soa;
 mod threaded;
 
 pub use agent::{RackAgent, SimRackAgent, SimRackAgentBuilder};
@@ -56,4 +58,5 @@ pub use bus::{AgentBus, InMemoryBus};
 pub use controller::{Controller, ControllerConfig, ControllerReport, Strategy};
 pub use hierarchy::{HierarchicalControl, UpperMonitor};
 pub use messages::PowerReading;
+pub use soa::SoaBackend;
 pub use threaded::ThreadedFleet;

@@ -184,6 +184,26 @@ impl Scenario {
         self
     }
 
+    /// Runs the fleet on the struct-of-arrays physics kernel
+    /// ([`SoaBackend`]): one contiguous array pass per sub-step instead of
+    /// per-rack object dispatch. Bit-identical to the object backends; the
+    /// campus-scale choice.
+    ///
+    /// [`SoaBackend`]: recharge_dynamo::SoaBackend
+    #[must_use]
+    pub fn soa(mut self) -> Self {
+        self.backend = FleetBackendKind::Soa;
+        self
+    }
+
+    /// Like [`soa`](Self::soa), but the arrays are split into `n` contiguous
+    /// shards stepped on scoped threads, one fan-out per schedule.
+    #[must_use]
+    pub fn soa_sharded(mut self, n: usize) -> Self {
+        self.backend = FleetBackendKind::SoaSharded { shards: n };
+        self
+    }
+
     /// Selects the fleet-execution backend explicitly.
     #[must_use]
     pub fn backend(mut self, backend: FleetBackendKind) -> Self {
@@ -299,6 +319,10 @@ impl Scenario {
             )
             .mean_rack_power(self.mean_rack_power)
             .diurnal(DiurnalModel::standard())
+            // The trace resamples its per-rack noise once per simulation
+            // tick; a fixed 3 s hold would silently disagree with any other
+            // tick length.
+            .noise_tick(self.tick.as_secs())
             .build();
         FleetSimulation::new(self, fleet)
     }

@@ -1,8 +1,9 @@
 //! Every fleet backend must produce bit-identical [`RunMetrics`].
 //!
-//! The matrix covers {serial, sharded per-tick, sharded batched, RPC mesh
-//! over loopback TCP, sharded RPC mesh at 1/2/4 shards} × {telemetry off,
-//! telemetry on} × {controller every tick, controller every 5 ticks}.
+//! The matrix covers {serial, sharded per-tick, sharded batched,
+//! struct-of-arrays serial, struct-of-arrays sharded, RPC mesh over loopback
+//! TCP, sharded RPC mesh at 1/2/4 shards} × {telemetry off, telemetry on} ×
+//! {controller every tick, controller every 5 ticks}.
 //! Batching, sharding, and the wire may only change who executes the
 //! sub-step schedule and what transport the controller's reads and commands
 //! cross — never a single bit of the result. The sharded mesh additionally
@@ -70,6 +71,8 @@ fn run_metrics_are_bit_identical_across_backends() {
         FleetBackendKind::Serial,
         FleetBackendKind::Sharded { shards },
         FleetBackendKind::ShardedBatched { shards },
+        FleetBackendKind::Soa,
+        FleetBackendKind::SoaSharded { shards },
     ];
 
     for telemetry in [false, true] {

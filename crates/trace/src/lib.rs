@@ -21,12 +21,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod campus;
 mod csv;
 mod model;
 mod oversub;
 mod stats;
 mod synth;
 
+pub use campus::{CampusFleet, CampusFleetBuilder};
 pub use csv::{CsvTraceError, RecordedTrace};
 pub use model::{DiurnalModel, FleetEntry, RackPowerTrace};
 pub use oversub::{analyze_oversubscription, max_safe_racks, OversubscriptionReport};

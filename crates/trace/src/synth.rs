@@ -71,6 +71,26 @@ impl SyntheticFleetBuilder {
         self
     }
 
+    /// Sets the noise-hold window in seconds (default 3 s, the paper trace's
+    /// granularity): the per-rack noise factor is resampled every `seconds`.
+    ///
+    /// The simulator passes its scenario tick here so the trace's noise
+    /// granularity agrees with the integration step instead of silently
+    /// holding 3-second noise under a different tick.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seconds` is not positive and finite.
+    #[must_use]
+    pub fn noise_tick(mut self, seconds: f64) -> Self {
+        assert!(
+            seconds > 0.0 && seconds.is_finite(),
+            "noise tick must be positive and finite, got {seconds}"
+        );
+        self.noise_tick = seconds;
+        self
+    }
+
     /// Builds the fleet.
     ///
     /// # Panics
@@ -303,5 +323,32 @@ mod tests {
         let _ = SyntheticFleetBuilder::new(0)
             .priority_counts(0, 0, 0)
             .build();
+    }
+
+    #[test]
+    fn noise_tick_sets_the_hold_window() {
+        let fleet = SyntheticFleetBuilder::new(3).noise_tick(1.0).build();
+        let r = RackId::new(10);
+        let a = fleet.rack_power(r, SimTime::from_secs(0.0));
+        let c = fleet.rack_power(r, SimTime::from_secs(1.0)); // next 1 s window
+        assert_ne!(a, c, "1 s noise tick must resample every second");
+    }
+
+    #[test]
+    #[should_panic(expected = "noise tick must be positive")]
+    fn zero_noise_tick_panics() {
+        let _ = SyntheticFleetBuilder::new(0).noise_tick(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "noise tick must be positive")]
+    fn nan_noise_tick_panics() {
+        let _ = SyntheticFleetBuilder::new(0).noise_tick(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "noise tick must be positive")]
+    fn negative_noise_tick_panics() {
+        let _ = SyntheticFleetBuilder::new(0).noise_tick(-3.0);
     }
 }

@@ -8,7 +8,7 @@ use recharge::core::{
     assign_global, assign_priority_aware, throttle_on_overload, RackChargeState,
     RechargePowerModel, SlaCurrentPolicy, SLA_MEMO_DOD_BINS,
 };
-use recharge::dynamo::FleetBackendKind;
+use recharge::dynamo::{FleetBackendKind, SimRackAgent};
 use recharge::net::ShardPlan;
 use recharge::power::facebook;
 use recharge::prelude::*;
@@ -317,14 +317,100 @@ proptest! {
     }
 
     #[test]
-    fn backend_kind_survives_string_round_trip(kind_pick in 0u8..3, shards in 0usize..100) {
+    fn backend_kind_survives_string_round_trip(kind_pick in 0u8..5, shards in 0usize..100) {
         let kind = match kind_pick {
             0 => FleetBackendKind::Serial,
             1 => FleetBackendKind::Sharded { shards },
-            _ => FleetBackendKind::ShardedBatched { shards },
+            2 => FleetBackendKind::ShardedBatched { shards },
+            3 => FleetBackendKind::Soa,
+            _ => FleetBackendKind::SoaSharded { shards },
         };
         let text = kind.to_string();
         prop_assert_eq!(text.parse::<FleetBackendKind>(), Ok(kind), "via {:?}", text);
+    }
+
+    #[test]
+    fn charge_energy_telescopes_with_soc(
+        dod in 0.05f64..=1.0,
+        schedule in proptest::collection::vec((0.0f64..=5.0, 0.1f64..=10.0), 1..200),
+    ) {
+        // Cumulative stored energy over an arbitrary charge schedule —
+        // including zero-setpoint (postponed) stretches and the terminating
+        // taper step — must telescope exactly with ΔSoC × capacity. This is
+        // the accounting identity the termination-step fix restores: the
+        // final step snaps the remaining sliver into `stored_energy` instead
+        // of dropping it.
+        let params = BbuParams::production();
+        let mut pack = BbuPack::discharged(params, Dod::new(dod));
+        let soc_start = pack.soc().value();
+        let mut stored = Joules::ZERO;
+        for &(amps, dt) in &schedule {
+            stored += pack
+                .charge_step(Amperes::new(amps), Seconds::new(dt))
+                .stored_energy;
+        }
+        let delta = (pack.soc().value() - soc_start) * params.full_discharge_energy.as_joules();
+        prop_assert!(
+            (stored.as_joules() - delta).abs() <= delta.abs().max(1.0) * 1e-9,
+            "cumulative stored {} J vs ΔSoC energy {} J",
+            stored.as_joules(),
+            delta
+        );
+    }
+
+    #[test]
+    fn soa_kernel_is_bit_identical_to_object_path(
+        rounds in proptest::collection::vec(
+            (0u8..6, 0u32..7, 0.5f64..8.0, 0u8..=255),
+            1..12,
+        ),
+    ) {
+        // The struct-of-arrays backend must track the object path bit for bit
+        // through arbitrary override / postpone / cap command schedules,
+        // input-power patterns, and load shapes.
+        let agents = || -> Vec<SimRackAgent> {
+            (0..7u32)
+                .map(|i| {
+                    SimRackAgent::builder(RackId::new(i), Priority::ALL[(i % 3) as usize])
+                        .offered_load(Watts::from_kilowatts(6.0))
+                        .build()
+                })
+                .collect()
+        };
+        let mut backends = [
+            FleetBackendKind::Serial.build(agents()),
+            FleetBackendKind::Soa.build(agents()),
+            FleetBackendKind::SoaSharded { shards: 3 }.build(agents()),
+        ];
+        for (round, &(cmd, rack_pick, kw, power_bits)) in rounds.iter().enumerate() {
+            let rack = RackId::new(rack_pick);
+            for backend in &mut backends {
+                let bus = backend.bus_mut();
+                match cmd {
+                    0 => bus.set_charge_override(rack, Amperes::new(kw)),
+                    1 => bus.clear_charge_override(rack),
+                    2 => bus.set_charge_postponed(rack, true),
+                    3 => bus.set_charge_postponed(rack, false),
+                    4 => bus.cap_servers(rack, Watts::from_kilowatts(kw)),
+                    _ => bus.uncap_servers(rack),
+                }
+            }
+            let schedule: Vec<bool> = (0..8).map(|i| power_bits >> i & 1 == 1).collect();
+            let load = |r: RackId, i: usize| {
+                Watts::from_kilowatts(kw + 0.2 * f64::from(r.index()) + 0.05 * i as f64)
+            };
+            for backend in &mut backends {
+                backend.step_schedule(Seconds::new(5.0), &schedule, &load);
+            }
+            let reference = backends[0].readings();
+            prop_assert_eq!(&backends[1].readings(), &reference, "soa diverged at round {}", round);
+            prop_assert_eq!(
+                &backends[2].readings(),
+                &reference,
+                "soa-sharded diverged at round {}",
+                round
+            );
+        }
     }
 
     #[test]
