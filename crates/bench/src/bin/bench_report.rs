@@ -338,6 +338,126 @@ impl TelemetryProbe {
     }
 }
 
+/// The flight-recorder pair: the black box must be invisible twice over —
+/// `RunMetrics` bit-identical with the recorder on and off, and steady-state
+/// journaling cost at most 2 % of a simulation tick.
+///
+/// The overhead is measured like the telemetry probe's: a recorder-off run
+/// gives seconds per tick, the recorder-on twin gives journaled events per
+/// tick (ring overwrites included), and a hot loop over `flight()` gives the
+/// per-event recording cost; the gate is their product over the tick time.
+struct ObsProbe {
+    per_event_ns: f64,
+    tick_secs: f64,
+    events_per_tick: f64,
+    overhead_frac: f64,
+    journal_window: usize,
+    recorded_events: u64,
+    identical: bool,
+    ok: bool,
+}
+
+const OBS_OVERHEAD_GATE: f64 = 0.02;
+
+fn obs_probe() -> ObsProbe {
+    use recharge_telemetry::{FlightKind, ReasonCode};
+
+    let scenario = || {
+        Scenario::row(3, 2, 2, 7)
+            .power_limit(Watts::from_kilowatts(190.0))
+            .strategy(Strategy::PriorityAware)
+            .discharge(DischargeLevel::Low)
+            .tick(Seconds::new(1.0))
+            .max_horizon(Seconds::from_hours(2.5))
+            .shards(2)
+    };
+    recharge_telemetry::set_enabled(false);
+
+    // Reference: the recorder off, timing the tick loop.
+    recharge_telemetry::set_recorder_enabled(false);
+    let (off, off_secs) = time(|| scenario().build().run());
+
+    // The twin with the recorder at its default (on), journaling everything.
+    recharge_telemetry::set_recorder_enabled(true);
+    let _ = recharge_telemetry::take_flight_events();
+    let over_before = recharge_telemetry::overwritten_events();
+    let (on, _) = time(|| scenario().build().run());
+    let journal = recharge_telemetry::take_flight_events();
+    let recorded_events =
+        journal.len() as u64 + (recharge_telemetry::overwritten_events() - over_before);
+
+    // Steady-state per-event cost on the exact hot path the simulation pays:
+    // ambient-time `flight` into a (soon wrapped) thread-local ring.
+    const EVENTS: u32 = 1_000_000;
+    let (_, record_secs) = time(|| {
+        for i in 0..EVENTS {
+            recharge_telemetry::flight(
+                FlightKind::Admit,
+                ReasonCode::AdmitUpgraded,
+                i % 7,
+                1,
+                100,
+                u64::from(i),
+                0,
+            );
+        }
+    });
+    let _ = recharge_telemetry::take_flight_events();
+    let per_event_ns = record_secs * 1e9 / f64::from(EVENTS);
+
+    let ticks = off.series.len().max(1);
+    let tick_secs = off_secs / ticks as f64;
+    let events_per_tick = recorded_events as f64 / ticks as f64;
+    let overhead_frac = events_per_tick * per_event_ns * 1e-9 / tick_secs.max(1e-12);
+
+    let identical = on == off;
+    ObsProbe {
+        per_event_ns,
+        tick_secs,
+        events_per_tick,
+        overhead_frac,
+        journal_window: journal.len(),
+        recorded_events,
+        identical,
+        ok: identical && overhead_frac < OBS_OVERHEAD_GATE,
+    }
+}
+
+impl ObsProbe {
+    fn emit(&self, out_dir: &Path, cores: usize) -> std::io::Result<()> {
+        let mut json = String::new();
+        let _ = writeln!(json, "{{");
+        let _ = writeln!(json, "  \"benchmark\": \"obs\",");
+        let _ = writeln!(json, "  \"per_event_ns\": {:.3},", self.per_event_ns);
+        let _ = writeln!(json, "  \"tick_secs\": {:.9},", self.tick_secs);
+        let _ = writeln!(json, "  \"events_per_tick\": {:.3},", self.events_per_tick);
+        let _ = writeln!(
+            json,
+            "  \"recorder_overhead_frac\": {:.9},",
+            self.overhead_frac
+        );
+        let _ = writeln!(json, "  \"overhead_gate\": {OBS_OVERHEAD_GATE},");
+        let _ = writeln!(json, "  \"recorded_events\": {},", self.recorded_events);
+        let _ = writeln!(json, "  \"journal_window\": {},", self.journal_window);
+        let _ = writeln!(json, "  \"metrics_identical\": {},", self.identical);
+        let _ = writeln!(json, "  \"pass\": {},", self.ok);
+        let _ = writeln!(json, "  \"cores\": {cores}");
+        let _ = writeln!(json, "}}");
+        std::fs::write(out_dir.join("BENCH_obs.json"), json)?;
+        println!(
+            "obs: {:.1} ns/event, {:.1} events/tick, overhead {:.5}% of a {:.1} µs tick, \
+             metrics identical: {}, pass: {}",
+            self.per_event_ns,
+            self.events_per_tick,
+            self.overhead_frac * 100.0,
+            self.tick_secs * 1e6,
+            self.identical,
+            self.ok
+        );
+        Ok(())
+    }
+}
+
 /// The mesh probe: the same scenario over the in-process serial backend and
 /// over the RPC mesh on loopback TCP, clean link and chaos profile.
 ///
@@ -840,6 +960,18 @@ fn main() -> ExitCode {
         "telemetry",
         probe.ok,
         format!("\"disabled_overhead_frac\": {:.9}", probe.overhead_frac),
+    );
+
+    let obs = obs_probe();
+    if let Err(e) = obs.emit(&out_dir, cores) {
+        eprintln!("failed to write BENCH_obs.json: {e}");
+        ok = false;
+    }
+    ok &= obs.ok;
+    summary.push(
+        "obs",
+        obs.ok,
+        format!("\"recorder_overhead_frac\": {:.9}", obs.overhead_frac),
     );
 
     let net = net_probe();

@@ -172,6 +172,13 @@ pub fn assign_priority_aware_indexed(
 /// their SLA current in the caller-provided order while budget remains,
 /// stopping at the first rack that no longer fits. Returns the unallocated
 /// remainder.
+///
+/// Every admission is journaled to the flight recorder with its reason:
+/// `admit_upgraded` for racks granted their SLA current, one
+/// `admit_budget_exhausted` for the first rack whose upgrade no longer fits,
+/// and `admit_floor` for every rack after it (left at the 1 A floor). The
+/// journal never feeds back into the assignment — with the recorder off the
+/// loop breaks at the first non-fit exactly as before.
 fn upgrade_in_order(
     assignments: &mut [ChargeAssignment],
     order: impl Iterator<Item = usize>,
@@ -179,6 +186,8 @@ fn upgrade_in_order(
     policy: &SlaCurrentPolicy,
     model: &RechargePowerModel,
 ) -> Watts {
+    use recharge_telemetry::{FlightKind, ReasonCode};
+
     // The 1 A minimum is committed regardless of budget. When the committed
     // floor already exceeds the headroom (a heavily oversubscribed tick) the
     // deficit is not an upgrade budget: clamp at zero so no rack can be
@@ -186,15 +195,50 @@ fn upgrade_in_order(
     let min_power = model.rack_power(Amperes::MIN_CHARGE) * assignments.len() as f64;
     let mut remaining = (available_power - min_power).max(Watts::ZERO);
 
+    let mut exhausted = false;
     for idx in order {
-        let a = &assignments[idx];
+        let a = assignments[idx];
+        if exhausted {
+            // Pure journaling: racks past the first non-fit keep the floor.
+            recharge_telemetry::flight(
+                FlightKind::Admit,
+                ReasonCode::AdmitFloor,
+                a.rack.index(),
+                a.priority.rank(),
+                ChargeIndex::dod_bucket(a.dod),
+                Amperes::MIN_CHARGE.as_amps().to_bits(),
+                remaining.as_watts().to_bits(),
+            );
+            continue;
+        }
         let sla_current = policy.sla_current(a.priority, a.dod);
         let upgrade = model.rack_power(sla_current) - model.rack_power(Amperes::MIN_CHARGE);
         if upgrade <= remaining {
             remaining -= upgrade;
             assignments[idx].current = sla_current;
+            recharge_telemetry::flight(
+                FlightKind::Admit,
+                ReasonCode::AdmitUpgraded,
+                a.rack.index(),
+                a.priority.rank(),
+                ChargeIndex::dod_bucket(a.dod),
+                sla_current.as_amps().to_bits(),
+                remaining.as_watts().to_bits(),
+            );
         } else {
-            break;
+            if !recharge_telemetry::recorder_enabled() {
+                break;
+            }
+            recharge_telemetry::flight(
+                FlightKind::Admit,
+                ReasonCode::AdmitBudgetExhausted,
+                a.rack.index(),
+                a.priority.rank(),
+                ChargeIndex::dod_bucket(a.dod),
+                sla_current.as_amps().to_bits(),
+                remaining.as_watts().to_bits(),
+            );
+            exhausted = true;
         }
     }
     remaining
@@ -357,6 +401,10 @@ pub fn throttle_on_overload_indexed(
 
 /// The shared shed loop: demote racks to the 1 A minimum in the caller's
 /// order until the shed power covers `overload`. Returns the power shed.
+///
+/// Each demotion is journaled to the flight recorder (`throttle_overload`)
+/// with the current it was demoted from (`v0`, amps bits) and the overload
+/// still uncovered after the demotion (`v1`, watts bits).
 fn shed_in_order(
     updated: &mut [ChargeAssignment],
     order: impl Iterator<Item = usize>,
@@ -371,6 +419,7 @@ fn shed_in_order(
         }
         let a = &mut updated[idx];
         if a.current > Amperes::MIN_CHARGE {
+            let demoted_from = a.current;
             shed += model.rack_power(a.current) - model.rack_power(Amperes::MIN_CHARGE);
             a.current = Amperes::MIN_CHARGE;
             a.sla_met = policy.meets_sla(a.priority, a.dod, a.current);
@@ -381,6 +430,15 @@ fn shed_in_order(
                 "rack" => i64::from(a.rack.index()),
                 "priority" => a.priority.rank(),
                 "sla_met" => i64::from(a.sla_met),
+            );
+            recharge_telemetry::flight(
+                recharge_telemetry::FlightKind::Throttle,
+                recharge_telemetry::ReasonCode::ThrottleOverload,
+                a.rack.index(),
+                a.priority.rank(),
+                ChargeIndex::dod_bucket(a.dod),
+                demoted_from.as_amps().to_bits(),
+                (overload - shed).max(Watts::ZERO).as_watts().to_bits(),
             );
         }
     }

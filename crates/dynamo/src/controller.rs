@@ -6,7 +6,7 @@ use recharge_core::{
     assign_global, assign_priority_aware_indexed, throttle_on_overload_indexed, ChargeAssignment,
     ChargeIndex, RechargePowerModel, SlaCurrentPolicy,
 };
-use recharge_telemetry::{tcounter, tspan};
+use recharge_telemetry::{flight, tcounter, tspan, FlightKind, ReasonCode, NO_BUCKET};
 use recharge_units::{Amperes, DeviceId, Dod, Priority, RackId, SimTime, Watts};
 
 use crate::bus::AgentBus;
@@ -286,6 +286,9 @@ impl Controller {
     pub fn tick<B: AgentBus + ?Sized>(&mut self, now: SimTime, bus: &mut B) -> ControllerReport {
         let _tick_span = tspan!("controller.tick", "controller");
         tcounter!("controller.ticks").inc();
+        // Anchor ambient flight-recorder time to the control interval so every
+        // decision journaled below lands at this tick's simulated instant.
+        recharge_telemetry::set_flight_now(now.as_secs());
         let gather_span = tspan!("controller.gather", "controller");
         let scoped_racks = match &self.config.scope {
             Some(scope) => scope.clone(),
@@ -459,6 +462,24 @@ impl Controller {
                     // part in assignment or throttling, and its commanded
                     // current is implicitly zero until resumed.
                     if let Some(entry) = self.index.remove(rack) {
+                        flight(
+                            FlightKind::Postpone,
+                            ReasonCode::PostponeDeficit,
+                            rack.index(),
+                            entry.priority.rank(),
+                            ChargeIndex::dod_bucket(entry.dod),
+                            entry.current.as_amps().to_bits(),
+                            residual.as_watts().to_bits(),
+                        );
+                        flight(
+                            FlightKind::Park,
+                            ReasonCode::PostponeDeficit,
+                            rack.index(),
+                            entry.priority.rank(),
+                            ChargeIndex::dod_bucket(entry.dod),
+                            entry.dod.value().to_bits(),
+                            0,
+                        );
                         self.parked.insert(
                             rack,
                             ParkedCharge {
@@ -476,6 +497,15 @@ impl Controller {
                     plan_caps(&readings, residual, self.config.max_cap_fraction);
                 for cap in &caps {
                     bus.cap_servers(cap.rack, cap.limit);
+                    flight(
+                        FlightKind::Cap,
+                        ReasonCode::CapLastResort,
+                        cap.rack.index(),
+                        0,
+                        NO_BUCKET,
+                        cap.limit.as_watts().to_bits(),
+                        cap.shed.as_watts().to_bits(),
+                    );
                 }
                 cap_requested = caps.iter().map(|c| c.shed).sum();
             }
@@ -492,19 +522,31 @@ impl Controller {
                 // resume → deficit → re-postpone oscillation that caps
                 // servers in the gap.
                 let reserve = self.config.model.rack_power(Amperes::MIN_CHARGE) * 2.0;
-                let mut resumable: Vec<(RackId, Priority, f64)> = self
+                let mut resumable: Vec<(RackId, Priority, Dod)> = self
                     .parked
                     .iter()
-                    .map(|(&rack, p)| (rack, p.priority, p.dod.value()))
+                    .map(|(&rack, p)| (rack, p.priority, p.dod))
                     .collect();
                 // The rack-id tail keeps the order deterministic when parked
                 // racks tie on (priority, DOD).
-                resumable
-                    .sort_by(|a, b| a.1.cmp(&b.1).then(a.2.total_cmp(&b.2)).then(a.0.cmp(&b.0)));
-                for (rack, ..) in resumable {
+                resumable.sort_by(|a, b| {
+                    a.1.cmp(&b.1)
+                        .then(a.2.value().total_cmp(&b.2.value()))
+                        .then(a.0.cmp(&b.0))
+                });
+                for (rack, priority, dod) in resumable {
                     if reserve > headroom {
                         break;
                     }
+                    flight(
+                        FlightKind::Resume,
+                        ReasonCode::ResumeHeadroom,
+                        rack.index(),
+                        priority.rank(),
+                        ChargeIndex::dod_bucket(dod),
+                        headroom.as_watts().to_bits(),
+                        reserve.as_watts().to_bits(),
+                    );
                     headroom -= reserve;
                     bus.set_charge_postponed(rack, false);
                     self.parked.remove(&rack);
@@ -514,6 +556,15 @@ impl Controller {
             let headroom = (self.config.limit - effective_total.max(total)) * 0.9;
             for rack in plan_uncaps(&readings, headroom) {
                 bus.uncap_servers(rack);
+                flight(
+                    FlightKind::Uncap,
+                    ReasonCode::UncapHeadroom,
+                    rack.index(),
+                    0,
+                    NO_BUCKET,
+                    headroom.as_watts().to_bits(),
+                    0,
+                );
             }
         }
 
@@ -605,6 +656,15 @@ impl Controller {
             if (current - a.current).abs() > Amperes::new(0.01) {
                 self.index.set_current(a.rack, a.current);
                 bus.set_charge_override(a.rack, a.current);
+                flight(
+                    FlightKind::Override,
+                    ReasonCode::OverrideDelta,
+                    a.rack.index(),
+                    a.priority.rank(),
+                    ChargeIndex::dod_bucket(a.dod),
+                    a.current.as_amps().to_bits(),
+                    current.as_amps().to_bits(),
+                );
                 sent += 1;
             }
         }

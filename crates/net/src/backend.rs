@@ -267,6 +267,7 @@ impl RpcFleetBackend {
                 seed: config.seed,
                 fault: config.fault.clone(),
                 max_frame_len: config.max_frame_len,
+                shard_label: None,
             },
             clock,
         )?;

@@ -30,14 +30,25 @@ use std::time::{Duration, Instant};
 
 use rand::splitmix64;
 use recharge_dynamo::{AgentBus, PowerReading};
-use recharge_telemetry::{tcounter, tspan};
+use recharge_telemetry::{
+    flight, histogram, histogram_named, tcounter, tspan, FlightKind, Histogram, ReasonCode,
+    NO_BUCKET, NO_RACK,
+};
 use recharge_units::{Amperes, RackId, SimTime, Watts};
 
 use crate::endpoint::{recv_frame, send_frame, Endpoint, FrameBuffer, FrameRead, NetStream};
 use crate::fault::{FaultClock, FaultPlan, LinkFaults};
 use crate::wire::{
-    decode_response, encode_request, AgentCommand, GroupAggregate, Request, Response, MAX_FRAME_LEN,
+    decode_response, encode_request, AgentCommand, GroupAggregate, HealthReport, Request, Response,
+    MAX_FRAME_LEN,
 };
+
+/// Bucket upper bounds (microseconds) for the RPC latency histograms — a
+/// roughly-logarithmic ladder from sub-frame loopback calls to calls that
+/// burned most of a 500 ms deadline on retries.
+const LATENCY_BOUNDS_US: [f64; 11] = [
+    50.0, 100.0, 250.0, 500.0, 1_000.0, 2_500.0, 5_000.0, 10_000.0, 25_000.0, 50_000.0, 100_000.0,
+];
 
 /// Bounded-retry parameters: exponential backoff with deterministic jitter.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -92,6 +103,10 @@ pub struct RpcBusConfig {
     pub fault: Option<FaultPlan>,
     /// Frame cap this side enforces on both sent and received frames.
     pub max_frame_len: u32,
+    /// Shard index this bus serves within a sharded mesh; labels the
+    /// per-shard RPC latency histogram (`net.rpc_latency_us.shardNNN`) in
+    /// addition to the aggregate series. `None` for a lone bus.
+    pub shard_label: Option<u32>,
 }
 
 impl Default for RpcBusConfig {
@@ -103,6 +118,7 @@ impl Default for RpcBusConfig {
             seed: 0x0b5e_55ed,
             fault: None,
             max_frame_len: MAX_FRAME_LEN,
+            shard_label: None,
         }
     }
 }
@@ -113,6 +129,9 @@ struct ClientInner {
     jitter_rng: u64,
     next_id: u64,
     ever_connected: bool,
+    /// Last partition state this bus observed; flipping it journals a
+    /// partition edge into the flight recorder.
+    was_partitioned: bool,
 }
 
 /// An [`AgentBus`] speaking the framed wire protocol to an
@@ -126,6 +145,10 @@ pub struct RpcBus {
     config: RpcBusConfig,
     racks: Vec<RackId>,
     inner: Mutex<ClientInner>,
+    /// Aggregate call-latency histogram (`net.rpc_latency_us`).
+    latency: Histogram,
+    /// Per-shard call-latency histogram, when the config names a shard.
+    shard_latency: Option<Histogram>,
 }
 
 impl RpcBus {
@@ -140,6 +163,13 @@ impl RpcBus {
         clock: FaultClock,
     ) -> io::Result<Self> {
         let faults = LinkFaults::new(config.fault.clone().unwrap_or_default(), clock);
+        // Zero-padded shard labels keep the sorted snapshot order numeric.
+        let shard_latency = config.shard_label.map(|s| {
+            histogram_named(
+                format!("net.rpc_latency_us.shard{s:03}"),
+                &LATENCY_BOUNDS_US,
+            )
+        });
         let mut bus = RpcBus {
             endpoint: endpoint.clone(),
             racks: Vec::new(),
@@ -149,8 +179,11 @@ impl RpcBus {
                 jitter_rng: config.seed ^ 0xa5a5_a5a5_a5a5_a5a5,
                 next_id: 1,
                 ever_connected: false,
+                was_partitioned: false,
             }),
             config,
+            latency: histogram("net.rpc_latency_us", &LATENCY_BOUNDS_US),
+            shard_latency,
         };
         match bus.call(&Request::ListRacks) {
             Some(Response::Racks(racks)) => {
@@ -180,13 +213,27 @@ impl RpcBus {
     fn call(&self, request: &Request) -> Option<Response> {
         let _span = tspan!("net.rpc_call", "net");
         tcounter!("net.rpc_calls").inc();
+        // Clock reads cost more than the disabled-path check, so only time
+        // the call when the latency histograms can actually consume it.
+        let started = recharge_telemetry::enabled().then(Instant::now);
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         let inner = &mut *inner;
         let rack = request.rack();
+        let rack_idx = rack.map_or(NO_RACK, RackId::index);
+        let shard = u64::from(self.config.shard_label.unwrap_or(0));
 
         for attempt in 1..=self.config.retry.max_attempts.max(1) {
             if attempt > 1 {
                 tcounter!("net.rpc_retries").inc();
+                flight(
+                    FlightKind::RpcRetry,
+                    ReasonCode::RpcDeadline,
+                    rack_idx,
+                    0,
+                    NO_BUCKET,
+                    u64::from(attempt),
+                    shard,
+                );
                 let u = uniform(&mut inner.jitter_rng);
                 std::thread::sleep(self.config.retry.backoff(attempt - 1, u));
             }
@@ -194,7 +241,20 @@ impl RpcBus {
             // An active partition fails the call fast: partitions persist for
             // whole simulation ticks, so burning wall-clock deadlines against
             // one would only slow the run without changing the outcome.
-            if inner.faults.partitioned(rack) {
+            let partitioned = inner.faults.partitioned(rack);
+            if partitioned != inner.was_partitioned {
+                inner.was_partitioned = partitioned;
+                flight(
+                    FlightKind::PartitionEdge,
+                    ReasonCode::RpcPartitioned,
+                    rack_idx,
+                    0,
+                    NO_BUCKET,
+                    u64::from(partitioned),
+                    shard,
+                );
+            }
+            if partitioned {
                 tcounter!("net.rpc_timeouts").inc();
                 break;
             }
@@ -290,11 +350,25 @@ impl RpcBus {
                 inner.conn = None;
             }
             if let Some(response) = reply {
+                self.record_latency(started);
                 return Some(response);
             }
         }
         tcounter!("net.rpc_failures").inc();
+        self.record_latency(started);
         None
+    }
+
+    /// Records one call's wall-clock latency (microseconds) into the
+    /// aggregate and, when configured, per-shard histograms.
+    fn record_latency(&self, started: Option<Instant>) {
+        if let Some(started) = started {
+            let us = started.elapsed().as_secs_f64() * 1e6;
+            self.latency.record(us);
+            if let Some(shard) = &self.shard_latency {
+                shard.record(us);
+            }
+        }
     }
 
     /// Issues a command, dropping it (with a counter) if the budget runs out.
@@ -332,6 +406,17 @@ impl RpcBus {
     pub fn tick_leaf(&self, now: SimTime, budget: Option<Watts>) -> Option<GroupAggregate> {
         match self.call(&Request::TickLeaf { now, budget }) {
             Some(Response::GroupAggregate(aggregate)) => Some(aggregate),
+            _ => None,
+        }
+    }
+
+    /// Reads the server's live health snapshot (lease summary plus the
+    /// Prometheus text exposition of its metrics registry); `None` when the
+    /// shard is unreachable. Health reads never renew coordination leases.
+    #[must_use]
+    pub fn read_health(&self) -> Option<HealthReport> {
+        match self.call(&Request::ReadHealth) {
+            Some(Response::Health(health)) => Some(health),
             _ => None,
         }
     }
@@ -635,6 +720,27 @@ mod tests {
             bus.read(RackId::new(0)).is_some()
         });
         assert!(healed, "bus must reconnect after server restart");
+    }
+
+    #[test]
+    fn read_health_round_trips_over_loopback() {
+        let clock = FaultClock::new();
+        let (server, _host) = spawn_server(2, &clock);
+        let config = RpcBusConfig {
+            shard_label: Some(5),
+            ..RpcBusConfig::default()
+        };
+        let bus = RpcBus::connect(server.endpoint(), config, clock).expect("connect");
+        let health = bus.read_health().expect("health");
+        assert_eq!(health.shard, 0, "lone host defaults to shard 0");
+        assert_eq!(health.racks, 2);
+        // Neither discovery nor the health read is controller contact.
+        assert_eq!(health.coordinated, 0);
+
+        // A real read joins the rack; the next scrape sees it.
+        assert!(bus.read(RackId::new(1)).is_some());
+        let health = bus.read_health().expect("health");
+        assert_eq!(health.coordinated, 1);
     }
 
     #[test]

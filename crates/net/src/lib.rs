@@ -33,9 +33,16 @@
 //!   per-group aggregates and budgets cross the wire.
 //!
 //! Telemetry: every RPC path records `net.rpc_*` counters (calls, retries,
-//! timeouts, reconnects, stale replies, lost commands) and `net.rpc_call` /
-//! `net.rpc_serve` spans; fallback and rejoin transitions emit
-//! `net.standalone_fallback` / `net.rejoin` events with rack and tick.
+//! timeouts, reconnects, stale replies, lost commands), `net.rpc_call` /
+//! `net.rpc_serve` spans, and call-latency histograms — the aggregate
+//! `net.rpc_latency_us` plus a zero-padded per-shard series
+//! (`net.rpc_latency_us.shardNNN`) when the bus carries a shard label.
+//! Fallback and rejoin transitions emit `net.standalone_fallback` /
+//! `net.rejoin` events with rack and tick, and the flight recorder journals
+//! lease grants/expiries, RPC retries, and partition edges. The live health
+//! plane is [`Request::ReadHealth`]: each server answers with a
+//! [`HealthReport`] (shard identity, hosted/coordinated rack counts, and the
+//! full metrics registry in Prometheus text exposition).
 //!
 //! The headline correctness property, pinned by
 //! `crates/sim/tests/backend_equivalence.rs`: with a clean link, a full
@@ -59,4 +66,6 @@ pub use endpoint::{as_frame_too_large, Endpoint, NetListener, NetStream};
 pub use fault::{FaultClock, FaultPlan, LinkFaults, Partition, PartitionScope};
 pub use server::{AgentHost, AgentServer, DEFAULT_LEASE_TICKS};
 pub use sharded::{LeafControlSpec, ShardedRpcBus, ShardedRpcFleetBackend};
-pub use wire::{AgentCommand, GroupAggregate, Request, Response, WireError, PROTOCOL_VERSION};
+pub use wire::{
+    AgentCommand, GroupAggregate, HealthReport, Request, Response, WireError, PROTOCOL_VERSION,
+};

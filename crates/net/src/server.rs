@@ -38,7 +38,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use recharge_dynamo::{AgentBus, Controller, PowerReading, RackAgent};
-use recharge_telemetry::{tcounter, tevent, tspan};
+use recharge_telemetry::{flight_at, tcounter, tevent, tspan, FlightKind, ReasonCode, NO_BUCKET};
 use recharge_units::{Amperes, RackId, Watts};
 
 use crate::endpoint::{
@@ -46,7 +46,8 @@ use crate::endpoint::{
 };
 use crate::fault::FaultClock;
 use crate::wire::{
-    decode_request, encode_response, AgentCommand, GroupAggregate, Request, Response, MAX_FRAME_LEN,
+    decode_request, encode_response, AgentCommand, GroupAggregate, HealthReport, Request, Response,
+    MAX_FRAME_LEN,
 };
 
 /// Default coordination lease, in simulation ticks.
@@ -63,6 +64,10 @@ struct RackLease {
     last_contact: u64,
     /// Whether the rack currently follows controller commands.
     coordinated: bool,
+    /// Whether the rack has ever been coordinated — distinguishes the
+    /// first-contact lease grant from a rejoin after standalone fallback in
+    /// the flight-recorder journal. Never read by the lease logic itself.
+    ever_coordinated: bool,
 }
 
 struct HostState<A> {
@@ -134,6 +139,7 @@ pub struct AgentHost<A> {
     clock: FaultClock,
     lease_ticks: u64,
     max_frame_len: u32,
+    shard: u32,
 }
 
 impl<A: RackAgent> AgentHost<A> {
@@ -147,6 +153,7 @@ impl<A: RackAgent> AgentHost<A> {
             RackLease {
                 last_contact: 0,
                 coordinated: false,
+                ever_coordinated: false,
             };
             agents.len()
         ];
@@ -161,6 +168,7 @@ impl<A: RackAgent> AgentHost<A> {
             clock,
             lease_ticks,
             max_frame_len: MAX_FRAME_LEN,
+            shard: 0,
         }
     }
 
@@ -169,6 +177,20 @@ impl<A: RackAgent> AgentHost<A> {
     pub fn with_max_frame_len(mut self, max_frame_len: u32) -> Self {
         self.max_frame_len = max_frame_len;
         self
+    }
+
+    /// Tags this host with its shard index within a sharded mesh; reported
+    /// back through [`Request::ReadHealth`] so scrapes identify the server.
+    #[must_use]
+    pub fn with_shard(mut self, shard: u32) -> Self {
+        self.shard = shard;
+        self
+    }
+
+    /// The shard index this host reports in health snapshots.
+    #[must_use]
+    pub fn shard(&self) -> u32 {
+        self.shard
     }
 
     /// The frame cap this host's connections enforce.
@@ -250,6 +272,16 @@ impl<A: RackAgent> AgentHost<A> {
                     "rack" => state.agents[i].rack().index(),
                     "tick" => now,
                 );
+                flight_at(
+                    now as f64,
+                    FlightKind::LeaseExpire,
+                    ReasonCode::LeaseLapsed,
+                    state.agents[i].rack().index(),
+                    0,
+                    NO_BUCKET,
+                    lease.last_contact,
+                    self.lease_ticks,
+                );
             }
         }
     }
@@ -261,6 +293,22 @@ impl<A: RackAgent> AgentHost<A> {
             state.leases[i].coordinated = true;
             tcounter!("net.rejoins").inc();
             tevent!("net.rejoin", "net", "rack" => self.racks[i].index(), "tick" => now);
+            let reason = if state.leases[i].ever_coordinated {
+                ReasonCode::LeaseRejoin
+            } else {
+                ReasonCode::LeaseFirstContact
+            };
+            state.leases[i].ever_coordinated = true;
+            flight_at(
+                now as f64,
+                FlightKind::LeaseGrant,
+                reason,
+                self.racks[i].index(),
+                0,
+                NO_BUCKET,
+                now,
+                self.lease_ticks,
+            );
         }
     }
 
@@ -401,6 +449,15 @@ impl<A: RackAgent> AgentHost<A> {
                         Response::GroupAggregate(aggregate)
                     }
                 }
+            }
+            Request::ReadHealth => {
+                let coordinated = state.leases.iter().filter(|l| l.coordinated).count() as u32;
+                Response::Health(HealthReport {
+                    shard: self.shard,
+                    racks: self.racks.len() as u32,
+                    coordinated,
+                    text: recharge_telemetry::snapshot().to_prometheus(),
+                })
             }
         }
     }
@@ -781,6 +838,25 @@ mod tests {
                 );
             }
         });
+    }
+
+    #[test]
+    fn read_health_reports_without_renewing_leases() {
+        let host = host(3, 5).with_shard(7);
+        let Response::Health(health) = host.handle(&Request::ReadHealth) else {
+            panic!("expected health");
+        };
+        assert_eq!(health.shard, 7);
+        assert_eq!(health.racks, 3);
+        assert_eq!(health.coordinated, 0);
+        // Scraping health is not controller contact: nobody joined.
+        assert!(!host.is_coordinated(RackId::new(0)));
+
+        host.handle(&Request::Read(RackId::new(0)));
+        let Response::Health(health) = host.handle(&Request::ReadHealth) else {
+            panic!("expected health");
+        };
+        assert_eq!(health.coordinated, 1);
     }
 
     #[test]

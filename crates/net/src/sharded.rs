@@ -376,7 +376,8 @@ impl ShardedRpcFleetBackend {
             let shard_agents: Vec<SimRackAgent> = agent_iter.by_ref().take(group.len()).collect();
             let host = Arc::new(
                 AgentHost::new(shard_agents, config.lease_ticks, clock.clone())
-                    .with_max_frame_len(config.max_frame_len),
+                    .with_max_frame_len(config.max_frame_len)
+                    .with_shard(shard as u32),
             );
             if let Some(spec) = leaf {
                 let mut leaf_config = ControllerConfig::new(
@@ -398,6 +399,7 @@ impl ShardedRpcFleetBackend {
                     .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(shard as u64 + 1)),
                 fault: config.fault.as_ref().map(|f| f.for_shard(shard, group)),
                 max_frame_len: config.max_frame_len,
+                shard_label: Some(shard as u32),
             };
             let (worker, ready) =
                 ShardWorker::spawn(server.endpoint().clone(), bus_config, clock.clone())?;
@@ -449,6 +451,22 @@ impl ShardedRpcFleetBackend {
     #[must_use]
     pub fn host(&self, shard: usize) -> &Arc<AgentHost<SimRackAgent>> {
         &self.hosts[shard]
+    }
+
+    /// Live health snapshot of every shard, in shard order — each server
+    /// answers [`ReadHealth`](crate::wire::Request::ReadHealth) exactly as a
+    /// remote scrape would, without renewing any coordination lease.
+    #[must_use]
+    pub fn health_reports(&self) -> Vec<crate::wire::HealthReport> {
+        self.hosts
+            .iter()
+            .filter_map(
+                |host| match host.handle(&crate::wire::Request::ReadHealth) {
+                    crate::wire::Response::Health(health) => Some(health),
+                    _ => None,
+                },
+            )
+            .collect()
     }
 
     /// Whether `rack` is currently coordinated on its shard.

@@ -81,6 +81,22 @@ pub struct GroupAggregate {
     pub racks_throttled: u32,
 }
 
+/// A live-health snapshot served by an agent server — the payload of the
+/// mesh's observability plane. The numeric fields are the cheap
+/// at-a-glance summary; `text` carries the full metrics registry in the
+/// Prometheus text exposition format for scraping or diffing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthReport {
+    /// The server's shard index within the mesh (0 for a lone server).
+    pub shard: u32,
+    /// Racks hosted behind this server.
+    pub racks: u32,
+    /// Hosted racks currently under an unexpired coordination lease.
+    pub coordinated: u32,
+    /// Prometheus text exposition of the process metrics registry.
+    pub text: String,
+}
+
 /// A controller → agent-server request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -116,6 +132,10 @@ pub enum Request {
         /// keeps the leaf's configured limit.
         budget: Option<Watts>,
     },
+    /// Read the server's live health snapshot (registry metrics plus lease
+    /// and hosting summary). Deliberately lease-neutral: scraping health
+    /// must never keep a dead controller's coordination alive.
+    ReadHealth,
 }
 
 impl Request {
@@ -128,7 +148,8 @@ impl Request {
             | Request::Ping
             | Request::ReadAllReadings
             | Request::ApplyCommandBatch(_)
-            | Request::TickLeaf { .. } => None,
+            | Request::TickLeaf { .. }
+            | Request::ReadHealth => None,
             Request::Read(rack)
             | Request::SetChargeOverride(rack, _)
             | Request::ClearChargeOverride(rack)
@@ -157,6 +178,8 @@ pub enum Response {
     BatchAck(u32),
     /// Reply to [`Request::TickLeaf`].
     GroupAggregate(GroupAggregate),
+    /// Reply to [`Request::ReadHealth`].
+    Health(HealthReport),
 }
 
 /// A malformed payload.
@@ -214,6 +237,7 @@ const OP_PING: u8 = 0x08;
 const OP_READ_ALL: u8 = 0x09;
 const OP_APPLY_BATCH: u8 = 0x0A;
 const OP_TICK_LEAF: u8 = 0x0B;
+const OP_READ_HEALTH: u8 = 0x0C;
 // Response opcodes (high bit set).
 const OP_RACKS: u8 = 0x81;
 const OP_READING: u8 = 0x82;
@@ -222,6 +246,7 @@ const OP_PONG: u8 = 0x84;
 const OP_READINGS: u8 = 0x85;
 const OP_BATCH_ACK: u8 = 0x86;
 const OP_GROUP_AGGREGATE: u8 = 0x87;
+const OP_HEALTH: u8 = 0x88;
 
 // Command tags inside an `ApplyCommandBatch` body.
 const CMD_SET_OVERRIDE: u8 = 0;
@@ -440,6 +465,34 @@ fn put_aggregate(w: &mut Writer, aggregate: &GroupAggregate) {
     w.u32(aggregate.racks_throttled);
 }
 
+fn put_health(w: &mut Writer, health: &HealthReport) {
+    w.u32(health.shard);
+    w.u32(health.racks);
+    w.u32(health.coordinated);
+    let bytes = health.text.as_bytes();
+    w.u32(bytes.len() as u32);
+    w.0.extend_from_slice(bytes);
+}
+
+fn get_health(r: &mut Reader<'_>) -> Result<HealthReport, WireError> {
+    let shard = r.u32()?;
+    let racks = r.u32()?;
+    let coordinated = r.u32()?;
+    let len = r.u32()? as usize;
+    if len > r.remaining() {
+        return Err(WireError::Truncated);
+    }
+    let text = core::str::from_utf8(r.take(len)?)
+        .map_err(|_| WireError::BadEnum("utf-8 health text", 0))?
+        .to_owned();
+    Ok(HealthReport {
+        shard,
+        racks,
+        coordinated,
+        text,
+    })
+}
+
 fn get_aggregate(r: &mut Reader<'_>) -> Result<GroupAggregate, WireError> {
     Ok(GroupAggregate {
         it_load: Watts::new(r.f64()?),
@@ -519,6 +572,7 @@ pub fn encode_request(id: u64, request: &Request) -> Vec<u8> {
                 None => w.u8(0),
             }
         }
+        Request::ReadHealth => header(&mut w, id, OP_READ_HEALTH),
     }
     w.0
 }
@@ -564,6 +618,7 @@ pub fn decode_request(payload: &[u8]) -> Result<(u64, Request), WireError> {
             };
             Request::TickLeaf { now, budget }
         }
+        OP_READ_HEALTH => Request::ReadHealth,
         op => return Err(WireError::BadOpcode(op)),
     };
     r.finish()?;
@@ -609,6 +664,10 @@ pub fn encode_response(id: u64, response: &Response) -> Vec<u8> {
             header(&mut w, id, OP_GROUP_AGGREGATE);
             put_aggregate(&mut w, aggregate);
         }
+        Response::Health(health) => {
+            header(&mut w, id, OP_HEALTH);
+            put_health(&mut w, health);
+        }
     }
     w.0
 }
@@ -650,6 +709,7 @@ pub fn decode_response(payload: &[u8]) -> Result<(u64, Response), WireError> {
         }
         OP_BATCH_ACK => Response::BatchAck(r.u32()?),
         OP_GROUP_AGGREGATE => Response::GroupAggregate(get_aggregate(&mut r)?),
+        OP_HEALTH => Response::Health(get_health(&mut r)?),
         op => return Err(WireError::BadOpcode(op)),
     };
     r.finish()?;
@@ -702,6 +762,7 @@ mod tests {
                 now: SimTime::from_secs(613.0),
                 budget: Some(Watts::from_kilowatts(47.5)),
             },
+            Request::ReadHealth,
         ];
         for (i, request) in requests.iter().enumerate() {
             let id = 1000 + i as u64;
@@ -728,6 +789,18 @@ mod tests {
                 capped_power: Watts::new(17.25),
                 overrides_sent: 14,
                 racks_throttled: 3,
+            }),
+            Response::Health(HealthReport {
+                shard: 3,
+                racks: 12,
+                coordinated: 11,
+                text: "# TYPE net_rpc_calls counter\nnet_rpc_calls 42\n".to_owned(),
+            }),
+            Response::Health(HealthReport {
+                shard: 0,
+                racks: 0,
+                coordinated: 0,
+                text: String::new(),
             }),
         ];
         for (i, response) in responses.iter().enumerate() {
@@ -792,6 +865,35 @@ mod tests {
         let count_at = payload.len() - 4;
         payload[count_at..].copy_from_slice(&u32::MAX.to_le_bytes());
         assert_eq!(decode_response(&payload), Err(WireError::Truncated));
+        // A health text length that cannot fit the remaining bytes.
+        let mut payload = encode_response(
+            1,
+            &Response::Health(HealthReport {
+                shard: 0,
+                racks: 0,
+                coordinated: 0,
+                text: String::new(),
+            }),
+        );
+        let len_at = payload.len() - 4;
+        payload[len_at..].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(decode_response(&payload), Err(WireError::Truncated));
+        // Non-UTF-8 health text.
+        let mut payload = encode_response(
+            1,
+            &Response::Health(HealthReport {
+                shard: 0,
+                racks: 0,
+                coordinated: 0,
+                text: "a".to_owned(),
+            }),
+        );
+        let last = payload.len() - 1;
+        payload[last] = 0xFF;
+        assert_eq!(
+            decode_response(&payload),
+            Err(WireError::BadEnum("utf-8 health text", 0))
+        );
         // An unknown command tag inside a batch.
         let mut payload = encode_request(
             1,

@@ -1,0 +1,111 @@
+//! `recharge-ops`: inspect a flight-recorder black-box dump.
+//!
+//! ```text
+//! recharge-ops explain  --rack N --at T [--history K] [DUMP]
+//! recharge-ops timeline [--rack N] [--last K]        [DUMP]
+//! recharge-ops summary                               [DUMP]
+//! ```
+//!
+//! `DUMP` defaults to the path in `RECHARGE_BLACKBOX`, so the same
+//! environment that armed the recorder also locates its dump. Exit codes:
+//! 0 success, 1 no matching decision / unreadable dump, 2 usage error.
+
+#![forbid(unsafe_code)]
+
+use std::process::ExitCode;
+
+use recharge_ops::{explain, summary, timeline};
+use recharge_telemetry::{parse_blackbox, BlackboxDump};
+
+const USAGE: &str = "usage:
+  recharge-ops explain  --rack N --at T [--history K] [DUMP]
+  recharge-ops timeline [--rack N] [--last K]        [DUMP]
+  recharge-ops summary                               [DUMP]
+
+DUMP defaults to the path in RECHARGE_BLACKBOX.";
+
+fn usage(problem: &str) -> ExitCode {
+    eprintln!("recharge-ops: {problem}\n{USAGE}");
+    ExitCode::from(2)
+}
+
+/// Pulls `--flag value` out of `args`, parsing the value with `parse`.
+fn take_flag<T: std::str::FromStr>(
+    args: &mut Vec<String>,
+    flag: &str,
+) -> Result<Option<T>, String> {
+    let Some(pos) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    if pos + 1 >= args.len() {
+        return Err(format!("{flag} needs a value"));
+    }
+    let raw = args.remove(pos + 1);
+    args.remove(pos);
+    raw.parse()
+        .map(Some)
+        .map_err(|_| format!("{flag}: cannot parse {raw:?}"))
+}
+
+fn load_dump(args: &[String]) -> Result<BlackboxDump, String> {
+    let path = match args {
+        [] => recharge_telemetry::env_blackbox_path()
+            .ok_or("no DUMP argument and RECHARGE_BLACKBOX is unset")?,
+        [path] => path.into(),
+        more => return Err(format!("unexpected arguments: {more:?}")),
+    };
+    let doc = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    parse_blackbox(&doc).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        return usage("missing subcommand");
+    }
+    let command = args.remove(0);
+
+    let rack = match take_flag::<u32>(&mut args, "--rack") {
+        Ok(rack) => rack,
+        Err(e) => return usage(&e),
+    };
+    let result = match command.as_str() {
+        "explain" => {
+            let (at, history) = match (
+                take_flag::<f64>(&mut args, "--at"),
+                take_flag::<usize>(&mut args, "--history"),
+            ) {
+                (Ok(at), Ok(history)) => (at, history),
+                (Err(e), _) | (_, Err(e)) => return usage(&e),
+            };
+            let (Some(rack), Some(at)) = (rack, at) else {
+                return usage("explain needs --rack and --at");
+            };
+            load_dump(&args).and_then(|dump| {
+                explain(&dump, rack, at, history.unwrap_or(8))
+                    .ok_or(format!("no decision for rack {rack} at or before t={at}"))
+            })
+        }
+        "timeline" => {
+            let last = match take_flag::<usize>(&mut args, "--last") {
+                Ok(last) => last,
+                Err(e) => return usage(&e),
+            };
+            load_dump(&args).map(|dump| timeline(&dump, rack, last.unwrap_or(0)))
+        }
+        "summary" => load_dump(&args).map(|dump| summary(&dump)),
+        other => return usage(&format!("unknown subcommand {other:?}")),
+    };
+
+    match result {
+        Ok(text) => {
+            print!("{text}");
+            ExitCode::SUCCESS
+        }
+        Err(problem) => {
+            eprintln!("recharge-ops: {problem}");
+            ExitCode::FAILURE
+        }
+    }
+}

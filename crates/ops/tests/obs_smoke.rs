@@ -1,0 +1,106 @@
+//! End-to-end observability smoke: force a breaker trip with the black box
+//! armed, then answer "why" from the dump alone — in-process through
+//! [`recharge_ops::explain`] and out-of-process through the real
+//! `recharge-ops` binary.
+//!
+//! A single `#[test]` on purpose: it owns the process-wide `RECHARGE_BLACKBOX`
+//! variable, the trigger latch, and the flight rings.
+
+use recharge_battery::ChargePolicy;
+use recharge_dynamo::Strategy;
+use recharge_sim::{DischargeLevel, Scenario};
+use recharge_telemetry::{FlightKind, NO_BUCKET};
+use recharge_units::{Seconds, Watts};
+
+fn small(strategy: Strategy, limit_kw: f64) -> Scenario {
+    Scenario::row(3, 2, 2, 7)
+        .power_limit(Watts::from_kilowatts(limit_kw))
+        .strategy(strategy)
+        .discharge(DischargeLevel::Low)
+        .tick(Seconds::new(1.0))
+        .max_horizon(Seconds::from_hours(2.5))
+}
+
+#[test]
+fn forced_trip_dump_explains_algorithm1_decisions() {
+    let path = std::env::temp_dir().join(format!("recharge_obs_smoke_{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    std::env::set_var(recharge_telemetry::BLACKBOX_ENV_VAR, &path);
+    recharge_telemetry::reset_blackbox_trigger();
+    recharge_telemetry::set_recorder_enabled(true);
+
+    // Probe the fleet's IT load, then drain the probe's journal.
+    let probe = small(Strategy::PriorityAware, 190.0).build().run();
+    let it_peak = probe.it_load_before_ot;
+    let _ = recharge_telemetry::take_flight_events();
+
+    // Decision-rich priority-aware run under a tight limit, then an
+    // unmanaged run whose recharge spike must trip the breaker. The first
+    // trigger (a phase 1 SLA miss, or phase 2's trip) writes the dump; the
+    // rings are shared, so either dump carries phase 1's decisions.
+    let _ = small(Strategy::PriorityAware, it_peak.as_kilowatts() + 3.6)
+        .build()
+        .run();
+    let metrics = small(Strategy::Uncoordinated, it_peak.as_kilowatts() * 0.85)
+        .charge_policy(ChargePolicy::Original)
+        .build()
+        .without_mitigation()
+        .run();
+    assert!(metrics.breaker_tripped, "smoke failed to trip the breaker");
+
+    // The dump exists, parses, and carries Algorithm 1 decisions.
+    let doc = std::fs::read_to_string(&path).expect("trigger wrote the dump");
+    let dump = recharge_telemetry::parse_blackbox(&doc).expect("dump parses");
+    assert!(
+        dump.trigger == "breaker_trip" || dump.trigger == "sla_miss",
+        "unexpected trigger {:?}",
+        dump.trigger
+    );
+    let admit = dump
+        .events
+        .iter()
+        .find(|e| e.kind == FlightKind::Admit)
+        .expect("dump holds Algorithm 1 admit decisions");
+    assert!((1..=3).contains(&admit.priority), "admit carries priority");
+    assert_ne!(admit.bucket, NO_BUCKET, "admit carries a DOD bucket");
+
+    // In-process explain: the latest decision for that rack names the exact
+    // reason with priority, DOD bucket, and the decision's inputs.
+    let report = recharge_ops::explain(&dump, admit.rack, f64::INFINITY, 4)
+        .expect("explain finds a decision");
+    assert!(report.contains("priority"), "{report}");
+    assert!(report.contains("dod_bucket"), "{report}");
+    assert!(
+        report.contains("admit_")
+            || report.contains("throttle_overload")
+            || report.contains("postpone_deficit"),
+        "{report}"
+    );
+
+    // Out-of-process: the shipped CLI reads the same dump and agrees.
+    let output = std::process::Command::new(env!("CARGO_BIN_EXE_recharge-ops"))
+        .args(["explain", "--rack", &admit.rack.to_string(), "--at", "1e12"])
+        .arg(&path)
+        .output()
+        .expect("recharge-ops runs");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        output.status.success(),
+        "recharge-ops explain failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert!(stdout.contains("dod_bucket"), "{stdout}");
+
+    let summary = std::process::Command::new(env!("CARGO_BIN_EXE_recharge-ops"))
+        .arg("summary")
+        .arg(&path)
+        .output()
+        .expect("recharge-ops runs");
+    assert!(summary.status.success());
+    let summary = String::from_utf8_lossy(&summary.stdout);
+    assert!(summary.contains("admit"), "{summary}");
+
+    std::env::remove_var(recharge_telemetry::BLACKBOX_ENV_VAR);
+    recharge_telemetry::reset_blackbox_trigger();
+    let _ = std::fs::remove_file(&path);
+}

@@ -75,6 +75,9 @@ pub struct Breaker {
     curve: TripCurve,
     over_trip_since: Option<SimTime>,
     tripped: bool,
+    /// Whether the previous observation was above the limit — tracked only
+    /// to journal margin-crossing edges, never read by the trip logic.
+    was_over: bool,
 }
 
 impl Breaker {
@@ -92,6 +95,7 @@ impl Breaker {
             curve,
             over_trip_since: None,
             tripped: false,
+            was_over: false,
         }
     }
 
@@ -127,6 +131,7 @@ impl Breaker {
         if self.tripped {
             return BreakerStatus::Tripped;
         }
+        self.journal_margin_edge(draw, now);
         let trip_threshold = self.limit * self.curve.trip_factor;
         if draw >= trip_threshold {
             let since = *self.over_trip_since.get_or_insert(now);
@@ -141,6 +146,16 @@ impl Breaker {
                     "limit_w" => self.limit.as_watts(),
                     "draw_w" => draw.as_watts(),
                 );
+                recharge_telemetry::flight_at(
+                    now.as_secs(),
+                    recharge_telemetry::FlightKind::BreakerTrip,
+                    recharge_telemetry::ReasonCode::Observed,
+                    recharge_telemetry::NO_RACK,
+                    0,
+                    recharge_telemetry::NO_BUCKET,
+                    draw.as_watts().to_bits(),
+                    self.limit.as_watts().to_bits(),
+                );
                 return BreakerStatus::Tripped;
             }
             BreakerStatus::Overloaded
@@ -154,10 +169,31 @@ impl Breaker {
         }
     }
 
+    /// Journals limit crossings (in either direction) to the flight
+    /// recorder: `v0` is the observed draw, `v1` the limit, and the margin
+    /// (`v1 − v0`) is negative exactly while overloaded.
+    fn journal_margin_edge(&mut self, draw: Watts, now: SimTime) {
+        let over = draw > self.limit;
+        if over != self.was_over {
+            self.was_over = over;
+            recharge_telemetry::flight_at(
+                now.as_secs(),
+                recharge_telemetry::FlightKind::BreakerMargin,
+                recharge_telemetry::ReasonCode::Observed,
+                recharge_telemetry::NO_RACK,
+                0,
+                recharge_telemetry::NO_BUCKET,
+                draw.as_watts().to_bits(),
+                self.limit.as_watts().to_bits(),
+            );
+        }
+    }
+
     /// Re-closes a tripped breaker and clears the trip integrator.
     pub fn reset(&mut self) {
         self.tripped = false;
         self.over_trip_since = None;
+        self.was_over = false;
     }
 }
 

@@ -107,6 +107,7 @@ impl AorSimulation {
     /// that: it produces a **bit-identical** timeline on any thread count.
     #[must_use]
     pub fn run_trials(&self, years_per_trial: f64, trials: usize, seed: u64) -> PowerLossTimeline {
+        let _trace = recharge_telemetry::env_trace_scope();
         tcounter!("mc.trials").add(trials as u64);
         let timelines: Vec<PowerLossTimeline> = (0..trials)
             .map(|t| {
@@ -133,6 +134,7 @@ impl AorSimulation {
         seed: u64,
         threads: usize,
     ) -> PowerLossTimeline {
+        let _trace = recharge_telemetry::env_trace_scope();
         let threads = threads.clamp(1, trials.max(1));
         tcounter!("mc.trials").add(trials as u64);
         let mut results: Vec<Option<PowerLossTimeline>> = vec![None; trials];

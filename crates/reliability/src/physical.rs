@@ -152,6 +152,7 @@ impl PhysicalAorSimulation {
     where
         F: Fn(Dod) -> Amperes,
     {
+        let _trace = recharge_telemetry::env_trace_scope();
         let reports: Vec<PhysicalAorReport> = (0..trials)
             .map(|t| self.run_with(years_per_trial, trial_seed(seed, t), table, &current_for))
             .collect();
@@ -177,6 +178,7 @@ impl PhysicalAorSimulation {
     where
         F: Fn(Dod) -> Amperes + Sync,
     {
+        let _trace = recharge_telemetry::env_trace_scope();
         let threads = threads.clamp(1, trials.max(1));
         let mut results: Vec<Option<PhysicalAorReport>> = vec![None; trials];
         let chunk = trials.div_ceil(threads);

@@ -1,0 +1,67 @@
+//! Forces a breaker trip with the flight recorder armed.
+//!
+//! Run with `RECHARGE_BLACKBOX=<path>` set and the first trigger writes the
+//! black-box dump there; the CI `obs-smoke` job then replays it through
+//! `recharge-ops explain`. Two phases share the (undrained) flight rings:
+//!
+//! 1. A priority-aware run under a tight limit — every control tick journals
+//!    Algorithm 1 admit/throttle/postpone decisions with reason codes.
+//! 2. An unmanaged original-charger run under an undersized limit — the
+//!    recharge spike sustains > 30 % overdraw for 30 s and trips the breaker,
+//!    firing the `breaker_trip` trigger (unless phase 1 already missed an
+//!    SLA and fired `sla_miss`; the black box keeps the *first* incident).
+
+use recharge_battery::ChargePolicy;
+use recharge_dynamo::Strategy;
+use recharge_sim::{DischargeLevel, Scenario};
+use recharge_units::{Seconds, Watts};
+
+fn small(strategy: Strategy, limit_kw: f64) -> Scenario {
+    Scenario::row(3, 2, 2, 7)
+        .power_limit(Watts::from_kilowatts(limit_kw))
+        .strategy(strategy)
+        .discharge(DischargeLevel::Low)
+        .tick(Seconds::new(1.0))
+        .max_horizon(Seconds::from_hours(2.5))
+}
+
+fn main() {
+    recharge_telemetry::reset_blackbox_trigger();
+
+    // Probe the fleet's IT load with ample power, then drain the probe's
+    // journal so the dump starts at the interesting runs.
+    let probe = small(Strategy::PriorityAware, 190.0).build().run();
+    let it_peak = probe.it_load_before_ot;
+    let _ = recharge_telemetry::take_flight_events();
+
+    // Phase 1: decision-rich. Headroom above the all-floor fleet draw but far
+    // below the recharge spike, so Algorithm 1 admits, throttles, and
+    // postpones every control tick.
+    let tight = small(Strategy::PriorityAware, it_peak.as_kilowatts() + 3.6)
+        .build()
+        .run();
+    println!(
+        "phase 1 (priority-aware, tight limit): tripped={} sla_met={}/{}",
+        tight.breaker_tripped,
+        tight.total_sla_met(),
+        tight.rack_outcomes.len()
+    );
+
+    // Phase 2: the incident. No mitigation and a limit the spike overflows.
+    let metrics = small(Strategy::Uncoordinated, it_peak.as_kilowatts() * 0.85)
+        .charge_policy(ChargePolicy::Original)
+        .build()
+        .without_mitigation()
+        .run();
+    assert!(
+        metrics.breaker_tripped,
+        "demo failed to trip the breaker (max draw {})",
+        metrics.max_total_draw
+    );
+    println!("phase 2 (unmanaged): breaker tripped");
+
+    match recharge_telemetry::env_blackbox_path() {
+        Some(path) => println!("black box dumped to {}", path.display()),
+        None => println!("set RECHARGE_BLACKBOX=<path> to capture the dump"),
+    }
+}

@@ -2,10 +2,10 @@
 
 use std::collections::HashMap;
 
-use recharge_core::SlaTable;
+use recharge_core::{ChargeIndex, SlaTable};
 use recharge_dynamo::{Controller, ControllerConfig, FleetBackend, SimRackAgent};
 use recharge_power::{Breaker, BreakerStatus};
-use recharge_telemetry::{tcounter, tspan};
+use recharge_telemetry::{flight, tcounter, tgauge, tspan, FlightKind, ReasonCode};
 use recharge_trace::{RackPowerTrace, SyntheticFleet};
 use recharge_units::{DeviceId, Priority, RackId, Seconds, SimTime, Watts};
 
@@ -59,30 +59,21 @@ impl FleetSimulation {
     ///
     /// When the `RECHARGE_TRACE` environment variable names a file path,
     /// telemetry is enabled for the run and a Chrome-trace JSON of every
-    /// recorded span and event is written there on completion (open it in
-    /// Perfetto or `chrome://tracing`). Instrumentation only reads clocks —
-    /// the returned [`RunMetrics`] are bit-identical with telemetry on or
-    /// off.
+    /// recorded span and event is written there when the outermost traced
+    /// scope ends — including by unwind, so an aborted run still flushes its
+    /// partial per-thread span buffers into a valid trace file. When
+    /// `RECHARGE_BLACKBOX` names a path, a breaker trip, the first SLA miss,
+    /// or a panic dumps the flight-recorder journal there. Instrumentation
+    /// only reads clocks — the returned [`RunMetrics`] are bit-identical
+    /// with telemetry and the flight recorder on or off.
     #[must_use]
     pub fn run(self) -> RunMetrics {
-        let env_trace = recharge_telemetry::export::env_trace_path();
-        if env_trace.is_some() {
-            recharge_telemetry::set_enabled(true);
+        let _trace = recharge_telemetry::env_trace_scope();
+        if recharge_telemetry::env_blackbox_path().is_some() {
+            recharge_telemetry::install_panic_blackbox_hook();
         }
         let metrics = self.run_inner();
         metrics.publish_sla_gauges();
-        if env_trace.is_some() {
-            match recharge_telemetry::export::export_env_trace() {
-                Ok(Some((path, events))) => {
-                    eprintln!(
-                        "recharge: wrote {events} trace events to {}",
-                        path.display()
-                    );
-                }
-                Ok(None) => {}
-                Err(err) => eprintln!("recharge: failed to write RECHARGE_TRACE file: {err}"),
-            }
-        }
         metrics
     }
 
@@ -176,6 +167,9 @@ impl FleetSimulation {
             // The controller observes the fleet at the interval's last
             // sub-step; commands flush at this schedule boundary.
             let now = times[control_every - 1];
+            // Anchor ambient flight-recorder time even when no controller
+            // runs (unmitigated or leaf-hosted ticks).
+            recharge_telemetry::set_flight_now(now.as_secs());
 
             // Drive the physical layer through the whole schedule.
             backend.step_schedule(tick, &input_power, &|rack, i| {
@@ -208,8 +202,13 @@ impl FleetSimulation {
             let total = it_load + recharge;
 
             if breaker.observe(total, now) == BreakerStatus::Tripped {
+                if !tripped {
+                    // First trip: dump the flight journal if configured.
+                    let _ = recharge_telemetry::trigger_blackbox("breaker_trip");
+                }
                 tripped = true;
             }
+            tgauge!("power.breaker_headroom_w").set(breaker.available_power(total).as_watts());
 
             // Bookkeeping.
             if now < ot_start {
@@ -245,12 +244,30 @@ impl FleetSimulation {
                     recharge_battery::BbuState::FullyCharged => {
                         if let Some(track) = tracks.remove(&reading.rack) {
                             let duration = now - track.started;
+                            let budget = sla.charge_time_budget(track.priority);
+                            let sla_met = duration <= budget;
+                            flight(
+                                FlightKind::SlaOutcome,
+                                if sla_met {
+                                    ReasonCode::SlaMet
+                                } else {
+                                    ReasonCode::SlaMissed
+                                },
+                                reading.rack.index(),
+                                track.priority.rank(),
+                                ChargeIndex::dod_bucket(track.dod),
+                                duration.as_secs().to_bits(),
+                                budget.as_secs().to_bits(),
+                            );
+                            if !sla_met {
+                                let _ = recharge_telemetry::trigger_blackbox("sla_miss");
+                            }
                             outcomes.push(RackSlaOutcome {
                                 rack: reading.rack,
                                 priority: track.priority,
                                 event_dod: track.dod,
                                 charge_duration: Some(duration),
-                                sla_met: duration <= sla.charge_time_budget(track.priority),
+                                sla_met,
                             });
                         }
                     }
@@ -265,7 +282,19 @@ impl FleetSimulation {
         }
 
         // Racks that never completed within the horizon miss their SLA.
+        // Journal order is irrelevant: the merged timeline is content-sorted.
         for (rack, track) in tracks {
+            recharge_telemetry::flight_at(
+                t.as_secs(),
+                FlightKind::SlaOutcome,
+                ReasonCode::SlaMissed,
+                rack.index(),
+                track.priority.rank(),
+                ChargeIndex::dod_bucket(track.dod),
+                f64::INFINITY.to_bits(),
+                sla.charge_time_budget(track.priority).as_secs().to_bits(),
+            );
+            let _ = recharge_telemetry::trigger_blackbox("sla_miss");
             outcomes.push(RackSlaOutcome {
                 rack,
                 priority: track.priority,

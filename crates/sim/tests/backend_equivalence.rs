@@ -3,7 +3,9 @@
 //! The matrix covers {serial, sharded per-tick, sharded batched,
 //! struct-of-arrays serial, struct-of-arrays sharded, RPC mesh over loopback
 //! TCP, sharded RPC mesh at 1/2/4 shards} × {telemetry off, telemetry on} ×
-//! {controller every tick, controller every 5 ticks}.
+//! {controller every tick, controller every 5 ticks}, plus a flight-recorder
+//! on/off leg: the recorder journals every decision but must never feed back
+//! into the result.
 //! Batching, sharding, and the wire may only change who executes the
 //! sub-step schedule and what transport the controller's reads and commands
 //! cross — never a single bit of the result. The sharded mesh additionally
@@ -126,4 +128,32 @@ fn run_metrics_are_bit_identical_across_backends() {
         }
     }
     recharge_telemetry::set_enabled(false);
+
+    // The flight recorder must be a pure observer: turning it off may not
+    // change a bit of the result. The reference row above ran with the
+    // recorder at its default (on); rerun a backend spread with it off.
+    let reference = run_matrix_row(FleetBackendKind::Serial, 5);
+    recharge_telemetry::set_recorder_enabled(false);
+    for backend in [
+        FleetBackendKind::Serial,
+        FleetBackendKind::ShardedBatched { shards },
+        FleetBackendKind::Soa,
+    ] {
+        let metrics = run_matrix_row(backend, 5);
+        assert_eq!(
+            metrics, reference,
+            "{backend:?} diverged with the flight recorder off"
+        );
+    }
+    let rpc = scenario()
+        .rpc(RpcMeshConfig::default())
+        .control_every(5)
+        .build()
+        .run();
+    assert_eq!(
+        rpc, reference,
+        "rpc-tcp diverged with the flight recorder off"
+    );
+    recharge_telemetry::set_recorder_enabled(true);
+    let _ = recharge_telemetry::take_flight_events();
 }

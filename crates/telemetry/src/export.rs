@@ -100,6 +100,73 @@ impl MetricsSnapshot {
     }
 }
 
+/// Rewrites a metric name as a Prometheus-legal identifier: every character
+/// outside `[A-Za-z0-9_:]` becomes `_` (so `net.rpc_latency_us.shard003`
+/// exposes as `net_rpc_latency_us_shard003`).
+fn prometheus_name(out: &mut String, name: &str) {
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+}
+
+impl MetricsSnapshot {
+    /// Renders the snapshot in the Prometheus text exposition format —
+    /// counters and gauges as single samples, histograms as cumulative
+    /// `_bucket{le="..."}` series plus `_sum`/`_count`. This is the payload
+    /// the mesh's `ReadHealth` wire op serves.
+    #[must_use]
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::with_capacity(256);
+        for (name, value) in &self.counters {
+            out.push_str("# TYPE ");
+            prometheus_name(&mut out, name);
+            out.push_str(" counter\n");
+            prometheus_name(&mut out, name);
+            let _ = writeln!(out, " {value}");
+        }
+        for (name, value) in &self.gauges {
+            out.push_str("# TYPE ");
+            prometheus_name(&mut out, name);
+            out.push_str(" gauge\n");
+            prometheus_name(&mut out, name);
+            out.push(' ');
+            if value.is_finite() {
+                let _ = writeln!(out, "{value:?}");
+            } else {
+                out.push_str("NaN\n");
+            }
+        }
+        for h in &self.histograms {
+            out.push_str("# TYPE ");
+            prometheus_name(&mut out, &h.name);
+            out.push_str(" histogram\n");
+            let mut cumulative = 0u64;
+            for (bound, count) in h.bounds.iter().zip(&h.counts) {
+                cumulative += count;
+                prometheus_name(&mut out, &h.name);
+                let _ = writeln!(out, "_bucket{{le=\"{bound:?}\"}} {cumulative}");
+            }
+            cumulative += h.counts.last().copied().unwrap_or(0);
+            prometheus_name(&mut out, &h.name);
+            let _ = writeln!(out, "_bucket{{le=\"+Inf\"}} {cumulative}");
+            prometheus_name(&mut out, &h.name);
+            let _ = write!(out, "_sum ");
+            if h.sum.is_finite() {
+                let _ = writeln!(out, "{:?}", h.sum);
+            } else {
+                out.push_str("NaN\n");
+            }
+            prometheus_name(&mut out, &h.name);
+            let _ = writeln!(out, "_count {}", h.count);
+        }
+        out
+    }
+}
+
 /// Renders trace records as a Chrome trace-event JSON document.
 ///
 /// Spans become complete (`ph: "X"`) events and instants become `ph: "i"`
@@ -186,6 +253,46 @@ pub fn export_env_trace() -> std::io::Result<Option<(PathBuf, usize)>> {
         }
         None => Ok(None),
     }
+}
+
+/// Nesting depth of live [`env_trace_scope`] guards; only the outermost
+/// scope exports, so a harness wrapping many runs gets one combined trace.
+static TRACE_SCOPE_DEPTH: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+/// A drop guard that exports the env-configured Chrome trace when the
+/// *outermost* scope ends — including on unwind, so a panicking or aborted
+/// run still flushes its partial per-thread span buffers into a valid JSON
+/// trace file instead of losing them.
+#[must_use = "the guard exports on drop; binding it to _ drops it immediately"]
+pub struct EnvTraceGuard {
+    active: bool,
+}
+
+impl Drop for EnvTraceGuard {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        if TRACE_SCOPE_DEPTH.fetch_sub(1, std::sync::atomic::Ordering::SeqCst) == 1 {
+            let _ = export_env_trace();
+        }
+    }
+}
+
+/// Enters an env-trace scope: if [`TRACE_ENV_VAR`] is set, enables telemetry
+/// and returns a guard that writes the Chrome trace when the outermost scope
+/// drops (normally or by unwind). Inert when the variable is unset.
+///
+/// Every entry point that can own a traced run — `FleetSimulation::run`, the
+/// Monte-Carlo trial runners, soak harnesses — takes one of these; nesting
+/// is free because only the outermost guard exports.
+pub fn env_trace_scope() -> EnvTraceGuard {
+    if env_trace_path().is_none() {
+        return EnvTraceGuard { active: false };
+    }
+    crate::set_enabled(true);
+    TRACE_SCOPE_DEPTH.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+    EnvTraceGuard { active: true }
 }
 
 /// One line of [`span_summary`]: aggregate statistics for one span name.

@@ -46,15 +46,23 @@ use std::sync::atomic::{AtomicBool, Ordering};
 
 pub mod export;
 pub mod json;
+pub mod recorder;
 pub mod registry;
 pub mod trace;
 
 pub use export::{
-    chrome_trace_json, env_trace_path, export_env_trace, span_summary, write_chrome_trace,
-    SpanStats, TRACE_ENV_VAR,
+    chrome_trace_json, env_trace_path, env_trace_scope, export_env_trace, span_summary,
+    write_chrome_trace, EnvTraceGuard, SpanStats, TRACE_ENV_VAR,
+};
+pub use recorder::{
+    blackbox_json, env_blackbox_path, flight, flight_at, install_panic_blackbox_hook,
+    overwritten_events, parse_blackbox, recorder_enabled, reset_blackbox_trigger, set_flight_now,
+    set_recorder_enabled, snapshot_flight_events, take_flight_events, trigger_blackbox,
+    write_blackbox, BlackboxDump, FlightEvent, FlightKind, ReasonCode, BLACKBOX_ENV_VAR, NO_BUCKET,
+    NO_RACK, RING_CAPACITY,
 };
 pub use registry::{
-    counter, gauge, histogram, reset_metrics, snapshot, Counter, Gauge, Histogram,
+    counter, gauge, histogram, histogram_named, reset_metrics, snapshot, Counter, Gauge, Histogram,
     HistogramSnapshot, MetricsSnapshot,
 };
 pub use trace::{

@@ -142,9 +142,9 @@ impl Histogram {
 
 #[derive(Default)]
 struct Registry {
-    counters: Vec<(&'static str, Counter)>,
-    gauges: Vec<(&'static str, Gauge)>,
-    histograms: Vec<(&'static str, Histogram)>,
+    counters: Vec<(String, Counter)>,
+    gauges: Vec<(String, Gauge)>,
+    histograms: Vec<(String, Histogram)>,
 }
 
 static REGISTRY: Mutex<Registry> = Mutex::new(Registry {
@@ -163,11 +163,11 @@ fn registry() -> std::sync::MutexGuard<'static, Registry> {
 #[must_use]
 pub fn counter(name: &'static str) -> Counter {
     let mut reg = registry();
-    if let Some((_, c)) = reg.counters.iter().find(|(n, _)| *n == name) {
+    if let Some((_, c)) = reg.counters.iter().find(|(n, _)| n == name) {
         return c.clone();
     }
     let c = Counter(Arc::new(AtomicU64::new(0)));
-    reg.counters.push((name, c.clone()));
+    reg.counters.push((name.to_owned(), c.clone()));
     c
 }
 
@@ -175,11 +175,11 @@ pub fn counter(name: &'static str) -> Counter {
 #[must_use]
 pub fn gauge(name: &'static str) -> Gauge {
     let mut reg = registry();
-    if let Some((_, g)) = reg.gauges.iter().find(|(n, _)| *n == name) {
+    if let Some((_, g)) = reg.gauges.iter().find(|(n, _)| n == name) {
         return g.clone();
     }
     let g = Gauge(Arc::new(AtomicU64::new(0f64.to_bits())));
-    reg.gauges.push((name, g.clone()));
+    reg.gauges.push((name.to_owned(), g.clone()));
     g
 }
 
@@ -191,6 +191,19 @@ pub fn gauge(name: &'static str) -> Gauge {
 /// Panics if `bounds` is empty or not strictly increasing.
 #[must_use]
 pub fn histogram(name: &'static str, bounds: &[f64]) -> Histogram {
+    histogram_named(name.to_owned(), bounds)
+}
+
+/// Registers (or retrieves) a histogram under a runtime-built name — the
+/// registration path for label-bearing metrics such as the per-shard RPC
+/// latency series `net.rpc_latency_us.shard000`. Snapshots sort by name, so
+/// zero-padded labels keep shard order deterministic and numeric.
+///
+/// # Panics
+///
+/// Panics if `bounds` is empty or not strictly increasing.
+#[must_use]
+pub fn histogram_named(name: String, bounds: &[f64]) -> Histogram {
     let mut reg = registry();
     if let Some((_, h)) = reg.histograms.iter().find(|(n, _)| *n == name) {
         return h.clone();
