@@ -863,6 +863,109 @@ impl ScaleProbe {
     }
 }
 
+/// The event-stepping pair: the event-driven backend must be bit-identical
+/// to a dense run of the same scenario AND execute at least 5x fewer rack
+/// sub-steps on the paper diurnal profile. A 4 h warmup puts most of the
+/// horizon in the quiet wall-power regime the scheduler is built to skip;
+/// the counters come from the backend itself (executed + skipped always
+/// equals the dense sub-step count, so the dense denominator needs no
+/// second instrumented run).
+struct EventProbe {
+    dense_secs: f64,
+    event_secs: f64,
+    substeps_dense: u64,
+    substeps_executed: u64,
+    substeps_skipped: u64,
+    events_fired: u64,
+    reduction: f64,
+    identical: bool,
+    ok: bool,
+}
+
+fn event_probe() -> EventProbe {
+    let scenario = || {
+        Scenario::row(3, 2, 2, 7)
+            .power_limit(Watts::from_kilowatts(190.0))
+            .strategy(Strategy::PriorityAware)
+            .discharge(DischargeLevel::Low)
+            .tick(Seconds::new(1.0))
+            .warmup(Seconds::from_hours(4.0))
+            .max_horizon(Seconds::from_hours(2.5))
+    };
+    let (dense, dense_secs) = time(|| scenario().soa().build().run());
+
+    // Counters gate on the global enable flag; RunMetrics are bit-identical
+    // with telemetry on or off, so flipping it between runs is safe.
+    recharge_telemetry::set_enabled(true);
+    let executed_counter = recharge_telemetry::counter("sim.rack_substeps");
+    let skipped_counter = recharge_telemetry::counter("sim.ticks_skipped");
+    let events_counter = recharge_telemetry::counter("sim.events_fired");
+    let executed_before = executed_counter.value();
+    let skipped_before = skipped_counter.value();
+    let events_before = events_counter.value();
+    let (event, event_secs) = time(|| scenario().event_driven().build().run());
+    let substeps_executed = executed_counter.value() - executed_before;
+    let substeps_skipped = skipped_counter.value() - skipped_before;
+    let events_fired = events_counter.value() - events_before;
+    recharge_telemetry::set_enabled(false);
+
+    let substeps_dense = substeps_executed + substeps_skipped;
+    let reduction = substeps_dense as f64 / substeps_executed.max(1) as f64;
+    let identical = event == dense;
+    EventProbe {
+        dense_secs,
+        event_secs,
+        substeps_dense,
+        substeps_executed,
+        substeps_skipped,
+        events_fired,
+        reduction,
+        identical,
+        ok: identical && reduction >= 5.0,
+    }
+}
+
+impl EventProbe {
+    fn emit(&self, out_dir: &Path, cores: usize) -> std::io::Result<()> {
+        let mut json = String::new();
+        let _ = writeln!(json, "{{");
+        let _ = writeln!(json, "  \"benchmark\": \"event\",");
+        let _ = writeln!(json, "  \"cores\": {cores},");
+        let _ = writeln!(json, "  \"dense_secs\": {:.6},", self.dense_secs);
+        let _ = writeln!(json, "  \"event_secs\": {:.6},", self.event_secs);
+        let _ = writeln!(json, "  \"rack_substeps_dense\": {},", self.substeps_dense);
+        let _ = writeln!(
+            json,
+            "  \"rack_substeps_executed\": {},",
+            self.substeps_executed
+        );
+        let _ = writeln!(
+            json,
+            "  \"rack_substeps_skipped\": {},",
+            self.substeps_skipped
+        );
+        let _ = writeln!(json, "  \"events_fired\": {},", self.events_fired);
+        let _ = writeln!(json, "  \"substep_reduction\": {:.3},", self.reduction);
+        let _ = writeln!(json, "  \"reduction_gate\": 5.0,");
+        let _ = writeln!(json, "  \"metrics_identical\": {},", self.identical);
+        let _ = writeln!(json, "  \"pass\": {}", self.ok);
+        let _ = writeln!(json, "}}");
+        let path = out_dir.join("BENCH_event.json");
+        std::fs::write(&path, json)?;
+        println!(
+            "event: {} of {} sub-steps executed ({:.1}x reduction, {} skipped), \
+             identical: {}, pass: {}",
+            self.substeps_executed,
+            self.substeps_dense,
+            self.reduction,
+            self.substeps_skipped,
+            self.identical,
+            self.ok
+        );
+        Ok(())
+    }
+}
+
 /// One consolidated `BENCH_summary.json` over every probe: name, pass flag,
 /// and the probe's headline figure, so CI can gate (and humans skim) one
 /// file instead of seven.
@@ -1022,6 +1125,18 @@ fn main() -> ExitCode {
             "\"racks\": {}, \"ns_per_rack_step\": {:.3}",
             scale.racks, scale.ns_per_rack_step
         ),
+    );
+
+    let event = event_probe();
+    if let Err(e) = event.emit(&out_dir, cores) {
+        eprintln!("failed to write BENCH_event.json: {e}");
+        ok = false;
+    }
+    ok &= event.ok;
+    summary.push(
+        "event",
+        event.ok,
+        format!("\"substep_reduction\": {:.3}", event.reduction),
     );
 
     if let Err(e) = summary.emit(&out_dir, cores) {

@@ -21,6 +21,7 @@ use recharge_units::{RackId, Seconds, SimTime, Watts};
 
 use crate::agent::{RackAgent, SimRackAgent};
 use crate::bus::{AgentBus, InMemoryBus};
+use crate::event::EventDrivenBackend;
 use crate::messages::PowerReading;
 use crate::soa::SoaBackend;
 use crate::threaded::ThreadedFleet;
@@ -206,14 +207,19 @@ pub enum FleetBackendKind {
         shards: usize,
     },
     /// Struct-of-arrays physics kernel, stepped in one serial pass
-    /// ([`SoaBackend::new`]); requires a homogeneous fleet.
+    /// ([`SoaBackend::new`]).
     Soa,
     /// Struct-of-arrays physics kernel sharded over scoped threads
-    /// ([`SoaBackend::sharded`]); requires a homogeneous fleet.
+    /// ([`SoaBackend::sharded`]).
     SoaSharded {
         /// Shard count (clamped to `[1, agents.len()]` at build).
         shards: usize,
     },
+    /// Event-driven stepping over the SoA arrays
+    /// ([`EventDrivenBackend`](crate::EventDrivenBackend)): quiescent racks
+    /// fast-forward instead of stepping. Bit-identical to every dense
+    /// backend.
+    Event,
 }
 
 impl FleetBackendKind {
@@ -232,6 +238,7 @@ impl FleetBackendKind {
             FleetBackendKind::SoaSharded { shards } => {
                 Box::new(SoaBackend::sharded(agents, shards))
             }
+            FleetBackendKind::Event => Box::new(EventDrivenBackend::new(agents)),
         }
     }
 }
@@ -244,6 +251,7 @@ impl fmt::Display for FleetBackendKind {
             FleetBackendKind::ShardedBatched { shards } => write!(f, "sharded-batched:{shards}"),
             FleetBackendKind::Soa => write!(f, "soa"),
             FleetBackendKind::SoaSharded { shards } => write!(f, "soa-sharded:{shards}"),
+            FleetBackendKind::Event => write!(f, "event"),
         }
     }
 }
@@ -260,7 +268,7 @@ impl fmt::Display for ParseBackendKindError {
         write!(
             f,
             "unknown backend kind {:?} (expected \"serial\", \"sharded:N\", \
-             \"sharded-batched:N\", \"soa\", or \"soa-sharded:N\")",
+             \"sharded-batched:N\", \"soa\", \"soa-sharded:N\", or \"event\")",
             self.text
         )
     }
@@ -293,6 +301,9 @@ impl FromStr for FleetBackendKind {
             let shards = count.parse().map_err(|_| reject())?;
             return Ok(FleetBackendKind::SoaSharded { shards });
         }
+        if s == "event" {
+            return Ok(FleetBackendKind::Event);
+        }
         Err(reject())
     }
 }
@@ -324,6 +335,7 @@ mod tests {
             FleetBackendKind::ShardedBatched { shards: 3 }.build(agents(6)),
             FleetBackendKind::Soa.build(agents(6)),
             FleetBackendKind::SoaSharded { shards: 3 }.build(agents(6)),
+            FleetBackendKind::Event.build(agents(6)),
         ];
         for backend in &mut backends {
             backend.step_schedule(Seconds::new(1.0), &schedule, &load);
@@ -365,6 +377,7 @@ mod tests {
                 .name(),
             "soa-sharded"
         );
+        assert_eq!(FleetBackendKind::Event.build(agents(1)).name(), "event");
     }
 
     #[test]
@@ -375,9 +388,11 @@ mod tests {
             FleetBackendKind::ShardedBatched { shards: 2 },
             FleetBackendKind::Soa,
             FleetBackendKind::SoaSharded { shards: 3 },
+            FleetBackendKind::Event,
         ] {
             assert_eq!(kind.to_string().parse(), Ok(kind));
         }
+        assert_eq!("event".parse(), Ok(FleetBackendKind::Event));
         assert_eq!("serial".parse(), Ok(FleetBackendKind::Serial));
         assert_eq!(
             "sharded-batched:8".parse(),
@@ -398,6 +413,8 @@ mod tests {
             "soa:1",
             "soa-sharded",
             "soa-sharded:x",
+            "event:1",
+            "events",
         ] {
             assert!(bad.parse::<FleetBackendKind>().is_err(), "{bad:?} parsed");
         }

@@ -12,8 +12,10 @@
 //! * [`AgentBus`] / [`InMemoryBus`] — the controller ↔ agent request path.
 //! * [`FleetBackend`] / [`FleetBackendKind`] — pluggable fleet execution:
 //!   serial in-process, sharded worker threads (per-tick or batched
-//!   submission), or the struct-of-arrays kernel ([`SoaBackend`]) for
-//!   campus-scale fleets — all bit-identical.
+//!   submission), the struct-of-arrays kernel ([`SoaBackend`]) for
+//!   campus-scale fleets, or event-driven stepping
+//!   ([`EventDrivenBackend`]) that fast-forwards quiescent racks — all
+//!   bit-identical.
 //! * [`Controller`] — a leaf/upper controller protecting one breaker: detects
 //!   charge sequences, runs Algorithm 1 (or the global baseline), monitors
 //!   for overload, throttles battery charging in reverse priority order, and
@@ -44,8 +46,10 @@ mod backend;
 mod bus;
 pub mod capping;
 mod controller;
+mod event;
 mod hierarchy;
 mod messages;
+mod scheduler;
 mod soa;
 mod threaded;
 
@@ -56,7 +60,9 @@ pub use backend::{
 };
 pub use bus::{AgentBus, InMemoryBus};
 pub use controller::{Controller, ControllerConfig, ControllerReport, Strategy};
+pub use event::EventDrivenBackend;
 pub use hierarchy::{HierarchicalControl, UpperMonitor};
 pub use messages::PowerReading;
+pub use scheduler::EventScheduler;
 pub use soa::SoaBackend;
 pub use threaded::ThreadedFleet;

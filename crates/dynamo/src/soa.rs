@@ -73,11 +73,11 @@ fn bits_state(bits: u8) -> BbuState {
 
 /// One shard of the fleet: contiguous parallel arrays over its racks.
 ///
-/// All racks in a shard (and, by the homogeneity check at construction,
-/// across the whole backend) share one [`BbuParams`] and [`ChargePolicy`], so
+/// All racks in a shard share one [`BbuParams`] and [`ChargePolicy`] — the
+/// construction pass partitions the fleet into homogeneous groups first — so
 /// parameters live once per shard instead of once per rack.
 #[derive(Debug, Clone)]
-struct SoaShard {
+pub(crate) struct SoaShard {
     params: BbuParams,
     policy: ChargePolicy,
     /// `bbus_per_rack` as the f64 the load-share division uses.
@@ -100,7 +100,7 @@ struct SoaShard {
 }
 
 impl SoaShard {
-    fn from_agents(agents: &[SimRackAgent], params: BbuParams, policy: ChargePolicy) -> Self {
+    fn from_agents(agents: &[&SimRackAgent], params: BbuParams, policy: ChargePolicy) -> Self {
         let n = agents.len();
         let mut shard = SoaShard {
             params,
@@ -117,7 +117,7 @@ impl SoaShard {
             recharge: Vec::with_capacity(n),
             flags: Vec::with_capacity(n),
         };
-        for agent in agents {
+        for &agent in agents {
             let bbu = agent.battery().bbu();
             let charger = bbu.charger();
             shard.racks.push(agent.rack());
@@ -156,8 +156,58 @@ impl SoaShard {
         shard
     }
 
-    fn len(&self) -> usize {
+    pub(crate) fn len(&self) -> usize {
         self.racks.len()
+    }
+
+    /// The rack occupying `slot` (fleet identity, for load lookups).
+    pub(crate) fn rack_at(&self, slot: usize) -> RackId {
+        self.racks[slot]
+    }
+
+    /// The priority of the rack in `slot` (flight-recorder provenance).
+    pub(crate) fn priority_at(&self, slot: usize) -> Priority {
+        self.priority[slot]
+    }
+
+    /// Whether the next sub-step for this rack is a provable no-op given
+    /// unchanged input power and an arbitrary offered load.
+    ///
+    /// This is the event-driven backend's *entire* skip authority: a rack may
+    /// be fast-forwarded only while this predicate holds, because then the
+    /// dense sub-step would write nothing except `offered[]` (patched up
+    /// separately by [`touch_offered`](Self::touch_offered)). The cases:
+    ///
+    /// - `FullyCharged` / `FullyDischarged` with `recharge == 0`: the dense
+    ///   pass only re-zeroes `recharge`. (A rack *entering* a settled state
+    ///   still reports its final wall power for that boundary, so it needs
+    ///   one more dense sub-step before it can sleep.)
+    /// - `Charging`, not terminated, with a non-positive setpoint (postponed):
+    ///   `kernel::charge_step` at zero amps moves nothing. A terminated
+    ///   charging rack is excluded — its next sub-step flips the state latch
+    ///   to `FullyCharged`, which is observable.
+    /// - `Discharging` never sleeps: drain is load-dependent every sub-step.
+    ///
+    /// Input-power *edges* invalidate sleep; the event backend wakes all
+    /// racks on every edge, so the predicate can assume power is steady.
+    pub(crate) fn is_quiescent(&self, slot: usize) -> bool {
+        if self.recharge[slot] != 0.0 {
+            return false;
+        }
+        match self.flags[slot] & STATE_MASK {
+            STATE_FULLY_CHARGED | STATE_FULLY_DISCHARGED => true,
+            STATE_CHARGING => {
+                self.flags[slot] & FLAG_TERMINATED == 0 && self.setpoint(slot) <= Amperes::ZERO
+            }
+            _ => false,
+        }
+    }
+
+    /// Replays the only observable effect a skipped sub-step would have had:
+    /// the `offered[]` trace write. Idempotent with the dense pass's last
+    /// write for the same sub-step.
+    pub(crate) fn touch_offered(&mut self, slot: usize, load: Watts) {
+        self.offered[slot] = load.max(Watts::ZERO).as_watts();
     }
 
     /// The IT load actually drawn after capping — `SimRackAgent::effective_load`.
@@ -215,7 +265,7 @@ impl SoaShard {
 
     /// One rack's sub-step: the `set_offered_load → set_input_power → step`
     /// sequence of the object path, over array state.
-    fn substep(&mut self, slot: usize, load: Watts, power: bool, dt: Seconds) {
+    pub(crate) fn substep(&mut self, slot: usize, load: Watts, power: bool, dt: Seconds) {
         self.offered[slot] = load.max(Watts::ZERO).as_watts();
 
         let had_power = self.flags[slot] & FLAG_INPUT_POWER != 0;
@@ -287,7 +337,7 @@ impl SoaShard {
     }
 
     /// `SimRackAgent::read` over array state.
-    fn read(&self, slot: usize) -> PowerReading {
+    pub(crate) fn read(&self, slot: usize) -> PowerReading {
         let flags = self.flags[slot];
         let input = flags & FLAG_INPUT_POWER != 0;
         let offered = Watts::new(self.offered[slot]);
@@ -335,6 +385,10 @@ impl SoaShard {
 /// ```
 pub struct SoaBackend {
     shards: Vec<SoaShard>,
+    /// Fleet order → (shard, slot); readings and rack listings replay this so
+    /// the outside world sees the original agent order even when the
+    /// homogeneous-group partition reshuffled racks across shards.
+    order: Vec<(usize, usize)>,
     /// rack → (shard, slot); commands and reads route through here.
     index: HashMap<RackId, (usize, usize)>,
     threaded: bool,
@@ -343,12 +397,11 @@ pub struct SoaBackend {
 impl SoaBackend {
     /// Creates a serial (single-pass) SoA backend over the given agents.
     ///
-    /// # Panics
-    ///
-    /// Panics if the agents are not homogeneous in [`BbuParams`] and
-    /// [`ChargePolicy`]: the SoA layout stores both once per shard. (Every
-    /// scenario-built fleet is homogeneous; heterogeneous fleets should use
-    /// the object backends.)
+    /// Heterogeneous fleets are supported: racks are partitioned into
+    /// homogeneous groups by `(BbuParams, ChargePolicy)` at construction (in
+    /// first-seen order), one or more shards per group. The kernel pass is
+    /// untouched; only the shard layout changes. Readings and rack listings
+    /// always come back in the original fleet order.
     #[must_use]
     pub fn new(agents: Vec<SimRackAgent>) -> Self {
         SoaBackend::with_shards(agents, 1, false)
@@ -357,11 +410,8 @@ impl SoaBackend {
     /// Creates a sharded SoA backend: the fleet is split into `shards`
     /// contiguous chunks stepped on scoped threads, a whole schedule per
     /// fan-out (the batched submission model). `shards` clamps to
-    /// `[1, agents.len()]`.
-    ///
-    /// # Panics
-    ///
-    /// Panics on heterogeneous agents (see [`new`](Self::new)).
+    /// `[1, agents.len()]`; a heterogeneous fleet may produce more shards
+    /// than requested (at least one per homogeneous group).
     #[must_use]
     pub fn sharded(agents: Vec<SimRackAgent>, shards: usize) -> Self {
         SoaBackend::with_shards(agents, shards, true)
@@ -371,37 +421,74 @@ impl SoaBackend {
         if agents.is_empty() {
             return SoaBackend {
                 shards: Vec::new(),
+                order: Vec::new(),
                 index: HashMap::new(),
                 threaded,
             };
         }
-        let params = *agents[0].battery().bbu().pack().params();
-        let policy = agents[0].battery().bbu().charger().policy();
-        assert!(
-            agents.iter().all(|a| {
-                *a.battery().bbu().pack().params() == params
-                    && a.battery().bbu().charger().policy() == policy
-            }),
-            "SoA backend requires homogeneous BBU params and charge policy across the fleet"
-        );
 
+        // Partition fleet positions into homogeneous groups, first-seen
+        // order. `BbuParams` is PartialEq-only (f64 fields), so this is a
+        // linear scan over the handful of distinct configurations.
+        type Group = (BbuParams, ChargePolicy, Vec<usize>);
+        let mut groups: Vec<Group> = Vec::new();
+        for (pos, agent) in agents.iter().enumerate() {
+            let params = *agent.battery().bbu().pack().params();
+            let policy = agent.battery().bbu().charger().policy();
+            match groups
+                .iter_mut()
+                .find(|(p, c, _)| *p == params && *c == policy)
+            {
+                Some((_, _, members)) => members.push(pos),
+                None => groups.push((params, policy, vec![pos])),
+            }
+        }
+
+        // One global chunk size keeps the homogeneous layout identical to
+        // the pre-grouping backend: a single group splits into the same
+        // contiguous chunks as before.
         let shard_count = shards.clamp(1, agents.len());
         let chunk = agents.len().div_ceil(shard_count);
-        let shards: Vec<SoaShard> = agents
-            .chunks(chunk)
-            .map(|c| SoaShard::from_agents(c, params, policy))
-            .collect();
+        let mut built: Vec<SoaShard> = Vec::new();
+        let mut order = vec![(0usize, 0usize); agents.len()];
+        for (params, policy, members) in &groups {
+            for piece in members.chunks(chunk) {
+                let refs: Vec<&SimRackAgent> = piece.iter().map(|&pos| &agents[pos]).collect();
+                let s = built.len();
+                built.push(SoaShard::from_agents(&refs, *params, *policy));
+                for (slot, &pos) in piece.iter().enumerate() {
+                    order[pos] = (s, slot);
+                }
+            }
+        }
+
         let mut index = HashMap::with_capacity(agents.len());
-        for (s, shard) in shards.iter().enumerate() {
+        for (s, shard) in built.iter().enumerate() {
             for (slot, &rack) in shard.racks.iter().enumerate() {
                 index.insert(rack, (s, slot));
             }
         }
         SoaBackend {
-            shards,
+            shards: built,
+            order,
             index,
             threaded,
         }
+    }
+
+    /// Shared-crate access for the event-driven wrapper.
+    pub(crate) fn shards(&self) -> &[SoaShard] {
+        &self.shards
+    }
+
+    /// Mutable shard access for the event-driven wrapper.
+    pub(crate) fn shards_mut(&mut self) -> &mut [SoaShard] {
+        &mut self.shards
+    }
+
+    /// Routes a rack to its `(shard, slot)` home, if present.
+    pub(crate) fn slot_of(&self, rack: RackId) -> Option<(usize, usize)> {
+        self.index.get(&rack).copied()
     }
 
     /// Total racks across all shards.
@@ -467,11 +554,11 @@ impl FleetBackend for SoaBackend {
     }
 
     fn readings(&self) -> Vec<PowerReading> {
-        // Shards are contiguous chunks of fleet order, so concatenation
-        // restores it.
-        self.shards
+        // `order` replays the original fleet order, whatever the grouping
+        // pass did to the shard layout.
+        self.order
             .iter()
-            .flat_map(|shard| (0..shard.len()).map(move |slot| shard.read(slot)))
+            .map(|&(s, slot)| self.shards[s].read(slot))
             .collect()
     }
 
@@ -482,9 +569,9 @@ impl FleetBackend for SoaBackend {
 
 impl AgentBus for SoaBackend {
     fn racks(&self) -> Vec<RackId> {
-        self.shards
+        self.order
             .iter()
-            .flat_map(|shard| shard.racks.iter().copied())
+            .map(|&(s, slot)| self.shards[s].racks[slot])
             .collect()
     }
 
@@ -550,10 +637,30 @@ mod tests {
             .collect()
     }
 
+    /// A mixed fleet: two charge policies interleaved, so the grouping pass
+    /// has to split the fleet into (at least) two homogeneous shards.
+    fn mixed_agents(n: u32) -> Vec<SimRackAgent> {
+        (0..n)
+            .map(|i| {
+                let mut builder =
+                    SimRackAgent::builder(RackId::new(i), Priority::ALL[(i % 3) as usize])
+                        .offered_load(Watts::from_kilowatts(6.0));
+                if i % 2 == 0 {
+                    builder = builder.charge_policy(ChargePolicy::Original);
+                }
+                builder.build()
+            })
+            .collect()
+    }
+
     /// Steps both backends through the same mixed schedule with the same
     /// command stream, asserting bit-identical readings at every boundary.
-    fn assert_lockstep(mut soa: Box<dyn FleetBackend>, rounds: usize) {
-        let mut reference = SerialBackend::new(agents(7));
+    fn assert_lockstep(
+        fleet: impl Fn() -> Vec<SimRackAgent>,
+        mut soa: Box<dyn FleetBackend>,
+        rounds: usize,
+    ) {
+        let mut reference = SerialBackend::new(fleet());
         for round in 0..rounds {
             // Commands vary per round to exercise every flag transition.
             for backend in [&mut reference as &mut dyn FleetBackend, soa.as_mut()] {
@@ -595,12 +702,50 @@ mod tests {
 
     #[test]
     fn soa_serial_matches_object_path_bit_for_bit() {
-        assert_lockstep(Box::new(SoaBackend::new(agents(7))), 12);
+        assert_lockstep(|| agents(7), Box::new(SoaBackend::new(agents(7))), 12);
     }
 
     #[test]
     fn soa_sharded_matches_object_path_bit_for_bit() {
-        assert_lockstep(Box::new(SoaBackend::sharded(agents(7), 3)), 12);
+        assert_lockstep(
+            || agents(7),
+            Box::new(SoaBackend::sharded(agents(7), 3)),
+            12,
+        );
+    }
+
+    #[test]
+    fn heterogeneous_soa_matches_object_path_bit_for_bit() {
+        assert_lockstep(
+            || mixed_agents(7),
+            Box::new(SoaBackend::new(mixed_agents(7))),
+            12,
+        );
+    }
+
+    #[test]
+    fn heterogeneous_sharded_soa_matches_object_path_bit_for_bit() {
+        assert_lockstep(
+            || mixed_agents(7),
+            Box::new(SoaBackend::sharded(mixed_agents(7), 3)),
+            12,
+        );
+    }
+
+    #[test]
+    fn heterogeneous_fleets_partition_by_group_and_keep_fleet_order() {
+        // 7 racks, alternating policies → two groups (4 + 3 racks); a serial
+        // build keeps one shard per group.
+        let fleet = SoaBackend::new(mixed_agents(7));
+        assert_eq!(fleet.shard_count(), 2);
+        assert_eq!(fleet.rack_count(), 7);
+        let order: Vec<u32> = FleetBackend::readings(&fleet)
+            .iter()
+            .map(|r| r.rack.index())
+            .collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4, 5, 6]);
+        let listed: Vec<u32> = AgentBus::racks(&fleet).iter().map(|r| r.index()).collect();
+        assert_eq!(listed, order);
     }
 
     #[test]
@@ -616,18 +761,6 @@ mod tests {
         fleet.step_schedule(Seconds::new(1.0), &[true], &|_, _| Watts::ZERO);
         assert!(fleet.readings().is_empty());
         assert!(fleet.bus_mut().read(RackId::new(0)).is_none());
-    }
-
-    #[test]
-    #[should_panic(expected = "homogeneous")]
-    fn heterogeneous_fleets_are_rejected() {
-        let mut mixed = agents(2);
-        mixed.push(
-            SimRackAgent::builder(RackId::new(2), Priority::P1)
-                .charge_policy(ChargePolicy::Original)
-                .build(),
-        );
-        let _ = SoaBackend::new(mixed);
     }
 
     #[test]

@@ -79,6 +79,12 @@ pub fn describe_payload(e: &FlightEvent) -> String {
             let edge = if e.v0 == 1 { "opened" } else { "healed" };
             format!("partition {edge}, shard {}", e.v1)
         }
+        FlightKind::FastForward => {
+            format!(
+                "fast-forwarded {} sub-steps, woke at sub-step {}",
+                e.v0, e.v1
+            )
+        }
     }
 }
 

@@ -123,6 +123,35 @@ impl Breaker {
         (self.limit - draw).max(Watts::ZERO)
     }
 
+    /// A lower bound on the earliest time this breaker could possibly trip,
+    /// assuming the draw never exceeds `worst_case_draw` from `now` on.
+    ///
+    /// `None` means "never": the worst-case draw stays below the trip
+    /// threshold (`limit × trip_factor`), so the trip integrator cannot even
+    /// start. Otherwise the bound is when a *continuously* sustained
+    /// worst-case overdraw would satisfy the trip curve — measured from the
+    /// running integrator if one is already open, else from `now`. Any dip
+    /// below the threshold resets the integrator and pushes the real trip
+    /// later, so the bound is conservative: no observation sequence bounded
+    /// by `worst_case_draw` trips strictly before it. An already-tripped
+    /// breaker reports `now`.
+    ///
+    /// Like the kernel's charge-event horizons, this is scheduling
+    /// information only — the event-driven loop still feeds
+    /// [`observe`](Self::observe) at every control tick, it just knows no
+    /// trip can land inside the bound.
+    #[must_use]
+    pub fn next_possible_trip_time(&self, now: SimTime, worst_case_draw: Watts) -> Option<SimTime> {
+        if self.tripped {
+            return Some(now);
+        }
+        if worst_case_draw < self.limit * self.curve.trip_factor {
+            return None;
+        }
+        let since = self.over_trip_since.unwrap_or(now);
+        Some((since + self.curve.sustain).max(now))
+    }
+
     /// Feeds one power observation at `now`, returning the resulting status.
     ///
     /// Observations must be fed in non-decreasing time order; the integrator
@@ -294,6 +323,81 @@ mod tests {
             Watts::from_kilowatts(60.0)
         );
         assert_eq!(b.available_power(Watts::from_kilowatts(140.0)), Watts::ZERO);
+    }
+
+    #[test]
+    fn trip_horizon_is_none_below_the_threshold() {
+        let b = breaker();
+        // 100 kW limit × 1.3 = 130 kW threshold: anything below can never trip.
+        assert_eq!(
+            b.next_possible_trip_time(SimTime::ZERO, Watts::from_kilowatts(129.0)),
+            None
+        );
+        assert_eq!(b.next_possible_trip_time(SimTime::ZERO, Watts::ZERO), None);
+    }
+
+    #[test]
+    fn trip_horizon_is_sustain_from_now_with_a_fresh_integrator() {
+        let b = breaker();
+        assert_eq!(
+            b.next_possible_trip_time(SimTime::from_secs(10.0), Watts::from_kilowatts(200.0)),
+            Some(SimTime::from_secs(40.0))
+        );
+    }
+
+    #[test]
+    fn trip_horizon_tracks_an_open_integrator() {
+        let mut b = breaker();
+        b.observe(Watts::from_kilowatts(135.0), SimTime::from_secs(5.0));
+        // Overdraw since t=5: the earliest possible trip is 5 + 30 = 35 s.
+        assert_eq!(
+            b.next_possible_trip_time(SimTime::from_secs(20.0), Watts::from_kilowatts(135.0)),
+            Some(SimTime::from_secs(35.0))
+        );
+        // The bound never lands in the past even if the integrator is stale.
+        assert_eq!(
+            b.next_possible_trip_time(SimTime::from_secs(50.0), Watts::from_kilowatts(135.0)),
+            Some(SimTime::from_secs(50.0))
+        );
+        // A dip resets the integrator: the horizon pushes out again.
+        b.observe(Watts::from_kilowatts(90.0), SimTime::from_secs(21.0));
+        assert_eq!(
+            b.next_possible_trip_time(SimTime::from_secs(22.0), Watts::from_kilowatts(135.0)),
+            Some(SimTime::from_secs(52.0))
+        );
+    }
+
+    #[test]
+    fn trip_horizon_is_conservative_against_dense_observation() {
+        // Feed a worst-case-bounded draw densely; the breaker must not trip
+        // strictly before the horizon predicted at t=0.
+        let mut b = breaker();
+        let draw = Watts::from_kilowatts(140.0);
+        let horizon = b.next_possible_trip_time(SimTime::ZERO, draw).unwrap();
+        let mut t = 0.0;
+        while !b.is_tripped() {
+            b.observe(draw, SimTime::from_secs(t));
+            if !b.is_tripped() {
+                t += 1.0;
+            }
+            assert!(t < 1e4, "never tripped");
+        }
+        assert!(
+            t >= horizon.as_secs() - 1e-9,
+            "tripped at {t} before {horizon}"
+        );
+    }
+
+    #[test]
+    fn tripped_breaker_reports_now() {
+        let mut b = breaker();
+        b.observe(Watts::from_kilowatts(200.0), SimTime::ZERO);
+        b.observe(Watts::from_kilowatts(200.0), SimTime::from_secs(60.0));
+        assert!(b.is_tripped());
+        assert_eq!(
+            b.next_possible_trip_time(SimTime::from_secs(61.0), Watts::ZERO),
+            Some(SimTime::from_secs(61.0))
+        );
     }
 
     #[test]

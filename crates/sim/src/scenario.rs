@@ -204,6 +204,18 @@ impl Scenario {
         self
     }
 
+    /// Runs the fleet on the event-driven backend
+    /// ([`EventDrivenBackend`]): quiescent racks fast-forward between
+    /// events instead of stepping every tick. Bit-identical to the dense
+    /// backends; the cheap choice for long, mostly-idle horizons.
+    ///
+    /// [`EventDrivenBackend`]: recharge_dynamo::EventDrivenBackend
+    #[must_use]
+    pub fn event_driven(mut self) -> Self {
+        self.backend = FleetBackendKind::Event;
+        self
+    }
+
     /// Selects the fleet-execution backend explicitly.
     #[must_use]
     pub fn backend(mut self, backend: FleetBackendKind) -> Self {
@@ -242,13 +254,11 @@ impl Scenario {
     /// simulated schedule is identical for every backend; a batched backend
     /// collapses the interval into one channel round-trip per shard.
     ///
-    /// # Panics
-    ///
-    /// Panics if `n` is zero.
+    /// Zero clamps to 1: the controller can run at most once per tick, and a
+    /// zero-length schedule would never step the physics at all.
     #[must_use]
     pub fn control_every(mut self, n: usize) -> Self {
-        assert!(n > 0, "control interval must be at least one tick");
-        self.control_every = n;
+        self.control_every = n.max(1);
         self
     }
 
@@ -267,15 +277,28 @@ impl Scenario {
     /// Sets the metrics sampling interval (default 5 s): how often the run
     /// records power/SLA samples into [`RunMetrics`].
     ///
+    /// A non-positive interval clamps to 1 s — the densest cadence with a
+    /// well-defined meaning (a zero interval would sample forever without
+    /// advancing).
+    ///
     /// [`RunMetrics`]: crate::metrics::RunMetrics
-    ///
-    /// # Panics
-    ///
-    /// Panics if `interval` is not positive.
     #[must_use]
     pub fn sample_every(mut self, interval: Seconds) -> Self {
-        assert!(interval > Seconds::ZERO, "sample interval must be positive");
-        self.sample_every = interval;
+        self.sample_every = if interval > Seconds::ZERO {
+            interval
+        } else {
+            Seconds::new(1.0)
+        };
+        self
+    }
+
+    /// Sets the pre-transition warmup (default 60 s): how long the run
+    /// simulates normal wall-power operation before the open transition
+    /// begins. Longer warmups exercise the diurnal trace's quiet stretches —
+    /// the regime the event-driven backend fast-forwards.
+    #[must_use]
+    pub fn warmup(mut self, warmup: Seconds) -> Self {
+        self.warmup = warmup.max(Seconds::ZERO);
         self
     }
 
@@ -393,9 +416,34 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "sample interval must be positive")]
-    fn zero_sample_interval_panics() {
-        let _ = Scenario::paper_msb(0).sample_every(Seconds::ZERO);
+    fn zero_sample_interval_clamps_to_one_second() {
+        let s = Scenario::paper_msb(0).sample_every(Seconds::ZERO);
+        assert_eq!(s.sample_every, Seconds::new(1.0));
+        let s = Scenario::paper_msb(0).sample_every(Seconds::new(-3.0));
+        assert_eq!(s.sample_every, Seconds::new(1.0));
+        // Positive intervals pass through untouched.
+        let s = Scenario::paper_msb(0).sample_every(Seconds::new(0.5));
+        assert_eq!(s.sample_every, Seconds::new(0.5));
+    }
+
+    #[test]
+    fn zero_control_interval_clamps_to_one() {
+        assert_eq!(Scenario::paper_msb(0).control_every(0).control_every, 1);
+        assert_eq!(Scenario::paper_msb(0).control_every(5).control_every, 5);
+    }
+
+    #[test]
+    fn event_driven_selects_the_event_backend() {
+        let s = Scenario::paper_msb(0).event_driven();
+        assert_eq!(s.backend, FleetBackendKind::Event);
+    }
+
+    #[test]
+    fn warmup_clamps_to_non_negative() {
+        let s = Scenario::paper_msb(0).warmup(Seconds::from_hours(4.0));
+        assert_eq!(s.warmup, Seconds::from_hours(4.0));
+        let s = Scenario::paper_msb(0).warmup(Seconds::new(-5.0));
+        assert_eq!(s.warmup, Seconds::ZERO);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 
 use recharge_core::{ChargeIndex, SlaTable};
-use recharge_dynamo::{Controller, ControllerConfig, FleetBackend, SimRackAgent};
+use recharge_dynamo::{Controller, ControllerConfig, EventScheduler, FleetBackend, SimRackAgent};
 use recharge_power::{Breaker, BreakerStatus};
 use recharge_telemetry::{flight, tcounter, tgauge, tspan, FlightKind, ReasonCode};
 use recharge_trace::{RackPowerTrace, SyntheticFleet};
@@ -29,6 +29,17 @@ struct ChargeTrack {
     started: SimTime,
     priority: Priority,
     dod: recharge_units::Dod,
+}
+
+/// What the simulation's own event queue carries. The control-tick cadence
+/// is a scheduled event rather than a hardcoded loop so that, like the
+/// fleet backends, the run's timeline flows through one deterministic
+/// next-event scheduler (DESIGN.md §16). Each tick reschedules the next;
+/// the per-sub-step times still come from the same repeated-addition
+/// recurrence, so the float sequence is unchanged.
+enum SimEvent {
+    /// Run `control_every` physical sub-steps, then the controller.
+    ControlTick,
 }
 
 impl FleetSimulation {
@@ -152,8 +163,14 @@ impl FleetSimulation {
         let mut times: Vec<SimTime> = Vec::with_capacity(control_every);
         let mut input_power: Vec<bool> = Vec::with_capacity(control_every);
 
-        loop {
+        // The control cadence as a next-event queue: tick k fires at integer
+        // time k and schedules k + 1 unless the run is over.
+        let mut cadence: EventScheduler<SimEvent> = EventScheduler::new();
+        cadence.schedule(0, SimEvent::ControlTick);
+
+        while let Some((due, SimEvent::ControlTick)) = cadence.pop_next() {
             let _tick_span = tspan!("sim.tick", "sim");
+            tcounter!("sim.events_fired").inc();
             tcounter!("sim.ticks").add(control_every as u64);
             times.clear();
             input_power.clear();
@@ -209,6 +226,11 @@ impl FleetSimulation {
                 tripped = true;
             }
             tgauge!("power.breaker_headroom_w").set(breaker.available_power(total).as_watts());
+            // Export the analytic trip horizon when one exists (a finite
+            // lower bound only arises once the draw could sustain a trip).
+            if let Some(horizon) = breaker.next_possible_trip_time(now, total) {
+                tgauge!("power.breaker_trip_horizon_s").set(horizon.as_secs());
+            }
 
             // Bookkeeping.
             if now < ot_start {
@@ -279,6 +301,7 @@ impl FleetSimulation {
             if tripped || (t >= ot_end + Seconds::new(60.0) && all_settled) || t >= hard_end {
                 break;
             }
+            cadence.schedule(due + 1, SimEvent::ControlTick);
         }
 
         // Racks that never completed within the horizon miss their SLA.
@@ -477,6 +500,20 @@ mod tests {
             let sharded = base.clone().shards(shards).build().run();
             assert_eq!(sharded, serial, "diverged with {shards} shards");
         }
+    }
+
+    #[test]
+    fn event_backend_matches_in_memory() {
+        // The event-driven backend only changes *which* rack sub-steps
+        // execute, never their results: RunMetrics must be bit-identical.
+        let base = small(Strategy::PriorityAware, 190.0);
+        let serial = base.clone().build().run();
+        let event = base.clone().event_driven().build().run();
+        assert_eq!(event, serial, "event-driven run diverged from serial");
+        // And with a longer control interval (bigger batches to skip within).
+        let serial5 = base.clone().control_every(5).build().run();
+        let event5 = base.clone().control_every(5).event_driven().build().run();
+        assert_eq!(event5, serial5, "event-driven diverged at control_every=5");
     }
 
     #[test]

@@ -1,8 +1,9 @@
 //! Every fleet backend must produce bit-identical [`RunMetrics`].
 //!
 //! The matrix covers {serial, sharded per-tick, sharded batched,
-//! struct-of-arrays serial, struct-of-arrays sharded, RPC mesh over loopback
-//! TCP, sharded RPC mesh at 1/2/4 shards} × {telemetry off, telemetry on} ×
+//! struct-of-arrays serial, struct-of-arrays sharded, event-driven, RPC mesh
+//! over loopback TCP, sharded RPC mesh at 1/2/4 shards} × {telemetry off,
+//! telemetry on} ×
 //! {controller every tick, controller every 5 ticks}, plus a flight-recorder
 //! on/off leg: the recorder journals every decision but must never feed back
 //! into the result.
@@ -75,6 +76,7 @@ fn run_metrics_are_bit_identical_across_backends() {
         FleetBackendKind::ShardedBatched { shards },
         FleetBackendKind::Soa,
         FleetBackendKind::SoaSharded { shards },
+        FleetBackendKind::Event,
     ];
 
     for telemetry in [false, true] {
@@ -138,6 +140,7 @@ fn run_metrics_are_bit_identical_across_backends() {
         FleetBackendKind::Serial,
         FleetBackendKind::ShardedBatched { shards },
         FleetBackendKind::Soa,
+        FleetBackendKind::Event,
     ] {
         let metrics = run_matrix_row(backend, 5);
         assert_eq!(

@@ -1,0 +1,124 @@
+//! Dense vs event-driven bit-identity under randomized schedules.
+//!
+//! The event-driven backend's whole contract is "skip only what provably
+//! does nothing". These properties randomize the inputs that could break
+//! that claim — load-transition timings, input-power edge placement, and
+//! command streams that postpone/override/cap racks at arbitrary boundaries
+//! — and pin readings and `RunMetrics` bit-identical to [`SerialBackend`].
+//! On failure, proptest shrinks to the minimal divergent schedule.
+
+use proptest::prelude::*;
+
+use recharge_dynamo::{EventDrivenBackend, FleetBackend, SerialBackend, SimRackAgent};
+use recharge_sim::{DischargeLevel, Scenario};
+use recharge_units::{Amperes, Priority, RackId, Seconds, Watts};
+
+const FLEET: u32 = 6;
+
+fn agents() -> Vec<SimRackAgent> {
+    (0..FLEET)
+        .map(|i| {
+            SimRackAgent::builder(RackId::new(i), Priority::ALL[(i % 3) as usize])
+                .offered_load(Watts::from_kilowatts(6.0))
+                .build()
+        })
+        .collect()
+}
+
+fn apply_command(bus: &mut dyn recharge_dynamo::AgentBus, op: u8, rack: u32, magnitude: f64) {
+    let rack = RackId::new(rack % FLEET);
+    match op % 6 {
+        0 => bus.set_charge_override(rack, Amperes::new(magnitude)),
+        1 => bus.clear_charge_override(rack),
+        2 => bus.set_charge_postponed(rack, true),
+        3 => bus.set_charge_postponed(rack, false),
+        4 => bus.cap_servers(rack, Watts::from_kilowatts(magnitude)),
+        _ => bus.uncap_servers(rack),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Backend-level lockstep: arbitrary power-edge placement, per-round
+    /// load levels, and command streams must leave the event backend
+    /// bit-identical to serial at every schedule boundary.
+    #[test]
+    fn readings_are_bit_identical_under_random_schedules(
+        rounds in proptest::collection::vec(
+            (
+                0u8..6,                                          // command op
+                0u32..FLEET,                                     // target rack
+                0.5f64..8.0,                                     // magnitude
+                proptest::collection::vec(proptest::bool::ANY, 1..10), // power schedule
+                3.0f64..8.0,                                     // base load (kW)
+            ),
+            1..16,
+        ),
+        dt in 1.0f64..45.0,
+    ) {
+        let mut reference = SerialBackend::new(agents());
+        let mut event = EventDrivenBackend::new(agents());
+        for (round, (op, rack, magnitude, schedule, base_kw)) in
+            rounds.iter().enumerate()
+        {
+            for backend in [&mut reference as &mut dyn FleetBackend, &mut event] {
+                apply_command(backend.bus_mut(), *op, *rack, *magnitude);
+            }
+            let base = *base_kw;
+            let load = move |rack: RackId, i: usize| {
+                Watts::from_kilowatts(
+                    base + 0.3 * f64::from(rack.index()) + 0.1 * i as f64,
+                )
+            };
+            reference.step_schedule(Seconds::new(dt), schedule, &load);
+            event.step_schedule(Seconds::new(dt), schedule, &load);
+            prop_assert_eq!(
+                reference.readings(),
+                FleetBackend::readings(&event),
+                "round {} diverged (schedule {:?})",
+                round,
+                schedule
+            );
+        }
+        // Accounting must cover the dense schedule exactly.
+        let total: u64 = rounds.iter().map(|r| r.3.len() as u64).sum();
+        prop_assert_eq!(
+            event.substeps_executed() + event.substeps_skipped(),
+            total * u64::from(FLEET)
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// End-to-end: whole-run `RunMetrics` (series, SLA outcomes, peaks)
+    /// bit-identical between dense and event-driven stepping across random
+    /// fleets, discharge depths, and control cadences.
+    #[test]
+    fn run_metrics_are_bit_identical_end_to_end(
+        seed in 0u64..1_000,
+        control_every in 1usize..6,
+        dod in 0.1f64..0.8,
+        warmup in 0.0f64..600.0,
+    ) {
+        let base = Scenario::row(3, 2, 2, seed)
+            .power_limit(Watts::from_kilowatts(190.0))
+            .discharge(DischargeLevel::Custom(dod))
+            .warmup(Seconds::new(warmup))
+            .control_every(control_every)
+            .max_horizon(Seconds::from_hours(2.5));
+        let dense = base.clone().build().run();
+        let event = base.event_driven().build().run();
+        prop_assert_eq!(
+            event,
+            dense,
+            "seed {} control_every {} dod {} warmup {}",
+            seed,
+            control_every,
+            dod,
+            warmup
+        );
+    }
+}

@@ -85,11 +85,16 @@ pub enum FlightKind {
     RpcRetry = 13,
     /// A link partition opened or healed.
     PartitionEdge = 14,
+    /// The event-driven backend fast-forwarded a quiescent rack: the rack
+    /// woke after skipping provably no-op sub-steps. `v0` is the number of
+    /// sub-steps skipped, `v1` the sub-step index at which it woke (both
+    /// integers, not `f64` bits).
+    FastForward = 15,
 }
 
 impl FlightKind {
     /// Every kind, in discriminant order.
-    pub const ALL: [FlightKind; 15] = [
+    pub const ALL: [FlightKind; 16] = [
         FlightKind::BreakerMargin,
         FlightKind::BreakerTrip,
         FlightKind::SlaOutcome,
@@ -105,6 +110,7 @@ impl FlightKind {
         FlightKind::LeaseExpire,
         FlightKind::RpcRetry,
         FlightKind::PartitionEdge,
+        FlightKind::FastForward,
     ];
 
     /// Stable numeric code (the discriminant).
@@ -132,6 +138,7 @@ impl FlightKind {
             FlightKind::LeaseExpire => "lease_expire",
             FlightKind::RpcRetry => "rpc_retry",
             FlightKind::PartitionEdge => "partition_edge",
+            FlightKind::FastForward => "fast_forward",
         }
     }
 
