@@ -966,6 +966,227 @@ impl EventProbe {
     }
 }
 
+/// The controller-HA probe: hot-standby control plane cost and failover
+/// behaviour.
+///
+/// Gates on three claims from the HA design (DESIGN.md §17): the fault-free
+/// hot-standby run is bit-identical to the single-controller run; the
+/// steady-state replication cost — serializing the paper-scale MSB brain,
+/// amortized over the snapshot cadence — is at most 2 % of a simulation
+/// tick; and a kill-the-leader run completes its takeover within one lease
+/// width plus one control interval of detection slack, with the breaker
+/// closed and every SLA met throughout. Decode + restore runs only on the
+/// takeover path, so it is reported (`restore_ns`) but not amortized.
+struct HaProbe {
+    snapshot_ns: f64,
+    restore_ns: f64,
+    snapshot_bytes: usize,
+    tick_secs: f64,
+    overhead_frac: f64,
+    failover_ticks: f64,
+    failover_budget_ticks: u64,
+    failovers: u64,
+    identical: bool,
+    chaos_clean: bool,
+    ok: bool,
+}
+
+const HA_OVERHEAD_GATE: f64 = 0.02;
+
+fn ha_probe() -> HaProbe {
+    use recharge_dynamo::{Controller, ControllerConfig, InMemoryBus};
+    use recharge_ha::{ControllerSet, HaConfig};
+    use recharge_net::ProcessFault;
+    use recharge_telemetry::FlightKind;
+    use recharge_units::{DeviceId, SimTime};
+
+    const CONTROL_EVERY: usize = 5;
+    // Paper scale: the 316-rack MSB of §V-B, so the snapshot cost and the
+    // tick cost amortize at a realistic tracked-population size.
+    let scenario = || Scenario::paper_msb(7).control_every(CONTROL_EVERY);
+    let ha_cfg = || HaConfig::default().seed(0x0000_4A5E);
+    recharge_telemetry::set_enabled(false);
+    recharge_telemetry::set_recorder_enabled(false);
+
+    // Fault-free equivalence, timing the single-controller twin for the
+    // per-simulation-tick denominator (one series point per control
+    // interval of `CONTROL_EVERY` one-second ticks).
+    let (single, single_secs) = time(|| scenario().build().run());
+    let (ha_run, _) = time(|| scenario().ha(ha_cfg()).build().run());
+    let identical = single == ha_run;
+    let sim_ticks = single.series.len().max(1) * CONTROL_EVERY;
+    let tick_secs = single_secs / sim_ticks as f64;
+
+    // A leader brain with the full MSB tracked population: discharge every
+    // rack, restore power, and let the controller admit the fleet.
+    let fleet = || {
+        let mut agents = Vec::new();
+        let (p1, p2, p3) = (89usize, 142, 85);
+        for (priority, count) in [(Priority::P1, p1), (Priority::P2, p2), (Priority::P3, p3)] {
+            for _ in 0..count {
+                agents.push(
+                    SimRackAgent::builder(RackId::new(agents.len() as u32), priority)
+                        .offered_load(Watts::from_kilowatts(6.33))
+                        .build(),
+                );
+            }
+        }
+        InMemoryBus::new(agents)
+    };
+    let mut bus = fleet();
+    for a in bus.agents_mut() {
+        a.set_input_power(false);
+    }
+    for a in bus.agents_mut() {
+        a.step(Seconds::new(120.0));
+    }
+    for a in bus.agents_mut() {
+        a.set_input_power(true);
+    }
+    let config = ControllerConfig::new(DeviceId::new(0), Watts::from_megawatts(2.5));
+    let mut leader = Controller::new(config.clone(), Strategy::PriorityAware);
+    for t in 0..5u64 {
+        leader.tick(SimTime::from_secs(t as f64), &mut bus);
+        for a in bus.agents_mut() {
+            a.step(Seconds::new(1.0));
+        }
+    }
+    let snapshot_bytes = leader.snapshot().to_bytes().len();
+
+    // Steady state is serialize-only: the leader's per-cadence hot path is
+    // `snapshot().to_bytes()` plus handing the buffer to the standby store.
+    const OPS: u32 = 10_000;
+    let mut stored = Vec::new();
+    let (_, snap_secs) = time(|| {
+        for _ in 0..OPS {
+            stored = leader.snapshot().to_bytes();
+        }
+    });
+    let snapshot_ns = snap_secs * 1e9 / f64::from(OPS);
+
+    // Decode + restore: paid once per takeover, never per tick.
+    const RESTORES: u32 = 1_000;
+    let mut standby = Controller::new(config, Strategy::PriorityAware);
+    let (_, restore_secs) = time(|| {
+        for _ in 0..RESTORES {
+            let decoded = recharge_dynamo::ControllerSnapshot::from_bytes(&stored)
+                .expect("snapshot bytes must decode");
+            standby.restore(&decoded);
+        }
+    });
+    let restore_ns = restore_secs * 1e9 / f64::from(RESTORES);
+
+    // One snapshot per `snapshot_every` simulation ticks.
+    let overhead_frac = snapshot_ns * 1e-9 / ha_cfg().snapshot_every as f64 / tick_secs.max(1e-12);
+
+    // Kill-the-leader: crash the deterministic tick-0 winner mid-recharge
+    // and read the takeover window off the flight journal.
+    let first = {
+        let mut probe = ControllerSet::new(
+            ControllerConfig::new(DeviceId::new(0), Watts::from_kilowatts(190.0)),
+            Strategy::PriorityAware,
+            ha_cfg(),
+        );
+        let mut bus = fleet();
+        probe.tick(0, SimTime::ZERO, &mut bus);
+        probe.leader().expect("probe election must succeed")
+    };
+    recharge_telemetry::set_recorder_enabled(true);
+    let _ = recharge_telemetry::take_flight_events();
+    let chaos_cfg = ha_cfg().fault(ProcessFault::CrashController {
+        controller: first,
+        at_tick: 600,
+    });
+    let lease = chaos_cfg.lease_ticks;
+    let (chaos, _) = time(|| scenario().ha(chaos_cfg).build().run());
+    recharge_telemetry::set_recorder_enabled(false);
+    let events = recharge_telemetry::take_flight_events();
+
+    let lost_at = events
+        .iter()
+        .find(|e| e.kind == FlightKind::LeaderLost)
+        .map(|e| e.at());
+    let takeover_at = events
+        .iter()
+        .find(|e| e.kind == FlightKind::TakeoverComplete)
+        .map(|e| e.at());
+    let failover_ticks = match (lost_at, takeover_at) {
+        (Some(lost), Some(takeover)) => takeover - lost, // 1 s ticks
+        _ => f64::INFINITY,
+    };
+    let failover_budget_ticks = lease + CONTROL_EVERY as u64;
+    let failovers = events
+        .iter()
+        .filter(|e| e.kind == FlightKind::TakeoverComplete)
+        .count() as u64;
+    let chaos_clean = !chaos.breaker_tripped && chaos.rack_outcomes.iter().all(|o| o.sla_met);
+
+    HaProbe {
+        snapshot_ns,
+        restore_ns,
+        snapshot_bytes,
+        tick_secs,
+        overhead_frac,
+        failover_ticks,
+        failover_budget_ticks,
+        failovers,
+        identical,
+        chaos_clean,
+        ok: identical
+            && chaos_clean
+            && overhead_frac < HA_OVERHEAD_GATE
+            && failovers == 1
+            && failover_ticks > 0.0
+            && failover_ticks <= failover_budget_ticks as f64,
+    }
+}
+
+impl HaProbe {
+    fn emit(&self, out_dir: &Path, cores: usize) -> std::io::Result<()> {
+        let mut json = String::new();
+        let _ = writeln!(json, "{{");
+        let _ = writeln!(json, "  \"benchmark\": \"ha\",");
+        let _ = writeln!(json, "  \"cores\": {cores},");
+        let _ = writeln!(json, "  \"snapshot_ns\": {:.3},", self.snapshot_ns);
+        let _ = writeln!(json, "  \"restore_ns\": {:.3},", self.restore_ns);
+        let _ = writeln!(json, "  \"snapshot_bytes\": {},", self.snapshot_bytes);
+        let _ = writeln!(json, "  \"tick_secs\": {:.9},", self.tick_secs);
+        let _ = writeln!(
+            json,
+            "  \"replication_overhead_frac\": {:.9},",
+            self.overhead_frac
+        );
+        let _ = writeln!(json, "  \"overhead_gate\": {HA_OVERHEAD_GATE},");
+        let _ = writeln!(json, "  \"failover_ticks\": {:.3},", self.failover_ticks);
+        let _ = writeln!(
+            json,
+            "  \"failover_budget_ticks\": {},",
+            self.failover_budget_ticks
+        );
+        let _ = writeln!(json, "  \"failovers\": {},", self.failovers);
+        let _ = writeln!(json, "  \"metrics_identical\": {},", self.identical);
+        let _ = writeln!(json, "  \"chaos_clean\": {},", self.chaos_clean);
+        let _ = writeln!(json, "  \"pass\": {}", self.ok);
+        let _ = writeln!(json, "}}");
+        std::fs::write(out_dir.join("BENCH_ha.json"), json)?;
+        println!(
+            "ha: snapshot {:.1} ns / restore {:.1} ns ({} B), replication overhead \
+             {:.5}% of a tick, failover {:.0}/{} ticks, identical: {}, chaos clean: {}, \
+             pass: {}",
+            self.snapshot_ns,
+            self.restore_ns,
+            self.snapshot_bytes,
+            self.overhead_frac * 100.0,
+            self.failover_ticks,
+            self.failover_budget_ticks,
+            self.identical,
+            self.chaos_clean,
+            self.ok
+        );
+        Ok(())
+    }
+}
+
 /// One consolidated `BENCH_summary.json` over every probe: name, pass flag,
 /// and the probe's headline figure, so CI can gate (and humans skim) one
 /// file instead of seven.
@@ -1137,6 +1358,21 @@ fn main() -> ExitCode {
         "event",
         event.ok,
         format!("\"substep_reduction\": {:.3}", event.reduction),
+    );
+
+    let ha = ha_probe();
+    if let Err(e) = ha.emit(&out_dir, cores) {
+        eprintln!("failed to write BENCH_ha.json: {e}");
+        ok = false;
+    }
+    ok &= ha.ok;
+    summary.push(
+        "ha",
+        ha.ok,
+        format!(
+            "\"replication_overhead_frac\": {:.9}, \"failover_ticks\": {:.3}",
+            ha.overhead_frac, ha.failover_ticks
+        ),
     );
 
     if let Err(e) = summary.emit(&out_dir, cores) {

@@ -670,6 +670,262 @@ impl Controller {
         }
         sent
     }
+
+    /// Captures the controller's brain — the [`ChargeIndex`] population and
+    /// the parked (postponed) set — as a deterministic snapshot.
+    ///
+    /// Entries are emitted in charge order (the index's own deterministic
+    /// `BTreeSet` iteration) and parked racks in ascending rack order, so two
+    /// controllers with identical state produce byte-identical snapshots.
+    /// The configuration and strategy are deliberately *not* captured: every
+    /// replica of an HA set is constructed with the same config, and leases
+    /// live on the agent side where they survive a controller loss anyway.
+    #[must_use]
+    pub fn snapshot(&self) -> ControllerSnapshot {
+        let entries = self
+            .index
+            .charge_order()
+            .map(|(rack, e)| SnapshotEntry {
+                rack,
+                priority: e.priority,
+                dod: e.dod,
+                current: e.current,
+            })
+            .collect();
+        let mut parked: Vec<SnapshotParked> = self
+            .parked
+            .iter()
+            .map(|(&rack, p)| SnapshotParked {
+                rack,
+                priority: p.priority,
+                dod: p.dod,
+            })
+            .collect();
+        parked.sort_unstable_by_key(|p| p.rack);
+        ControllerSnapshot { entries, parked }
+    }
+
+    /// Replaces the controller's brain with `snapshot`'s state.
+    ///
+    /// After a restore the next [`tick`](Self::tick) replays the delta since
+    /// the snapshot from live agent readings: finished racks are evicted,
+    /// newly charging racks admitted, and DOD estimates refreshed — the
+    /// standard gather phase is the delta replay.
+    pub fn restore(&mut self, snapshot: &ControllerSnapshot) {
+        self.index.clear();
+        self.parked.clear();
+        for e in &snapshot.entries {
+            self.index.upsert(e.rack, e.priority, e.dod, e.current);
+        }
+        for p in &snapshot.parked {
+            self.parked.insert(
+                p.rack,
+                ParkedCharge {
+                    priority: p.priority,
+                    dod: p.dod,
+                },
+            );
+        }
+    }
+}
+
+/// One indexed rack inside a [`ControllerSnapshot`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct SnapshotEntry {
+    rack: RackId,
+    priority: Priority,
+    dod: Dod,
+    current: Amperes,
+}
+
+/// One parked (postponed) rack inside a [`ControllerSnapshot`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct SnapshotParked {
+    rack: RackId,
+    priority: Priority,
+    dod: Dod,
+}
+
+/// Snapshot codec version byte; decoders reject mismatches.
+const SNAPSHOT_VERSION: u8 = 1;
+
+/// A deterministic, bit-exact capture of a [`Controller`]'s mutable state:
+/// the charge-index population (charge order) and the parked set (rack
+/// order). Produced by [`Controller::snapshot`], consumed by
+/// [`Controller::restore`], and wire-portable through
+/// [`to_bytes`](Self::to_bytes) / [`from_bytes`](Self::from_bytes) — every
+/// `f64` travels as its exact IEEE-754 bit pattern, like the mesh codec, so
+/// a restored brain is indistinguishable from the original.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ControllerSnapshot {
+    entries: Vec<SnapshotEntry>,
+    parked: Vec<SnapshotParked>,
+}
+
+/// A malformed snapshot byte stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The buffer ended before the snapshot did.
+    Truncated,
+    /// Unknown snapshot codec version.
+    BadVersion(u8),
+    /// A priority rank outside 1..=3.
+    BadPriority(u8),
+    /// Trailing bytes after a complete snapshot.
+    TrailingBytes,
+}
+
+impl core::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SnapshotError::Truncated => write!(f, "snapshot truncated"),
+            SnapshotError::BadVersion(v) => {
+                write!(f, "snapshot version {v} (expected {SNAPSHOT_VERSION})")
+            }
+            SnapshotError::BadPriority(v) => write!(f, "illegal priority rank {v}"),
+            SnapshotError::TrailingBytes => write!(f, "trailing bytes after snapshot"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Encoded size of one indexed entry: rack u32, priority u8, two f64s.
+const SNAPSHOT_ENTRY_BYTES: usize = 4 + 1 + 8 + 8;
+/// Encoded size of one parked entry: rack u32, priority u8, one f64.
+const SNAPSHOT_PARKED_BYTES: usize = 4 + 1 + 8;
+
+impl ControllerSnapshot {
+    /// Number of indexed racks captured.
+    #[must_use]
+    pub fn tracked(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Number of parked racks captured.
+    #[must_use]
+    pub fn parked(&self) -> usize {
+        self.parked.len()
+    }
+
+    /// Whether the snapshot captures no state at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty() && self.parked.is_empty()
+    }
+
+    /// Serializes the snapshot. Layout (all little-endian):
+    ///
+    /// ```text
+    /// [ version u8 ]
+    /// [ tracked u32 ] n × [ rack u32 | priority u8 | dod bits u64 | current bits u64 ]
+    /// [ parked  u32 ] m × [ rack u32 | priority u8 | dod bits u64 ]
+    /// ```
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(
+            1 + 8
+                + self.entries.len() * SNAPSHOT_ENTRY_BYTES
+                + self.parked.len() * SNAPSHOT_PARKED_BYTES,
+        );
+        out.push(SNAPSHOT_VERSION);
+        out.extend_from_slice(&(self.entries.len() as u32).to_le_bytes());
+        for e in &self.entries {
+            out.extend_from_slice(&e.rack.index().to_le_bytes());
+            out.push(e.priority.rank());
+            out.extend_from_slice(&e.dod.value().to_bits().to_le_bytes());
+            out.extend_from_slice(&e.current.as_amps().to_bits().to_le_bytes());
+        }
+        out.extend_from_slice(&(self.parked.len() as u32).to_le_bytes());
+        for p in &self.parked {
+            out.extend_from_slice(&p.rack.index().to_le_bytes());
+            out.push(p.priority.rank());
+            out.extend_from_slice(&p.dod.value().to_bits().to_le_bytes());
+        }
+        out
+    }
+
+    /// Decodes a snapshot serialized by [`to_bytes`](Self::to_bytes).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapshotError`] when the buffer is truncated, carries an
+    /// unknown version, an illegal priority rank, or trailing bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let mut cursor = SnapshotReader(bytes);
+        let version = cursor.u8()?;
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::BadVersion(version));
+        }
+        let tracked = cursor.u32()? as usize;
+        if tracked > cursor.remaining() / SNAPSHOT_ENTRY_BYTES {
+            return Err(SnapshotError::Truncated);
+        }
+        let mut entries = Vec::with_capacity(tracked);
+        for _ in 0..tracked {
+            entries.push(SnapshotEntry {
+                rack: RackId::new(cursor.u32()?),
+                priority: cursor.priority()?,
+                dod: Dod::new(f64::from_bits(cursor.u64()?)),
+                current: Amperes::new(f64::from_bits(cursor.u64()?)),
+            });
+        }
+        let parked_count = cursor.u32()? as usize;
+        if parked_count > cursor.remaining() / SNAPSHOT_PARKED_BYTES {
+            return Err(SnapshotError::Truncated);
+        }
+        let mut parked = Vec::with_capacity(parked_count);
+        for _ in 0..parked_count {
+            parked.push(SnapshotParked {
+                rack: RackId::new(cursor.u32()?),
+                priority: cursor.priority()?,
+                dod: Dod::new(f64::from_bits(cursor.u64()?)),
+            });
+        }
+        if cursor.remaining() != 0 {
+            return Err(SnapshotError::TrailingBytes);
+        }
+        Ok(ControllerSnapshot { entries, parked })
+    }
+}
+
+/// Minimal little-endian cursor for the snapshot codec.
+struct SnapshotReader<'a>(&'a [u8]);
+
+impl SnapshotReader<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], SnapshotError> {
+        if self.0.len() < n {
+            return Err(SnapshotError::Truncated);
+        }
+        let (head, tail) = self.0.split_at(n);
+        self.0 = tail;
+        Ok(head)
+    }
+
+    fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn priority(&mut self) -> Result<Priority, SnapshotError> {
+        match self.u8()? {
+            1 => Ok(Priority::P1),
+            2 => Ok(Priority::P2),
+            3 => Ok(Priority::P3),
+            v => Err(SnapshotError::BadPriority(v)),
+        }
+    }
+
+    fn remaining(&self) -> usize {
+        self.0.len()
+    }
 }
 
 #[cfg(test)]
@@ -986,5 +1242,120 @@ mod tests {
         assert_eq!(Strategy::PriorityAware.to_string(), "priority-aware");
         assert_eq!(Strategy::Global.to_string(), "global");
         assert_eq!(Strategy::Uncoordinated.to_string(), "uncoordinated");
+    }
+
+    #[test]
+    fn snapshot_round_trips_bit_exactly() {
+        let mut bus = fleet(1, 6.0);
+        let config =
+            ControllerConfig::new(DeviceId::new(0), Watts::from_kilowatts(18.5)).with_postponing();
+        let mut c = Controller::new(config, Strategy::PriorityAware);
+        open_transition(&mut bus, 60.0);
+        // Tick long enough that racks are admitted and at least one parks.
+        for s in 0..60 {
+            c.tick(SimTime::from_secs(61.0 + f64::from(s)), &mut bus);
+            for a in bus.agents_mut() {
+                a.step(Seconds::new(1.0));
+            }
+        }
+        assert!(!c.postponed_racks().is_empty(), "setup: nothing parked");
+
+        let snap = c.snapshot();
+        assert!(snap.tracked() > 0);
+        assert_eq!(snap.parked(), c.postponed_racks().len());
+        let bytes = snap.to_bytes();
+        let decoded = ControllerSnapshot::from_bytes(&bytes).expect("decodes");
+        assert_eq!(decoded, snap);
+        // Deterministic: re-snapshotting unchanged state is byte-identical.
+        assert_eq!(c.snapshot().to_bytes(), bytes);
+
+        // Restoring into a fresh controller reproduces the brain exactly.
+        let mut standby = controller(18.5, Strategy::PriorityAware);
+        standby.restore(&decoded);
+        assert_eq!(standby.commanded_currents(), c.commanded_currents());
+        assert_eq!(standby.postponed_racks(), c.postponed_racks());
+        assert_eq!(standby.snapshot().to_bytes(), bytes);
+    }
+
+    #[test]
+    fn snapshot_rejects_corrupt_bytes() {
+        let empty = ControllerSnapshot::default();
+        assert!(empty.is_empty());
+        let bytes = empty.to_bytes();
+        assert_eq!(ControllerSnapshot::from_bytes(&bytes), Ok(empty));
+        assert_eq!(
+            ControllerSnapshot::from_bytes(&[]),
+            Err(SnapshotError::Truncated)
+        );
+        let mut bad = bytes.clone();
+        bad[0] = 9;
+        assert_eq!(
+            ControllerSnapshot::from_bytes(&bad),
+            Err(SnapshotError::BadVersion(9))
+        );
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert_eq!(
+            ControllerSnapshot::from_bytes(&trailing),
+            Err(SnapshotError::TrailingBytes)
+        );
+        // A tracked count the remaining bytes cannot possibly hold.
+        let mut huge = bytes;
+        huge[1..5].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            ControllerSnapshot::from_bytes(&huge),
+            Err(SnapshotError::Truncated)
+        );
+        // An illegal priority rank inside an entry.
+        let mut c = Controller::new(
+            ControllerConfig::new(DeviceId::new(0), Watts::from_kilowatts(190.0)),
+            Strategy::PriorityAware,
+        );
+        c.index
+            .upsert(RackId::new(3), Priority::P2, Dod::new(0.4), Amperes::ZERO);
+        let mut bytes = c.snapshot().to_bytes();
+        bytes[9] = 7; // entry priority byte: version(1) + count(4) + rack(4)
+        assert_eq!(
+            ControllerSnapshot::from_bytes(&bytes),
+            Err(SnapshotError::BadPriority(7))
+        );
+    }
+
+    #[test]
+    fn restore_then_continue_matches_uninterrupted() {
+        // Two identical worlds; world B's controller is replaced mid-flight
+        // by a standby restored from a snapshot. Every subsequent report and
+        // command stream must match world A bit for bit.
+        let mut bus_a = fleet(2, 6.0);
+        let mut bus_b = fleet(2, 6.0);
+        let mut live = controller(21.0, Strategy::PriorityAware);
+        let mut original = controller(21.0, Strategy::PriorityAware);
+        open_transition(&mut bus_a, 60.0);
+        open_transition(&mut bus_b, 60.0);
+        for s in 0..30 {
+            let now = SimTime::from_secs(61.0 + f64::from(s));
+            assert_eq!(live.tick(now, &mut bus_a), original.tick(now, &mut bus_b));
+            for a in bus_a.agents_mut() {
+                a.step(Seconds::new(1.0));
+            }
+            for a in bus_b.agents_mut() {
+                a.step(Seconds::new(1.0));
+            }
+        }
+        // Failover in world B: a fresh standby restores the snapshot.
+        let mut standby = controller(21.0, Strategy::PriorityAware);
+        standby.restore(&original.snapshot());
+        drop(original);
+        for s in 30..120 {
+            let now = SimTime::from_secs(61.0 + f64::from(s));
+            assert_eq!(live.tick(now, &mut bus_a), standby.tick(now, &mut bus_b));
+            for a in bus_a.agents_mut() {
+                a.step(Seconds::new(1.0));
+            }
+            for a in bus_b.agents_mut() {
+                a.step(Seconds::new(1.0));
+            }
+        }
+        assert_eq!(standby.commanded_currents(), live.commanded_currents());
     }
 }

@@ -59,7 +59,9 @@ pub use backend::{
     ShardedBackend,
 };
 pub use bus::{AgentBus, InMemoryBus};
-pub use controller::{Controller, ControllerConfig, ControllerReport, Strategy};
+pub use controller::{
+    Controller, ControllerConfig, ControllerReport, ControllerSnapshot, SnapshotError, Strategy,
+};
 pub use event::EventDrivenBackend;
 pub use hierarchy::{HierarchicalControl, UpperMonitor};
 pub use messages::PowerReading;

@@ -63,9 +63,10 @@ pub mod wire;
 pub use backend::{spawn_mesh, RpcFleetBackend, RpcMeshConfig, RpcTransport, ShardPlan};
 pub use client::{RetryPolicy, RpcBus, RpcBusConfig};
 pub use endpoint::{as_frame_too_large, Endpoint, NetListener, NetStream};
-pub use fault::{FaultClock, FaultPlan, LinkFaults, Partition, PartitionScope};
+pub use fault::{FaultClock, FaultPlan, LinkFaults, Partition, PartitionScope, ProcessFault};
 pub use server::{AgentHost, AgentServer, DEFAULT_LEASE_TICKS};
 pub use sharded::{LeafControlSpec, ShardedRpcBus, ShardedRpcFleetBackend};
 pub use wire::{
-    AgentCommand, GroupAggregate, HealthReport, Request, Response, WireError, PROTOCOL_VERSION,
+    AgentCommand, GroupAggregate, HealthReport, Request, Response, StoredSnapshot, WireError,
+    PROTOCOL_VERSION,
 };

@@ -38,7 +38,9 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use recharge_dynamo::{AgentBus, Controller, PowerReading, RackAgent};
-use recharge_telemetry::{flight_at, tcounter, tevent, tspan, FlightKind, ReasonCode, NO_BUCKET};
+use recharge_telemetry::{
+    flight_at, tcounter, tevent, tspan, FlightKind, ReasonCode, NO_BUCKET, NO_RACK,
+};
 use recharge_units::{Amperes, RackId, Watts};
 
 use crate::endpoint::{
@@ -47,7 +49,7 @@ use crate::endpoint::{
 use crate::fault::FaultClock;
 use crate::wire::{
     decode_request, encode_response, AgentCommand, GroupAggregate, HealthReport, Request, Response,
-    MAX_FRAME_LEN,
+    StoredSnapshot, MAX_FRAME_LEN,
 };
 
 /// Default coordination lease, in simulation ticks.
@@ -76,6 +78,14 @@ struct HostState<A> {
     /// A server-hosted leaf controller ([`Request::TickLeaf`]); `None` for
     /// plain agent hosting.
     leaf: Option<Controller>,
+    /// Highest HA election term witnessed on fenced requests. Requests
+    /// carrying a lower term are stale leaders and are rejected wholesale.
+    ha_term: u64,
+    /// Replica id of the leader that set [`HostState::ha_term`].
+    ha_leader: u32,
+    /// Last controller-brain snapshot replicated here, for standbys to fetch
+    /// at failover.
+    ha_snapshot: Option<StoredSnapshot>,
 }
 
 /// [`AgentBus`] over a host's local agent slice — what a hosted leaf
@@ -162,6 +172,9 @@ impl<A: RackAgent> AgentHost<A> {
                 agents,
                 leases,
                 leaf: None,
+                ha_term: 0,
+                ha_leader: 0,
+                ha_snapshot: None,
             }),
             index_of,
             racks,
@@ -337,6 +350,15 @@ impl<A: RackAgent> AgentHost<A> {
                     }
                 }
             }
+            // A fenced batch renews leases only when its term is current: a
+            // stale leader's contact must not keep its coordination alive.
+            Request::ApplyFencedBatch { term, commands, .. } if *term >= state.ha_term => {
+                for command in commands {
+                    if let Some(&i) = self.index_of.get(&command.rack()) {
+                        self.renew_lease(&mut state, i, now);
+                    }
+                }
+            }
             _ => {
                 if let Some(rack) = request.rack() {
                     if let Some(&i) = self.index_of.get(&rack) {
@@ -459,7 +481,87 @@ impl<A: RackAgent> AgentHost<A> {
                     text: recharge_telemetry::snapshot().to_prometheus(),
                 })
             }
+            Request::ApplyFencedBatch {
+                term,
+                leader,
+                commands,
+            } => {
+                if *term < state.ha_term {
+                    self.fence_stale(*term, state.ha_term, now);
+                    return Response::FencedAck {
+                        accepted: false,
+                        term: state.ha_term,
+                        applied: 0,
+                    };
+                }
+                state.ha_term = *term;
+                state.ha_leader = *leader;
+                let mut applied = 0u32;
+                for command in commands {
+                    let Some(&i) = self.index_of.get(&command.rack()) else {
+                        continue;
+                    };
+                    let agent = &mut state.agents[i];
+                    match *command {
+                        AgentCommand::SetChargeOverride(_, current) => {
+                            agent.set_charge_override(current);
+                        }
+                        AgentCommand::ClearChargeOverride(_) => agent.clear_charge_override(),
+                        AgentCommand::SetChargePostponed(_, postponed) => {
+                            agent.set_charge_postponed(postponed);
+                        }
+                        AgentCommand::CapServers(_, limit) => agent.cap_servers(limit),
+                        AgentCommand::UncapServers(_) => agent.uncap_servers(),
+                    }
+                    applied += 1;
+                }
+                Response::FencedAck {
+                    accepted: true,
+                    term: state.ha_term,
+                    applied,
+                }
+            }
+            Request::InstallSnapshot(snapshot) => {
+                if snapshot.term < state.ha_term {
+                    self.fence_stale(snapshot.term, state.ha_term, now);
+                    return Response::SnapshotAck {
+                        accepted: false,
+                        term: state.ha_term,
+                    };
+                }
+                state.ha_term = snapshot.term;
+                state.ha_leader = snapshot.leader;
+                state.ha_snapshot = Some(snapshot.clone());
+                tcounter!("net.ha_snapshots_installed").inc();
+                Response::SnapshotAck {
+                    accepted: true,
+                    term: state.ha_term,
+                }
+            }
+            Request::FetchSnapshot => Response::Snapshot(state.ha_snapshot.clone()),
         }
+    }
+
+    /// Journals and counts a stale-term rejection: a leader deposed before
+    /// this request was sent tried to act on the fleet.
+    fn fence_stale(&self, stale_term: u64, current_term: u64, now: u64) {
+        tcounter!("net.ha_stale_fenced").inc();
+        tevent!(
+            "net.ha_stale_fenced",
+            "net",
+            "stale_term" => stale_term,
+            "current_term" => current_term,
+        );
+        flight_at(
+            now as f64,
+            FlightKind::StaleLeaderFenced,
+            ReasonCode::HaStaleTerm,
+            NO_RACK,
+            0,
+            NO_BUCKET,
+            stale_term,
+            current_term,
+        );
     }
 }
 
@@ -857,6 +959,109 @@ mod tests {
             panic!("expected health");
         };
         assert_eq!(health.coordinated, 1);
+    }
+
+    #[test]
+    fn stale_term_commands_are_fenced_after_takeover() {
+        let host = host(2, DEFAULT_LEASE_TICKS);
+        let rack = RackId::new(0);
+
+        // Term 1: the original leader overrides rack 0.
+        let response = host.handle(&Request::ApplyFencedBatch {
+            term: 1,
+            leader: 0,
+            commands: vec![AgentCommand::SetChargeOverride(rack, Amperes::MIN_CHARGE)],
+        });
+        assert_eq!(
+            response,
+            Response::FencedAck {
+                accepted: true,
+                term: 1,
+                applied: 1,
+            }
+        );
+        assert!(host.is_coordinated(rack));
+
+        // Term 2: a standby took over and re-overrides the rack.
+        let response = host.handle(&Request::ApplyFencedBatch {
+            term: 2,
+            leader: 1,
+            commands: vec![AgentCommand::SetChargeOverride(rack, Amperes::MAX_CHARGE)],
+        });
+        assert_eq!(
+            response,
+            Response::FencedAck {
+                accepted: true,
+                term: 2,
+                applied: 1,
+            }
+        );
+
+        // The deposed leader wakes and replays its term-1 command: rejected
+        // wholesale, nothing applied, the takeover's override untouched.
+        let response = host.handle(&Request::ApplyFencedBatch {
+            term: 1,
+            leader: 0,
+            commands: vec![AgentCommand::SetChargeOverride(rack, Amperes::MIN_CHARGE)],
+        });
+        assert_eq!(
+            response,
+            Response::FencedAck {
+                accepted: false,
+                term: 2,
+                applied: 0,
+            }
+        );
+        host.with_agents(|agents| {
+            assert_eq!(
+                agents[0].battery().bbu().charger().override_current(),
+                Some(Amperes::MAX_CHARGE),
+                "a fenced batch must not disturb the current leader's override"
+            );
+        });
+
+        // A stale snapshot install is fenced the same way.
+        let response = host.handle(&Request::InstallSnapshot(StoredSnapshot {
+            term: 1,
+            leader: 0,
+            tick: 9,
+            bytes: vec![1, 0, 0, 0, 0, 0, 0, 0, 0],
+        }));
+        assert_eq!(
+            response,
+            Response::SnapshotAck {
+                accepted: false,
+                term: 2,
+            }
+        );
+        assert_eq!(
+            host.handle(&Request::FetchSnapshot),
+            Response::Snapshot(None)
+        );
+    }
+
+    #[test]
+    fn snapshots_replicate_and_fetch_without_touching_leases() {
+        let host = host(1, 5);
+        let snapshot = StoredSnapshot {
+            term: 3,
+            leader: 1,
+            tick: 42,
+            bytes: vec![1, 0, 0, 0, 0, 0, 0, 0, 0],
+        };
+        assert_eq!(
+            host.handle(&Request::InstallSnapshot(snapshot.clone())),
+            Response::SnapshotAck {
+                accepted: true,
+                term: 3,
+            }
+        );
+        assert_eq!(
+            host.handle(&Request::FetchSnapshot),
+            Response::Snapshot(Some(snapshot))
+        );
+        // Replication is bookkeeping, not coordination: nobody joined.
+        assert!(!host.is_coordinated(RackId::new(0)));
     }
 
     #[test]

@@ -85,6 +85,16 @@ pub fn describe_payload(e: &FlightEvent) -> String {
                 e.v0, e.v1
             )
         }
+        FlightKind::LeaderElected => format!("controller {} won term {}", e.v0, e.v1),
+        FlightKind::LeaderLost => format!("controller {} lost term {}", e.v0, e.v1),
+        FlightKind::SnapshotTaken => format!("term {}, {} bytes", e.v0, e.v1),
+        FlightKind::SnapshotRestored => format!("term {}, {} bytes", e.v0, e.v1),
+        FlightKind::TakeoverComplete => {
+            format!("controller {} leading, term {}", e.v0, e.v1)
+        }
+        FlightKind::StaleLeaderFenced => {
+            format!("stale term {} < current {}", e.v0, e.v1)
+        }
     }
 }
 
@@ -214,6 +224,34 @@ pub fn summary(dump: &BlackboxDump) -> String {
     out.push_str("by reason:\n");
     for (reason, n) in &by_reason {
         let _ = writeln!(out, "  {reason:<24} {n}");
+    }
+    let leadership = leader_timeline(dump);
+    if !leadership.is_empty() {
+        out.push_str("leader timeline:\n");
+        out.push_str(&leadership);
+    }
+    out
+}
+
+/// Renders the HA leadership history: every election, loss, and takeover
+/// in dump order. Empty when the run had no HA events (single-controller).
+#[must_use]
+pub fn leader_timeline(dump: &BlackboxDump) -> String {
+    let mut out = String::new();
+    for e in &dump.events {
+        let line = match e.kind {
+            FlightKind::LeaderElected => {
+                format!("controller {} elected for term {}", e.v0, e.v1)
+            }
+            FlightKind::LeaderLost => {
+                format!("controller {} lost leadership of term {}", e.v0, e.v1)
+            }
+            FlightKind::TakeoverComplete => {
+                format!("controller {} completed takeover in term {}", e.v0, e.v1)
+            }
+            _ => continue,
+        };
+        let _ = writeln!(out, "  t={:<10.3} {} ({})", e.at(), line, e.reason.name());
     }
     out
 }
@@ -345,5 +383,102 @@ mod tests {
             "{s}"
         );
         assert!(s.contains("sla_missed"), "{s}");
+        // No HA events in this dump: the leader timeline section is absent.
+        assert!(!s.contains("leader timeline"), "{s}");
+    }
+
+    fn ha_event(at: f64, kind: FlightKind, reason: ReasonCode, v0: u64, v1: u64) -> FlightEvent {
+        FlightEvent {
+            at_bits: at.to_bits(),
+            kind,
+            reason,
+            priority: 0,
+            bucket: NO_BUCKET,
+            rack: NO_RACK,
+            v0,
+            v1,
+        }
+    }
+
+    fn ha_dump() -> BlackboxDump {
+        BlackboxDump {
+            trigger: "manual".to_owned(),
+            overwritten: 0,
+            events: vec![
+                ha_event(
+                    0.0,
+                    FlightKind::LeaderElected,
+                    ReasonCode::HaCampaignWon,
+                    0,
+                    1,
+                ),
+                ha_event(
+                    100.0,
+                    FlightKind::SnapshotTaken,
+                    ReasonCode::HaSnapshotCadence,
+                    1,
+                    68,
+                ),
+                ha_event(600.0, FlightKind::LeaderLost, ReasonCode::HaCrashed, 0, 1),
+                ha_event(
+                    630.0,
+                    FlightKind::LeaderElected,
+                    ReasonCode::HaCampaignWon,
+                    2,
+                    2,
+                ),
+                ha_event(
+                    630.0,
+                    FlightKind::SnapshotRestored,
+                    ReasonCode::HaTakeover,
+                    2,
+                    68,
+                ),
+                ha_event(
+                    631.0,
+                    FlightKind::TakeoverComplete,
+                    ReasonCode::HaTakeover,
+                    2,
+                    2,
+                ),
+                ha_event(
+                    632.0,
+                    FlightKind::StaleLeaderFenced,
+                    ReasonCode::HaStaleTerm,
+                    1,
+                    2,
+                ),
+            ],
+        }
+    }
+
+    #[test]
+    fn ha_events_render_in_timeline() {
+        let t = timeline(&ha_dump(), None, 0);
+        assert!(t.contains("controller 0 won term 1"), "{t}");
+        assert!(t.contains("controller 0 lost term 1"), "{t}");
+        assert!(t.contains("term 1, 68 bytes"), "{t}");
+        assert!(t.contains("term 2, 68 bytes"), "{t}");
+        assert!(t.contains("controller 2 leading, term 2"), "{t}");
+        assert!(t.contains("stale term 1 < current 2"), "{t}");
+        assert!(t.contains("ha_campaign_won"), "{t}");
+    }
+
+    #[test]
+    fn summary_prints_leader_timeline() {
+        let s = summary(&ha_dump());
+        assert!(s.contains("leader timeline:"), "{s}");
+        assert!(s.contains("controller 0 elected for term 1"), "{s}");
+        assert!(
+            s.contains("controller 0 lost leadership of term 1 (ha_crashed)"),
+            "{s}"
+        );
+        assert!(s.contains("controller 2 elected for term 2"), "{s}");
+        assert!(
+            s.contains("controller 2 completed takeover in term 2"),
+            "{s}"
+        );
+        // Snapshots and fencing are not leadership transitions.
+        assert!(!leader_timeline(&ha_dump()).contains("bytes"));
     }
 }

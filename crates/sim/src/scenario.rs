@@ -4,6 +4,7 @@ use serde::{Deserialize, Serialize};
 
 use recharge_battery::ChargePolicy;
 use recharge_dynamo::{FleetBackendKind, Strategy};
+use recharge_ha::HaConfig;
 use recharge_net::RpcMeshConfig;
 use recharge_trace::{DiurnalModel, SyntheticFleet, SyntheticFleetBuilder};
 use recharge_units::{Seconds, Watts};
@@ -57,6 +58,7 @@ pub struct Scenario {
     pub(crate) backend: FleetBackendKind,
     pub(crate) rpc: Option<RpcMeshConfig>,
     pub(crate) control_every: usize,
+    pub(crate) ha: Option<HaConfig>,
 }
 
 impl Scenario {
@@ -82,6 +84,7 @@ impl Scenario {
             backend: FleetBackendKind::Serial,
             rpc: None,
             control_every: 1,
+            ha: None,
         }
     }
 
@@ -259,6 +262,18 @@ impl Scenario {
     #[must_use]
     pub fn control_every(mut self, n: usize) -> Self {
         self.control_every = n.max(1);
+        self
+    }
+
+    /// Runs the upper control plane as a hot-standby
+    /// [`ControllerSet`](recharge_ha::ControllerSet) instead of a single
+    /// controller: lease-based leader election, deterministic snapshot
+    /// replication, and fenced failover under the process faults carried in
+    /// `config`. With no faults injected the run is bit-identical to the
+    /// single-controller run (pinned by `tests/ha_soak.rs`).
+    #[must_use]
+    pub fn ha(mut self, config: HaConfig) -> Self {
+        self.ha = Some(config);
         self
     }
 

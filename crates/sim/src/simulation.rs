@@ -136,7 +136,14 @@ impl FleetSimulation {
         if self.scenario.allow_postponing {
             config = config.with_postponing();
         }
-        let mut controller = Controller::new(config, self.scenario.strategy);
+        let mut controller = Controller::new(config.clone(), self.scenario.strategy);
+        // The hot-standby control plane, when the scenario asks for one.
+        // Faults and leases run on the simulation-tick clock (the same clock
+        // `FaultClock` uses), so chaos schedules line up across layers.
+        let mut ha_set =
+            self.scenario.ha.as_ref().map(|ha| {
+                recharge_ha::ControllerSet::new(config, self.scenario.strategy, ha.clone())
+            });
         let mut breaker = Breaker::new(self.scenario.power_limit);
 
         let mut t = ot_start - self.scenario.warmup;
@@ -201,6 +208,29 @@ impl FleetSimulation {
             let (it_load, recharge, capped) = if self.mitigated {
                 if let Some(report) = backend.hosted_control_tick(now) {
                     (report.it_load, report.recharge_power, report.capped_power)
+                } else if let Some(set) = ha_set.as_mut() {
+                    // The interval ends at sim tick (due + 1) * control_every;
+                    // that is the instant the leader's lease renews.
+                    let tick_now = (due + 1) * control_every as u64;
+                    match set.tick(tick_now, now, backend.bus_mut()) {
+                        Some(report) => {
+                            (report.it_load, report.recharge_power, report.capped_power)
+                        }
+                        None => {
+                            // Leaderless gap: nobody may command, so this
+                            // interval degrades to monitoring-only
+                            // aggregation, exactly like an unmitigated tick.
+                            let mut it = Watts::ZERO;
+                            let mut re = Watts::ZERO;
+                            for reading in &readings {
+                                if reading.input_power_present {
+                                    it += reading.it_load;
+                                    re += reading.recharge_power;
+                                }
+                            }
+                            (it, re, Watts::ZERO)
+                        }
+                    }
                 } else {
                     let report = controller.tick(now, backend.bus_mut());
                     (report.it_load, report.recharge_power, report.capped_power)

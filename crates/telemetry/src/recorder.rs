@@ -90,11 +90,29 @@ pub enum FlightKind {
     /// sub-steps skipped, `v1` the sub-step index at which it woke (both
     /// integers, not `f64` bits).
     FastForward = 15,
+    /// An HA controller won a leader election. `v0` is the winning
+    /// controller id, `v1` the new term (both integers).
+    LeaderElected = 16,
+    /// The HA leader lost leadership (lease expiry, crash, or freeze).
+    /// `v0` is the lost leader's id, `v1` the term it held (integers).
+    LeaderLost = 17,
+    /// The HA leader captured a brain snapshot for replication. `v0` is the
+    /// leader's term, `v1` the snapshot size in bytes (integers).
+    SnapshotTaken = 18,
+    /// A standby restored a replicated brain snapshot. `v0` is the term the
+    /// snapshot carries, `v1` its size in bytes (integers).
+    SnapshotRestored = 19,
+    /// A new leader finished its takeover tick after a failover. `v0` is the
+    /// new leader's id, `v1` its term (integers).
+    TakeoverComplete = 20,
+    /// A stale-term leader's command was fenced off. `v0` is the stale term
+    /// presented, `v1` the current term that rejected it (integers).
+    StaleLeaderFenced = 21,
 }
 
 impl FlightKind {
     /// Every kind, in discriminant order.
-    pub const ALL: [FlightKind; 16] = [
+    pub const ALL: [FlightKind; 22] = [
         FlightKind::BreakerMargin,
         FlightKind::BreakerTrip,
         FlightKind::SlaOutcome,
@@ -111,6 +129,12 @@ impl FlightKind {
         FlightKind::RpcRetry,
         FlightKind::PartitionEdge,
         FlightKind::FastForward,
+        FlightKind::LeaderElected,
+        FlightKind::LeaderLost,
+        FlightKind::SnapshotTaken,
+        FlightKind::SnapshotRestored,
+        FlightKind::TakeoverComplete,
+        FlightKind::StaleLeaderFenced,
     ];
 
     /// Stable numeric code (the discriminant).
@@ -139,6 +163,12 @@ impl FlightKind {
             FlightKind::RpcRetry => "rpc_retry",
             FlightKind::PartitionEdge => "partition_edge",
             FlightKind::FastForward => "fast_forward",
+            FlightKind::LeaderElected => "leader_elected",
+            FlightKind::LeaderLost => "leader_lost",
+            FlightKind::SnapshotTaken => "snapshot_taken",
+            FlightKind::SnapshotRestored => "snapshot_restored",
+            FlightKind::TakeoverComplete => "takeover_complete",
+            FlightKind::StaleLeaderFenced => "stale_leader_fenced",
         }
     }
 
@@ -190,11 +220,25 @@ pub enum ReasonCode {
     SlaMet = 15,
     /// SLA verdict: recharge exceeded the Table II budget.
     SlaMissed = 16,
+    /// The HA leader's lease expired without renewal.
+    HaLeaseExpired = 17,
+    /// An HA standby won the election campaign (lowest seeded jitter draw).
+    HaCampaignWon = 18,
+    /// A brain snapshot was taken/replicated on the configured cadence.
+    HaSnapshotCadence = 19,
+    /// State restored or command issued as part of a failover takeover.
+    HaTakeover = 20,
+    /// A command carried a term below the highest term seen: fenced.
+    HaStaleTerm = 21,
+    /// The controller process was crashed (SIGKILL-style) by the fault plan.
+    HaCrashed = 22,
+    /// The controller process was frozen (SIGSTOP-style) by the fault plan.
+    HaFrozen = 23,
 }
 
 impl ReasonCode {
     /// Every reason, in discriminant order.
-    pub const ALL: [ReasonCode; 17] = [
+    pub const ALL: [ReasonCode; 24] = [
         ReasonCode::Observed,
         ReasonCode::AdmitFloor,
         ReasonCode::AdmitUpgraded,
@@ -212,6 +256,13 @@ impl ReasonCode {
         ReasonCode::RpcPartitioned,
         ReasonCode::SlaMet,
         ReasonCode::SlaMissed,
+        ReasonCode::HaLeaseExpired,
+        ReasonCode::HaCampaignWon,
+        ReasonCode::HaSnapshotCadence,
+        ReasonCode::HaTakeover,
+        ReasonCode::HaStaleTerm,
+        ReasonCode::HaCrashed,
+        ReasonCode::HaFrozen,
     ];
 
     /// Stable numeric code (the discriminant).
@@ -241,6 +292,13 @@ impl ReasonCode {
             ReasonCode::RpcPartitioned => "rpc_partitioned",
             ReasonCode::SlaMet => "sla_met",
             ReasonCode::SlaMissed => "sla_missed",
+            ReasonCode::HaLeaseExpired => "ha_lease_expired",
+            ReasonCode::HaCampaignWon => "ha_campaign_won",
+            ReasonCode::HaSnapshotCadence => "ha_snapshot_cadence",
+            ReasonCode::HaTakeover => "ha_takeover",
+            ReasonCode::HaStaleTerm => "ha_stale_term",
+            ReasonCode::HaCrashed => "ha_crashed",
+            ReasonCode::HaFrozen => "ha_frozen",
         }
     }
 
