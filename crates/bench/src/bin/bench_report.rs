@@ -966,6 +966,173 @@ impl EventProbe {
     }
 }
 
+/// Shard count the sharded event backend is probed at.
+const EVENT_SHARDED_SHARDS: usize = 4;
+
+/// Racks in the probe scenario (`Scenario::row(3, 2, 2, _)`), used to turn
+/// the dense sub-step count back into a batch count.
+const EVENT_SHARDED_RACKS: u64 = 3 + 2 + 2;
+
+/// Per-batch coordination budget for the sharded event backend, in
+/// microseconds: frame building, channel handoff, the latch barrier, and
+/// post-batch journaling across all shards. Generous on purpose — the gate
+/// exists to catch regressions to per-rack or per-sub-step coordination
+/// work, not to benchmark thread wakeup latency on a shared CI runner.
+const EVENT_SHARDED_COORD_BUDGET_US: f64 = 500.0;
+
+/// The sharded event backend triple: bit-identical to both the dense SoA
+/// run and the single-threaded event backend, a sub-step reduction at least
+/// as large as the single-threaded backend's, and coordination overhead
+/// within [`EVENT_SHARDED_COORD_BUDGET_US`] per batch. All three gates are
+/// core-count-independent: on a 1-CPU runner the parallel run records pure
+/// coordination tax (never a speedup), and the gates still measure exactly
+/// the properties the backend promises.
+struct EventShardedProbe {
+    dense_secs: f64,
+    event_secs: f64,
+    sharded_secs: f64,
+    substeps_dense: u64,
+    substeps_executed: u64,
+    substeps_skipped: u64,
+    offered_replays: u64,
+    events_fired: u64,
+    reduction_event: f64,
+    reduction_sharded: f64,
+    batches: u64,
+    coord_overhead_us_per_batch: f64,
+    identical: bool,
+    ok: bool,
+}
+
+fn event_sharded_probe() -> EventShardedProbe {
+    let scenario = || {
+        Scenario::row(3, 2, 2, 7)
+            .power_limit(Watts::from_kilowatts(190.0))
+            .strategy(Strategy::PriorityAware)
+            .discharge(DischargeLevel::Low)
+            .tick(Seconds::new(1.0))
+            .warmup(Seconds::from_hours(4.0))
+            .max_horizon(Seconds::from_hours(2.5))
+    };
+    let (dense, dense_secs) = time(|| scenario().soa().build().run());
+
+    recharge_telemetry::set_enabled(true);
+    let executed_counter = recharge_telemetry::counter("sim.rack_substeps");
+    let skipped_counter = recharge_telemetry::counter("sim.ticks_skipped");
+    let events_counter = recharge_telemetry::counter("sim.events_fired");
+    let replays_counter = recharge_telemetry::counter("sim.offered_replays");
+
+    let event_executed_before = executed_counter.value();
+    let (event, event_secs) = time(|| scenario().event_driven().build().run());
+    let event_executed = executed_counter.value() - event_executed_before;
+
+    let executed_before = executed_counter.value();
+    let skipped_before = skipped_counter.value();
+    let events_before = events_counter.value();
+    let replays_before = replays_counter.value();
+    let (sharded, sharded_secs) =
+        time(|| scenario().event_sharded(EVENT_SHARDED_SHARDS).build().run());
+    let substeps_executed = executed_counter.value() - executed_before;
+    let substeps_skipped = skipped_counter.value() - skipped_before;
+    let events_fired = events_counter.value() - events_before;
+    let offered_replays = replays_counter.value() - replays_before;
+    recharge_telemetry::set_enabled(false);
+
+    let substeps_dense = substeps_executed + substeps_skipped;
+    let reduction_event = substeps_dense as f64 / event_executed.max(1) as f64;
+    let reduction_sharded = substeps_dense as f64 / substeps_executed.max(1) as f64;
+    // One batch per control interval; the probe's control cadence is every
+    // tick, so batches is exactly the dense per-rack sub-step count.
+    let batches = substeps_dense / EVENT_SHARDED_RACKS;
+    let coord_overhead_us_per_batch =
+        (sharded_secs - event_secs).max(0.0) * 1e6 / batches.max(1) as f64;
+    let identical = sharded == dense && event == dense;
+    EventShardedProbe {
+        dense_secs,
+        event_secs,
+        sharded_secs,
+        substeps_dense,
+        substeps_executed,
+        substeps_skipped,
+        offered_replays,
+        events_fired,
+        reduction_event,
+        reduction_sharded,
+        batches,
+        coord_overhead_us_per_batch,
+        identical,
+        ok: identical
+            && reduction_sharded >= reduction_event
+            && coord_overhead_us_per_batch <= EVENT_SHARDED_COORD_BUDGET_US,
+    }
+}
+
+impl EventShardedProbe {
+    fn emit(&self, out_dir: &Path, cores: usize) -> std::io::Result<()> {
+        let mut json = String::new();
+        let _ = writeln!(json, "{{");
+        let _ = writeln!(json, "  \"benchmark\": \"event_sharded\",");
+        let _ = writeln!(json, "  \"cores\": {cores},");
+        let _ = writeln!(json, "  \"shards\": {EVENT_SHARDED_SHARDS},");
+        let _ = writeln!(json, "  \"dense_secs\": {:.6},", self.dense_secs);
+        let _ = writeln!(json, "  \"event_secs\": {:.6},", self.event_secs);
+        let _ = writeln!(json, "  \"sharded_secs\": {:.6},", self.sharded_secs);
+        let _ = writeln!(json, "  \"rack_substeps_dense\": {},", self.substeps_dense);
+        let _ = writeln!(
+            json,
+            "  \"rack_substeps_executed\": {},",
+            self.substeps_executed
+        );
+        let _ = writeln!(
+            json,
+            "  \"rack_substeps_skipped\": {},",
+            self.substeps_skipped
+        );
+        let _ = writeln!(json, "  \"offered_replays\": {},", self.offered_replays);
+        let _ = writeln!(json, "  \"events_fired\": {},", self.events_fired);
+        let _ = writeln!(
+            json,
+            "  \"substep_reduction_event\": {:.3},",
+            self.reduction_event
+        );
+        let _ = writeln!(
+            json,
+            "  \"substep_reduction_sharded\": {:.3},",
+            self.reduction_sharded
+        );
+        let _ = writeln!(json, "  \"batches\": {},", self.batches);
+        let _ = writeln!(
+            json,
+            "  \"coord_overhead_us_per_batch\": {:.3},",
+            self.coord_overhead_us_per_batch
+        );
+        let _ = writeln!(
+            json,
+            "  \"coord_budget_us_per_batch\": {EVENT_SHARDED_COORD_BUDGET_US},"
+        );
+        let _ = writeln!(json, "  \"metrics_identical\": {},", self.identical);
+        let _ = writeln!(json, "  \"pass\": {}", self.ok);
+        let _ = writeln!(json, "}}");
+        let path = out_dir.join("BENCH_event_sharded.json");
+        std::fs::write(&path, json)?;
+        println!(
+            "event_sharded: {} of {} sub-steps executed on {} shards \
+             ({:.1}x vs {:.1}x single-threaded), {:.1} us/batch coordination \
+             over {} batches, identical: {}, pass: {}",
+            self.substeps_executed,
+            self.substeps_dense,
+            EVENT_SHARDED_SHARDS,
+            self.reduction_sharded,
+            self.reduction_event,
+            self.coord_overhead_us_per_batch,
+            self.batches,
+            self.identical,
+            self.ok
+        );
+        Ok(())
+    }
+}
+
 /// The controller-HA probe: hot-standby control plane cost and failover
 /// behaviour.
 ///
@@ -1358,6 +1525,21 @@ fn main() -> ExitCode {
         "event",
         event.ok,
         format!("\"substep_reduction\": {:.3}", event.reduction),
+    );
+
+    let event_sharded = event_sharded_probe();
+    if let Err(e) = event_sharded.emit(&out_dir, cores) {
+        eprintln!("failed to write BENCH_event_sharded.json: {e}");
+        ok = false;
+    }
+    ok &= event_sharded.ok;
+    summary.push(
+        "event_sharded",
+        event_sharded.ok,
+        format!(
+            "\"substep_reduction\": {:.3}, \"coord_overhead_us_per_batch\": {:.3}",
+            event_sharded.reduction_sharded, event_sharded.coord_overhead_us_per_batch
+        ),
     );
 
     let ha = ha_probe();

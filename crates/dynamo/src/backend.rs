@@ -22,6 +22,7 @@ use recharge_units::{RackId, Seconds, SimTime, Watts};
 use crate::agent::{RackAgent, SimRackAgent};
 use crate::bus::{AgentBus, InMemoryBus};
 use crate::event::EventDrivenBackend;
+use crate::event_sharded::EventShardedBackend;
 use crate::messages::PowerReading;
 use crate::soa::SoaBackend;
 use crate::threaded::ThreadedFleet;
@@ -220,6 +221,15 @@ pub enum FleetBackendKind {
     /// fast-forward instead of stepping. Bit-identical to every dense
     /// backend.
     Event,
+    /// Event-driven stepping sharded over persistent worker threads
+    /// ([`EventShardedBackend`](crate::EventShardedBackend)): one scheduler
+    /// and active list per SoA shard, wake sources merged at the
+    /// coordinator. Bit-identical to every other backend.
+    EventSharded {
+        /// Shard/worker-thread count (clamped to `[1, agents.len()]` at
+        /// build).
+        shards: usize,
+    },
 }
 
 impl FleetBackendKind {
@@ -239,6 +249,9 @@ impl FleetBackendKind {
                 Box::new(SoaBackend::sharded(agents, shards))
             }
             FleetBackendKind::Event => Box::new(EventDrivenBackend::new(agents)),
+            FleetBackendKind::EventSharded { shards } => {
+                Box::new(EventShardedBackend::new(agents, shards))
+            }
         }
     }
 }
@@ -252,6 +265,7 @@ impl fmt::Display for FleetBackendKind {
             FleetBackendKind::Soa => write!(f, "soa"),
             FleetBackendKind::SoaSharded { shards } => write!(f, "soa-sharded:{shards}"),
             FleetBackendKind::Event => write!(f, "event"),
+            FleetBackendKind::EventSharded { shards } => write!(f, "event-sharded:{shards}"),
         }
     }
 }
@@ -268,7 +282,8 @@ impl fmt::Display for ParseBackendKindError {
         write!(
             f,
             "unknown backend kind {:?} (expected \"serial\", \"sharded:N\", \
-             \"sharded-batched:N\", \"soa\", \"soa-sharded:N\", or \"event\")",
+             \"sharded-batched:N\", \"soa\", \"soa-sharded:N\", \"event\", or \
+             \"event-sharded:N\")",
             self.text
         )
     }
@@ -304,6 +319,10 @@ impl FromStr for FleetBackendKind {
         if s == "event" {
             return Ok(FleetBackendKind::Event);
         }
+        if let Some(count) = s.strip_prefix("event-sharded:") {
+            let shards = count.parse().map_err(|_| reject())?;
+            return Ok(FleetBackendKind::EventSharded { shards });
+        }
         Err(reject())
     }
 }
@@ -336,6 +355,7 @@ mod tests {
             FleetBackendKind::Soa.build(agents(6)),
             FleetBackendKind::SoaSharded { shards: 3 }.build(agents(6)),
             FleetBackendKind::Event.build(agents(6)),
+            FleetBackendKind::EventSharded { shards: 3 }.build(agents(6)),
         ];
         for backend in &mut backends {
             backend.step_schedule(Seconds::new(1.0), &schedule, &load);
@@ -378,6 +398,12 @@ mod tests {
             "soa-sharded"
         );
         assert_eq!(FleetBackendKind::Event.build(agents(1)).name(), "event");
+        assert_eq!(
+            FleetBackendKind::EventSharded { shards: 1 }
+                .build(agents(1))
+                .name(),
+            "event-sharded"
+        );
     }
 
     #[test]
@@ -389,6 +415,7 @@ mod tests {
             FleetBackendKind::Soa,
             FleetBackendKind::SoaSharded { shards: 3 },
             FleetBackendKind::Event,
+            FleetBackendKind::EventSharded { shards: 4 },
         ] {
             assert_eq!(kind.to_string().parse(), Ok(kind));
         }
@@ -403,6 +430,10 @@ mod tests {
             "soa-sharded:4".parse(),
             Ok(FleetBackendKind::SoaSharded { shards: 4 })
         );
+        assert_eq!(
+            "event-sharded:8".parse(),
+            Ok(FleetBackendKind::EventSharded { shards: 8 })
+        );
         for bad in [
             "",
             "serial:1",
@@ -415,6 +446,11 @@ mod tests {
             "soa-sharded:x",
             "event:1",
             "events",
+            "event-sharded",
+            "event-sharded:",
+            "event-sharded:x",
+            "event-sharded:1.5",
+            "event-sharded:-2",
         ] {
             assert!(bad.parse::<FleetBackendKind>().is_err(), "{bad:?} parsed");
         }

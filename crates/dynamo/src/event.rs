@@ -32,7 +32,28 @@
 //! Every sleep→wake transition journals a [`FlightKind::FastForward`] event
 //! with the number of sub-steps skipped, so provenance of the fast-forward
 //! is auditable after the fact. `sim.rack_substeps`, `sim.ticks_skipped`,
-//! and `sim.events_fired` counters quantify the win per run.
+//! `sim.events_fired`, and `sim.offered_replays` counters quantify the win
+//! per run.
+//!
+//! **The sharded case.** [`EventShardedBackend`](crate::EventShardedBackend)
+//! runs one [`Lane`] + [`EventScheduler`] per SoA shard on persistent worker
+//! threads, with a *merged wake queue* at the coordinator. The three rules
+//! above carry over unchanged because racks never interact during physics;
+//! what needs an argument is event *ordering*, and two properties pin it:
+//!
+//! 4. The coordinator's merged queue imposes one global `(time, seq)` order
+//!    on every power edge and command wake — exactly the order the
+//!    single-threaded scheduler would have used — and each shard's local
+//!    scheduler receives its *projection* of that order (edges broadcast to
+//!    every shard at the same integer sub-step, wakes routed to the owning
+//!    shard only). A projection of a total order preserves the per-shard
+//!    FIFO tie-break, so each shard pops events in the same relative order
+//!    as the single-threaded backend.
+//! 5. Cross-shard ordering within a sub-step is immaterial: an event only
+//!    mutates its own shard's lane and arrays (a power edge is replicated
+//!    per shard, and waking an already-awake slot is a no-op), so any
+//!    interleaving of shard timelines yields the same arrays — which is why
+//!    the workers can run them concurrently at all.
 
 use recharge_telemetry::{flight, tcounter, tspan, FlightKind, ReasonCode, NO_BUCKET};
 use recharge_units::{Amperes, RackId, Seconds, Watts};
@@ -42,7 +63,11 @@ use crate::backend::FleetBackend;
 use crate::bus::AgentBus;
 use crate::messages::PowerReading;
 use crate::scheduler::EventScheduler;
-use crate::soa::SoaBackend;
+use crate::soa::{SoaBackend, SoaShard};
+
+/// Extra scheduler capacity beyond one pending wake per rack, covering a
+/// typical batch's worth of power edges without a mid-run reallocation.
+pub(crate) const EDGE_HEADROOM: usize = 64;
 
 /// What the fleet-level event queue carries.
 enum FleetEvent {
@@ -53,13 +78,135 @@ enum FleetEvent {
 }
 
 /// Per-shard sleep bookkeeping, parallel to the SoA arrays.
-struct Lane {
+///
+/// Shared by the single-threaded [`EventDrivenBackend`] and the per-worker
+/// shard states of [`EventShardedBackend`](crate::EventShardedBackend): both
+/// drive the same sleep/wake transitions, so the skip authority lives in
+/// exactly one place. `active` and `asleep` are disjoint sorted complements
+/// of the slot space, which keeps every operation — including the
+/// end-of-batch offered replay — proportional to the slots it touches, not
+/// to the shard size.
+pub(crate) struct Lane {
     /// Whether each slot is currently fast-forwarding.
     sleeping: Vec<bool>,
     /// Clock of the last sub-step each slot actually executed.
     slept_at: Vec<u64>,
     /// Sorted slot indices still stepping densely.
     active: Vec<u32>,
+    /// Sorted slot indices currently fast-forwarding (the complement of
+    /// `active`), so the offered replay iterates sleepers instead of
+    /// scanning the whole shard.
+    asleep: Vec<u32>,
+}
+
+impl Lane {
+    /// A lane over `len` slots, everyone awake.
+    pub(crate) fn new(len: usize) -> Self {
+        Lane {
+            sleeping: vec![false; len],
+            slept_at: vec![0; len],
+            active: (0..u32::try_from(len).expect("shard fits u32")).collect(),
+            asleep: Vec::new(),
+        }
+    }
+
+    /// Whether `slot` is currently fast-forwarding.
+    pub(crate) fn is_sleeping(&self, slot: usize) -> bool {
+        self.sleeping[slot]
+    }
+
+    /// The sorted slots still stepping densely.
+    pub(crate) fn active_slots(&self) -> &[u32] {
+        &self.active
+    }
+
+    /// Wakes `slot` if it is sleeping, returning how many sub-steps it
+    /// skipped. Waking an awake slot is a no-op (`None`).
+    pub(crate) fn wake_one(&mut self, slot: usize, now: u64) -> Option<u64> {
+        if !self.sleeping[slot] {
+            return None;
+        }
+        self.sleeping[slot] = false;
+        let skipped = now.saturating_sub(self.slept_at[slot] + 1);
+        let s32 = u32::try_from(slot).expect("slot fits u32");
+        if let Ok(pos) = self.asleep.binary_search(&s32) {
+            self.asleep.remove(pos);
+        }
+        if let Err(pos) = self.active.binary_search(&s32) {
+            self.active.insert(pos, s32);
+        }
+        Some(skipped)
+    }
+
+    /// Wakes every sleeping slot, invoking `woken(slot, skipped)` in
+    /// ascending slot order (the order the dense wake scan used to report).
+    pub(crate) fn wake_all(&mut self, now: u64, mut woken: impl FnMut(usize, u64)) {
+        if self.asleep.is_empty() {
+            return;
+        }
+        for &s in &self.asleep {
+            let slot = s as usize;
+            self.sleeping[slot] = false;
+            woken(slot, now.saturating_sub(self.slept_at[slot] + 1));
+        }
+        self.asleep.clear();
+        self.active.clear();
+        self.active
+            .extend(0..u32::try_from(self.sleeping.len()).expect("shard fits u32"));
+    }
+
+    /// Executes one sub-step for every active slot, retiring the ones whose
+    /// executed step proved the next is a no-op. `load(slot, rack)` supplies
+    /// the offered load; returns the number of sub-steps executed.
+    pub(crate) fn step_active(
+        &mut self,
+        shard: &mut SoaShard,
+        now: u64,
+        power: bool,
+        dt: Seconds,
+        mut load: impl FnMut(usize, RackId) -> Watts,
+    ) -> u64 {
+        let Lane {
+            sleeping,
+            slept_at,
+            active,
+            asleep,
+        } = self;
+        let mut executed: u64 = 0;
+        active.retain(|&s| {
+            let slot = s as usize;
+            let offered = load(slot, shard.rack_at(slot));
+            shard.substep(slot, offered, power, dt);
+            executed += 1;
+            if shard.is_quiescent(slot) {
+                sleeping[slot] = true;
+                slept_at[slot] = now;
+                if let Err(pos) = asleep.binary_search(&s) {
+                    asleep.insert(pos, s);
+                }
+                false
+            } else {
+                true
+            }
+        });
+        executed
+    }
+
+    /// Replays the schedule's final offered-load write into every sleeping
+    /// slot — the one observable effect the skipped sub-steps had — and
+    /// returns the number of writes (each sleeper gets exactly one).
+    pub(crate) fn replay_offered(
+        &self,
+        shard: &mut SoaShard,
+        mut load: impl FnMut(usize, RackId) -> Watts,
+    ) -> u64 {
+        for &s in &self.asleep {
+            let slot = s as usize;
+            let offered = load(slot, shard.rack_at(slot));
+            shard.touch_offered(slot, offered);
+        }
+        self.asleep.len() as u64
+    }
 }
 
 /// The event-driven execution backend: SoA arrays plus a next-event
@@ -98,6 +245,8 @@ pub struct EventDrivenBackend {
     clock: u64,
     /// Rack sub-steps actually executed.
     executed: u64,
+    /// End-of-batch offered-load replay writes (one per sleeper per batch).
+    replayed: u64,
     /// Fleet size, cached for the skip arithmetic.
     total_racks: u64,
 }
@@ -108,23 +257,19 @@ impl EventDrivenBackend {
     #[must_use]
     pub fn new(agents: Vec<SimRackAgent>) -> Self {
         let soa = SoaBackend::new(agents);
-        let lanes: Vec<Lane> = soa
-            .shards()
-            .iter()
-            .map(|s| Lane {
-                sleeping: vec![false; s.len()],
-                slept_at: vec![0; s.len()],
-                active: (0..u32::try_from(s.len()).expect("shard fits u32")).collect(),
-            })
-            .collect();
+        let lanes: Vec<Lane> = soa.shards().iter().map(|s| Lane::new(s.len())).collect();
         let total_racks = soa.shards().iter().map(|s| s.len() as u64).sum();
+        // Steady-state sizing: at most one pending wake per rack plus a
+        // batch's worth of power edges — the hot loop never grows the heap.
+        let capacity = usize::try_from(total_racks).expect("fleet fits usize") + EDGE_HEADROOM;
         EventDrivenBackend {
             soa,
             lanes,
-            scheduler: EventScheduler::new(),
+            scheduler: EventScheduler::with_capacity(capacity),
             power: true,
             clock: 0,
             executed: 0,
+            replayed: 0,
             total_racks,
         }
     }
@@ -133,6 +278,14 @@ impl EventDrivenBackend {
     #[must_use]
     pub fn substeps_executed(&self) -> u64 {
         self.executed
+    }
+
+    /// End-of-batch offered-load replay writes since construction: exactly
+    /// one write per sleeping rack per schedule, which is the same write set
+    /// the dense pass's final sub-step would have produced for them.
+    #[must_use]
+    pub fn offered_replays(&self) -> u64 {
+        self.replayed
     }
 
     /// Rack sub-steps fast-forwarded (what a dense backend would have run
@@ -144,25 +297,17 @@ impl EventDrivenBackend {
 
     /// Wakes one sleeping slot, journaling the fast-forward. Idempotent.
     fn wake_one(&mut self, shard: usize, slot: usize, now: u64) {
-        let lane = &mut self.lanes[shard];
-        if !lane.sleeping[slot] {
-            return;
-        }
-        lane.sleeping[slot] = false;
-        let skipped = now.saturating_sub(lane.slept_at[slot] + 1);
         let sh = &self.soa.shards()[shard];
-        flight(
-            FlightKind::FastForward,
-            ReasonCode::Observed,
-            sh.rack_at(slot).index(),
-            sh.priority_at(slot).rank(),
-            NO_BUCKET,
-            skipped,
-            now,
-        );
-        let s32 = u32::try_from(slot).expect("slot fits u32");
-        if let Err(pos) = lane.active.binary_search(&s32) {
-            lane.active.insert(pos, s32);
+        if let Some(skipped) = self.lanes[shard].wake_one(slot, now) {
+            flight(
+                FlightKind::FastForward,
+                ReasonCode::Observed,
+                sh.rack_at(slot).index(),
+                sh.priority_at(slot).rank(),
+                NO_BUCKET,
+                skipped,
+                now,
+            );
         }
     }
 
@@ -170,27 +315,17 @@ impl EventDrivenBackend {
     /// edge invalidates every sleep).
     fn wake_all(&mut self, now: u64) {
         for (lane, sh) in self.lanes.iter_mut().zip(self.soa.shards()) {
-            if lane.active.len() == lane.sleeping.len() {
-                continue;
-            }
-            for slot in 0..lane.sleeping.len() {
-                if lane.sleeping[slot] {
-                    lane.sleeping[slot] = false;
-                    let skipped = now.saturating_sub(lane.slept_at[slot] + 1);
-                    flight(
-                        FlightKind::FastForward,
-                        ReasonCode::Observed,
-                        sh.rack_at(slot).index(),
-                        sh.priority_at(slot).rank(),
-                        NO_BUCKET,
-                        skipped,
-                        now,
-                    );
-                }
-            }
-            lane.active.clear();
-            lane.active
-                .extend(0..u32::try_from(lane.sleeping.len()).expect("shard fits u32"));
+            lane.wake_all(now, |slot, skipped| {
+                flight(
+                    FlightKind::FastForward,
+                    ReasonCode::Observed,
+                    sh.rack_at(slot).index(),
+                    sh.priority_at(slot).rank(),
+                    NO_BUCKET,
+                    skipped,
+                    now,
+                );
+            });
         }
     }
 
@@ -198,7 +333,7 @@ impl EventDrivenBackend {
     /// the command's effect is stepped densely.
     fn wake_rack(&mut self, rack: RackId) {
         if let Some((shard, slot)) = self.soa.slot_of(rack) {
-            if self.lanes[shard].sleeping[slot] {
+            if self.lanes[shard].is_sleeping(slot) {
                 self.scheduler
                     .schedule(self.clock, FleetEvent::Wake { shard, slot });
             }
@@ -251,44 +386,27 @@ impl FleetBackend for EventDrivenBackend {
             }
             debug_assert_eq!(self.power, power, "edge events must track the schedule");
 
-            let lanes = &mut self.lanes;
-            for (lane, shard) in lanes.iter_mut().zip(self.soa.shards_mut()) {
-                let Lane {
-                    sleeping,
-                    slept_at,
-                    active,
-                } = lane;
-                active.retain(|&s| {
-                    let slot = s as usize;
-                    shard.substep(slot, load_of(shard.rack_at(slot), i), power, dt);
-                    executed_now += 1;
-                    if shard.is_quiescent(slot) {
-                        sleeping[slot] = true;
-                        slept_at[slot] = now;
-                        false
-                    } else {
-                        true
-                    }
-                });
+            for (lane, shard) in self.lanes.iter_mut().zip(self.soa.shards_mut()) {
+                executed_now += lane.step_active(shard, now, power, dt, |_, rack| load_of(rack, i));
             }
         }
         self.clock += n as u64;
 
         // Replay the one observable effect the skipped sub-steps had: the
         // schedule's final offered-load write (idempotent with the dense
-        // pass's last write).
+        // pass's last write). O(sleeping), not O(racks): the lane iterates
+        // its maintained sleeper list.
+        let mut replays: u64 = 0;
         for (lane, shard) in self.lanes.iter_mut().zip(self.soa.shards_mut()) {
-            for slot in 0..lane.sleeping.len() {
-                if lane.sleeping[slot] {
-                    shard.touch_offered(slot, load_of(shard.rack_at(slot), n - 1));
-                }
-            }
+            replays += lane.replay_offered(shard, |_, rack| load_of(rack, n - 1));
         }
 
         self.executed += executed_now;
+        self.replayed += replays;
         tcounter!("sim.rack_substeps").add(executed_now);
         tcounter!("sim.ticks_skipped").add(n as u64 * self.total_racks - executed_now);
         tcounter!("sim.events_fired").add(fired);
+        tcounter!("sim.offered_replays").add(replays);
     }
 
     fn readings(&self) -> Vec<PowerReading> {
@@ -460,6 +578,35 @@ mod tests {
             readings[1].recharge_power,
             Watts::ZERO,
             "rack 1 stays postponed"
+        );
+    }
+
+    #[test]
+    fn offered_replay_writes_exactly_one_per_sleeper() {
+        let mut fleet = EventDrivenBackend::new(agents(4));
+        // One outage sub-step, then a quiet stretch long enough that every
+        // rack finishes its recharge and sleeps.
+        let schedule = [&[false][..], &[true; 2_000][..]].concat();
+        fleet.step_schedule(Seconds::new(30.0), &schedule, &|_, _| {
+            Watts::from_kilowatts(6.0)
+        });
+        let settled = fleet.offered_replays();
+        // A fully-asleep batch performs exactly one offered write per rack —
+        // the same writes the old whole-shard scan produced, now reached via
+        // the maintained sleeper list.
+        fleet.step_schedule(Seconds::new(30.0), &[true; 5], &|_, _| {
+            Watts::from_kilowatts(6.0)
+        });
+        assert_eq!(
+            fleet.offered_replays() - settled,
+            4,
+            "one replay write per sleeping rack per batch"
+        );
+        // And the replay set is exactly the sleeper set: executed + skipped
+        // still covers the dense schedule.
+        assert_eq!(
+            fleet.substeps_executed() + fleet.substeps_skipped(),
+            2_006 * 4
         );
     }
 

@@ -14,7 +14,8 @@
 //!   serial in-process, sharded worker threads (per-tick or batched
 //!   submission), the struct-of-arrays kernel ([`SoaBackend`]) for
 //!   campus-scale fleets, or event-driven stepping
-//!   ([`EventDrivenBackend`]) that fast-forwards quiescent racks — all
+//!   ([`EventDrivenBackend`], sharded over worker threads as
+//!   [`EventShardedBackend`]) that fast-forwards quiescent racks — all
 //!   bit-identical.
 //! * [`Controller`] — a leaf/upper controller protecting one breaker: detects
 //!   charge sequences, runs Algorithm 1 (or the global baseline), monitors
@@ -47,6 +48,7 @@ mod bus;
 pub mod capping;
 mod controller;
 mod event;
+mod event_sharded;
 mod hierarchy;
 mod messages;
 mod scheduler;
@@ -63,6 +65,7 @@ pub use controller::{
     Controller, ControllerConfig, ControllerReport, ControllerSnapshot, SnapshotError, Strategy,
 };
 pub use event::EventDrivenBackend;
+pub use event_sharded::EventShardedBackend;
 pub use hierarchy::{HierarchicalControl, UpperMonitor};
 pub use messages::PowerReading;
 pub use scheduler::EventScheduler;

@@ -64,6 +64,27 @@ impl<E> EventScheduler<E> {
         }
     }
 
+    /// An empty scheduler whose heap can hold `capacity` pending events
+    /// without reallocating.
+    ///
+    /// The event backends size their queues for the steady state (at most one
+    /// pending wake per rack plus a batch's worth of power edges) so the hot
+    /// loop never grows the heap mid-run; a burst beyond the capacity still
+    /// works, it just reallocates like any `Vec`.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            heap: BinaryHeap::with_capacity(capacity),
+            next_seq: 0,
+        }
+    }
+
+    /// How many pending events the heap can hold without reallocating.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
+    }
+
     /// Enqueue `event` to fire at integer time `at`.
     pub fn schedule(&mut self, at: u64, event: E) {
         let seq = self.next_seq;
@@ -144,6 +165,24 @@ mod tests {
         assert_eq!(s.pop_due(9), Some((5, "later")));
         assert!(s.is_empty());
         assert_eq!(s.pop_due(100), None);
+    }
+
+    #[test]
+    fn with_capacity_retains_its_allocation_across_churn() {
+        let mut s: EventScheduler<u32> = EventScheduler::with_capacity(64);
+        let cap = s.capacity();
+        assert!(cap >= 64);
+        // Many schedule/drain cycles that never exceed the requested
+        // capacity must never grow the heap: the steady-state loop of the
+        // event backends is allocation-free.
+        for round in 0..200u64 {
+            for i in 0..64u32 {
+                s.schedule(round, i);
+            }
+            while s.pop_due(round).is_some() {}
+            assert!(s.is_empty());
+            assert_eq!(s.capacity(), cap, "round {round} reallocated");
+        }
     }
 
     #[test]

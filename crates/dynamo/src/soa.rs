@@ -53,6 +53,14 @@ const FLAG_OVERRIDE: u8 = 1 << 4;
 const FLAG_CAPPED: u8 = 1 << 5;
 const FLAG_INPUT_POWER: u8 = 1 << 6;
 
+/// What [`SoaBackend::into_parts`] yields: the shards, the fleet-order map,
+/// and the rack → (shard, slot) routing index.
+pub(crate) type SoaParts = (
+    Vec<SoaShard>,
+    Vec<(usize, usize)>,
+    HashMap<RackId, (usize, usize)>,
+);
+
 fn state_bits(state: BbuState) -> u8 {
     match state {
         BbuState::FullyCharged => STATE_FULLY_CHARGED,
@@ -336,6 +344,40 @@ impl SoaShard {
         }
     }
 
+    /// `Charger::set_override` for one slot: clamp to the 1–5 A hardware
+    /// range and raise the override flag.
+    pub(crate) fn set_override_slot(&mut self, slot: usize, current: Amperes) {
+        self.override_a[slot] = current
+            .clamp(Amperes::MIN_CHARGE, Amperes::MAX_CHARGE)
+            .as_amps();
+        self.flags[slot] |= FLAG_OVERRIDE;
+    }
+
+    /// `Charger::clear_override` for one slot.
+    pub(crate) fn clear_override_slot(&mut self, slot: usize) {
+        self.flags[slot] &= !FLAG_OVERRIDE;
+    }
+
+    /// `Charger::set_postponed` for one slot.
+    pub(crate) fn set_postponed_slot(&mut self, slot: usize, postponed: bool) {
+        if postponed {
+            self.flags[slot] |= FLAG_POSTPONED;
+        } else {
+            self.flags[slot] &= !FLAG_POSTPONED;
+        }
+    }
+
+    /// `SimRackAgent::cap_servers` for one slot.
+    pub(crate) fn cap_slot(&mut self, slot: usize, limit: Watts) {
+        self.cap[slot] = limit.max(Watts::ZERO).as_watts();
+        self.flags[slot] |= FLAG_CAPPED;
+    }
+
+    /// `SimRackAgent::uncap_servers` for one slot.
+    pub(crate) fn uncap_slot(&mut self, slot: usize) {
+        self.flags[slot] &= !FLAG_CAPPED;
+    }
+
     /// `SimRackAgent::read` over array state.
     pub(crate) fn read(&self, slot: usize) -> PowerReading {
         let flags = self.flags[slot];
@@ -491,6 +533,14 @@ impl SoaBackend {
         self.index.get(&rack).copied()
     }
 
+    /// Decomposes the backend into its shards plus the fleet-order and
+    /// rack-routing maps — the sharded event backend takes ownership of the
+    /// shards (they ping-pong to worker threads) but keeps the same
+    /// construction/grouping pass and external ordering.
+    pub(crate) fn into_parts(self) -> SoaParts {
+        (self.shards, self.order, self.index)
+    }
+
     /// Total racks across all shards.
     #[must_use]
     pub fn rack_count(&self) -> usize {
@@ -582,42 +632,31 @@ impl AgentBus for SoaBackend {
 
     fn set_charge_override(&mut self, rack: RackId, current: Amperes) {
         if let Some(&(s, slot)) = self.index.get(&rack) {
-            let shard = &mut self.shards[s];
-            // The charger clamps overrides to the 1–5 A hardware range.
-            shard.override_a[slot] = current
-                .clamp(Amperes::MIN_CHARGE, Amperes::MAX_CHARGE)
-                .as_amps();
-            shard.flags[slot] |= FLAG_OVERRIDE;
+            self.shards[s].set_override_slot(slot, current);
         }
     }
 
     fn clear_charge_override(&mut self, rack: RackId) {
         if let Some(&(s, slot)) = self.index.get(&rack) {
-            self.shards[s].flags[slot] &= !FLAG_OVERRIDE;
+            self.shards[s].clear_override_slot(slot);
         }
     }
 
     fn set_charge_postponed(&mut self, rack: RackId, postponed: bool) {
         if let Some(&(s, slot)) = self.index.get(&rack) {
-            if postponed {
-                self.shards[s].flags[slot] |= FLAG_POSTPONED;
-            } else {
-                self.shards[s].flags[slot] &= !FLAG_POSTPONED;
-            }
+            self.shards[s].set_postponed_slot(slot, postponed);
         }
     }
 
     fn cap_servers(&mut self, rack: RackId, limit: Watts) {
         if let Some(&(s, slot)) = self.index.get(&rack) {
-            let shard = &mut self.shards[s];
-            shard.cap[slot] = limit.max(Watts::ZERO).as_watts();
-            shard.flags[slot] |= FLAG_CAPPED;
+            self.shards[s].cap_slot(slot, limit);
         }
     }
 
     fn uncap_servers(&mut self, rack: RackId) {
         if let Some(&(s, slot)) = self.index.get(&rack) {
-            self.shards[s].flags[slot] &= !FLAG_CAPPED;
+            self.shards[s].uncap_slot(slot);
         }
     }
 }

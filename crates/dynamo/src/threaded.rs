@@ -82,16 +82,19 @@ impl Default for StepFrame {
 /// A reusable countdown barrier: workers [`arrive`](Self::arrive), the
 /// coordinator [`wait`](Self::wait)s for an expected count and resets it.
 ///
+/// Shared with the sharded event backend, which runs the same
+/// frame-fan-out/barrier protocol over its own frame type.
+///
 /// (The vendored `parking_lot` carries no `Condvar`, so this sits on
 /// `std::sync`; the mutex guards a single counter and is never held across
 /// work.)
-struct CountdownLatch {
+pub(crate) struct CountdownLatch {
     arrived: Mutex<usize>,
     all_done: Condvar,
 }
 
 impl CountdownLatch {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         CountdownLatch {
             arrived: Mutex::new(0),
             all_done: Condvar::new(),
@@ -99,7 +102,7 @@ impl CountdownLatch {
     }
 
     /// Records one arrival and wakes the coordinator.
-    fn arrive(&self) {
+    pub(crate) fn arrive(&self) {
         let mut arrived = self.arrived.lock().expect("latch poisoned");
         *arrived += 1;
         self.all_done.notify_all();
@@ -107,7 +110,7 @@ impl CountdownLatch {
 
     /// Blocks until `expected` arrivals have been recorded, then resets the
     /// counter for the next frame.
-    fn wait(&self, expected: usize) {
+    pub(crate) fn wait(&self, expected: usize) {
         let mut arrived = self.arrived.lock().expect("latch poisoned");
         while *arrived < expected {
             arrived = self.all_done.wait(arrived).expect("latch poisoned");

@@ -219,6 +219,19 @@ impl Scenario {
         self
     }
 
+    /// Like [`event_driven`](Self::event_driven), but the shards step on `n`
+    /// persistent worker threads behind a merged wake queue
+    /// ([`EventShardedBackend`]). Bit-identical to every other backend; the
+    /// choice when the horizon is mostly idle *and* the fleet is
+    /// campus-scale.
+    ///
+    /// [`EventShardedBackend`]: recharge_dynamo::EventShardedBackend
+    #[must_use]
+    pub fn event_sharded(mut self, n: usize) -> Self {
+        self.backend = FleetBackendKind::EventSharded { shards: n };
+        self
+    }
+
     /// Selects the fleet-execution backend explicitly.
     #[must_use]
     pub fn backend(mut self, backend: FleetBackendKind) -> Self {
@@ -451,6 +464,12 @@ mod tests {
     fn event_driven_selects_the_event_backend() {
         let s = Scenario::paper_msb(0).event_driven();
         assert_eq!(s.backend, FleetBackendKind::Event);
+    }
+
+    #[test]
+    fn event_sharded_selects_the_sharded_event_backend() {
+        let s = Scenario::paper_msb(0).event_sharded(4);
+        assert_eq!(s.backend, FleetBackendKind::EventSharded { shards: 4 });
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! Every fleet backend must produce bit-identical [`RunMetrics`].
 //!
 //! The matrix covers {serial, sharded per-tick, sharded batched,
-//! struct-of-arrays serial, struct-of-arrays sharded, event-driven, RPC mesh
+//! struct-of-arrays serial, struct-of-arrays sharded, event-driven,
+//! event-sharded, RPC mesh
 //! over loopback TCP, sharded RPC mesh at 1/2/4 shards} × {telemetry off,
 //! telemetry on} ×
 //! {controller every tick, controller every 5 ticks}, plus a flight-recorder
@@ -77,6 +78,7 @@ fn run_metrics_are_bit_identical_across_backends() {
         FleetBackendKind::Soa,
         FleetBackendKind::SoaSharded { shards },
         FleetBackendKind::Event,
+        FleetBackendKind::EventSharded { shards },
     ];
 
     for telemetry in [false, true] {
@@ -141,6 +143,7 @@ fn run_metrics_are_bit_identical_across_backends() {
         FleetBackendKind::ShardedBatched { shards },
         FleetBackendKind::Soa,
         FleetBackendKind::Event,
+        FleetBackendKind::EventSharded { shards },
     ] {
         let metrics = run_matrix_row(backend, 5);
         assert_eq!(

@@ -5,15 +5,34 @@
 //! that claim — load-transition timings, input-power edge placement, and
 //! command streams that postpone/override/cap racks at arbitrary boundaries
 //! — and pin readings and `RunMetrics` bit-identical to [`SerialBackend`].
-//! On failure, proptest shrinks to the minimal divergent schedule.
+//! The sharded event backend rides along at a randomized shard count
+//! (1/2/4 by default, pinned via `RECHARGE_TEST_SHARDS`), with the command
+//! stream deliberately landing on racks owned by different shards
+//! mid-batch. On failure, proptest shrinks to the minimal divergent
+//! schedule.
 
 use proptest::prelude::*;
 
-use recharge_dynamo::{EventDrivenBackend, FleetBackend, SerialBackend, SimRackAgent};
+use recharge_dynamo::{
+    EventDrivenBackend, EventShardedBackend, FleetBackend, SerialBackend, SimRackAgent,
+};
 use recharge_sim::{DischargeLevel, Scenario};
 use recharge_units::{Amperes, Priority, RackId, Seconds, Watts};
 
 const FLEET: u32 = 6;
+
+/// Shard counts the sharded event backend is exercised at: `[1, 2, 4]` by
+/// default, or a single pinned count from `RECHARGE_TEST_SHARDS` (the CI
+/// `event-sharded-smoke` job pins 4).
+fn shard_counts() -> Vec<usize> {
+    match std::env::var("RECHARGE_TEST_SHARDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+    {
+        Some(n) => vec![n],
+        None => vec![1, 2, 4],
+    }
+}
 
 fn agents() -> Vec<SimRackAgent> {
     (0..FLEET)
@@ -56,13 +75,21 @@ proptest! {
             1..16,
         ),
         dt in 1.0f64..45.0,
+        shard_sel in 0usize..64,
     ) {
+        let counts = shard_counts();
+        let shards = counts[shard_sel % counts.len()];
         let mut reference = SerialBackend::new(agents());
         let mut event = EventDrivenBackend::new(agents());
+        let mut sharded = EventShardedBackend::new(agents(), shards);
         for (round, (op, rack, magnitude, schedule, base_kw)) in
             rounds.iter().enumerate()
         {
-            for backend in [&mut reference as &mut dyn FleetBackend, &mut event] {
+            // Successive rounds target different racks, so with 2 or 4
+            // shards the command stream lands on different shards mid-run.
+            for backend in
+                [&mut reference as &mut dyn FleetBackend, &mut event, &mut sharded]
+            {
                 apply_command(backend.bus_mut(), *op, *rack, *magnitude);
             }
             let base = *base_kw;
@@ -73,6 +100,7 @@ proptest! {
             };
             reference.step_schedule(Seconds::new(dt), schedule, &load);
             event.step_schedule(Seconds::new(dt), schedule, &load);
+            sharded.step_schedule(Seconds::new(dt), schedule, &load);
             prop_assert_eq!(
                 reference.readings(),
                 FleetBackend::readings(&event),
@@ -80,13 +108,41 @@ proptest! {
                 round,
                 schedule
             );
+            prop_assert_eq!(
+                reference.readings(),
+                FleetBackend::readings(&sharded),
+                "round {} diverged on {} shards (schedule {:?})",
+                round,
+                shards,
+                schedule
+            );
         }
-        // Accounting must cover the dense schedule exactly.
+        // Accounting must cover the dense schedule exactly — globally for
+        // both event backends, and shard-by-shard for the sharded one.
         let total: u64 = rounds.iter().map(|r| r.3.len() as u64).sum();
         prop_assert_eq!(
             event.substeps_executed() + event.substeps_skipped(),
             total * u64::from(FLEET)
         );
+        prop_assert_eq!(sharded.substeps_executed(), event.substeps_executed());
+        // Per shard, executed + skipped must equal the dense schedule times
+        // the shard's slot count — i.e. a whole multiple of `total` — and
+        // the shards together must cover the fleet exactly.
+        let mut fleet_executed = 0;
+        let mut fleet_covered = 0;
+        for (shard, (executed, skipped)) in
+            sharded.per_shard_substeps().into_iter().enumerate()
+        {
+            prop_assert_eq!(
+                (executed + skipped) % total,
+                0,
+                "shard {} of {} accounting", shard, shards
+            );
+            fleet_executed += executed;
+            fleet_covered += executed + skipped;
+        }
+        prop_assert_eq!(fleet_executed, sharded.substeps_executed());
+        prop_assert_eq!(fleet_covered, total * u64::from(FLEET));
     }
 }
 
@@ -94,15 +150,19 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
     /// End-to-end: whole-run `RunMetrics` (series, SLA outcomes, peaks)
-    /// bit-identical between dense and event-driven stepping across random
-    /// fleets, discharge depths, and control cadences.
+    /// bit-identical between dense, event-driven, and sharded event-driven
+    /// stepping across random fleets, discharge depths, control cadences,
+    /// and shard counts.
     #[test]
     fn run_metrics_are_bit_identical_end_to_end(
         seed in 0u64..1_000,
         control_every in 1usize..6,
         dod in 0.1f64..0.8,
         warmup in 0.0f64..600.0,
+        shard_sel in 0usize..64,
     ) {
+        let counts = shard_counts();
+        let shards = counts[shard_sel % counts.len()];
         let base = Scenario::row(3, 2, 2, seed)
             .power_limit(Watts::from_kilowatts(190.0))
             .discharge(DischargeLevel::Custom(dod))
@@ -110,11 +170,22 @@ proptest! {
             .control_every(control_every)
             .max_horizon(Seconds::from_hours(2.5));
         let dense = base.clone().build().run();
-        let event = base.event_driven().build().run();
+        let event = base.clone().event_driven().build().run();
         prop_assert_eq!(
-            event,
-            dense,
+            &event,
+            &dense,
             "seed {} control_every {} dod {} warmup {}",
+            seed,
+            control_every,
+            dod,
+            warmup
+        );
+        let sharded = base.event_sharded(shards).build().run();
+        prop_assert_eq!(
+            &sharded,
+            &dense,
+            "event-sharded:{} seed {} control_every {} dod {} warmup {}",
+            shards,
             seed,
             control_every,
             dod,
